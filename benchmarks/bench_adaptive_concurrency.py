@@ -1,0 +1,125 @@
+"""E8c — adaptive concurrency ([43]): adjust the level to the server's capability.
+
+Paper claim (Section 4, closing paragraph): a fixed level of concurrency must
+be chosen against an unknown server capacity — too low wastes the latency
+overlap, too high overwhelms the server; *"techniques to automatically adjust
+the level of concurrency based on the capability of servers and on resource
+availability are being developed"* [43].
+
+This benchmark compares fixed worker counts against the
+:class:`~repro.kleisli.scheduler.AdaptiveScheduler` on two simulated servers:
+
+* a *capable* server (high concurrency cap) — the adaptive scheduler should
+  ramp up and approach the best fixed setting;
+* a *fragile* server (cap of 3) — fixed settings above the cap are rejected,
+  while the adaptive scheduler backs off, settles at the cap, and completes
+  every request.
+"""
+
+import time
+
+import pytest
+
+from repro.core.errors import RemoteSourceError
+from repro.kleisli.scheduler import AdaptiveScheduler, BoundedScheduler
+from repro.net.remote import RemoteSource
+
+from conftest import report
+
+LATENCY = 0.01
+REQUESTS = 40
+
+
+def _server(cap: int) -> RemoteSource:
+    return RemoteSource("GenBank", lambda x: x, latency=LATENCY,
+                        max_concurrent_requests=cap)
+
+
+def _run(scheduler, cap: int):
+    server = _server(cap)
+    started = time.perf_counter()
+    try:
+        scheduler.map(server.call, list(range(REQUESTS)))
+        failed = False
+    except RemoteSourceError:
+        failed = True
+    elapsed = time.perf_counter() - started
+    return elapsed, server, failed
+
+
+# --------------------------------------------------------------------------
+# pytest-benchmark timings
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", ["fixed-1", "fixed-5", "adaptive"])
+def test_adaptive_against_capable_server(benchmark, mode):
+    def once():
+        if mode == "adaptive":
+            scheduler = AdaptiveScheduler(max_workers=8)
+        else:
+            scheduler = BoundedScheduler(max_workers=int(mode.split("-")[1]))
+        return _run(scheduler, cap=16)
+
+    benchmark(once)
+
+
+# --------------------------------------------------------------------------
+# Paper-style comparison tables
+# --------------------------------------------------------------------------
+
+def test_e8c_capable_server_report():
+    rows = []
+    timings = {}
+    for label, scheduler in [
+        ("fixed 1 worker", BoundedScheduler(max_workers=1)),
+        ("fixed 5 workers", BoundedScheduler(max_workers=5)),
+        ("fixed 8 workers", BoundedScheduler(max_workers=8)),
+        ("adaptive (cap 8)", AdaptiveScheduler(max_workers=8)),
+    ]:
+        elapsed, server, failed = _run(scheduler, cap=16)
+        assert not failed
+        timings[label] = elapsed
+        level = getattr(scheduler, "level_history", None)
+        rows.append([label, f"{elapsed * 1000:.0f} ms", server.log.max_concurrency(),
+                     (level[-1] if level else "-")])
+    report(f"E8c: {REQUESTS} requests to a capable server ({LATENCY * 1000:.0f} ms latency, cap 16)",
+           rows, ["scheduler", "total time", "peak in-flight", "final level"])
+    # The adaptive scheduler beats the sequential baseline clearly and lands
+    # within a small factor of the best fixed setting.
+    assert timings["adaptive (cap 8)"] < timings["fixed 1 worker"] / 1.5
+    assert timings["adaptive (cap 8)"] < timings["fixed 5 workers"] * 3
+
+
+def test_e8c_fragile_server_report():
+    cap = 3
+    rows = []
+    outcomes = {}
+    for label, factory in [
+        ("fixed 8 workers", lambda: BoundedScheduler(max_workers=8)),
+        ("fixed 3 workers", lambda: BoundedScheduler(max_workers=3)),
+        ("adaptive (start 8)", lambda: AdaptiveScheduler(max_workers=10, initial_workers=8)),
+    ]:
+        elapsed, server, failed = _run(factory(), cap=cap)
+        outcomes[label] = failed
+        rows.append([label,
+                     "rejected" if failed else f"{elapsed * 1000:.0f} ms",
+                     server.log.max_concurrency(),
+                     len(server.log)])
+    report(f"E8c: {REQUESTS} requests to a fragile server (cap {cap})",
+           rows, ["scheduler", "outcome", "peak in-flight", "requests served"])
+    # A fixed level above the cap overwhelms the server; the adaptive scheduler
+    # backs off and completes the workload.
+    assert outcomes["fixed 8 workers"] is True
+    assert outcomes["adaptive (start 8)"] is False
+
+
+def test_e8c_adaptive_settles_at_the_server_capability():
+    scheduler = AdaptiveScheduler(max_workers=10, initial_workers=8)
+    _, server, failed = _run(scheduler, cap=3)
+    assert not failed
+    report("E8c: adaptive level trajectory against a cap-3 server",
+           [[", ".join(str(level) for level in scheduler.level_history)]],
+           ["levels used per batch"])
+    assert scheduler.overload_events >= 1
+    assert scheduler.level_history[-1] <= 3
+    assert server.log.max_concurrency() <= 3

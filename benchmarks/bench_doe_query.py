@@ -1,0 +1,77 @@
+"""F1 — the end-to-end DOE chromosome-22 query (Figure 1 / Section 3).
+
+Measures the full multi-source pipeline — the pushed-down GDB join, per-locus
+Entrez lookups with path pruning, and NA-Links retrieval — with the optimizer
+on and off, over datasets of increasing size, and checks that both agree.
+"""
+
+import time
+
+import pytest
+
+from repro.bio.chromosome22 import build_chromosome22
+from repro.core.optimizer import OptimizerConfig
+from repro.kleisli.drivers import EntrezDriver, RelationalDriver
+from repro.kleisli.session import Session
+
+from conftest import report
+
+SIZES = [60, 150]
+
+LOCI22 = '''
+define Loci22 == {[locus-symbol = x, genbank-ref = y] |
+  [locus_symbol = \\x, locus_id = \\a, ...] <- GDB-Tab("locus"),
+  [genbank_ref = \\y, object_id = a, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"),
+  [loc_cyto_chrom_num = "22", locus_cyto_location_id = a, ...] <- GDB-Tab("locus_cyto_location")}
+'''
+
+ASN_IDS = '''
+define ASN-IDs == \\accession =>
+  GenBank([db = "na", select = "accession " ^ accession, path = "Seq-entry.seq.id..giim"])
+'''
+
+DOE = ('{[locus = locus, homologs = NA-Links(uid)] |'
+       ' \\locus <- Loci22, \\uid <- ASN-IDs(locus.genbank-ref)}')
+
+
+def _session(dataset, optimized: bool) -> Session:
+    config = None if optimized else OptimizerConfig.disabled()
+    session = Session(optimizer_config=config)
+    session.register_driver(RelationalDriver("GDB", dataset.gdb))
+    session.register_driver(EntrezDriver("GenBank", dataset.genbank))
+    session.run(LOCI22)
+    session.run(ASN_IDS)
+    return session
+
+
+@pytest.mark.parametrize("size", SIZES[:1])
+def test_doe_query_optimized(benchmark, size):
+    dataset = build_chromosome22(locus_count=size)
+    session = _session(dataset, optimized=True)
+    benchmark(session.run, DOE)
+
+
+def test_f1_report():
+    rows = []
+    for size in SIZES:
+        dataset = build_chromosome22(locus_count=size)
+        optimized_session = _session(dataset, optimized=True)
+        baseline_session = _session(dataset, optimized=False)
+
+        started = time.perf_counter()
+        optimized_value = optimized_session.run(DOE)
+        optimized_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        baseline_value = baseline_session.run(DOE)
+        baseline_time = time.perf_counter() - started
+
+        assert optimized_value == baseline_value
+        with_homologs = sum(1 for row in optimized_value if len(row.project("homologs")))
+        rows.append([size, len(optimized_value), with_homologs,
+                     f"{baseline_time * 1000:.0f} ms", f"{optimized_time * 1000:.0f} ms"])
+    report("F1: the DOE chromosome-22 query, unoptimized vs optimized pipeline",
+           rows, ["loci generated", "answer rows", "rows with homologs",
+                  "unoptimized", "optimized"])
+    assert rows[-1][1] > 0
+    assert rows[-1][2] > 0

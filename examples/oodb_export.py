@@ -1,0 +1,101 @@
+"""Populating object-oriented databases from CPL: bulk load and generated loaders.
+
+Section 2, "Object Identity": *"some systems such as ACEDB have a text format
+for describing a whole database in which the object identifiers are explicit
+values.  We can generate such files with the existing machinery of CPL ...
+For object-oriented databases that do not have this 'bulk load' ability, it is
+usually an easy matter to make CPL generate the text of a program in native
+OODB code that calls the appropriate constructors to populate the database."*
+
+This example runs both routes over the same CPL transformation:
+
+1. query GenBank (ASN.1) for the chromosome-22 sequence entries,
+2. transform them in CPL into ``class``/``name`` records with cross-references
+   from each Locus object to its Sequence object,
+3. emit the ``.ace`` bulk-load text,
+4. emit a *native OODB loader program* (Python constructor-call dialect),
+   execute it, and check it builds the same database, and
+5. show the C++-flavoured dialect of the same loader.
+
+Run with::
+
+    python examples/oodb_export.py [--loci 60] [--save DIR]
+"""
+
+import argparse
+import pathlib
+
+from repro import Ref, Session
+from repro.ace import AceDatabase, dump_ace, execute_oodb_program, generate_oodb_program, parse_ace
+from repro.bio.chromosome22 import build_chromosome22
+from repro.kleisli.drivers import EntrezDriver, RelationalDriver
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--loci", type=int, default=60, help="number of GDB loci to generate")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="write the .ace file and the loader programs to DIR")
+    arguments = parser.parse_args()
+
+    data = build_chromosome22(locus_count=arguments.loci)
+    session = Session()
+    session.register_driver(RelationalDriver("GDB", data.gdb))
+    session.register_driver(EntrezDriver("GenBank", data.genbank))
+
+    print("== 1-2. CPL transformation: ASN.1 entries -> Sequence and Locus objects ==")
+    sequences = session.run('''
+        {[class = "Sequence", name = e.accession, Organism = e.organism,
+          Length = e.seq.length, Title = e.title] |
+          \\e <- GenBank([db = "na", select = "chromosome 22"])}
+    ''')
+    loci = session.run('''
+        {[class = "Locus", name = x, GenBank = y] |
+          [locus_symbol = \\x, locus_id = \\a, ...] <- GDB-Tab("locus"),
+          [genbank_ref = \\y, object_id = a, object_class_key = 1, ...]
+              <- GDB-Tab("object_genbank_eref"),
+          [loc_cyto_chrom_num = "22", locus_cyto_location_id = a, ...]
+              <- GDB-Tab("locus_cyto_location")}
+    ''')
+    # Turn the GenBank accession carried by each locus into an object
+    # reference, so the Locus objects point at the Sequence objects.
+    loci_with_refs = [
+        locus.with_fields(GenBank=Ref("Sequence", locus.project("GenBank")))
+        for locus in loci
+    ]
+    objects = list(sequences) + list(loci_with_refs)
+    print(f"  {len(sequences)} Sequence objects, {len(loci_with_refs)} Locus objects")
+
+    print("\n== 3. the ACEDB route: .ace bulk-load text ==")
+    ace_text = dump_ace(objects)
+    print("\n".join(ace_text.splitlines()[:8]))
+    print(f"  ... {len(ace_text.splitlines())} lines of .ace text")
+    acedb = AceDatabase("chr22")
+    acedb.load(parse_ace(ace_text))
+    print(f"  bulk-loaded into classes {acedb.class_names()} ({len(acedb)} objects)")
+
+    print("\n== 4. the no-bulk-load route: a generated native loader program ==")
+    loader = generate_oodb_program(objects, database_name="chr22")
+    print("\n".join(loader.splitlines()[:8]))
+    print(f"  ... {len(loader.splitlines())} lines of loader code")
+    loaded = execute_oodb_program(loader)
+    print(f"  executing the loader builds classes {loaded.class_names()} ({len(loaded)} objects)")
+    print(f"  same contents as the bulk load: "
+          f"{ {c: len(loaded.ace_class(c)) for c in loaded.class_names()} == {c: len(acedb.ace_class(c)) for c in acedb.class_names()} }")
+
+    print("\n== 5. the same loader in the C++ dialect ==")
+    cxx = generate_oodb_program(objects[:2], dialect="cxx", database_name="chr22")
+    print(cxx)
+
+    if arguments.save:
+        directory = pathlib.Path(arguments.save)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "chr22.ace").write_text(ace_text)
+        (directory / "load_chr22.py").write_text(loader)
+        (directory / "load_chr22.cxx").write_text(
+            generate_oodb_program(objects, dialect="cxx", database_name="chr22"))
+        print(f"\nFiles written to {directory}/")
+
+
+if __name__ == "__main__":
+    main()

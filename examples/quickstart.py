@@ -1,0 +1,72 @@
+"""Quickstart: CPL over the paper's Publication data.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks through the queries of Section 2 of the paper — projection, pattern
+matching with open records, restructuring (flattening and keyword inversion),
+variant pattern matching, and a multi-clause function (``jname``) — over a
+synthetic GenBank-publication set whose first element is the paper's own
+perforin example.
+"""
+
+from repro import Session
+from repro.bio.publications import PUBLICATION_TYPE, build_publications
+
+
+def main() -> None:
+    session = Session()
+    session.bind("DB", build_publications(120), cpl_type=PUBLICATION_TYPE)
+
+    print("== titles and authors (the paper's first example query) ==")
+    result = session.run(r"{[title = p.title, authors = p.authors] | \p <- DB, p.year = 1989}")
+    print(session.print_value(result, width=90)[:600], "...\n")
+
+    print("== publications from 1988, written with a pattern instead of a filter ==")
+    result = session.run(
+        r"{[title = t] | [title = \t, year = 1988, ...] <- DB}")
+    print(f"{len(result)} publications from 1988\n")
+
+    print("== flattening the nested keyword set ==")
+    flat = session.run(
+        r"{[title = t, keyword = k] | [title = \t, keywd = \kk, ...] <- DB, \k <- kk}")
+    print(f"{len(flat)} (title, keyword) pairs\n")
+
+    print("== restructuring: a database of keywords with their titles ==")
+    inverted = session.run(
+        r"{[keyword = k, titles = {x.title | \x <- DB, k <- x.keywd}] |"
+        r" \y <- DB, \k <- y.keywd}")
+    for row in sorted(inverted, key=lambda r: r.project("keyword"))[:5]:
+        print(f"  {row.project('keyword')}: {len(row.project('titles'))} titles")
+    print()
+
+    print("== variant pattern matching: uncontrolled journals only ==")
+    uncontrolled = session.run(
+        r"{[name = n, title = t] |"
+        r" [title = \t, journal = <uncontrolled = \n>, ...] <- DB}")
+    print(f"{len(uncontrolled)} publications in uncontrolled journals\n")
+
+    print("== the paper's jname function (pattern alternatives over a variant) ==")
+    session.run('''
+        define jname ==
+           <uncontrolled = \\s> => s
+         | <controlled = <medline-jta = \\s>> => s
+         | <controlled = <iso-jta = \\s>> => s
+         | <controlled = <journal-title = \\s>> => s
+         | <controlled = <issn = \\s>> => s
+    ''')
+    journals = session.run(
+        r'{[title = t, name = jname(v)] | [title = \t, journal = \v, ...] <- DB, '
+        r'string_contains(t, "perforin")}')
+    print(session.print_tabular(journals))
+
+    print("== output formats: tab-delimited and HTML ==")
+    relation = session.run(r"{[title = p.title, year = p.year] | \p <- DB, p.year >= 1994}")
+    print(session.print_tabular(relation)[:300])
+    html = session.print_html(relation, title="Publications since 1994")
+    print(f"(HTML output: {len(html)} characters)")
+
+
+if __name__ == "__main__":
+    main()

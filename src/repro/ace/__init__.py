@@ -1,0 +1,23 @@
+"""The ACE substrate.
+
+ACE/ACEDB is the tree-structured, object-identity-based format the paper names
+as "extremely popular" within the HGP.  This package models it:
+
+* :mod:`repro.ace.model` — classes, objects with identities, tree nodes;
+* :mod:`repro.ace.database` — an object store with class scans and reference
+  resolution (what CPL's reference type and dereferencing run against);
+* :mod:`repro.ace.parser` / :mod:`repro.ace.printer` — the ``.ace`` text format
+  used for bulk load and dump (the paper generates such files from CPL when
+  populating ACEDB);
+* :mod:`repro.ace.oodb` — generation of native OODB loader programs for
+  object-oriented databases without a bulk-load format.
+"""
+
+from .model import AceClass, AceObject
+from .database import AceDatabase
+from .parser import parse_ace
+from .printer import dump_ace
+from .oodb import execute_oodb_program, generate_oodb_program
+
+__all__ = ["AceClass", "AceObject", "AceDatabase", "parse_ace", "dump_ace",
+           "generate_oodb_program", "execute_oodb_program"]

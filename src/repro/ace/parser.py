@@ -1,0 +1,116 @@
+"""Parser for the ``.ace`` bulk-load text format.
+
+The format is paragraph-oriented::
+
+    Locus : "D22S1"
+    Map "Chr_22" Position 12.5
+    Genbank_ref "M81409"
+    Remark "isolated from cosmid library"
+
+    Sequence : "M81409"
+    DNA "acgt..."
+    Organism "Homo sapiens"
+
+Each paragraph starts with ``Class : "ObjectName"``; following lines are a tag
+followed by one or more values.  A value is a quoted string, a number, or a
+``Class:"Name"`` reference.  Blank lines separate objects.  This is the format
+the paper's system emits ("bulk load") when populating ACEDB from CPL.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, Optional
+
+from ..core.errors import ACEParseError
+from .model import AceObject, AceObjectRef
+
+__all__ = ["parse_ace", "iter_ace_objects"]
+
+_VALUE_RE = re.compile(
+    r'\s*(?:"((?:[^"\\]|\\.)*)"'              # quoted string
+    r"|([A-Za-z_][A-Za-z0-9_]*)\s*:\s*\"((?:[^\"\\]|\\.)*)\""  # Class:"Name" reference
+    r"|(-?\d+\.\d+)"                           # float
+    r"|(-?\d+)"                                # int
+    r"|([A-Za-z_][A-Za-z0-9_.-]*))"            # bare word
+)
+
+
+def parse_ace(text: str) -> List[AceObject]:
+    """Parse .ace text into a list of :class:`AceObject`."""
+    return list(iter_ace_objects(text))
+
+
+def iter_ace_objects(text: str) -> Iterator[AceObject]:
+    current: Optional[AceObject] = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if line.startswith("//"):
+            continue
+        if not line:
+            if current is not None:
+                yield current
+                current = None
+            continue
+        if current is None:
+            current = _parse_header(line, line_number)
+            continue
+        _parse_tag_line(current, line, line_number)
+    if current is not None:
+        yield current
+
+
+def _parse_header(line: str, line_number: int) -> AceObject:
+    match = re.match(r'([A-Za-z_][A-Za-z0-9_]*)\s*:\s*"((?:[^"\\]|\\.)*)"\s*$', line)
+    if match is None:
+        raise ACEParseError(
+            f'line {line_number}: expected an object header like Class : "Name", got {line!r}'
+        )
+    class_name, object_name = match.group(1), match.group(2)
+    return AceObject(class_name, _unescape(object_name))
+
+
+def _parse_tag_line(obj: AceObject, line: str, line_number: int) -> None:
+    match = re.match(r"([A-Za-z_][A-Za-z0-9_]*)(.*)$", line)
+    if match is None:
+        raise ACEParseError(f"line {line_number}: expected a tag line, got {line!r}")
+    tag, rest = match.group(1), match.group(2)
+    values = _parse_values(rest, line_number)
+    if not values:
+        obj.add(tag, True if not obj.values(tag) else True)
+        return
+    index = 0
+    while index < len(values):
+        value = values[index]
+        # "Tag Class:"Name"" pairs where a bare word precedes a value are treated
+        # as sub-tags: Map "Chr_22" Position 12.5 -> Map edge gets the pair list.
+        obj.add(tag, value)
+        index += 1
+
+
+def _parse_values(text: str, line_number: int) -> List[object]:
+    values: List[object] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _VALUE_RE.match(text, position)
+        if match is None:
+            raise ACEParseError(f"line {line_number}: cannot parse value near {text[position:]!r}")
+        if match.group(1) is not None:
+            values.append(_unescape(match.group(1)))
+        elif match.group(2) is not None:
+            values.append(AceObjectRef(match.group(2), _unescape(match.group(3))))
+        elif match.group(4) is not None:
+            values.append(float(match.group(4)))
+        elif match.group(5) is not None:
+            values.append(int(match.group(5)))
+        else:
+            values.append(match.group(6))
+        position = match.end()
+    return values
+
+
+def _unescape(text: str) -> str:
+    return text.replace('\\"', '"').replace("\\\\", "\\")

@@ -1,0 +1,85 @@
+"""Writer for the ``.ace`` bulk-load text format.
+
+The paper: *"some systems such as ACEDB have a text format for describing a
+whole database in which the object identifiers are explicit values.  We can
+generate such files with the existing machinery of CPL by applying the
+appropriate output reformatting routines."*  :func:`dump_ace` is that
+reformatting routine; it also accepts CPL records (as produced by a CPL
+transformation) and converts them to objects on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Union
+
+from ..core.errors import ACEError
+from ..core.values import CBag, CList, CSet, Record, Ref
+from .model import AceObject, AceObjectRef
+
+__all__ = ["dump_ace", "record_to_ace_object"]
+
+
+def dump_ace(objects: Iterable[Union[AceObject, Record]]) -> str:
+    """Render objects (or CPL records with ``class``/``name`` fields) as .ace text."""
+    paragraphs: List[str] = []
+    for item in objects:
+        if isinstance(item, Record):
+            item = record_to_ace_object(item)
+        paragraphs.append(_render_object(item))
+    return "\n\n".join(paragraphs) + "\n"
+
+
+def record_to_ace_object(record: Record) -> AceObject:
+    """Convert a CPL record into an ACE object.
+
+    The record must carry ``class`` and ``name`` fields; every other field
+    becomes a tag.  Collection-valued fields become repeated tag lines, and
+    :class:`~repro.core.values.Ref` values become object references.
+    """
+    if not (record.has_field("class") and record.has_field("name")):
+        raise ACEError("a record needs 'class' and 'name' fields to become an ACE object")
+    obj = AceObject(str(record.project("class")), str(record.project("name")))
+    for label, value in record.items():
+        if label in ("class", "name"):
+            continue
+        for single in _iter_values(value):
+            obj.add(label, _convert_value(single))
+    return obj
+
+
+def _iter_values(value: object):
+    if isinstance(value, (CSet, CBag, CList)):
+        for element in value:
+            yield element
+    else:
+        yield value
+
+
+def _convert_value(value: object):
+    if isinstance(value, Ref):
+        return AceObjectRef(value.class_name, str(value.identifier))
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    raise ACEError(f"cannot store a {type(value).__name__} value in an ACE object")
+
+
+def _render_object(obj: AceObject) -> str:
+    lines = [f'{obj.class_name} : "{_escape(obj.name)}"']
+    for tag in obj.tag_names():
+        for value in obj.values(tag):
+            lines.append(f"{tag} {_render_value(value)}")
+    return "\n".join(lines)
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, AceObjectRef):
+        return f'{value.class_name}:"{_escape(value.object_name)}"'
+    if isinstance(value, bool):
+        return ""
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return f'"{_escape(str(value))}"'
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')

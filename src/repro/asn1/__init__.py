@@ -1,0 +1,30 @@
+"""An ASN.1-style data substrate standing in for GenBank/NCBI.
+
+The paper's GenBank source is a repository of ASN.1 *values* reachable only
+through Entrez-style index lookups — no server-side query language, so the
+Kleisli ASN.1 driver prunes values with a *path extraction* language while it
+parses them.  This package provides all of those pieces:
+
+* :mod:`repro.asn1.typespec` — named ASN.1 type definitions (SEQUENCE, SET OF,
+  CHOICE, ...) and their mapping onto CPL types;
+* :mod:`repro.asn1.values` / :mod:`repro.asn1.parser` /
+  :mod:`repro.asn1.printer` — the type-directed text form of values;
+* :mod:`repro.asn1.path` — the path-extraction language
+  (``Seq-entry.seq.id..giim``) with both post-hoc application and
+  pruning-during-parse;
+* :mod:`repro.asn1.entrez` — an Entrez-like retrieval service with boolean
+  index lookups and precomputed neighbour links.
+"""
+
+from .typespec import Asn1Schema, parse_asn1_schema
+from .parser import parse_value, parse_value_with_path
+from .printer import print_value
+from .path import PathExpression, parse_path
+from .entrez import EntrezDivision, EntrezServer, LinkSet
+
+__all__ = [
+    "Asn1Schema", "parse_asn1_schema",
+    "parse_value", "parse_value_with_path", "print_value",
+    "PathExpression", "parse_path",
+    "EntrezDivision", "EntrezServer", "LinkSet",
+]

@@ -1,0 +1,314 @@
+"""Type-directed parser for the ASN.1 text form of values.
+
+Because ``{ ... }`` is used both for constructed types (SEQUENCE) and for
+collections (SET OF / SEQUENCE OF), parsing is driven by the expected type,
+exactly as in real ASN.1 value notation.
+
+Two entry points:
+
+* :func:`parse_value` — parse the whole value.
+* :func:`parse_value_with_path` — parse only what a
+  :class:`~repro.asn1.path.PathExpression` needs, *skipping* the text of every
+  field that is not on the path.  This is the paper's "pruning at the level of
+  the ASN.1 driver ... to minimize the cost of parsing and copying ASN.1
+  values", and it is what benchmark E5 measures against retrieve-then-prune.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core import types as T
+from ..core.errors import ASN1ParseError, PathApplicationError
+from ..core.values import CBag, CList, CSet, Record, UNIT_VALUE, Variant, make_collection
+from .path import PathExpression, PathStep, ProjectStep, VariantStep
+
+__all__ = ["parse_value", "parse_value_with_path"]
+
+
+def parse_value(text: str, ty: T.Type) -> object:
+    """Parse ASN.1 text of type ``ty`` into a CPL value."""
+    cursor = _Cursor(text)
+    value = _parse(cursor, ty, steps=None)
+    cursor.skip_whitespace()
+    if not cursor.at_end():
+        raise ASN1ParseError(f"trailing text after ASN.1 value: {cursor.rest()[:30]!r}")
+    return value
+
+
+def parse_value_with_path(text: str, ty: T.Type, path: PathExpression) -> object:
+    """Parse only the parts of the value that ``path`` selects.
+
+    The result equals ``path.apply(parse_value(text, ty))`` but fields off the
+    path are skipped textually instead of being parsed into values.
+    """
+    cursor = _Cursor(text)
+    value = _parse(cursor, ty, steps=tuple(path.steps))
+    cursor.skip_whitespace()
+    if not cursor.at_end():
+        raise ASN1ParseError(f"trailing text after ASN.1 value: {cursor.rest()[:30]!r}")
+    return value
+
+
+class _Cursor:
+    """A position in the input text with primitive scanning operations."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def rest(self) -> str:
+        return self.text[self.pos:]
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_whitespace()
+        if self.at_end():
+            return ""
+        return self.text[self.pos]
+
+    def expect(self, char: str) -> None:
+        self.skip_whitespace()
+        if self.at_end() or self.text[self.pos] != char:
+            found = self.text[self.pos:self.pos + 10] if not self.at_end() else "<end>"
+            raise ASN1ParseError(f"expected {char!r} at position {self.pos}, found {found!r}")
+        self.pos += 1
+
+    def accept(self, char: str) -> bool:
+        self.skip_whitespace()
+        if not self.at_end() and self.text[self.pos] == char:
+            self.pos += 1
+            return True
+        return False
+
+    def read_name(self) -> str:
+        self.skip_whitespace()
+        start = self.pos
+        while self.pos < len(self.text) and (self.text[self.pos].isalnum()
+                                             or self.text[self.pos] in "_-"):
+            self.pos += 1
+        if start == self.pos:
+            raise ASN1ParseError(f"expected a name at position {start}")
+        return self.text[start:self.pos]
+
+    def read_string(self) -> str:
+        self.expect('"')
+        parts = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ASN1ParseError("unterminated string in ASN.1 value")
+            char = self.text[self.pos]
+            if char == '"':
+                if self.pos + 1 < len(self.text) and self.text[self.pos + 1] == '"':
+                    parts.append('"')
+                    self.pos += 2
+                    continue
+                self.pos += 1
+                return "".join(parts)
+            parts.append(char)
+            self.pos += 1
+
+    def read_number(self) -> object:
+        self.skip_whitespace()
+        start = self.pos
+        if not self.at_end() and self.text[self.pos] in "+-":
+            self.pos += 1
+        while self.pos < len(self.text) and (self.text[self.pos].isdigit()
+                                             or self.text[self.pos] in ".eE+-"):
+            self.pos += 1
+        literal = self.text[start:self.pos]
+        if not literal:
+            raise ASN1ParseError(f"expected a number at position {start}")
+        if any(ch in literal for ch in ".eE"):
+            return float(literal)
+        return int(literal)
+
+    def skip_value(self) -> None:
+        """Skip a complete value without building it (the pruning fast path)."""
+        self.skip_whitespace()
+        if self.at_end():
+            raise ASN1ParseError("unexpected end of input while skipping a value")
+        char = self.text[self.pos]
+        if char == '"':
+            self.read_string()
+            return
+        if char == "{":
+            depth = 0
+            while self.pos < len(self.text):
+                char = self.text[self.pos]
+                if char == '"':
+                    self.read_string()
+                    continue
+                if char == "{":
+                    depth += 1
+                elif char == "}":
+                    depth -= 1
+                    if depth == 0:
+                        self.pos += 1
+                        return
+                self.pos += 1
+            raise ASN1ParseError("unbalanced braces while skipping a value")
+        # Scalar or variant: scan to the next ',' or '}' at this level.
+        while self.pos < len(self.text) and self.text[self.pos] not in ",}":
+            if self.text[self.pos] == '"':
+                self.read_string()
+                continue
+            if self.text[self.pos] == "{":
+                self.skip_value()
+                continue
+            self.pos += 1
+
+
+# ---------------------------------------------------------------------------
+# Type-directed parsing with optional path pruning
+# ---------------------------------------------------------------------------
+
+def _parse(cursor: _Cursor, ty: T.Type, steps: Optional[Tuple[PathStep, ...]]) -> object:
+    if isinstance(ty, T.RecordType):
+        return _parse_record(cursor, ty, steps)
+    if isinstance(ty, (T.SetType, T.BagType, T.ListType)):
+        return _parse_collection(cursor, ty, steps)
+    if isinstance(ty, T.VariantType):
+        return _parse_variant(cursor, ty, steps)
+    return _parse_scalar(cursor, ty)
+
+
+def _parse_scalar(cursor: _Cursor, ty: T.Type) -> object:
+    char = cursor.peek()
+    if isinstance(ty, T.StringType):
+        return cursor.read_string()
+    if isinstance(ty, (T.IntType, T.FloatType)):
+        return cursor.read_number()
+    if isinstance(ty, T.BoolType):
+        name = cursor.read_name()
+        if name not in ("TRUE", "FALSE"):
+            raise ASN1ParseError(f"expected TRUE or FALSE, found {name!r}")
+        return name == "TRUE"
+    if isinstance(ty, T.UnitType):
+        name = cursor.read_name()
+        if name != "NULL":
+            raise ASN1ParseError(f"expected NULL, found {name!r}")
+        return UNIT_VALUE
+    if isinstance(ty, T.TypeVar):
+        # Untyped hole: best-effort scalar parse.
+        if char == '"':
+            return cursor.read_string()
+        return cursor.read_number()
+    raise ASN1ParseError(f"cannot parse a value of type {ty}")
+
+
+def _parse_record(cursor: _Cursor, ty: T.RecordType,
+                  steps: Optional[Tuple[PathStep, ...]]) -> object:
+    wanted_field = None
+    rest_steps: Optional[Tuple[PathStep, ...]] = None
+    if steps:
+        first = steps[0]
+        if isinstance(first, ProjectStep):
+            wanted_field = first.label
+            rest_steps = steps[1:]
+        else:
+            raise PathApplicationError(
+                f"path step {first!r} cannot apply to a SEQUENCE value"
+            )
+
+    cursor.expect("{")
+    fields = {}
+    selected = None
+    if not cursor.accept("}"):
+        while True:
+            label = cursor.read_name()
+            field_type = ty.fields.get(label, T.fresh_type_var())
+            if wanted_field is None:
+                fields[label] = _parse(cursor, field_type, None)
+            elif label == wanted_field:
+                selected = _parse(cursor, field_type, rest_steps)
+            else:
+                cursor.skip_value()
+            if cursor.accept(","):
+                continue
+            cursor.expect("}")
+            break
+    if wanted_field is not None:
+        if selected is None:
+            raise PathApplicationError(f"value has no field {wanted_field!r} on the path")
+        return selected
+    return Record(fields)
+
+
+def _parse_collection(cursor: _Cursor, ty: T.Type,
+                      steps: Optional[Tuple[PathStep, ...]]) -> object:
+    kind = {T.SetType: "set", T.BagType: "bag", T.ListType: "list"}[type(ty)]
+    element_type = ty.element
+    elements = []
+    cursor.expect("{")
+    if not cursor.accept("}"):
+        while True:
+            if steps and isinstance(steps[0], VariantStep) and isinstance(element_type, T.VariantType):
+                element = _parse_variant_filtered(cursor, element_type, steps[0], steps[1:])
+                if element is not _SKIPPED:
+                    elements.append(element)
+            else:
+                elements.append(_parse(cursor, element_type, steps))
+            if cursor.accept(","):
+                continue
+            cursor.expect("}")
+            break
+    return make_collection(kind, elements)
+
+
+_SKIPPED = object()
+
+
+def _parse_variant_filtered(cursor: _Cursor, ty: T.VariantType, step: VariantStep,
+                            rest: Tuple[PathStep, ...]):
+    """Parse a CHOICE element under a ``..tag`` step: keep matching tags, skip others."""
+    tag = cursor.read_name()
+    case_type = ty.cases.get(tag, T.fresh_type_var())
+    if isinstance(case_type, T.UnitType):
+        payload_needed = False
+    else:
+        payload_needed = cursor.peek() not in ",}"
+    if tag != step.tag:
+        if payload_needed:
+            cursor.skip_value()
+        return _SKIPPED
+    if not payload_needed:
+        return UNIT_VALUE if not rest else _SKIPPED
+    return _parse(cursor, case_type, rest or None)
+
+
+def _parse_variant(cursor: _Cursor, ty: T.VariantType,
+                   steps: Optional[Tuple[PathStep, ...]]) -> object:
+    tag = cursor.read_name()
+    case_type = ty.cases.get(tag, T.fresh_type_var())
+    if isinstance(case_type, T.UnitType):
+        payload: object = UNIT_VALUE
+    elif cursor.peek() in ",}" or cursor.at_end():
+        payload = UNIT_VALUE
+    else:
+        if steps and isinstance(steps[0], VariantStep):
+            if steps[0].tag != tag:
+                raise PathApplicationError(
+                    f"variant carries tag {tag!r}, not {steps[0].tag!r}"
+                )
+            return _parse(cursor, case_type, steps[1:] or None)
+        payload = _parse(cursor, case_type, None)
+    if steps:
+        first = steps[0]
+        if isinstance(first, VariantStep):
+            if first.tag != tag:
+                raise PathApplicationError(f"variant carries tag {tag!r}, not {first.tag!r}")
+            value = payload
+            for remaining in steps[1:]:
+                value = remaining.apply(value)
+            return value
+        raise PathApplicationError(f"path step {first!r} cannot apply to a CHOICE value")
+    return Variant(tag, payload)

@@ -1,0 +1,35 @@
+"""Synthetic Human-Genome-Project-shaped data and sequence analysis.
+
+The paper's system integrates GDB (a Sybase relational database of loci and
+map locations), GenBank (ASN.1 sequence entries behind Entrez) and sequence
+analysis packages (BLAST/FASTA).  None of those 1995 data sets are available
+here, so this package *generates* data with the same shape:
+
+* :mod:`repro.bio.sequences` — deterministic random DNA with mutation /
+  fragment derivation, so homologies actually exist to be found;
+* :mod:`repro.bio.similarity` — a Smith–Waterman local aligner with a k-mer
+  prefilter, standing in for BLAST both as a data generator (similarity links)
+  and as an "application program" driver;
+* :mod:`repro.bio.gdb` — a GDB-shaped relational database (locus,
+  object_genbank_eref, locus_cyto_location);
+* :mod:`repro.bio.genbank` — an Entrez server loaded with Seq-entry values and
+  precomputed neighbour links;
+* :mod:`repro.bio.publications` — data of the paper's Publication type;
+* :mod:`repro.bio.chromosome22` — one call that wires all of the above into the
+  "Center for Chromosome 22" scenario used by the examples and benchmarks.
+"""
+
+from .sequences import SequenceGenerator
+from .similarity import align_local, kmer_prefilter, similarity_search
+from .gdb import build_gdb
+from .genbank import build_genbank
+from .publications import build_publications, PUBLICATION_TYPE
+from .chromosome22 import Chromosome22Dataset, build_chromosome22
+
+__all__ = [
+    "SequenceGenerator",
+    "align_local", "kmer_prefilter", "similarity_search",
+    "build_gdb", "build_genbank",
+    "build_publications", "PUBLICATION_TYPE",
+    "Chromosome22Dataset", "build_chromosome22",
+]

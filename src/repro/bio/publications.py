@@ -1,0 +1,114 @@
+"""Data of the paper's ``Publication`` type.
+
+The introduction's running example is the GenBank Publication entity::
+
+    Publications =
+      {[title: string,
+        authors: [|[name: string, initial: string]|],
+        journal: <uncontrolled: string,
+                  controlled: <medline-jta: string, iso-jta: string,
+                               journal-title: string, issn: string>>,
+        volume: string, issue: string, year: int, pages: string,
+        abstract: string, keywd: {string}]}
+
+:func:`build_publications` generates a set of such records (including the
+paper's own perforin example as the first element), used by the quickstart
+example, the rewrite-rule benchmarks and many tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import types as T
+from ..core.values import CList, CSet, Record, Variant
+from .sequences import SequenceGenerator
+
+__all__ = ["PUBLICATION_TYPE", "build_publications", "perforin_publication"]
+
+PUBLICATION_TYPE = T.SetType(T.RecordType({
+    "title": T.STRING,
+    "authors": T.ListType(T.RecordType({"name": T.STRING, "initial": T.STRING})),
+    "journal": T.VariantType({
+        "uncontrolled": T.STRING,
+        "controlled": T.VariantType({
+            "medline-jta": T.STRING,
+            "iso-jta": T.STRING,
+            "journal-title": T.STRING,
+            "issn": T.STRING,
+        }),
+    }),
+    "volume": T.STRING,
+    "issue": T.STRING,
+    "year": T.INT,
+    "pages": T.STRING,
+    "abstract": T.STRING,
+    "keywd": T.SetType(T.STRING),
+}))
+
+_SURNAMES = ["Lichtenheld", "Podack", "Buneman", "Davidson", "Hart", "Overton", "Wong",
+             "Tanaka", "Mueller", "Garcia", "Okafor", "Ivanova", "Chen", "Dubois"]
+_INITIALS = ["MG", "ER", "P", "SB", "K", "C", "L", "T", "A", "J", "R", "N"]
+_JOURNALS_MEDLINE = ["J Immunol", "Nucleic Acids Res", "Genomics", "Hum Mol Genet",
+                     "Proc Natl Acad Sci U S A", "Cell"]
+_JOURNALS_UNCONTROLLED = ["Genome Center Internal Reports", "Chromosome 22 Workshop Notes",
+                          "HGP Data Curation Memos"]
+_TOPICS = ["perforin", "immunoglobulin lambda locus", "BCR region", "NF2 gene",
+           "cosmid contig mapping", "CpG island detection", "exon prediction",
+           "YAC library screening", "somatic cell hybrid mapping"]
+_KEYWORDS = ["Amino Acid Sequence", "Base Sequence", "Exons", "Genes, Structural",
+             "Chromosome 22", "Physical Mapping", "DNA Sequencing", "Gene Expression",
+             "Restriction Mapping", "Cosmids"]
+
+
+def perforin_publication() -> Record:
+    """The paper's own example record (the human perforin gene publication)."""
+    return Record({
+        "title": "Structure of the human perforin gene",
+        "authors": CList([
+            Record({"name": "Lichtenheld", "initial": "MG"}),
+            Record({"name": "Podack", "initial": "ER"}),
+        ]),
+        "journal": Variant("controlled", Variant("medline-jta", "J Immunol")),
+        "volume": "143",
+        "issue": "12",
+        "year": 1989,
+        "pages": "4267-4274",
+        "abstract": "We have cloned the human perforin (P1) gene....",
+        "keywd": CSet(["Amino Acid Sequence", "Base Sequence", "Exons", "Genes, Structural"]),
+    })
+
+
+def build_publications(count: int = 200,
+                       generator: Optional[SequenceGenerator] = None) -> CSet:
+    """Generate ``count`` publications of the Publication type (perforin first)."""
+    generator = generator or SequenceGenerator(seed=1995)
+    records: List[Record] = [perforin_publication()]
+    for index in range(1, count):
+        year = 1985 + generator.randint(0, 10)
+        topic = generator.choice(_TOPICS)
+        author_count = generator.randint(1, 4)
+        authors = CList([
+            Record({"name": generator.choice(_SURNAMES),
+                    "initial": generator.choice(_INITIALS)})
+            for _ in range(author_count)
+        ])
+        if generator.random() < 0.75:
+            journal = Variant("controlled",
+                              Variant("medline-jta", generator.choice(_JOURNALS_MEDLINE)))
+        else:
+            journal = Variant("uncontrolled", generator.choice(_JOURNALS_UNCONTROLLED))
+        keyword_count = generator.randint(2, 5)
+        keywords = CSet(generator.sample(list(_KEYWORDS), keyword_count))
+        records.append(Record({
+            "title": f"Analysis of {topic} ({index})",
+            "authors": authors,
+            "journal": journal,
+            "volume": str(generator.randint(1, 300)),
+            "issue": str(generator.randint(1, 12)),
+            "year": year,
+            "pages": f"{generator.randint(1, 900)}-{generator.randint(901, 1800)}",
+            "abstract": f"We report results concerning {topic} relevant to human chromosome 22.",
+            "keywd": keywords,
+        }))
+    return CSet(records)

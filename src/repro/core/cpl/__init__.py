@@ -1,0 +1,51 @@
+"""CPL: the Collection Programming Language (the paper's query language).
+
+The public entry points are :func:`parse` (text → surface AST),
+:func:`desugar` (surface AST → NRC), and — for most users — the
+:class:`repro.kleisli.session.Session` class, which strings together parsing,
+type inference, optimization and evaluation.
+"""
+
+from .ast import (
+    Program,
+    Define,
+    ExprStatement,
+    SExpr,
+    SLit,
+    SVar,
+    SRecord,
+    SVariant,
+    SCollection,
+    SComprehension,
+    Generator,
+    Filter,
+    SProject,
+    SApp,
+    SLambda,
+    LambdaClause,
+    SIf,
+    SBinOp,
+    SUnaryOp,
+    Pattern,
+    PVar,
+    PWildcard,
+    PLit,
+    PRecord,
+    PVariant,
+    PExpr,
+)
+from .lexer import tokenize, Token
+from .parser import parse, parse_expression
+from .desugar import desugar, desugar_expression
+from .typecheck import TypeChecker, infer_expression_type
+
+__all__ = [
+    "Program", "Define", "ExprStatement",
+    "SExpr", "SLit", "SVar", "SRecord", "SVariant", "SCollection",
+    "SComprehension", "Generator", "Filter", "SProject", "SApp",
+    "SLambda", "LambdaClause", "SIf", "SBinOp", "SUnaryOp",
+    "Pattern", "PVar", "PWildcard", "PLit", "PRecord", "PVariant", "PExpr",
+    "tokenize", "Token", "parse", "parse_expression",
+    "desugar", "desugar_expression",
+    "TypeChecker", "infer_expression_type",
+]

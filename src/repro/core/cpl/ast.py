@@ -1,0 +1,357 @@
+"""Surface abstract syntax of CPL.
+
+This is the tree the parser produces and the type checker annotates; it is
+then *desugared* into NRC (:mod:`repro.core.cpl.desugar`) for optimization and
+evaluation.  The surface syntax keeps comprehensions and patterns explicit —
+the two things CPL adds over the algebra — exactly because the paper's
+pipeline translates them away before rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Program", "Statement", "Define", "ExprStatement",
+    "SExpr", "SLit", "SVar", "SRecord", "SVariant", "SCollection",
+    "SComprehension", "Qualifier", "Generator", "Filter",
+    "SProject", "SApp", "SLambda", "LambdaClause", "SIf", "SBinOp", "SUnaryOp",
+    "Pattern", "PVar", "PWildcard", "PLit", "PRecord", "PVariant", "PExpr",
+]
+
+
+class _Node:
+    """Common behaviour: positional info and structural equality for tests."""
+
+    _fields: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.line: int = 0
+        self.column: int = 0
+
+    def at(self, line: int, column: int) -> "_Node":
+        self.line = line
+        self.column = column
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(getattr(self, field) == getattr(other, field) for field in self._fields)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__,) + tuple(
+            repr(getattr(self, field)) for field in self._fields
+        ))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{field}={getattr(self, field)!r}" for field in self._fields)
+        return f"{type(self).__name__}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# Programs and statements
+# ---------------------------------------------------------------------------
+
+class Statement(_Node):
+    """A top-level CPL statement."""
+
+
+class Define(Statement):
+    """``define name == expr`` — bind a name in the session environment."""
+
+    _fields = ("name", "expr")
+
+    def __init__(self, name: str, expr: "SExpr"):
+        super().__init__()
+        self.name = name
+        self.expr = expr
+
+
+class ExprStatement(Statement):
+    """A bare expression evaluated for its value (a query)."""
+
+    _fields = ("expr",)
+
+    def __init__(self, expr: "SExpr"):
+        super().__init__()
+        self.expr = expr
+
+
+class Program(_Node):
+    """A sequence of statements, as accepted by a CPL session."""
+
+    _fields = ("statements",)
+
+    def __init__(self, statements: Sequence[Statement]):
+        super().__init__()
+        self.statements: List[Statement] = list(statements)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class SExpr(_Node):
+    """Base class for surface expressions."""
+
+
+class SLit(SExpr):
+    """A literal: integer, float, string, boolean or unit (None)."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: object):
+        super().__init__()
+        self.value = value
+
+
+class SVar(SExpr):
+    """A variable or defined-name reference."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.name = name
+
+
+class SRecord(SExpr):
+    """Record construction ``[l1 = e1, ..., ln = en]``."""
+
+    _fields = ("fields",)
+
+    def __init__(self, fields: Dict[str, SExpr]):
+        super().__init__()
+        self.fields = dict(fields)
+
+
+class SVariant(SExpr):
+    """Variant construction ``<tag = e>`` (or ``<tag>`` with a unit payload)."""
+
+    _fields = ("tag", "value")
+
+    def __init__(self, tag: str, value: Optional[SExpr] = None):
+        super().__init__()
+        self.tag = tag
+        self.value = value
+
+
+class SCollection(SExpr):
+    """Collection literal ``{e1, ..., en}``, ``{| ... |}`` or ``[| ... |]``."""
+
+    _fields = ("kind", "elements")
+
+    def __init__(self, kind: str, elements: Sequence[SExpr]):
+        super().__init__()
+        self.kind = kind
+        self.elements: List[SExpr] = list(elements)
+
+
+class Qualifier(_Node):
+    """A comprehension qualifier: a generator or a filter."""
+
+
+class Generator(Qualifier):
+    """``pattern <- source`` — bind the pattern to each element of the source."""
+
+    _fields = ("pattern", "source")
+
+    def __init__(self, pattern: "Pattern", source: SExpr):
+        super().__init__()
+        self.pattern = pattern
+        self.source = source
+
+
+class Filter(Qualifier):
+    """A boolean condition restricting the comprehension."""
+
+    _fields = ("condition",)
+
+    def __init__(self, condition: SExpr):
+        super().__init__()
+        self.condition = condition
+
+
+class SComprehension(SExpr):
+    """``{ head | q1, ..., qn }`` (and the bag / list bracketed forms)."""
+
+    _fields = ("kind", "head", "qualifiers")
+
+    def __init__(self, kind: str, head: SExpr, qualifiers: Sequence[Qualifier]):
+        super().__init__()
+        self.kind = kind
+        self.head = head
+        self.qualifiers: List[Qualifier] = list(qualifiers)
+
+
+class SProject(SExpr):
+    """Record projection ``e.label``."""
+
+    _fields = ("expr", "label")
+
+    def __init__(self, expr: SExpr, label: str):
+        super().__init__()
+        self.expr = expr
+        self.label = label
+
+
+class SApp(SExpr):
+    """Application ``f(e1, ..., en)``.
+
+    CPL functions take a single argument; multi-argument calls are reserved for
+    built-in primitives (``sum``, ``string_concat``, ...), which the desugarer
+    turns into :class:`~repro.core.nrc.ast.PrimCall` nodes.
+    """
+
+    _fields = ("func", "args")
+
+    def __init__(self, func: SExpr, args: Sequence[SExpr]):
+        super().__init__()
+        self.func = func
+        self.args: List[SExpr] = list(args)
+
+
+class LambdaClause(_Node):
+    """One alternative of a function definition: ``pattern => body``."""
+
+    _fields = ("pattern", "body")
+
+    def __init__(self, pattern: "Pattern", body: SExpr):
+        super().__init__()
+        self.pattern = pattern
+        self.body = body
+
+
+class SLambda(SExpr):
+    """``\\p1 => e1 | p2 => e2 | ...`` — a function given by pattern alternatives."""
+
+    _fields = ("clauses",)
+
+    def __init__(self, clauses: Sequence[LambdaClause]):
+        super().__init__()
+        self.clauses: List[LambdaClause] = list(clauses)
+
+
+class SIf(SExpr):
+    """``if c then e1 else e2``."""
+
+    _fields = ("cond", "then_branch", "else_branch")
+
+    def __init__(self, cond: SExpr, then_branch: SExpr, else_branch: SExpr):
+        super().__init__()
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+
+class SBinOp(SExpr):
+    """A binary operator application (``=``, ``<>``, ``<``, ``+``, ``^``, ``and`` ...)."""
+
+    _fields = ("op", "left", "right")
+
+    def __init__(self, op: str, left: SExpr, right: SExpr):
+        super().__init__()
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class SUnaryOp(SExpr):
+    """A unary operator application (``not``, ``-``)."""
+
+    _fields = ("op", "operand")
+
+    def __init__(self, op: str, operand: SExpr):
+        super().__init__()
+        self.op = op
+        self.operand = operand
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+class Pattern(_Node):
+    """Base class for CPL patterns (used in generators and lambda clauses)."""
+
+    def bound_names(self) -> List[str]:
+        """Names this pattern binds, in left-to-right order."""
+        return []
+
+
+class PVar(Pattern):
+    """``\\x`` — bind the matched value to ``x``."""
+
+    _fields = ("name",)
+
+    def __init__(self, name: str):
+        super().__init__()
+        self.name = name
+
+    def bound_names(self) -> List[str]:
+        return [self.name]
+
+
+class PWildcard(Pattern):
+    """``_`` — match anything, bind nothing."""
+
+    _fields = ()
+
+
+class PLit(Pattern):
+    """A literal pattern: matches only that constant (e.g. ``year = 1988``)."""
+
+    _fields = ("value",)
+
+    def __init__(self, value: object):
+        super().__init__()
+        self.value = value
+
+
+class PRecord(Pattern):
+    """``[l1 = p1, ..., ln = pn]`` or ``[l1 = p1, ...]`` (open, with ellipsis)."""
+
+    _fields = ("fields", "open")
+
+    def __init__(self, fields: Dict[str, Pattern], open: bool = False):
+        super().__init__()
+        self.fields = dict(fields)
+        self.open = open
+
+    def bound_names(self) -> List[str]:
+        names: List[str] = []
+        for pattern in self.fields.values():
+            names.extend(pattern.bound_names())
+        return names
+
+
+class PVariant(Pattern):
+    """``<tag = p>`` — matches only variants carrying ``tag``."""
+
+    _fields = ("tag", "pattern")
+
+    def __init__(self, tag: str, pattern: Optional[Pattern] = None):
+        super().__init__()
+        self.tag = tag
+        self.pattern = pattern
+
+    def bound_names(self) -> List[str]:
+        return self.pattern.bound_names() if self.pattern is not None else []
+
+
+class PExpr(Pattern):
+    """An equality pattern: matches values equal to the result of ``expr``.
+
+    This is how an already-bound variable in generator position behaves: the
+    paper's ``x <- p.authors`` (with ``x`` bound by the enclosing function)
+    *selects* elements of ``p.authors`` equal to ``x``, and the
+    ``[name = n, sex = \\s, ...]`` pattern in the projection-optimization
+    example tests the ``name`` field against the bound variable ``n``.
+    """
+
+    _fields = ("expr",)
+
+    def __init__(self, expr: SExpr):
+        super().__init__()
+        self.expr = expr

@@ -1,0 +1,229 @@
+"""Translation of CPL surface syntax into NRC.
+
+Two things happen here, exactly as in the paper's implementation pipeline:
+
+1. **Comprehensions are translated** using Wadler's three identities::
+
+       {e |}              -->  {e}
+       {e | \\x <- e', Q}  -->  U{ {e | Q} | \\x <- e' }
+       {e | p, Q}          -->  if p then {e | Q} else {}
+
+2. **Patterns are compiled away.**  A pattern in generator position filters
+   and binds: elements that fail to match are skipped (the generator yields
+   the empty collection for them), and the pattern's variables are introduced
+   with ``let``.  A pattern in a function clause raises a match failure when
+   no alternative applies.
+
+After desugaring, optimization and evaluation never see comprehensions or
+patterns again — which is precisely why rule R1 and friends stay simple.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import PatternError
+from ..nrc import ast as N
+from ..nrc.prims import PRIMITIVES
+from . import ast as S
+
+__all__ = ["desugar", "desugar_expression", "desugar_statement", "compile_pattern"]
+
+
+def desugar(program: S.Program) -> List[tuple]:
+    """Desugar a whole program into a list of ``("define", name, expr)`` /
+    ``("expr", None, expr)`` tuples of NRC expressions."""
+    result = []
+    for statement in program.statements:
+        result.append(desugar_statement(statement))
+    return result
+
+
+def desugar_statement(statement: S.Statement) -> tuple:
+    if isinstance(statement, S.Define):
+        return ("define", statement.name, desugar_expression(statement.expr))
+    if isinstance(statement, S.ExprStatement):
+        return ("expr", None, desugar_expression(statement.expr))
+    raise PatternError(f"unknown statement type {type(statement).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def desugar_expression(expr: S.SExpr) -> N.Expr:
+    """Translate a surface expression into NRC."""
+    if isinstance(expr, S.SLit):
+        return N.Const(expr.value)
+    if isinstance(expr, S.SVar):
+        return N.Var(expr.name)
+    if isinstance(expr, S.SRecord):
+        return N.RecordExpr({label: desugar_expression(value)
+                             for label, value in expr.fields.items()})
+    if isinstance(expr, S.SVariant):
+        payload = N.Const(None) if expr.value is None else desugar_expression(expr.value)
+        return N.VariantExpr(expr.tag, payload)
+    if isinstance(expr, S.SCollection):
+        return _desugar_collection_literal(expr)
+    if isinstance(expr, S.SComprehension):
+        return _desugar_comprehension(expr)
+    if isinstance(expr, S.SProject):
+        return N.Project(desugar_expression(expr.expr), expr.label)
+    if isinstance(expr, S.SApp):
+        return _desugar_application(expr)
+    if isinstance(expr, S.SLambda):
+        return _desugar_lambda(expr)
+    if isinstance(expr, S.SIf):
+        return N.IfThenElse(desugar_expression(expr.cond),
+                            desugar_expression(expr.then_branch),
+                            desugar_expression(expr.else_branch))
+    if isinstance(expr, S.SBinOp):
+        return _desugar_binop(expr)
+    if isinstance(expr, S.SUnaryOp):
+        return _desugar_unaryop(expr)
+    raise PatternError(f"cannot desugar expression of type {type(expr).__name__}")
+
+
+def _desugar_collection_literal(expr: S.SCollection) -> N.Expr:
+    """``{e1, ..., en}`` becomes singletons joined by unions (right-nested)."""
+    if not expr.elements:
+        return N.Empty(expr.kind)
+    result: Optional[N.Expr] = None
+    for element in reversed(expr.elements):
+        singleton = N.Singleton(desugar_expression(element), expr.kind)
+        result = singleton if result is None else N.Union(singleton, result, expr.kind)
+    return result
+
+
+def _desugar_comprehension(expr: S.SComprehension) -> N.Expr:
+    return _desugar_qualifiers(expr.head, list(expr.qualifiers), expr.kind)
+
+
+def _desugar_qualifiers(head: S.SExpr, qualifiers: List[S.Qualifier], kind: str) -> N.Expr:
+    if not qualifiers:
+        return N.Singleton(desugar_expression(head), kind)
+    first, rest = qualifiers[0], qualifiers[1:]
+    rest_expr = _desugar_qualifiers(head, rest, kind)
+    if isinstance(first, S.Filter):
+        return N.IfThenElse(desugar_expression(first.condition), rest_expr, N.Empty(kind))
+    if isinstance(first, S.Generator):
+        element_var = N.fresh_var("x")
+        body = compile_pattern(first.pattern, N.Var(element_var), rest_expr, N.Empty(kind))
+        return N.Ext(element_var, body, desugar_expression(first.source), kind)
+    raise PatternError(f"unknown qualifier type {type(first).__name__}")
+
+
+def _desugar_application(expr: S.SApp) -> N.Expr:
+    func = expr.func
+    # ``fold(f, init, coll)`` is a special form (structural recursion), not an
+    # ordinary application: it becomes its own NRC node so the evaluator can
+    # thread the accumulator without materialising intermediate collections.
+    if isinstance(func, S.SVar) and func.name == "fold" and len(expr.args) == 3:
+        combiner, init, source = expr.args
+        return N.Fold(desugar_expression(combiner),
+                      desugar_expression(init),
+                      desugar_expression(source))
+    # Multi-argument calls are reserved for built-in primitives; everything else
+    # is ordinary single-argument application (curried if several args given).
+    if isinstance(func, S.SVar) and func.name in PRIMITIVES:
+        return N.PrimCall(func.name, [desugar_expression(arg) for arg in expr.args])
+    result = desugar_expression(func)
+    if not expr.args:
+        return N.Apply(result, N.Const(None))
+    for arg in expr.args:
+        result = N.Apply(result, desugar_expression(arg))
+    return result
+
+
+def _desugar_lambda(expr: S.SLambda) -> N.Expr:
+    param = N.fresh_var("arg")
+    failure: N.Expr = N.PrimCall("fail", [N.Const("no pattern alternative matched")])
+    body = failure
+    for clause in reversed(expr.clauses):
+        body = compile_pattern(clause.pattern, N.Var(param),
+                               desugar_expression(clause.body), body)
+    return N.Lam(param, body)
+
+
+_BINOP_PRIMS = {
+    "=": "eq", "<>": "neq", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "^": "string_concat",
+}
+
+
+def _desugar_binop(expr: S.SBinOp) -> N.Expr:
+    left = desugar_expression(expr.left)
+    right = desugar_expression(expr.right)
+    if expr.op == "and":
+        return N.IfThenElse(left, right, N.Const(False))
+    if expr.op == "or":
+        return N.IfThenElse(left, N.Const(True), right)
+    prim = _BINOP_PRIMS.get(expr.op)
+    if prim is None:
+        raise PatternError(f"unknown binary operator {expr.op!r}")
+    return N.PrimCall(prim, [left, right])
+
+
+def _desugar_unaryop(expr: S.SUnaryOp) -> N.Expr:
+    operand = desugar_expression(expr.operand)
+    if expr.op == "not":
+        return N.PrimCall("not", [operand])
+    if expr.op == "-":
+        return N.PrimCall("neg", [operand])
+    if expr.op == "!":
+        return N.Deref(operand)
+    raise PatternError(f"unknown unary operator {expr.op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Pattern compilation
+# ---------------------------------------------------------------------------
+
+def compile_pattern(pattern: S.Pattern, subject: N.Expr,
+                    success: N.Expr, failure: N.Expr) -> N.Expr:
+    """Compile a pattern match into NRC.
+
+    ``subject`` is the expression being matched, ``success`` the continuation
+    with the pattern's variables in scope, and ``failure`` the expression to
+    produce when the match fails (the empty collection for generators, a match
+    failure for function clauses).
+    """
+    if isinstance(pattern, S.PVar):
+        return N.Let(pattern.name, subject, success)
+    if isinstance(pattern, S.PWildcard):
+        return success
+    if isinstance(pattern, S.PLit):
+        condition = N.PrimCall("eq", [subject, N.Const(pattern.value)])
+        return N.IfThenElse(condition, success, failure)
+    if isinstance(pattern, S.PExpr):
+        condition = N.PrimCall("eq", [subject, desugar_expression(pattern.expr)])
+        return N.IfThenElse(condition, success, failure)
+    if isinstance(pattern, S.PRecord):
+        return _compile_record_pattern(pattern, subject, success, failure)
+    if isinstance(pattern, S.PVariant):
+        return _compile_variant_pattern(pattern, subject, success, failure)
+    raise PatternError(f"unknown pattern type {type(pattern).__name__}")
+
+
+def _compile_record_pattern(pattern: S.PRecord, subject: N.Expr,
+                            success: N.Expr, failure: N.Expr) -> N.Expr:
+    # Bind the subject once so repeated projections do not duplicate work.
+    subject_var = N.fresh_var("rec")
+    body = success
+    for label, field_pattern in reversed(list(pattern.fields.items())):
+        body = compile_pattern(field_pattern, N.Project(N.Var(subject_var), label),
+                               body, failure)
+    return N.Let(subject_var, subject, body)
+
+
+def _compile_variant_pattern(pattern: S.PVariant, subject: N.Expr,
+                             success: N.Expr, failure: N.Expr) -> N.Expr:
+    payload_var = N.fresh_var("payload")
+    if pattern.pattern is None:
+        branch_body = success
+    else:
+        branch_body = compile_pattern(pattern.pattern, N.Var(payload_var), success, failure)
+    default_var = N.fresh_var("other")
+    return N.Case(subject,
+                  [N.CaseBranch(pattern.tag, payload_var, branch_body)],
+                  default=(default_var, failure))

@@ -1,0 +1,112 @@
+"""Exception hierarchy for the CPL/Kleisli reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch the whole family with one clause.  The sub-classes mirror the stages
+of the system: lexing/parsing of CPL, type inference, NRC rewriting and
+evaluation, driver interaction, and the external-format substrates.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CPLSyntaxError(ReproError):
+    """Raised when CPL source text cannot be tokenised or parsed.
+
+    Carries the offending line and column so sessions can point at the
+    position in the query text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        if self.line:
+            return f"{self.message} (line {self.line}, column {self.column})"
+        return self.message
+
+
+class CPLTypeError(ReproError):
+    """Raised by the type checker when a CPL expression is ill-typed."""
+
+
+class PatternError(ReproError):
+    """Raised when a CPL pattern is malformed or cannot match its subject type."""
+
+
+class NRCError(ReproError):
+    """Raised for malformed NRC terms or illegal rewrite-engine configuration."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluation of a well-formed NRC term fails at run time."""
+
+
+class UnboundVariableError(EvaluationError):
+    """Raised when evaluation encounters a variable with no binding."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unbound variable: {name}")
+        self.name = name
+
+
+class DriverError(ReproError):
+    """Raised when a Kleisli driver cannot satisfy a request."""
+
+
+class DriverNotRegisteredError(DriverError):
+    """Raised when a query refers to a driver that has not been registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"no driver registered under the name {name!r}")
+        self.name = name
+
+
+class RemoteSourceError(DriverError):
+    """Raised when a (simulated) remote source rejects or drops a request."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised by the relational substrate when SQL text cannot be parsed."""
+
+
+class SQLExecutionError(ReproError):
+    """Raised when a parsed SQL statement cannot be executed against a database."""
+
+
+class SchemaError(ReproError):
+    """Raised for schema violations in the relational substrate."""
+
+
+class ASN1Error(ReproError):
+    """Base error for the ASN.1 substrate."""
+
+
+class ASN1ParseError(ASN1Error):
+    """Raised when ASN.1 text (type or value syntax) cannot be parsed."""
+
+
+class PathSyntaxError(ASN1Error):
+    """Raised when an Entrez path-extraction expression is malformed."""
+
+
+class PathApplicationError(ASN1Error):
+    """Raised when a path expression does not apply to the value it is run on."""
+
+
+class ACEError(ReproError):
+    """Base error for the ACE substrate."""
+
+
+class ACEParseError(ACEError):
+    """Raised when .ace text cannot be parsed."""
+
+
+class FormatError(ReproError):
+    """Raised by flat-file format readers/writers (FASTA, EMBL, GCG)."""

@@ -1,0 +1,741 @@
+"""Abstract syntax of NRC, the monad algebra CPL is compiled into.
+
+The central construct is :class:`Ext` — the paper writes it
+``U{ e1 | \\x <- e2 }`` — whose meaning is the union of ``e1[o/x]`` for every
+element ``o`` of the collection ``e2``.  Everything a comprehension can say is
+said with ``Ext``, ``Singleton``, ``Empty``, ``Union`` and ``IfThenElse``
+(Wadler's translation), and the optimizer's rewrite rules are stated on these
+nodes.
+
+A few nodes go beyond the textbook calculus because the paper's system needs
+them:
+
+* :class:`Scan` — a request to an external driver (a Sybase SQL query, an
+  Entrez index lookup, an ACE class scan ...).  Pushdown optimizations work by
+  rewriting comprehensions *around* a ``Scan`` into a richer request *inside*
+  it.
+* :class:`Join` — the "non-monadic" local join operators of Section 4
+  (blocked nested-loop and indexed blocked nested-loop), introduced by the
+  join rule set.
+* :class:`Cached` — marks a subexpression whose value should be computed once
+  and reused (the inner-subquery cache).
+* :class:`Deref` — dereferencing for sources with object identity.
+
+All nodes are immutable; structural equality and hashing are provided so the
+rewrite engine can detect fixpoints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import NRCError
+
+__all__ = [
+    "Expr", "Const", "Var", "Lam", "Apply", "RecordExpr", "Project",
+    "VariantExpr", "Case", "CaseBranch", "Empty", "Singleton", "Union", "Ext",
+    "Fold", "IfThenElse", "PrimCall", "Let", "Deref", "Scan", "Join", "Cached",
+    "fresh_var", "free_variables", "substitute", "node_count",
+]
+
+_var_counter = itertools.count(1)
+
+COLLECTION_KINDS = ("set", "bag", "list")
+
+
+def fresh_var(prefix: str = "v") -> str:
+    """Return a fresh variable name, globally unique within the process."""
+    return f"%{prefix}{next(_var_counter)}"
+
+
+class Expr:
+    """Base class of all NRC expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Return immediate sub-expressions (in a stable order)."""
+        raise NotImplementedError
+
+    def rebuild(self, children: Sequence["Expr"]) -> "Expr":
+        """Return a copy of this node with ``children`` substituted for the old ones."""
+        raise NotImplementedError
+
+    # -- structural equality -------------------------------------------------
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+    def pretty(self) -> str:
+        """Render a readable (roughly CPL-flavoured) form of the expression."""
+        from .printer import pretty_expr
+
+        return pretty_expr(self)
+
+
+class Const(Expr):
+    """A literal constant (bool, int, float, string, unit, or a prebuilt value)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return self
+
+    def _key(self) -> Tuple:
+        try:
+            hash(self.value)
+            return (self.value,)
+        except TypeError:
+            return (id(self.value),)
+
+
+class Var(Expr):
+    """A variable reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return self
+
+    def _key(self) -> Tuple:
+        return (self.name,)
+
+
+class Lam(Expr):
+    """A single-argument function ``\\param => body``."""
+
+    __slots__ = ("param", "body")
+
+    def __init__(self, param: str, body: Expr):
+        self.param = param
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Lam(self.param, children[0])
+
+    def _key(self) -> Tuple:
+        return (self.param, self.body)
+
+
+class Apply(Expr):
+    """Function application ``func(arg)``."""
+
+    __slots__ = ("func", "arg")
+
+    def __init__(self, func: Expr, arg: Expr):
+        self.func = func
+        self.arg = arg
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.func, self.arg)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Apply(children[0], children[1])
+
+    def _key(self) -> Tuple:
+        return (self.func, self.arg)
+
+
+class RecordExpr(Expr):
+    """Record construction ``[l1 = e1, ..., ln = en]``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Mapping[str, Expr]):
+        self.fields: Dict[str, Expr] = dict(fields)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(self.fields.values())
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return RecordExpr(dict(zip(self.fields.keys(), children)))
+
+    def _key(self) -> Tuple:
+        return tuple(sorted(self.fields.items()))
+
+
+class Project(Expr):
+    """Record projection ``expr.label``."""
+
+    __slots__ = ("expr", "label")
+
+    def __init__(self, expr: Expr, label: str):
+        self.expr = expr
+        self.label = label
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Project(children[0], self.label)
+
+    def _key(self) -> Tuple:
+        return (self.expr, self.label)
+
+
+class VariantExpr(Expr):
+    """Variant injection ``<tag = expr>``."""
+
+    __slots__ = ("tag", "expr")
+
+    def __init__(self, tag: str, expr: Expr):
+        self.tag = tag
+        self.expr = expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return VariantExpr(self.tag, children[0])
+
+    def _key(self) -> Tuple:
+        return (self.tag, self.expr)
+
+
+class CaseBranch:
+    """One branch of a :class:`Case`: bind ``var`` to the payload of ``tag`` and run ``body``."""
+
+    __slots__ = ("tag", "var", "body")
+
+    def __init__(self, tag: str, var: str, body: Expr):
+        self.tag = tag
+        self.var = var
+        self.body = body
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CaseBranch)
+            and (self.tag, self.var, self.body) == (other.tag, other.var, other.body)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.var, self.body))
+
+    def __repr__(self) -> str:
+        return f"<{self.tag}=\\{self.var}> => {self.body!r}"
+
+
+class Case(Expr):
+    """Case analysis on a variant value.
+
+    ``default`` (if present) is a ``(var, body)`` pair applied to the whole
+    variant when no branch matches; without it an unmatched tag is an
+    evaluation error.
+    """
+
+    __slots__ = ("subject", "branches", "default")
+
+    def __init__(self, subject: Expr, branches: Sequence[CaseBranch],
+                 default: Optional[Tuple[str, Expr]] = None):
+        self.subject = subject
+        self.branches: Tuple[CaseBranch, ...] = tuple(branches)
+        self.default = default
+
+    def children(self) -> Tuple[Expr, ...]:
+        result: List[Expr] = [self.subject]
+        result.extend(branch.body for branch in self.branches)
+        if self.default is not None:
+            result.append(self.default[1])
+        return tuple(result)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        subject = children[0]
+        bodies = children[1:1 + len(self.branches)]
+        branches = [
+            CaseBranch(branch.tag, branch.var, body)
+            for branch, body in zip(self.branches, bodies)
+        ]
+        default = self.default
+        if default is not None:
+            default = (default[0], children[-1])
+        return Case(subject, branches, default)
+
+    def _key(self) -> Tuple:
+        return (self.subject, self.branches, self.default)
+
+
+class Empty(Expr):
+    """The empty collection ``{}``, ``{||}`` or ``[||]`` of the given kind."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: str = "set"):
+        if kind not in COLLECTION_KINDS:
+            raise NRCError(f"unknown collection kind {kind!r}")
+        self.kind = kind
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return self
+
+    def _key(self) -> Tuple:
+        return (self.kind,)
+
+
+class Singleton(Expr):
+    """The singleton collection ``{e}`` of the given kind."""
+
+    __slots__ = ("kind", "expr")
+
+    def __init__(self, expr: Expr, kind: str = "set"):
+        if kind not in COLLECTION_KINDS:
+            raise NRCError(f"unknown collection kind {kind!r}")
+        self.kind = kind
+        self.expr = expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Singleton(children[0], self.kind)
+
+    def _key(self) -> Tuple:
+        return (self.kind, self.expr)
+
+
+class Union(Expr):
+    """Union (set/bag) or concatenation (list) of two collections of the same kind."""
+
+    __slots__ = ("kind", "left", "right")
+
+    def __init__(self, left: Expr, right: Expr, kind: str = "set"):
+        if kind not in COLLECTION_KINDS:
+            raise NRCError(f"unknown collection kind {kind!r}")
+        self.kind = kind
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Union(children[0], children[1], self.kind)
+
+    def _key(self) -> Tuple:
+        return (self.kind, self.left, self.right)
+
+
+class Ext(Expr):
+    """The ``U{ body | \\var <- source }`` construct (flat-map / monad extension).
+
+    Its value is the union (of the node's ``kind``) of ``body[o/var]`` for each
+    element ``o`` of ``source``.  ``body`` must itself evaluate to a collection
+    of kind ``kind``.
+    """
+
+    __slots__ = ("kind", "var", "body", "source")
+
+    def __init__(self, var: str, body: Expr, source: Expr, kind: str = "set"):
+        if kind not in COLLECTION_KINDS:
+            raise NRCError(f"unknown collection kind {kind!r}")
+        self.kind = kind
+        self.var = var
+        self.body = body
+        self.source = source
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body, self.source)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Ext(self.var, children[0], children[1], self.kind)
+
+    def _key(self) -> Tuple:
+        return (self.kind, self.var, self.body, self.source)
+
+
+class Fold(Expr):
+    """Structural recursion over a collection: ``fold(func, init, source)``.
+
+    ``func`` must evaluate to a curried two-argument function; the node's value
+    is ``f(... f(f(init, o1), o2) ..., on)`` for the elements ``o1 .. on`` of
+    ``source``.  This is the "more powerful programming paradigm on collection
+    types" of Section 2 — comprehensions alone cannot express aggregates or
+    transitive closure, structural recursion can.
+
+    For set and bag sources the result is only well defined when ``func`` is
+    insensitive to the order in which elements arrive (and, for sets, to
+    duplicates); :mod:`repro.core.nrc.structural` provides spot-check helpers
+    for those conditions.  Aggregates such as ``sum`` and ``count`` are the
+    canonical well-defined instances.
+    """
+
+    __slots__ = ("func", "init", "source")
+
+    def __init__(self, func: Expr, init: Expr, source: Expr):
+        self.func = func
+        self.init = init
+        self.source = source
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.func, self.init, self.source)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Fold(children[0], children[1], children[2])
+
+    def _key(self) -> Tuple:
+        return (self.func, self.init, self.source)
+
+
+class IfThenElse(Expr):
+    """Conditional ``if cond then then_branch else else_branch``."""
+
+    __slots__ = ("cond", "then_branch", "else_branch")
+
+    def __init__(self, cond: Expr, then_branch: Expr, else_branch: Expr):
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.then_branch, self.else_branch)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return IfThenElse(children[0], children[1], children[2])
+
+    def _key(self) -> Tuple:
+        return (self.cond, self.then_branch, self.else_branch)
+
+
+class PrimCall(Expr):
+    """A call to a built-in primitive (``eq``, ``and``, ``+``, ``count`` ...)."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expr]):
+        self.name = name
+        self.args: Tuple[Expr, ...] = tuple(args)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return PrimCall(self.name, tuple(children))
+
+    def _key(self) -> Tuple:
+        return (self.name, self.args)
+
+
+class Let(Expr):
+    """``let var = value in body`` — used to share subexpression results."""
+
+    __slots__ = ("var", "value", "body")
+
+    def __init__(self, var: str, value: Expr, body: Expr):
+        self.var = var
+        self.value = value
+        self.body = body
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value, self.body)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Let(self.var, children[0], children[1])
+
+    def _key(self) -> Tuple:
+        return (self.var, self.value, self.body)
+
+
+class Deref(Expr):
+    """Dereference an object identity (reference type)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expr):
+        self.expr = expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Deref(children[0])
+
+    def _key(self) -> Tuple:
+        return (self.expr,)
+
+
+class Scan(Expr):
+    """A request to an external driver.
+
+    ``driver`` names a driver registered with the Kleisli engine; ``request``
+    is a plain dictionary in that driver's request vocabulary (e.g. ``{"table":
+    "locus"}`` or ``{"query": "select ..."}`` for the relational driver,
+    ``{"db": "na", "select": ..., "path": ...}`` for the Entrez driver).
+    Argument expressions that must be evaluated before the request is issued
+    (e.g. an accession number computed by the outer query) live in ``args`` and
+    are spliced into the request under their key at evaluation time.
+
+    Pushdown optimizations rewrite the *request* — turning a comprehension over
+    ``Scan({"table": "locus"})`` into ``Scan({"query": "select ... where ..."})``
+    — so less data crosses the driver boundary.
+    """
+
+    __slots__ = ("driver", "request", "args", "kind")
+
+    def __init__(self, driver: str, request: Mapping[str, object],
+                 args: Optional[Mapping[str, Expr]] = None, kind: str = "set"):
+        self.driver = driver
+        self.request: Dict[str, object] = dict(request)
+        self.args: Dict[str, Expr] = dict(args or {})
+        self.kind = kind
+
+    def children(self) -> Tuple[Expr, ...]:
+        return tuple(self.args.values())
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Scan(self.driver, self.request, dict(zip(self.args.keys(), children)), self.kind)
+
+    def with_request(self, request: Mapping[str, object]) -> "Scan":
+        return Scan(self.driver, request, self.args, self.kind)
+
+    def _key(self) -> Tuple:
+        return (
+            self.driver,
+            tuple(sorted((k, _freeze(v)) for k, v in self.request.items())),
+            tuple(sorted(self.args.items())),
+            self.kind,
+        )
+
+
+def _freeze(value: object) -> object:
+    """Make request payload values hashable for structural comparison."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, set):
+        return frozenset(_freeze(v) for v in value)
+    return value
+
+
+class Join(Expr):
+    """A local join operator introduced by the join rule set (Section 4).
+
+    ``method`` is ``"blocked"`` (blocked nested-loop join) or ``"indexed"``
+    (indexed blocked nested-loop join with an index built on the fly).  The
+    join pairs every element ``outer_var`` of ``outer`` with every element
+    ``inner_var`` of ``inner`` satisfying ``condition`` and evaluates ``body``
+    for the pair, unioning the results.
+
+    ``outer_key`` / ``inner_key`` are the equi-join key expressions the indexed
+    method hashes on; they are ``None`` for the blocked method.
+    """
+
+    __slots__ = ("method", "outer_var", "outer", "inner_var", "inner",
+                 "condition", "body", "outer_key", "inner_key", "kind", "block_size")
+
+    def __init__(self, method: str, outer_var: str, outer: Expr, inner_var: str,
+                 inner: Expr, condition: Optional[Expr], body: Expr,
+                 outer_key: Optional[Expr] = None, inner_key: Optional[Expr] = None,
+                 kind: str = "set", block_size: int = 256):
+        if method not in ("blocked", "indexed"):
+            raise NRCError(f"unknown join method {method!r}")
+        self.method = method
+        self.outer_var = outer_var
+        self.outer = outer
+        self.inner_var = inner_var
+        self.inner = inner
+        self.condition = condition
+        self.body = body
+        self.outer_key = outer_key
+        self.inner_key = inner_key
+        self.kind = kind
+        self.block_size = block_size
+
+    def children(self) -> Tuple[Expr, ...]:
+        result: List[Expr] = [self.outer, self.inner, self.body]
+        if self.condition is not None:
+            result.append(self.condition)
+        if self.outer_key is not None:
+            result.append(self.outer_key)
+        if self.inner_key is not None:
+            result.append(self.inner_key)
+        return tuple(result)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        children = list(children)
+        outer, inner, body = children[0], children[1], children[2]
+        index = 3
+        condition = None
+        if self.condition is not None:
+            condition = children[index]
+            index += 1
+        outer_key = None
+        if self.outer_key is not None:
+            outer_key = children[index]
+            index += 1
+        inner_key = None
+        if self.inner_key is not None:
+            inner_key = children[index]
+            index += 1
+        return Join(self.method, self.outer_var, outer, self.inner_var, inner,
+                    condition, body, outer_key, inner_key, self.kind, self.block_size)
+
+    def _key(self) -> Tuple:
+        return (self.method, self.outer_var, self.outer, self.inner_var, self.inner,
+                self.condition, self.body, self.outer_key, self.inner_key, self.kind)
+
+
+class Cached(Expr):
+    """Evaluate ``expr`` once and reuse the value on subsequent evaluations.
+
+    Introduced by the caching rule set around inner subqueries that do not
+    depend on the outer loop variable.  ``key`` identifies the cache entry.
+    """
+
+    __slots__ = ("expr", "key")
+
+    def __init__(self, expr: Expr, key: Optional[str] = None):
+        self.expr = expr
+        self.key = key or fresh_var("cache")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        return Cached(children[0], self.key)
+
+    def _key(self) -> Tuple:
+        return (self.expr,)
+
+
+# ---------------------------------------------------------------------------
+# Free variables and capture-avoiding substitution
+# ---------------------------------------------------------------------------
+
+def free_variables(expr: Expr) -> frozenset:
+    """Return the free variable names of ``expr``."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, Lam):
+        return free_variables(expr.body) - {expr.param}
+    if isinstance(expr, Ext):
+        return (free_variables(expr.body) - {expr.var}) | free_variables(expr.source)
+    if isinstance(expr, Let):
+        return free_variables(expr.value) | (free_variables(expr.body) - {expr.var})
+    if isinstance(expr, Join):
+        bound = {expr.outer_var, expr.inner_var}
+        free = free_variables(expr.outer)
+        free |= free_variables(expr.inner) - {expr.outer_var}
+        free |= free_variables(expr.body) - bound
+        if expr.condition is not None:
+            free |= free_variables(expr.condition) - bound
+        if expr.outer_key is not None:
+            free |= free_variables(expr.outer_key) - {expr.outer_var}
+        if expr.inner_key is not None:
+            free |= free_variables(expr.inner_key) - {expr.inner_var}
+        return free
+    if isinstance(expr, Case):
+        free = free_variables(expr.subject)
+        for branch in expr.branches:
+            free |= free_variables(branch.body) - {branch.var}
+        if expr.default is not None:
+            var, body = expr.default
+            free |= free_variables(body) - {var}
+        return free
+    result: frozenset = frozenset()
+    for child in expr.children():
+        result |= free_variables(child)
+    return result
+
+
+def substitute(expr: Expr, name: str, replacement: Expr) -> Expr:
+    """Capture-avoiding substitution of ``replacement`` for free ``name`` in ``expr``."""
+    if isinstance(expr, Var):
+        return replacement if expr.name == name else expr
+    if isinstance(expr, Lam):
+        return _subst_binder_1(expr, name, replacement, "param", "body",
+                               lambda p, b: Lam(p, b))
+    if isinstance(expr, Let):
+        new_value = substitute(expr.value, name, replacement)
+        if expr.var == name:
+            return Let(expr.var, new_value, expr.body)
+        var, body = _rename_if_captured(expr.var, expr.body, replacement)
+        return Let(var, new_value, substitute(body, name, replacement))
+    if isinstance(expr, Ext):
+        new_source = substitute(expr.source, name, replacement)
+        if expr.var == name:
+            return Ext(expr.var, expr.body, new_source, expr.kind)
+        var, body = _rename_if_captured(expr.var, expr.body, replacement)
+        return Ext(var, substitute(body, name, replacement), new_source, expr.kind)
+    if isinstance(expr, Case):
+        new_subject = substitute(expr.subject, name, replacement)
+        new_branches = []
+        for branch in expr.branches:
+            if branch.var == name:
+                new_branches.append(CaseBranch(branch.tag, branch.var, branch.body))
+                continue
+            var, body = _rename_if_captured(branch.var, branch.body, replacement)
+            new_branches.append(CaseBranch(branch.tag, var, substitute(body, name, replacement)))
+        new_default = expr.default
+        if new_default is not None:
+            dvar, dbody = new_default
+            if dvar != name:
+                dvar, dbody = _rename_if_captured(dvar, dbody, replacement)
+                dbody = substitute(dbody, name, replacement)
+            new_default = (dvar, dbody)
+        return Case(new_subject, new_branches, new_default)
+    if isinstance(expr, Join):
+        new_outer = substitute(expr.outer, name, replacement)
+        # inner may reference outer_var; treat binder scoping conservatively.
+        if name in (expr.outer_var, expr.inner_var):
+            return expr.rebuild([new_outer] + list(expr.children()[1:]))
+        children = [substitute(child, name, replacement) for child in expr.children()]
+        children[0] = new_outer
+        return expr.rebuild(children)
+    children = expr.children()
+    if not children:
+        return expr
+    new_children = [substitute(child, name, replacement) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expr
+    return expr.rebuild(new_children)
+
+
+def _subst_binder_1(expr, name, replacement, param_attr, body_attr, make):
+    param = getattr(expr, param_attr)
+    body = getattr(expr, body_attr)
+    if param == name:
+        return expr
+    param, body = _rename_if_captured(param, body, replacement)
+    return make(param, substitute(body, name, replacement))
+
+
+def _rename_if_captured(var: str, body: Expr, replacement: Expr) -> Tuple[str, Expr]:
+    """Alpha-rename ``var`` in ``body`` if it would capture a free variable of ``replacement``."""
+    if var in free_variables(replacement):
+        new_var = fresh_var(var.strip("%"))
+        body = substitute(body, var, Var(new_var))
+        return new_var, body
+    return var, body
+
+
+def node_count(expr: Expr) -> int:
+    """Count AST nodes; used in tests and for optimizer statistics."""
+    return 1 + sum(node_count(child) for child in expr.children())

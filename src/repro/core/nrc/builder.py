@@ -1,0 +1,119 @@
+"""Convenience constructors for building NRC terms by hand.
+
+Tests, benchmarks and the desugarer all build NRC terms; these helpers keep
+that code short and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from . import ast as A
+
+__all__ = [
+    "const", "var", "lam", "apply", "record", "project", "variant", "case_of",
+    "empty", "singleton", "union", "ext", "if_then_else", "prim", "let",
+    "eq", "and_", "or_", "not_", "comprehension", "fold",
+]
+
+
+def const(value: object) -> A.Const:
+    return A.Const(value)
+
+
+def var(name: str) -> A.Var:
+    return A.Var(name)
+
+
+def lam(param: str, body: A.Expr) -> A.Lam:
+    return A.Lam(param, body)
+
+
+def apply(func: A.Expr, arg: A.Expr) -> A.Apply:
+    return A.Apply(func, arg)
+
+
+def record(fields: Mapping[str, A.Expr] = None, **kwargs: A.Expr) -> A.RecordExpr:
+    merged = dict(fields or {})
+    merged.update(kwargs)
+    return A.RecordExpr(merged)
+
+
+def project(expr: A.Expr, label: str) -> A.Project:
+    return A.Project(expr, label)
+
+
+def variant(tag: str, expr: A.Expr = None) -> A.VariantExpr:
+    return A.VariantExpr(tag, expr if expr is not None else A.Const(None))
+
+
+def case_of(subject: A.Expr, branches: Sequence[A.CaseBranch],
+            default: Optional[tuple] = None) -> A.Case:
+    return A.Case(subject, branches, default)
+
+
+def empty(kind: str = "set") -> A.Empty:
+    return A.Empty(kind)
+
+
+def singleton(expr: A.Expr, kind: str = "set") -> A.Singleton:
+    return A.Singleton(expr, kind)
+
+
+def union(left: A.Expr, right: A.Expr, kind: str = "set") -> A.Union:
+    return A.Union(left, right, kind)
+
+
+def ext(var_name: str, body: A.Expr, source: A.Expr, kind: str = "set") -> A.Ext:
+    return A.Ext(var_name, body, source, kind)
+
+
+def fold(func: A.Expr, init: A.Expr, source: A.Expr) -> A.Fold:
+    return A.Fold(func, init, source)
+
+
+def if_then_else(cond: A.Expr, then_branch: A.Expr, else_branch: A.Expr) -> A.IfThenElse:
+    return A.IfThenElse(cond, then_branch, else_branch)
+
+
+def prim(name: str, *args: A.Expr) -> A.PrimCall:
+    return A.PrimCall(name, args)
+
+
+def let(var_name: str, value: A.Expr, body: A.Expr) -> A.Let:
+    return A.Let(var_name, value, body)
+
+
+def eq(left: A.Expr, right: A.Expr) -> A.PrimCall:
+    return prim("eq", left, right)
+
+
+def and_(left: A.Expr, right: A.Expr) -> A.PrimCall:
+    return prim("and", left, right)
+
+
+def or_(left: A.Expr, right: A.Expr) -> A.PrimCall:
+    return prim("or", left, right)
+
+
+def not_(expr: A.Expr) -> A.PrimCall:
+    return prim("not", expr)
+
+
+def comprehension(head: A.Expr, qualifiers: Sequence, kind: str = "set") -> A.Expr:
+    """Build the NRC translation of ``{ head | qualifiers }`` directly.
+
+    Each qualifier is either a ``(var_name, source_expr)`` generator pair or a
+    boolean filter expression.  This mirrors Wadler's identities:
+
+    * ``{e |}``            → ``{e}``
+    * ``{e | \\x <- e', Q}`` → ``U{ {e | Q} | \\x <- e' }``
+    * ``{e | p, Q}``        → ``if p then {e | Q} else {}``
+    """
+    if not qualifiers:
+        return singleton(head, kind)
+    first, rest = qualifiers[0], qualifiers[1:]
+    if isinstance(first, tuple):
+        var_name, source = first
+        return ext(var_name, comprehension(head, rest, kind), source, kind)
+    return if_then_else(first, comprehension(head, rest, kind), empty(kind))

@@ -1,0 +1,432 @@
+"""The NRC evaluator.
+
+The evaluation strategy follows the paper: the core is *eager*, with laziness
+introduced only where it pays — when a generator draws from an external driver
+the Kleisli engine hands the evaluator a lazy token stream (a Python iterator)
+instead of a materialised collection, and the evaluator consumes it
+incrementally (see :mod:`repro.kleisli.tokens`).
+
+Evaluation needs three pieces of ambient context, bundled in
+:class:`EvalContext`:
+
+* ``driver_executor`` — how to satisfy a :class:`~repro.core.nrc.ast.Scan`
+  (the Kleisli engine supplies this; stand-alone evaluation of driver-free
+  terms needs none),
+* ``cache`` — storage for :class:`~repro.core.nrc.ast.Cached` nodes,
+* ``statistics`` — counters (elements fetched, join strategies used) that the
+  benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..errors import EvaluationError, UnboundVariableError
+from ..records import ProjectionCursor, Record
+from ..values import (
+    CBag,
+    CList,
+    CSet,
+    Ref,
+    UNIT_VALUE,
+    Variant,
+    empty_like,
+    iter_collection,
+    make_collection,
+    singleton_like,
+    union_like,
+)
+from . import ast as A
+from .prims import lookup_primitive
+
+__all__ = ["Environment", "Closure", "EvalContext", "EvalStatistics", "Evaluator", "evaluate"]
+
+
+class Environment:
+    """A chained variable environment (lexical scoping)."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: Optional[Dict[str, object]] = None,
+                 parent: Optional["Environment"] = None):
+        self.bindings = bindings or {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> object:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise UnboundVariableError(name)
+
+    def contains(self, name: str) -> bool:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False
+
+    def child(self, name: str, value: object) -> "Environment":
+        """Return a new environment extending this one with a single binding."""
+        return Environment({name: value}, parent=self)
+
+    def extended(self, bindings: Dict[str, object]) -> "Environment":
+        return Environment(dict(bindings), parent=self)
+
+
+class Closure:
+    """The run-time value of a :class:`~repro.core.nrc.ast.Lam`."""
+
+    __slots__ = ("param", "body", "env")
+
+    def __init__(self, param: str, body: A.Expr, env: Environment):
+        self.param = param
+        self.body = body
+        self.env = env
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<closure \\{self.param}>"
+
+
+class EvalStatistics:
+    """Counters reported by benchmarks and used in optimizer tests."""
+
+    def __init__(self) -> None:
+        self.scan_requests = 0
+        self.scan_elements = 0
+        self.ext_iterations = 0
+        self.fold_iterations = 0
+        self.joins_blocked = 0
+        self.joins_indexed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.peak_intermediate = 0
+
+    def note_intermediate(self, size: int) -> None:
+        if size > self.peak_intermediate:
+            self.peak_intermediate = size
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class EvalContext:
+    """Ambient services the evaluator needs (drivers, cache, statistics)."""
+
+    def __init__(self, driver_executor: Optional[Callable] = None,
+                 statistics: Optional[EvalStatistics] = None,
+                 cache: Optional[Dict[str, object]] = None):
+        self.driver_executor = driver_executor
+        self.statistics = statistics or EvalStatistics()
+        self.cache = cache if cache is not None else {}
+
+
+class Evaluator:
+    """Evaluates NRC expressions to CPL values."""
+
+    def __init__(self, context: Optional[EvalContext] = None):
+        self.context = context or EvalContext()
+
+    # -- entry point ---------------------------------------------------------
+
+    def evaluate(self, expr: A.Expr, env: Optional[Environment] = None) -> object:
+        env = env or Environment()
+        return self._eval(expr, env)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _eval(self, expr: A.Expr, env: Environment) -> object:
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise EvaluationError(f"cannot evaluate node of type {type(expr).__name__}")
+        return method(self, expr, env)
+
+    def _eval_const(self, expr: A.Const, env: Environment) -> object:
+        value = expr.value
+        if value is None:
+            return UNIT_VALUE
+        return value
+
+    def _eval_var(self, expr: A.Var, env: Environment) -> object:
+        return env.lookup(expr.name)
+
+    def _eval_lam(self, expr: A.Lam, env: Environment) -> object:
+        return Closure(expr.param, expr.body, env)
+
+    def _eval_apply(self, expr: A.Apply, env: Environment) -> object:
+        func = self._eval(expr.func, env)
+        arg = self._eval(expr.arg, env)
+        return self.apply_function(func, arg)
+
+    def apply_function(self, func: object, arg: object) -> object:
+        """Apply a closure or a native Python callable to an argument."""
+        if isinstance(func, Closure):
+            return self._eval(func.body, func.env.child(func.param, arg))
+        if callable(func):
+            return func(arg)
+        raise EvaluationError(f"attempt to apply a non-function value {func!r}")
+
+    def _eval_record(self, expr: A.RecordExpr, env: Environment) -> object:
+        return Record({label: self._eval(value, env) for label, value in expr.fields.items()})
+
+    def _eval_project(self, expr: A.Project, env: Environment) -> object:
+        subject = self._eval(expr.expr, env)
+        if isinstance(subject, Record):
+            return subject.project(expr.label)
+        if isinstance(subject, Ref):
+            return self._project_ref(subject, expr.label)
+        raise EvaluationError(
+            f"cannot project field {expr.label!r} from {type(subject).__name__}"
+        )
+
+    def _project_ref(self, ref: Ref, label: str) -> object:
+        target = ref.deref()
+        if isinstance(target, Record):
+            return target.project(label)
+        raise EvaluationError(
+            f"dereferenced value of {ref!r} is not a record; cannot project {label!r}"
+        )
+
+    def _eval_variant(self, expr: A.VariantExpr, env: Environment) -> object:
+        return Variant(expr.tag, self._eval(expr.expr, env))
+
+    def _eval_case(self, expr: A.Case, env: Environment) -> object:
+        subject = self._eval(expr.subject, env)
+        if not isinstance(subject, Variant):
+            raise EvaluationError(
+                f"case subject must be a variant, got {type(subject).__name__}"
+            )
+        for branch in expr.branches:
+            if branch.tag == subject.tag:
+                return self._eval(branch.body, env.child(branch.var, subject.value))
+        if expr.default is not None:
+            var, body = expr.default
+            return self._eval(body, env.child(var, subject))
+        raise EvaluationError(f"no case branch matches variant tag {subject.tag!r}")
+
+    def _eval_empty(self, expr: A.Empty, env: Environment) -> object:
+        return empty_like(expr.kind)
+
+    def _eval_singleton(self, expr: A.Singleton, env: Environment) -> object:
+        return singleton_like(expr.kind, self._eval(expr.expr, env))
+
+    def _eval_union(self, expr: A.Union, env: Environment) -> object:
+        left = self._eval(expr.left, env)
+        right = self._eval(expr.right, env)
+        return union_like(expr.kind, left, right)
+
+    def _eval_ext(self, expr: A.Ext, env: Environment) -> object:
+        source = self._eval(expr.source, env)
+        elements: List[object] = []
+        stats = self.context.statistics
+        for item in self._iterate_source(source):
+            stats.ext_iterations += 1
+            body_value = self._eval(expr.body, env.child(expr.var, item))
+            elements.extend(iter_collection(self._materialise(body_value)))
+            stats.note_intermediate(len(elements))
+        return make_collection(expr.kind, elements)
+
+    def _iterate_source(self, source: object) -> Iterator[object]:
+        """Iterate a collection or a lazy token stream."""
+        if isinstance(source, (CSet, CBag, CList)):
+            return iter(source)
+        if hasattr(source, "__iter__"):
+            # A token stream (or any iterator) from a driver: consume lazily.
+            return iter(source)
+        raise EvaluationError(
+            f"generator source must be a collection, got {type(source).__name__}"
+        )
+
+    def _materialise(self, value: object) -> object:
+        """Force a token stream into a collection (body values must be collections)."""
+        if isinstance(value, (CSet, CBag, CList)):
+            return value
+        if hasattr(value, "to_collection"):
+            return value.to_collection()
+        if hasattr(value, "__iter__") and not isinstance(value, (str, bytes, Record)):
+            return CList(value)
+        raise EvaluationError(
+            f"body of a comprehension must produce a collection, got {type(value).__name__}"
+        )
+
+    def _eval_fold(self, expr: A.Fold, env: Environment) -> object:
+        """Structural recursion: thread an accumulator through the collection."""
+        func = self._eval(expr.func, env)
+        accumulator = self._eval(expr.init, env)
+        stats = self.context.statistics
+        source = self._eval(expr.source, env)
+        for item in self._iterate_source(source):
+            stats.fold_iterations += 1
+            accumulator = self.apply_function(self.apply_function(func, accumulator), item)
+        return accumulator
+
+    def _eval_if(self, expr: A.IfThenElse, env: Environment) -> object:
+        cond = self._eval(expr.cond, env)
+        if not isinstance(cond, bool):
+            raise EvaluationError(
+                f"condition must be a boolean, got {type(cond).__name__}"
+            )
+        if cond:
+            return self._eval(expr.then_branch, env)
+        return self._eval(expr.else_branch, env)
+
+    def _eval_prim(self, expr: A.PrimCall, env: Environment) -> object:
+        function = lookup_primitive(expr.name)
+        args = [self._eval(arg, env) for arg in expr.args]
+        return function(*args)
+
+    def _eval_let(self, expr: A.Let, env: Environment) -> object:
+        value = self._eval(expr.value, env)
+        return self._eval(expr.body, env.child(expr.var, value))
+
+    def _eval_deref(self, expr: A.Deref, env: Environment) -> object:
+        ref = self._eval(expr.expr, env)
+        if not isinstance(ref, Ref):
+            raise EvaluationError(f"cannot dereference {type(ref).__name__}")
+        return ref.deref()
+
+    def _eval_scan(self, expr: A.Scan, env: Environment) -> object:
+        executor = self.context.driver_executor
+        if executor is None:
+            raise EvaluationError(
+                f"no driver executor available to satisfy scan of driver {expr.driver!r}"
+            )
+        request = dict(expr.request)
+        for key, arg_expr in expr.args.items():
+            request[key] = self._eval(arg_expr, env)
+        stats = self.context.statistics
+        stats.scan_requests += 1
+        result = executor(expr.driver, request)
+        if isinstance(result, (CSet, CBag, CList)):
+            stats.scan_elements += len(result)
+            return result
+        # Lazy token stream: count as it is consumed.
+        return _CountingStream(result, stats)
+
+    def _eval_join(self, expr: A.Join, env: Environment) -> object:
+        outer = self._materialise_source(self._eval(expr.outer, env))
+        stats = self.context.statistics
+        elements: List[object] = []
+        if expr.method == "indexed":
+            stats.joins_indexed += 1
+            elements = self._indexed_join(expr, outer, env)
+        else:
+            stats.joins_blocked += 1
+            elements = self._blocked_join(expr, outer, env)
+        return make_collection(expr.kind, elements)
+
+    def _materialise_source(self, value: object) -> List[object]:
+        if isinstance(value, (CSet, CBag, CList)):
+            return list(value)
+        if hasattr(value, "__iter__"):
+            return list(value)
+        raise EvaluationError(
+            f"join input must be a collection, got {type(value).__name__}"
+        )
+
+    def _blocked_join(self, expr: A.Join, outer: List[object], env: Environment) -> List[object]:
+        """Blocked nested-loop join: scan the inner once per outer *block*."""
+        elements: List[object] = []
+        block_size = max(1, expr.block_size)
+        for start in range(0, len(outer), block_size):
+            block = outer[start:start + block_size]
+            inner = self._materialise_source(self._eval(expr.inner, env))
+            for inner_item in inner:
+                for outer_item in block:
+                    pair_env = env.extended({expr.outer_var: outer_item,
+                                             expr.inner_var: inner_item})
+                    if expr.condition is not None:
+                        keep = self._eval(expr.condition, pair_env)
+                        if not isinstance(keep, bool):
+                            raise EvaluationError("join condition must be boolean")
+                        if not keep:
+                            continue
+                    body_value = self._eval(expr.body, pair_env)
+                    elements.extend(iter_collection(self._materialise(body_value)))
+        return elements
+
+    def _indexed_join(self, expr: A.Join, outer: List[object], env: Environment) -> List[object]:
+        """Indexed blocked nested-loop join: build a hash index on the inner key on the fly."""
+        if expr.outer_key is None or expr.inner_key is None:
+            raise EvaluationError("indexed join requires outer and inner key expressions")
+        inner = self._materialise_source(self._eval(expr.inner, env))
+        index: Dict[object, List[object]] = {}
+        for inner_item in inner:
+            key = self._eval(expr.inner_key, env.child(expr.inner_var, inner_item))
+            index.setdefault(key, []).append(inner_item)
+        elements: List[object] = []
+        for outer_item in outer:
+            key = self._eval(expr.outer_key, env.child(expr.outer_var, outer_item))
+            for inner_item in index.get(key, ()):
+                pair_env = env.extended({expr.outer_var: outer_item,
+                                         expr.inner_var: inner_item})
+                if expr.condition is not None:
+                    keep = self._eval(expr.condition, pair_env)
+                    if not keep:
+                        continue
+                body_value = self._eval(expr.body, pair_env)
+                elements.extend(iter_collection(self._materialise(body_value)))
+        return elements
+
+    def _eval_cached(self, expr: A.Cached, env: Environment) -> object:
+        cache = self.context.cache
+        stats = self.context.statistics
+        if expr.key in cache:
+            stats.cache_hits += 1
+            return cache[expr.key]
+        stats.cache_misses += 1
+        value = self._eval(expr.expr, env)
+        value = self._materialise(value) if not isinstance(value, (bool, int, float, str)) and hasattr(value, "__iter__") and not isinstance(value, Record) else value
+        cache[expr.key] = value
+        return value
+
+    _DISPATCH = {}
+
+
+Evaluator._DISPATCH = {
+    A.Const: Evaluator._eval_const,
+    A.Var: Evaluator._eval_var,
+    A.Lam: Evaluator._eval_lam,
+    A.Apply: Evaluator._eval_apply,
+    A.RecordExpr: Evaluator._eval_record,
+    A.Project: Evaluator._eval_project,
+    A.VariantExpr: Evaluator._eval_variant,
+    A.Case: Evaluator._eval_case,
+    A.Empty: Evaluator._eval_empty,
+    A.Singleton: Evaluator._eval_singleton,
+    A.Union: Evaluator._eval_union,
+    A.Ext: Evaluator._eval_ext,
+    A.Fold: Evaluator._eval_fold,
+    A.IfThenElse: Evaluator._eval_if,
+    A.PrimCall: Evaluator._eval_prim,
+    A.Let: Evaluator._eval_let,
+    A.Deref: Evaluator._eval_deref,
+    A.Scan: Evaluator._eval_scan,
+    A.Join: Evaluator._eval_join,
+    A.Cached: Evaluator._eval_cached,
+}
+
+
+class _CountingStream:
+    """Wraps a driver token stream, updating scan statistics as elements flow through."""
+
+    def __init__(self, inner, statistics: EvalStatistics):
+        self._inner = iter(inner)
+        self._statistics = statistics
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        value = next(self._inner)
+        self._statistics.scan_elements += 1
+        return value
+
+
+def evaluate(expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
+             context: Optional[EvalContext] = None) -> object:
+    """Evaluate ``expr`` with the given variable ``bindings`` (a convenience wrapper)."""
+    evaluator = Evaluator(context)
+    return evaluator.evaluate(expr, Environment(dict(bindings or {})))

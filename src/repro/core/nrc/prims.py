@@ -1,0 +1,447 @@
+"""Built-in primitives available to NRC (and therefore CPL) programs.
+
+The paper notes that comprehension syntax is derived from structural recursion,
+which is what gives the language aggregates (summation, count, ...) that plain
+comprehensions cannot express.  Here those operations are exposed as named
+primitives; the CPL parser turns ``sum(...)``, ``count(...)`` etc. into
+:class:`~repro.core.nrc.ast.PrimCall` nodes that dispatch into this table.
+
+Primitives are plain Python callables over CPL values.  They are grouped into:
+
+* arithmetic and comparison,
+* boolean connectives,
+* string operations (including ``^`` concatenation from the paper's examples),
+* collection operations derived from structural recursion (aggregates,
+  ``flatten``, ``distinct``, conversions between set/bag/list, sorting),
+* membership and emptiness tests.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Dict, Iterable, List
+
+from ..errors import EvaluationError
+from ..values import CBag, CList, CSet, Record, UNIT_VALUE, Variant, iter_collection, make_collection
+
+__all__ = ["PRIMITIVES", "register_primitive", "lookup_primitive", "primitive_names"]
+
+PRIMITIVES: Dict[str, Callable] = {}
+
+
+def register_primitive(name: str, arity: int = None):
+    """Decorator registering a callable as the primitive ``name``."""
+    def decorator(function: Callable) -> Callable:
+        @functools.wraps(function)
+        def checked(*args):
+            if arity is not None and len(args) != arity:
+                raise EvaluationError(
+                    f"primitive {name!r} expects {arity} argument(s), got {len(args)}"
+                )
+            return function(*args)
+
+        PRIMITIVES[name] = checked
+        return function
+    return decorator
+
+
+def lookup_primitive(name: str) -> Callable:
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise EvaluationError(f"unknown primitive {name!r}")
+
+
+def primitive_names() -> List[str]:
+    return sorted(PRIMITIVES)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic and comparison
+# ---------------------------------------------------------------------------
+
+def _require_number(value, context: str):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"{context} expects a number, got {type(value).__name__}")
+    return value
+
+
+@register_primitive("add", arity=2)
+def _add(a, b):
+    return _require_number(a, "add") + _require_number(b, "add")
+
+
+@register_primitive("sub", arity=2)
+def _sub(a, b):
+    return _require_number(a, "sub") - _require_number(b, "sub")
+
+
+@register_primitive("mul", arity=2)
+def _mul(a, b):
+    return _require_number(a, "mul") * _require_number(b, "mul")
+
+
+@register_primitive("div", arity=2)
+def _div(a, b):
+    a = _require_number(a, "div")
+    b = _require_number(b, "div")
+    if b == 0:
+        raise EvaluationError("division by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return a // b
+    return a / b
+
+
+@register_primitive("mod", arity=2)
+def _mod(a, b):
+    a = _require_number(a, "mod")
+    b = _require_number(b, "mod")
+    if b == 0:
+        raise EvaluationError("modulo by zero")
+    return a % b
+
+
+@register_primitive("neg", arity=1)
+def _neg(a):
+    return -_require_number(a, "neg")
+
+
+@register_primitive("eq", arity=2)
+def _eq(a, b):
+    return a == b
+
+
+@register_primitive("neq", arity=2)
+def _neq(a, b):
+    return a != b
+
+
+def _comparable(a, b, op: str):
+    if isinstance(a, bool) or isinstance(b, bool):
+        raise EvaluationError(f"{op} is not defined on booleans")
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a, b
+    if isinstance(a, str) and isinstance(b, str):
+        return a, b
+    raise EvaluationError(
+        f"{op} expects two numbers or two strings, got {type(a).__name__} and {type(b).__name__}"
+    )
+
+
+@register_primitive("lt", arity=2)
+def _lt(a, b):
+    a, b = _comparable(a, b, "lt")
+    return a < b
+
+
+@register_primitive("le", arity=2)
+def _le(a, b):
+    a, b = _comparable(a, b, "le")
+    return a <= b
+
+
+@register_primitive("gt", arity=2)
+def _gt(a, b):
+    a, b = _comparable(a, b, "gt")
+    return a > b
+
+
+@register_primitive("ge", arity=2)
+def _ge(a, b):
+    a, b = _comparable(a, b, "ge")
+    return a >= b
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+# ---------------------------------------------------------------------------
+
+def _require_bool(value, context: str) -> bool:
+    if not isinstance(value, bool):
+        raise EvaluationError(f"{context} expects a boolean, got {type(value).__name__}")
+    return value
+
+
+@register_primitive("and", arity=2)
+def _and(a, b):
+    return _require_bool(a, "and") and _require_bool(b, "and")
+
+
+@register_primitive("or", arity=2)
+def _or(a, b):
+    return _require_bool(a, "or") or _require_bool(b, "or")
+
+
+@register_primitive("not", arity=1)
+def _not(a):
+    return not _require_bool(a, "not")
+
+
+# ---------------------------------------------------------------------------
+# String operations
+# ---------------------------------------------------------------------------
+
+def _require_string(value, context: str) -> str:
+    if not isinstance(value, str):
+        raise EvaluationError(f"{context} expects a string, got {type(value).__name__}")
+    return value
+
+
+@register_primitive("string_concat", arity=2)
+def _string_concat(a, b):
+    return _require_string(a, "string_concat") + _require_string(b, "string_concat")
+
+
+@register_primitive("string_length", arity=1)
+def _string_length(a):
+    return len(_require_string(a, "string_length"))
+
+
+@register_primitive("string_upper", arity=1)
+def _string_upper(a):
+    return _require_string(a, "string_upper").upper()
+
+
+@register_primitive("string_lower", arity=1)
+def _string_lower(a):
+    return _require_string(a, "string_lower").lower()
+
+
+@register_primitive("string_contains", arity=2)
+def _string_contains(a, b):
+    return _require_string(b, "string_contains") in _require_string(a, "string_contains")
+
+
+@register_primitive("string_startswith", arity=2)
+def _string_startswith(a, b):
+    return _require_string(a, "string_startswith").startswith(_require_string(b, "string_startswith"))
+
+
+@register_primitive("string_split", arity=2)
+def _string_split(a, sep):
+    return CList(_require_string(a, "string_split").split(_require_string(sep, "string_split")))
+
+
+@register_primitive("string_of_int", arity=1)
+def _string_of_int(a):
+    _require_number(a, "string_of_int")
+    return str(a)
+
+
+@register_primitive("int_of_string", arity=1)
+def _int_of_string(a):
+    try:
+        return int(_require_string(a, "int_of_string"))
+    except ValueError:
+        raise EvaluationError(f"int_of_string: {a!r} is not an integer literal")
+
+
+# ---------------------------------------------------------------------------
+# Collection operations (structural recursion)
+# ---------------------------------------------------------------------------
+
+def _numbers_of(collection) -> List[float]:
+    values = []
+    for element in iter_collection(collection):
+        values.append(_require_number(element, "aggregate"))
+    return values
+
+
+@register_primitive("count", arity=1)
+def _count(collection):
+    return len(list(iter_collection(collection)))
+
+
+@register_primitive("sum", arity=1)
+def _sum(collection):
+    return sum(_numbers_of(collection))
+
+
+@register_primitive("avg", arity=1)
+def _avg(collection):
+    values = _numbers_of(collection)
+    if not values:
+        raise EvaluationError("avg of an empty collection")
+    return sum(values) / len(values)
+
+
+@register_primitive("max", arity=1)
+def _max(collection):
+    values = list(iter_collection(collection))
+    if not values:
+        raise EvaluationError("max of an empty collection")
+    return max(values)
+
+
+@register_primitive("min", arity=1)
+def _min(collection):
+    values = list(iter_collection(collection))
+    if not values:
+        raise EvaluationError("min of an empty collection")
+    return min(values)
+
+
+@register_primitive("isempty", arity=1)
+def _isempty(collection):
+    return len(list(iter_collection(collection))) == 0
+
+
+@register_primitive("member", arity=2)
+def _member(value, collection):
+    return any(element == value for element in iter_collection(collection))
+
+
+@register_primitive("flatten", arity=1)
+def _flatten(collection):
+    kind = collection.kind
+    elements: List[object] = []
+    for inner in iter_collection(collection):
+        elements.extend(iter_collection(inner))
+    return make_collection(kind, elements)
+
+
+@register_primitive("distinct", arity=1)
+def _distinct(collection):
+    seen = []
+    for element in iter_collection(collection):
+        if element not in seen:
+            seen.append(element)
+    return make_collection(collection.kind, seen)
+
+
+@register_primitive("set_of", arity=1)
+def _set_of(collection):
+    return CSet(iter_collection(collection))
+
+
+@register_primitive("bag_of", arity=1)
+def _bag_of(collection):
+    return CBag(iter_collection(collection))
+
+
+@register_primitive("list_of", arity=1)
+def _list_of(collection):
+    return CList(iter_collection(collection))
+
+
+@register_primitive("setunion", arity=2)
+def _setunion(a, b):
+    return CSet(list(iter_collection(a)) + list(iter_collection(b)))
+
+
+@register_primitive("setdiff", arity=2)
+def _setdiff(a, b):
+    b_elements = list(iter_collection(b))
+    return CSet(x for x in iter_collection(a) if x not in b_elements)
+
+
+@register_primitive("setintersect", arity=2)
+def _setintersect(a, b):
+    b_elements = list(iter_collection(b))
+    return CSet(x for x in iter_collection(a) if x in b_elements)
+
+
+def _sort_key(value):
+    """A total order over CPL values, used by sort and by deterministic printing."""
+    if isinstance(value, bool):
+        return (0, value)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    if isinstance(value, Record):
+        return (3, tuple((label, _sort_key(field)) for label, field in value.items()))
+    if isinstance(value, Variant):
+        return (4, value.tag, _sort_key(value.value))
+    if isinstance(value, (CSet, CBag, CList)):
+        return (5, tuple(sorted(_sort_key(element) for element in value)))
+    return (6, repr(value))
+
+
+@register_primitive("sort", arity=1)
+def _sort(collection):
+    return CList(sorted(iter_collection(collection), key=_sort_key))
+
+
+@register_primitive("head", arity=1)
+def _head(collection):
+    elements = list(iter_collection(collection))
+    if not elements:
+        raise EvaluationError("head of an empty collection")
+    return elements[0]
+
+
+@register_primitive("nth", arity=2)
+def _nth(collection, index):
+    elements = list(iter_collection(collection))
+    index = _require_number(index, "nth")
+    if not isinstance(index, int) or index < 0 or index >= len(elements):
+        raise EvaluationError(f"nth: index {index} out of range (size {len(elements)})")
+    return elements[index]
+
+
+@register_primitive("take", arity=2)
+def _take(collection, n):
+    n = _require_number(n, "take")
+    elements = list(iter_collection(collection))
+    return make_collection(collection.kind, elements[: int(n)])
+
+
+@register_primitive("fail", arity=1)
+def _fail(message):
+    raise EvaluationError(str(message))
+
+
+# ---------------------------------------------------------------------------
+# Record / variant helpers used by generated code
+# ---------------------------------------------------------------------------
+
+@register_primitive("record_labels", arity=1)
+def _record_labels(record):
+    if not isinstance(record, Record):
+        raise EvaluationError("record_labels expects a record")
+    return CList(record.labels)
+
+
+@register_primitive("variant_tag", arity=1)
+def _variant_tag(value):
+    if not isinstance(value, Variant):
+        raise EvaluationError("variant_tag expects a variant")
+    return value.tag
+
+
+@register_primitive("variant_value", arity=1)
+def _variant_value(value):
+    if not isinstance(value, Variant):
+        raise EvaluationError("variant_value expects a variant")
+    return value.value
+
+
+# ---------------------------------------------------------------------------
+# Structural recursion derivatives (Section 2: "functions such as transitive
+# closure, that cannot be expressed through comprehensions alone")
+# ---------------------------------------------------------------------------
+
+@register_primitive("tclosure", arity=1)
+def _tclosure(relation):
+    from .structural import transitive_closure
+
+    return transitive_closure(relation)
+
+
+@register_primitive("nest", arity=3)
+def _nest(collection, group_label, by_label):
+    from .structural import nest
+
+    if not isinstance(group_label, str) or not isinstance(by_label, str):
+        raise EvaluationError("nest expects field labels as strings")
+    return nest(collection, group_label, by_label)
+
+
+@register_primitive("unnest", arity=2)
+def _unnest(collection, group_label):
+    from .structural import unnest
+
+    if not isinstance(group_label, str):
+        raise EvaluationError("unnest expects the nested field label as a string")
+    return unnest(collection, group_label)

@@ -1,0 +1,411 @@
+"""The monadic rewrite rules (Section 4, "Monadic Optimizations").
+
+These rules come from the equational theory of monads underlying NRC and
+generalise classical relational-algebra optimizations to nested collections:
+
+* **R1 — vertical loop fusion**: combine a producer loop and a consumer loop,
+  eliminating the intermediate collection::
+
+      U{e1 | \\x <- U{e2 | \\y <- e3}}  -->  U{U{e1 | \\x <- e2} | \\y <- e3}
+
+* **R2 — horizontal loop fusion**: combine two independent loops over the same
+  collection into one traversal (sets and bags only, not lists)::
+
+      U{e1 | \\x <- e} U U{e2 | \\x <- e}  -->  U{e1 U e2 | \\x <- e}
+
+* **R3 — filter promotion**: hoist a loop-invariant test out of the loop::
+
+      U{if p then e1 else e2 | \\x <- e}
+          -->  if p then U{e1 | \\x <- e} else U{e2 | \\x <- e}     (x not free in p)
+
+* **R4 — projection reduction**: ``[l = e, ...].l --> e``, the analogue of
+  column pruning in relational systems.
+
+Alongside these the rule set contains the monad laws and standard beta/let/if
+simplifications needed to reach a normal form (the paper: "the monad rewrite
+rules are initially applied until a normal form is reached; this is guaranteed
+to terminate ... because the rewrite rules are strongly normalizing").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast as A
+from .rewrite import Rule, RuleSet
+
+__all__ = [
+    "rule_vertical_fusion",
+    "rule_horizontal_fusion",
+    "rule_filter_promotion",
+    "rule_projection_reduction",
+    "rule_beta_reduction",
+    "rule_let_inline",
+    "rule_if_constant",
+    "rule_case_of_variant",
+    "rule_ext_empty_source",
+    "rule_ext_empty_body",
+    "rule_ext_singleton_source",
+    "rule_ext_union_source",
+    "rule_dead_branch_union",
+    "rule_fold_empty_source",
+    "rule_fold_singleton_source",
+    "monadic_rule_set",
+    "MONADIC_RULES",
+]
+
+
+# ---------------------------------------------------------------------------
+# R1: vertical loop fusion
+# ---------------------------------------------------------------------------
+
+def _vertical_fusion(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Ext):
+        return None
+    inner = expr.source
+    if not isinstance(inner, A.Ext) or inner.kind != expr.kind:
+        return None
+    # U{ e1 | \x <- U{ e2 | \y <- e3 } }  -->  U{ U{ e1 | \x <- e2 } | \y <- e3 }
+    # The inner binder y must not capture a free variable of e1.
+    inner_var = inner.var
+    inner_body = inner.body
+    if inner_var in A.free_variables(expr.body):
+        renamed = A.fresh_var(inner_var.strip("%\\"))
+        inner_body = A.substitute(inner_body, inner_var, A.Var(renamed))
+        inner_var = renamed
+    fused_inner = A.Ext(expr.var, expr.body, inner_body, expr.kind)
+    return A.Ext(inner_var, fused_inner, inner.source, expr.kind)
+
+
+rule_vertical_fusion = Rule(
+    "R1-vertical-fusion",
+    _vertical_fusion,
+    "combine a producer comprehension and its consumer, removing the intermediate collection",
+)
+
+
+# ---------------------------------------------------------------------------
+# R2: horizontal loop fusion (sets and bags only)
+# ---------------------------------------------------------------------------
+
+def _horizontal_fusion(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Union) or expr.kind == "list":
+        return None
+    left, right = expr.left, expr.right
+    if not (isinstance(left, A.Ext) and isinstance(right, A.Ext)):
+        return None
+    if left.kind != expr.kind or right.kind != expr.kind:
+        return None
+    if left.source != right.source:
+        return None
+    # Align the right binder with the left binder.
+    right_body = right.body
+    if right.var != left.var:
+        if left.var in A.free_variables(right_body):
+            return None
+        right_body = A.substitute(right_body, right.var, A.Var(left.var))
+    fused_body = A.Union(left.body, right_body, expr.kind)
+    return A.Ext(left.var, fused_body, left.source, expr.kind)
+
+
+rule_horizontal_fusion = Rule(
+    "R2-horizontal-fusion",
+    _horizontal_fusion,
+    "combine two independent loops over the same set/bag into a single traversal",
+)
+
+
+# ---------------------------------------------------------------------------
+# R3: filter promotion
+# ---------------------------------------------------------------------------
+
+def _filter_promotion(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Ext):
+        return None
+    body = expr.body
+    if not isinstance(body, A.IfThenElse):
+        return None
+    if expr.var in A.free_variables(body.cond):
+        return None
+    then_ext = A.Ext(expr.var, body.then_branch, expr.source, expr.kind)
+    else_ext = A.Ext(expr.var, body.else_branch, expr.source, expr.kind)
+    return A.IfThenElse(body.cond, then_ext, else_ext)
+
+
+rule_filter_promotion = Rule(
+    "R3-filter-promotion",
+    _filter_promotion,
+    "hoist a loop-invariant filter out of the loop",
+)
+
+
+# ---------------------------------------------------------------------------
+# R4: projection reduction
+# ---------------------------------------------------------------------------
+
+def _projection_reduction(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Project):
+        return None
+    subject = expr.expr
+    if not isinstance(subject, A.RecordExpr):
+        return None
+    if expr.label not in subject.fields:
+        return None
+    return subject.fields[expr.label]
+
+
+rule_projection_reduction = Rule(
+    "R4-projection-reduction",
+    _projection_reduction,
+    "reduce [l = e, ...].l to e, pruning unused columns in intermediate data",
+)
+
+
+# ---------------------------------------------------------------------------
+# Monad laws and supporting simplifications
+# ---------------------------------------------------------------------------
+
+def _beta_reduction(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Apply):
+        return None
+    func = expr.func
+    if not isinstance(func, A.Lam):
+        return None
+    return A.substitute(func.body, func.param, expr.arg)
+
+
+rule_beta_reduction = Rule(
+    "beta-reduction",
+    _beta_reduction,
+    "(\\x => e)(a) --> e[a/x]; inlines CPL function definitions before optimization",
+)
+
+
+def _count_occurrences(expr: A.Expr, name: str) -> int:
+    if isinstance(expr, A.Var):
+        return 1 if expr.name == name else 0
+    if isinstance(expr, A.Lam) and expr.param == name:
+        return 0
+    if isinstance(expr, A.Ext) and expr.var == name:
+        return _count_occurrences(expr.source, name)
+    if isinstance(expr, A.Let) and expr.var == name:
+        return _count_occurrences(expr.value, name)
+    return sum(_count_occurrences(child, name) for child in expr.children())
+
+
+def _is_cheap(expr: A.Expr) -> bool:
+    if isinstance(expr, (A.Const, A.Var)):
+        return True
+    if isinstance(expr, A.Project):
+        return _is_cheap(expr.expr)
+    return False
+
+
+def _let_inline(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Let):
+        return None
+    occurrences = _count_occurrences(expr.body, expr.var)
+    if occurrences == 0:
+        return expr.body
+    if occurrences == 1 or _is_cheap(expr.value):
+        return A.substitute(expr.body, expr.var, expr.value)
+    return None
+
+
+rule_let_inline = Rule(
+    "let-inline",
+    _let_inline,
+    "inline let-bound values that are cheap or used at most once",
+)
+
+
+def _if_constant(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.IfThenElse):
+        return None
+    cond = expr.cond
+    if isinstance(cond, A.Const) and isinstance(cond.value, bool):
+        return expr.then_branch if cond.value else expr.else_branch
+    if expr.then_branch == expr.else_branch:
+        return expr.then_branch
+    return None
+
+
+rule_if_constant = Rule(
+    "if-constant",
+    _if_constant,
+    "simplify conditionals with constant or irrelevant conditions",
+)
+
+
+def _case_of_variant(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Case):
+        return None
+    subject = expr.subject
+    if not isinstance(subject, A.VariantExpr):
+        return None
+    for branch in expr.branches:
+        if branch.tag == subject.tag:
+            return A.substitute(branch.body, branch.var, subject.expr)
+    if expr.default is not None:
+        var, body = expr.default
+        return A.substitute(body, var, subject)
+    return None
+
+
+rule_case_of_variant = Rule(
+    "case-of-variant",
+    _case_of_variant,
+    "resolve case analysis over a syntactic variant constructor",
+)
+
+
+def _ext_empty_source(expr: A.Expr) -> Optional[A.Expr]:
+    if isinstance(expr, A.Ext) and isinstance(expr.source, A.Empty):
+        return A.Empty(expr.kind)
+    return None
+
+
+rule_ext_empty_source = Rule(
+    "ext-empty-source",
+    _ext_empty_source,
+    "a loop over the empty collection is the empty collection",
+)
+
+
+def _ext_empty_body(expr: A.Expr) -> Optional[A.Expr]:
+    if isinstance(expr, A.Ext) and isinstance(expr.body, A.Empty) and expr.body.kind == expr.kind:
+        return A.Empty(expr.kind)
+    return None
+
+
+rule_ext_empty_body = Rule(
+    "ext-empty-body",
+    _ext_empty_body,
+    "a loop whose body is always empty produces the empty collection",
+)
+
+
+def _ext_singleton_source(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Ext):
+        return None
+    source = expr.source
+    if not isinstance(source, A.Singleton) or source.kind != expr.kind:
+        return None
+    # The left unit law: U{ e | \x <- {a} } --> e[a/x]
+    return A.substitute(expr.body, expr.var, source.expr)
+
+
+rule_ext_singleton_source = Rule(
+    "ext-singleton-source",
+    _ext_singleton_source,
+    "monad left-unit law: a loop over a singleton is a substitution",
+)
+
+
+def _ext_union_source(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Ext):
+        return None
+    source = expr.source
+    if not isinstance(source, A.Union) or source.kind != expr.kind:
+        return None
+    left = A.Ext(expr.var, expr.body, source.left, expr.kind)
+    right = A.Ext(expr.var, expr.body, source.right, expr.kind)
+    return A.Union(left, right, expr.kind)
+
+
+rule_ext_union_source = Rule(
+    "ext-union-source",
+    _ext_union_source,
+    "distribute a loop over a union of sources",
+)
+
+
+def _dead_branch_union(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Union):
+        return None
+    if isinstance(expr.left, A.Empty):
+        return expr.right
+    if isinstance(expr.right, A.Empty):
+        return expr.left
+    return None
+
+
+rule_dead_branch_union = Rule(
+    "union-empty",
+    _dead_branch_union,
+    "drop empty operands of a union",
+)
+
+
+# ---------------------------------------------------------------------------
+# Structural recursion laws (fold over the collection constructors)
+# ---------------------------------------------------------------------------
+
+def _fold_empty_source(expr: A.Expr) -> Optional[A.Expr]:
+    if isinstance(expr, A.Fold) and isinstance(expr.source, A.Empty):
+        return expr.init
+    return None
+
+
+rule_fold_empty_source = Rule(
+    "fold-empty-source",
+    _fold_empty_source,
+    "a fold over the empty collection is its initial value",
+)
+
+
+def _fold_singleton_source(expr: A.Expr) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Fold) or not isinstance(expr.source, A.Singleton):
+        return None
+    # fold(f, i, {a}) --> f(i)(a); sound for every collection kind.
+    return A.Apply(A.Apply(expr.func, expr.init), expr.source.expr)
+
+
+rule_fold_singleton_source = Rule(
+    "fold-singleton-source",
+    _fold_singleton_source,
+    "a fold over a singleton is one application of the combiner",
+)
+
+
+MONADIC_RULES = (
+    rule_beta_reduction,
+    rule_let_inline,
+    rule_case_of_variant,
+    rule_projection_reduction,
+    rule_if_constant,
+    rule_ext_empty_source,
+    rule_ext_empty_body,
+    rule_ext_singleton_source,
+    rule_dead_branch_union,
+    rule_fold_empty_source,
+    rule_fold_singleton_source,
+    rule_vertical_fusion,
+    rule_filter_promotion,
+    rule_horizontal_fusion,
+)
+
+
+def monadic_rule_set(include_horizontal: bool = True,
+                     include_vertical: bool = True,
+                     include_filter_promotion: bool = True,
+                     include_projection_reduction: bool = True,
+                     max_iterations: int = 25) -> RuleSet:
+    """Build the standard monadic rule set.
+
+    The ``include_*`` switches exist for the ablation benchmarks: they let a
+    benchmark measure the effect of turning an individual optimization off.
+    """
+    rules = [rule_beta_reduction, rule_let_inline, rule_case_of_variant,
+             rule_if_constant, rule_ext_empty_source, rule_ext_empty_body,
+             rule_ext_singleton_source, rule_dead_branch_union,
+             rule_fold_empty_source, rule_fold_singleton_source]
+    if include_projection_reduction:
+        rules.insert(3, rule_projection_reduction)
+    if include_vertical:
+        rules.append(rule_vertical_fusion)
+    if include_filter_promotion:
+        rules.append(rule_filter_promotion)
+    if include_horizontal:
+        rules.append(rule_horizontal_fusion)
+    return RuleSet("monadic", rules, direction="bottom-up", max_iterations=max_iterations)

@@ -1,0 +1,240 @@
+"""Structural recursion: the paradigm comprehensions are derived from.
+
+Section 2 of the paper notes that comprehension syntax *"is derived from a
+more powerful programming paradigm on collection types, that of structural
+recursion"*, and that this more general form of computation *"allows the
+expression of aggregate functions such as summation, as well as functions such
+as transitive closure, that cannot be expressed through comprehensions
+alone."*
+
+This module supplies the pieces of that paradigm the reproduction exposes:
+
+* :func:`fold_value` — Python-level structural recursion over any CPL
+  collection (the run-time counterpart of the :class:`~repro.core.nrc.ast.Fold`
+  NRC node, which CPL programs reach with ``fold(\\acc => \\x => e, init, coll)``).
+* Well-definedness spot checks — structural recursion over a *set* is only
+  well defined when the combining function is insensitive to element order and
+  to duplicates; over a *bag*, to order only.  :func:`check_fold_well_defined`
+  performs the commutativity / duplicate-insensitivity checks on sample data
+  (the property cannot be decided in general, so the system checks the inputs
+  it is actually given, mirroring how [6] treats the preconditions).
+* :func:`transitive_closure` — the paper's canonical example of a query beyond
+  comprehensions, used e.g. to chase chains of homology or containment links.
+* :func:`group_by` / :func:`nest` / :func:`unnest` — the value-level
+  restructuring operations behind the keyword-inversion example of Section 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import EvaluationError
+from ..records import Record
+from ..values import CBag, CList, CSet, iter_collection
+
+__all__ = [
+    "fold_value",
+    "check_fold_well_defined",
+    "is_order_insensitive",
+    "is_duplicate_insensitive",
+    "transitive_closure",
+    "group_by",
+    "nest",
+    "unnest",
+]
+
+
+# ---------------------------------------------------------------------------
+# Folding
+# ---------------------------------------------------------------------------
+
+def fold_value(function: Callable[[object, object], object], init: object,
+               collection: object) -> object:
+    """Structural recursion over a CPL collection, at the Python level.
+
+    ``function`` takes ``(accumulator, element)`` and returns the new
+    accumulator.  Elements are visited in the collection's iteration order;
+    callers folding over sets or bags should make sure the function is
+    insensitive to that order (see :func:`check_fold_well_defined`).
+    """
+    if not isinstance(collection, (CSet, CBag, CList)):
+        raise EvaluationError(
+            f"fold expects a collection, got {type(collection).__name__}"
+        )
+    accumulator = init
+    for element in collection:
+        accumulator = function(accumulator, element)
+    return accumulator
+
+
+def is_order_insensitive(function: Callable[[object, object], object], init: object,
+                         samples: Sequence[object]) -> bool:
+    """Spot-check that folding ``samples`` in reversed order gives the same result.
+
+    A necessary condition for a fold over a *bag* (and a set) to be well
+    defined.  Like all property spot checks this can only refute, not prove.
+    """
+    samples = list(samples)
+    forward = _fold_list(function, init, samples)
+    backward = _fold_list(function, init, list(reversed(samples)))
+    return forward == backward
+
+
+def is_duplicate_insensitive(function: Callable[[object, object], object], init: object,
+                             samples: Sequence[object]) -> bool:
+    """Spot-check that re-inserting an element does not change the result.
+
+    The extra condition a fold over a *set* needs beyond order insensitivity
+    (sets identify duplicates; the fold must too).
+    """
+    samples = list(samples)
+    if not samples:
+        return True
+    plain = _fold_list(function, init, samples)
+    duplicated = _fold_list(function, init, samples + [samples[0]])
+    return plain == duplicated
+
+
+def check_fold_well_defined(function: Callable[[object, object], object], init: object,
+                            collection: object) -> List[str]:
+    """Return a list of well-definedness violations observed on ``collection``.
+
+    An empty list means no violation was observed (not a proof).  Lists never
+    produce violations — folding a list is always well defined.
+    """
+    issues: List[str] = []
+    if isinstance(collection, CList):
+        return issues
+    samples = list(iter_collection(collection))
+    if not is_order_insensitive(function, init, samples):
+        issues.append("combining function is sensitive to element order")
+    if isinstance(collection, CSet) and not is_duplicate_insensitive(function, init, samples):
+        issues.append("combining function is sensitive to duplicate insertion")
+    return issues
+
+
+def _fold_list(function: Callable[[object, object], object], init: object,
+               items: Iterable[object]) -> object:
+    accumulator = init
+    for item in items:
+        accumulator = function(accumulator, item)
+    return accumulator
+
+
+# ---------------------------------------------------------------------------
+# Transitive closure
+# ---------------------------------------------------------------------------
+
+def transitive_closure(relation: object) -> CSet:
+    """Transitive closure of a binary relation.
+
+    ``relation`` is a set (or bag or list) of two-field records — e.g.
+    ``{[from = "a", to = "b"], ...}`` — or of two-element lists.  The result is
+    the set of records, with the *same* field labels as the input, relating
+    every element to everything reachable from it.  Semi-naive iteration keeps
+    the work proportional to the edges actually added.
+    """
+    pairs, labels = _relation_pairs(relation)
+    closure = set(pairs)
+    frontier = set(pairs)
+    successors: Dict[object, set] = {}
+    for source, target in pairs:
+        successors.setdefault(source, set()).add(target)
+    while frontier:
+        additions = set()
+        for source, middle in frontier:
+            for target in successors.get(middle, ()):
+                candidate = (source, target)
+                if candidate not in closure:
+                    additions.add(candidate)
+        for source, target in additions:
+            successors.setdefault(source, set()).add(target)
+        closure |= additions
+        frontier = additions
+    return CSet(_pair_value(labels, source, target) for source, target in closure)
+
+
+def _relation_pairs(relation: object) -> Tuple[List[Tuple[object, object]], Tuple[str, ...]]:
+    if not isinstance(relation, (CSet, CBag, CList)):
+        raise EvaluationError(
+            f"transitive closure expects a collection, got {type(relation).__name__}"
+        )
+    pairs: List[Tuple[object, object]] = []
+    labels: Tuple[str, ...] = ()
+    for element in relation:
+        if isinstance(element, Record):
+            if len(element.labels) != 2:
+                raise EvaluationError(
+                    "transitive closure expects records with exactly two fields, "
+                    f"got fields {element.labels!r}"
+                )
+            labels = element.labels
+            pairs.append((element.values[0], element.values[1]))
+        elif isinstance(element, CList) and len(element) == 2:
+            pairs.append((element[0], element[1]))
+        else:
+            raise EvaluationError(
+                "transitive closure expects two-field records or two-element lists, "
+                f"got {type(element).__name__}"
+            )
+    return pairs, labels
+
+
+def _pair_value(labels: Tuple[str, ...], source: object, target: object) -> object:
+    if labels:
+        return Record({labels[0]: source, labels[1]: target})
+    return CList([source, target])
+
+
+# ---------------------------------------------------------------------------
+# Grouping and nesting
+# ---------------------------------------------------------------------------
+
+def group_by(collection: object, key: Callable[[object], object]) -> Dict[object, List[object]]:
+    """Group the elements of a collection by ``key`` (a Python callable)."""
+    groups: Dict[object, List[object]] = {}
+    for element in iter_collection(collection):
+        groups.setdefault(key(element), []).append(element)
+    return groups
+
+
+def nest(collection: object, group_label: str, *by_labels: str) -> CSet:
+    """The nested-relational ``nest`` operator over a set of records.
+
+    Records that agree on ``by_labels`` are merged into one record carrying
+    those fields plus ``group_label``, a set of the remaining sub-records —
+    the restructuring the paper's keyword-inversion example performs with a
+    comprehension.
+    """
+    if not by_labels:
+        raise EvaluationError("nest requires at least one grouping field")
+    groups: Dict[Tuple[object, ...], List[Record]] = {}
+    for element in iter_collection(collection):
+        if not isinstance(element, Record):
+            raise EvaluationError("nest expects a collection of records")
+        key = tuple(element.project(label) for label in by_labels)
+        groups.setdefault(key, []).append(element.without_fields(*by_labels))
+    result = []
+    for key, members in groups.items():
+        fields = dict(zip(by_labels, key))
+        fields[group_label] = CSet(members)
+        result.append(Record(fields))
+    return CSet(result)
+
+
+def unnest(collection: object, group_label: str) -> CSet:
+    """The inverse of :func:`nest`: flatten a set-valued field back into rows."""
+    result = []
+    for element in iter_collection(collection):
+        if not isinstance(element, Record):
+            raise EvaluationError("unnest expects a collection of records")
+        nested = element.project(group_label)
+        outer = element.without_fields(group_label)
+        for inner in iter_collection(nested):
+            if isinstance(inner, Record):
+                merged = dict(outer.items())
+                merged.update(inner.items())
+                result.append(Record(merged))
+            else:
+                result.append(outer.with_fields(**{group_label: inner}))
+    return CSet(result)

@@ -1,0 +1,35 @@
+"""The Kleisli optimizer: the paper's rule sets wired into one pipeline.
+
+Stages (Section 4), in the order the pipeline applies them:
+
+1. **Driver introduction** — applications of registered driver functions become
+   :class:`~repro.core.nrc.ast.Scan` nodes the later stages can rewrite.
+2. **Monadic normalisation** — R1 vertical fusion, R2 horizontal fusion,
+   R3 filter promotion, R4 projection reduction, plus the monad laws.
+3. **Pushdown** — selections, projections and joins migrate into SQL for
+   drivers that speak SQL; projections and variant selections migrate into
+   path expressions for the ASN.1 driver.
+4. **Local joins** — remaining cross-source nested loops become blocked or
+   indexed blocked nested-loop joins, guided by statistics.
+5. **Caching** — outer-independent inner subqueries are wrapped in ``Cached``.
+6. **Parallelism** — inner loops that issue remote requests become bounded
+   parallel loops.
+"""
+
+from .pipeline import OptimizerPipeline, OptimizerConfig
+from .introduction import ScanSpec, make_introduction_rule_set
+from .pushdown_sql import make_sql_pushdown_rule_set
+from .pushdown_path import make_path_pushdown_rule_set
+from .joins import make_join_rule_set
+from .caching import make_caching_rule_set
+from .parallel import ParallelExt, make_parallel_rule_set
+from .projections import count_projection_sites, homogeneous_projection
+
+__all__ = [
+    "OptimizerPipeline", "OptimizerConfig",
+    "ScanSpec", "make_introduction_rule_set",
+    "make_sql_pushdown_rule_set", "make_path_pushdown_rule_set",
+    "make_join_rule_set", "make_caching_rule_set",
+    "ParallelExt", "make_parallel_rule_set",
+    "count_projection_sites", "homogeneous_projection",
+]

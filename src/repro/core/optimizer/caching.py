@@ -1,0 +1,138 @@
+"""Caching of inner subqueries.
+
+"As the system is fully compositional, the inner relation in a join can
+sometimes be a subquery.  To avoid recomputation, we have therefore introduced
+an operator to cache the result of a subquery ... Rules to recognize when the
+result of an inner subquery can be cached check that the subquery doesn't
+depend on the outer relation."
+
+The rule looks for loop sources (``Ext`` sources and ``Join`` inners) that
+
+* do not mention **any** loop variable bound around them (independence check —
+  dependence on any enclosing binder, not just the immediately enclosing one,
+  would freeze the first value and silently change results),
+* are not already cached, not trivially cheap, and
+* actually cost something to recompute — they contain a :class:`Scan` (a
+  driver round-trip) or a join,
+
+and wraps them in :class:`~repro.core.nrc.ast.Cached`.
+
+Because the independence check needs to know every binder in scope, this rule
+set does not use the generic node-at-a-time traversal (a rule firing at an
+inner node cannot see the binders above it); it overrides the rule-set pass
+with a single scope-tracking walk from the root.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nrc import ast as A
+from ..nrc.rewrite import RewriteStats, Rule, RuleSet
+
+__all__ = ["make_caching_rule_set", "is_expensive"]
+
+_RULE_NAME = "cache-inner-subquery"
+
+
+def is_expensive(expr: A.Expr) -> bool:
+    """Does evaluating ``expr`` involve a driver round-trip or a join?"""
+    if isinstance(expr, (A.Scan, A.Join)):
+        return True
+    return any(is_expensive(child) for child in expr.children())
+
+
+def _cacheable(expr: A.Expr, scope: frozenset) -> bool:
+    return (not isinstance(expr, (A.Cached, A.Var, A.Const))
+            and not (A.free_variables(expr) & scope)
+            and is_expensive(expr))
+
+
+class _ScopedCachingRuleSet(RuleSet):
+    """A rule set whose single pass tracks the binders in scope.
+
+    The generic traversal applies rules node by node without knowing which
+    loop variables are bound around the node, which is exactly the information
+    the independence check needs; overriding ``_one_pass`` keeps the engine
+    interface (and the stats/explain machinery) while making the walk sound.
+    """
+
+    def _one_pass(self, expr: A.Expr, stats: RewriteStats) -> Tuple[A.Expr, bool]:
+        changed = False
+
+        def note() -> None:
+            nonlocal changed
+            changed = True
+            stats.note(_RULE_NAME)
+
+        def walk(node: A.Expr, scope: frozenset, in_loop: bool) -> A.Expr:
+            if isinstance(node, A.Ext):
+                source = node.source
+                # Caching only pays when the source can be evaluated more than
+                # once, i.e. when this loop itself sits inside another loop.
+                if in_loop and _cacheable(source, scope):
+                    note()
+                    source = A.Cached(source)
+                else:
+                    source = walk(source, scope, in_loop)
+                body = walk(node.body, scope | {node.var}, True)
+                return A.Ext(node.var, body, source, node.kind)
+            if isinstance(node, A.Join):
+                return _walk_join(node, scope, in_loop)
+            if isinstance(node, A.Lam):
+                # A function body may be invoked many times (e.g. mapped over a
+                # collection), so anything inside it counts as "in a loop".
+                return A.Lam(node.param, walk(node.body, scope | {node.param}, True))
+            if isinstance(node, A.Let):
+                return A.Let(node.var, walk(node.value, scope, in_loop),
+                             walk(node.body, scope | {node.var}, in_loop))
+            if isinstance(node, A.Case):
+                branches = [A.CaseBranch(branch.tag, branch.var,
+                                         walk(branch.body, scope | {branch.var}, in_loop))
+                            for branch in node.branches]
+                default = node.default
+                if default is not None:
+                    default = (default[0], walk(default[1], scope | {default[0]}, in_loop))
+                return A.Case(walk(node.subject, scope, in_loop), branches, default)
+            children = node.children()
+            if not children:
+                return node
+            new_children = [walk(child, scope, in_loop) for child in children]
+            if all(new is old for new, old in zip(new_children, children)):
+                return node
+            return node.rebuild(new_children)
+
+        def _walk_join(node: A.Join, scope: frozenset, in_loop: bool) -> A.Expr:
+            binders = {node.outer_var, node.inner_var}
+            inner = node.inner
+            # A blocked join re-evaluates its inner once per outer block even at
+            # the top level, so caching applies regardless of ``in_loop`` — but
+            # the inner must not depend on either join variable nor on any
+            # enclosing loop variable.
+            if _cacheable(inner, scope | binders):
+                note()
+                inner = A.Cached(inner)
+            else:
+                inner = walk(inner, scope | {node.outer_var}, True)
+            outer = walk(node.outer, scope, in_loop)
+            condition = None if node.condition is None else walk(node.condition,
+                                                                 scope | binders, True)
+            body = walk(node.body, scope | binders, True)
+            outer_key = None if node.outer_key is None else walk(node.outer_key,
+                                                                 scope | {node.outer_var}, True)
+            inner_key = None if node.inner_key is None else walk(node.inner_key,
+                                                                 scope | {node.inner_var}, True)
+            return A.Join(node.method, node.outer_var, outer, node.inner_var, inner,
+                          condition, body, outer_key, inner_key, node.kind, node.block_size)
+
+        result = walk(expr, frozenset(), False)
+        return result, changed
+
+
+def make_caching_rule_set() -> RuleSet:
+    """Build the subquery caching rule set (scope-aware; see module docstring)."""
+    # The Rule object documents the rewrite for explain output; the subclass's
+    # scope-tracking pass is what actually applies it.
+    rule = Rule(_RULE_NAME, lambda expr: None,
+                "cache inner subqueries that do not depend on any enclosing loop variable")
+    return _ScopedCachingRuleSet("caching", [rule], direction="top-down", max_iterations=3)

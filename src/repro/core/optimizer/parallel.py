@@ -1,0 +1,112 @@
+"""Laziness and bounded concurrency for remote inner loops.
+
+"Rather than sequentially sending values of x to S, we should be able to
+exploit the fact that many data servers can handle several requests
+simultaneously ... We have therefore introduced a primitive that retrieves
+elements from a collection in parallel and returns the union of the results
+... Again, rules are introduced to recognize when a function accessing a
+remote database appears in an inner loop.  In introducing such parallelism, we
+must be careful ... the server S may only be able to handle a limited number
+of requests at a time, say five."
+
+* :class:`ParallelExt` is that primitive: an ``Ext`` whose body is evaluated
+  for several source elements at once, bounded by ``max_workers`` (batching
+  also bounds unconsumed replies, the second concern the paper raises).
+* :func:`make_parallel_rule_set` recognises loops whose body issues a request
+  to a *remote* driver with arguments depending on the loop variable and
+  rewrites them into :class:`ParallelExt`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..nrc import ast as A
+from ..nrc.eval import Environment, Evaluator
+from ..nrc.rewrite import Rule, RuleSet
+from ..values import iter_collection, make_collection
+
+__all__ = ["ParallelExt", "make_parallel_rule_set"]
+
+
+class ParallelExt(A.Ext):
+    """An ``Ext`` evaluated with bounded parallelism over the source elements.
+
+    With ``adaptive`` set, the level of concurrency is not fixed at
+    ``max_workers`` but adjusted to the server's observed capability by an
+    :class:`~repro.kleisli.scheduler.AdaptiveScheduler` (the paper's [43]
+    extension); ``max_workers`` then acts as the upper bound of the probe.
+    """
+
+    __slots__ = ("max_workers", "adaptive")
+
+    def __init__(self, var: str, body: A.Expr, source: A.Expr, kind: str = "set",
+                 max_workers: int = 5, adaptive: bool = False):
+        super().__init__(var, body, source, kind)
+        self.max_workers = max_workers
+        self.adaptive = adaptive
+
+    def rebuild(self, children):
+        return ParallelExt(self.var, children[0], children[1], self.kind,
+                           self.max_workers, self.adaptive)
+
+    def _key(self):
+        return super()._key() + (self.max_workers, self.adaptive)
+
+
+def _evaluate_parallel_ext(evaluator: Evaluator, expr: ParallelExt, env: Environment):
+    """Evaluate the body for batches of source elements concurrently."""
+    from ...kleisli.scheduler import AdaptiveScheduler, BoundedScheduler  # avoids a cycle
+
+    source = evaluator._eval(expr.source, env)
+    items = list(evaluator._iterate_source(source))
+    if expr.adaptive:
+        scheduler = AdaptiveScheduler(max_workers=expr.max_workers)
+    else:
+        scheduler = BoundedScheduler(max_workers=expr.max_workers)
+
+    def run_one(item):
+        body_value = evaluator._eval(expr.body, env.child(expr.var, item))
+        return list(iter_collection(evaluator._materialise(body_value)))
+
+    results = scheduler.map(run_one, items)
+    elements: List[object] = []
+    for chunk in results:
+        elements.extend(chunk)
+    statistics = evaluator.context.statistics
+    statistics.ext_iterations += len(items)
+    statistics.note_intermediate(len(elements))
+    return make_collection(expr.kind, elements)
+
+
+# Register the node with the evaluator's dispatch table.
+Evaluator._DISPATCH[ParallelExt] = _evaluate_parallel_ext
+
+
+def make_parallel_rule_set(is_remote_driver: Callable[[str], bool],
+                           max_workers: int = 5, adaptive: bool = False) -> RuleSet:
+    """Build the rule set that parallelises remote inner loops.
+
+    ``adaptive`` selects the self-adjusting scheduler instead of the fixed
+    worker count (see :class:`ParallelExt`).
+    """
+
+    def parallelise(expr: A.Expr) -> Optional[A.Expr]:
+        if type(expr) is not A.Ext or expr.kind not in ("set", "bag", "list"):
+            return None
+        if not _body_calls_remote(expr.body, expr.var, is_remote_driver):
+            return None
+        return ParallelExt(expr.var, expr.body, expr.source, expr.kind, max_workers, adaptive)
+
+    rule = Rule("parallel-remote-loop", parallelise,
+                "issue remote requests of an inner loop concurrently, bounded by the server cap")
+    return RuleSet("parallel", [rule], direction="top-down", max_iterations=2)
+
+
+def _body_calls_remote(body: A.Expr, var: str, is_remote_driver: Callable[[str], bool]) -> bool:
+    """Does ``body`` contain a Scan of a remote driver whose request depends on ``var``?"""
+    if isinstance(body, A.Scan) and is_remote_driver(body.driver):
+        for arg in body.args.values():
+            if var in A.free_variables(arg):
+                return True
+    return any(_body_calls_remote(child, var, is_remote_driver) for child in body.children())

@@ -1,0 +1,106 @@
+"""The optimizer pipeline: the paper's rule sets in their configured order.
+
+"Optimization of queries is done entirely at compile time using rewrite
+rules ... new rules can be specified by the designer of the system and grouped
+into rule sets along with an indication of how they are to be applied."
+
+:class:`OptimizerPipeline` assembles a :class:`~repro.core.nrc.rewrite.RewriteEngine`
+from the stage rule sets; :class:`OptimizerConfig` exposes one switch per stage
+so the ablation benchmarks can turn individual optimizations off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..nrc import ast as A
+from ..nrc.rewrite import RewriteEngine, RewriteStats, RuleSet
+from ..nrc.rules_monadic import monadic_rule_set
+from .caching import make_caching_rule_set
+from .introduction import ScanSpec, make_introduction_rule_set
+from .joins import make_join_rule_set
+from .parallel import make_parallel_rule_set
+from .pushdown_path import make_path_pushdown_rule_set
+from .pushdown_sql import make_sql_pushdown_rule_set
+
+__all__ = ["OptimizerConfig", "OptimizerPipeline"]
+
+
+@dataclass
+class OptimizerConfig:
+    """Per-stage switches (all on by default, as in the paper's system)."""
+
+    monadic: bool = True
+    sql_pushdown: bool = True
+    path_pushdown: bool = True
+    local_joins: bool = True
+    caching: bool = True
+    parallelism: bool = True
+    parallel_max_workers: int = 5
+    #: Use the self-adjusting scheduler ([43]) instead of a fixed worker count.
+    adaptive_concurrency: bool = False
+    join_minimum_inner_size: int = 8
+    join_block_size: int = 256
+
+    @classmethod
+    def disabled(cls) -> "OptimizerConfig":
+        """A configuration with every optimization off (the unoptimized baseline)."""
+        return cls(monadic=False, sql_pushdown=False, path_pushdown=False,
+                   local_joins=False, caching=False, parallelism=False)
+
+
+class OptimizerPipeline:
+    """Builds and runs the staged rewrite engine."""
+
+    def __init__(self,
+                 function_registry: Optional[Mapping[str, ScanSpec]] = None,
+                 capabilities: Optional[Mapping[str, FrozenSet[str]]] = None,
+                 cardinality_of: Optional[Callable[[A.Expr], int]] = None,
+                 is_remote_driver: Optional[Callable[[str], bool]] = None,
+                 config: Optional[OptimizerConfig] = None,
+                 extra_rule_sets: Tuple[RuleSet, ...] = ()):
+        self.function_registry = dict(function_registry or {})
+        self.capabilities = dict(capabilities or {})
+        self.cardinality_of = cardinality_of
+        self.is_remote_driver = is_remote_driver or (lambda driver: False)
+        self.config = config or OptimizerConfig()
+        self.extra_rule_sets = tuple(extra_rule_sets)
+        self.engine = self._build_engine()
+
+    def _build_engine(self) -> RewriteEngine:
+        config = self.config
+        rule_sets = []
+        if self.function_registry:
+            rule_sets.append(make_introduction_rule_set(self.function_registry))
+        if config.monadic:
+            rule_sets.append(monadic_rule_set())
+        if config.sql_pushdown and self.capabilities:
+            rule_sets.append(make_sql_pushdown_rule_set(self.capabilities))
+        if config.path_pushdown and self.capabilities:
+            rule_sets.append(make_path_pushdown_rule_set(self.capabilities))
+        if config.local_joins:
+            rule_sets.append(make_join_rule_set(self.cardinality_of,
+                                                config.join_minimum_inner_size,
+                                                config.join_block_size))
+        if config.caching:
+            rule_sets.append(make_caching_rule_set())
+        if config.parallelism:
+            rule_sets.append(make_parallel_rule_set(self.is_remote_driver,
+                                                    config.parallel_max_workers,
+                                                    config.adaptive_concurrency))
+        rule_sets.extend(self.extra_rule_sets)
+        return RewriteEngine(rule_sets)
+
+    def rebuild(self) -> None:
+        """Re-assemble the engine (after registering more drivers or rules)."""
+        self.engine = self._build_engine()
+
+    def optimize(self, expr: A.Expr,
+                 stats: Optional[RewriteStats] = None) -> A.Expr:
+        """Apply every configured stage to ``expr``."""
+        return self.engine.rewrite(expr, stats)
+
+    def explain(self, expr: A.Expr):
+        """Optimize and also return per-stage before/after traces."""
+        return self.engine.explain(expr)

@@ -1,0 +1,282 @@
+"""Pushdown of selections, projections and joins into SQL-capable drivers.
+
+This is the optimization behind the paper's Loci22 example: a CPL query written
+as three generators over ``GDB-Tab`` table scans joined by equality conditions
+"appears to send three queries to the Sybase server and perform the join
+within CPL", but the optimizer "would reconstruct it ... resulting in a single
+SQL query being shipped".
+
+Two rules implement it:
+
+* **sql-join-pushdown** — when a whole comprehension block (generators over
+  table scans of one SQL driver, conjunctive comparison filters, a record or
+  single-variable head) is recognised, the block collapses into one
+  ``Scan({"query": "select ..."})``.
+* **sql-select-pushdown** — otherwise, per-generator constant comparisons move
+  into the scan's ``where`` list and the columns actually used move into its
+  ``columns`` list, so at least selections and projections run on the server.
+
+The paper (and [42]) prove any subquery not involving nested relations or
+powerful operators can be pushed; these rules cover the conjunctive core of
+that class, which is what the paper's examples exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..nrc import ast as A
+from ..nrc.rewrite import Rule, RuleSet
+
+__all__ = ["make_sql_pushdown_rule_set", "generate_sql"]
+
+_COMPARISON_PRIMS = {"eq": "=", "neq": "<>", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+def make_sql_pushdown_rule_set(capabilities: Mapping[str, FrozenSet[str]]) -> RuleSet:
+    """Build the SQL pushdown rule set for drivers whose capabilities include 'sql'."""
+
+    def sql_capable(driver: str) -> bool:
+        return "sql" in capabilities.get(driver, frozenset())
+
+    def join_pushdown(expr: A.Expr) -> Optional[A.Expr]:
+        return _try_full_pushdown(expr, sql_capable)
+
+    def select_pushdown(expr: A.Expr) -> Optional[A.Expr]:
+        return _try_per_scan_pushdown(expr, sql_capable)
+
+    rules = [
+        Rule("sql-join-pushdown", join_pushdown,
+             "collapse a conjunctive comprehension over one SQL driver into a single query"),
+        Rule("sql-select-pushdown", select_pushdown,
+             "move per-table selections and projections into the driver request"),
+    ]
+    return RuleSet("sql-pushdown", rules, direction="top-down", max_iterations=4)
+
+
+# ---------------------------------------------------------------------------
+# Decomposition of a normalised comprehension block
+# ---------------------------------------------------------------------------
+
+def _decompose(expr: A.Expr):
+    """Split a normalised comprehension into (generators, filters, head).
+
+    Returns ``None`` when the expression does not have the canonical
+    Ext / If / Singleton shape produced by desugaring + monadic normalisation.
+    """
+    generators: List[Tuple[str, A.Expr]] = []
+    filters: List[A.Expr] = []
+    current = expr
+    while True:
+        if isinstance(current, A.Ext) and current.kind == "set":
+            generators.append((current.var, current.source))
+            current = current.body
+            continue
+        if (isinstance(current, A.IfThenElse) and isinstance(current.else_branch, A.Empty)):
+            filters.append(current.cond)
+            current = current.then_branch
+            continue
+        if isinstance(current, A.Singleton) and current.kind == "set":
+            return generators, filters, current.expr
+        return None
+
+
+def _try_full_pushdown(expr: A.Expr, sql_capable) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Ext) or expr.kind != "set":
+        return None
+    decomposed = _decompose(expr)
+    if decomposed is None:
+        return None
+    generators, filters, head = decomposed
+    if len(generators) < 1:
+        return None
+
+    driver: Optional[str] = None
+    tables: Dict[str, Tuple[str, str]] = {}  # var -> (table, alias)
+    for index, (var, source) in enumerate(generators):
+        if not isinstance(source, A.Scan) or source.args:
+            return None
+        if "table" not in source.request or "query" in source.request:
+            return None
+        if source.request.get("where") or source.request.get("columns"):
+            return None
+        if not sql_capable(source.driver):
+            return None
+        if driver is None:
+            driver = source.driver
+        elif driver != source.driver:
+            return None
+        tables[var] = (str(source.request["table"]), f"t{index}")
+
+    conditions: List[str] = []
+    for condition in filters:
+        rendered = _render_condition(condition, tables)
+        if rendered is None:
+            return None
+        conditions.append(rendered)
+
+    select_list = _render_head(head, tables)
+    if select_list is None:
+        return None
+
+    sql = generate_sql(select_list, tables, conditions)
+    return A.Scan(driver, {"query": sql}, kind="set")
+
+
+def generate_sql(select_list: str, tables: Mapping[str, Tuple[str, str]],
+                 conditions: Sequence[str]) -> str:
+    """Assemble the final SELECT statement text."""
+    from_clause = ", ".join(f"{table} {alias}" for table, alias in tables.values())
+    sql = f"select {select_list} from {from_clause}"
+    if conditions:
+        sql += " where " + " and ".join(conditions)
+    return sql
+
+
+def _render_head(head: A.Expr, tables: Mapping[str, Tuple[str, str]]) -> Optional[str]:
+    if isinstance(head, A.Var) and head.name in tables:
+        _, alias = tables[head.name]
+        return f"{alias}.*"
+    if isinstance(head, A.RecordExpr):
+        items = []
+        for label, value in head.fields.items():
+            column = _render_column(value, tables)
+            if column is None:
+                return None
+            items.append(f"{column} {label}" if column.split(".")[-1] != label else column)
+        return ", ".join(items)
+    return None
+
+
+def _render_column(expr: A.Expr, tables: Mapping[str, Tuple[str, str]]) -> Optional[str]:
+    if (isinstance(expr, A.Project) and isinstance(expr.expr, A.Var)
+            and expr.expr.name in tables):
+        _, alias = tables[expr.expr.name]
+        return f"{alias}.{expr.label}"
+    return None
+
+
+def _render_condition(condition: A.Expr, tables: Mapping[str, Tuple[str, str]]) -> Optional[str]:
+    if not isinstance(condition, A.PrimCall) or condition.name not in _COMPARISON_PRIMS:
+        return None
+    if len(condition.args) != 2:
+        return None
+    left = _render_operand(condition.args[0], tables)
+    right = _render_operand(condition.args[1], tables)
+    if left is None or right is None:
+        return None
+    return f"{left} {_COMPARISON_PRIMS[condition.name]} {right}"
+
+
+def _render_operand(expr: A.Expr, tables: Mapping[str, Tuple[str, str]]) -> Optional[str]:
+    column = _render_column(expr, tables)
+    if column is not None:
+        return column
+    if isinstance(expr, A.Const):
+        return _render_literal(expr.value)
+    return None
+
+
+def _render_literal(value: object) -> Optional[str]:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Per-scan (partial) pushdown
+# ---------------------------------------------------------------------------
+
+def _try_per_scan_pushdown(expr: A.Expr, sql_capable) -> Optional[A.Expr]:
+    if not isinstance(expr, A.Ext) or expr.kind != "set":
+        return None
+    source = expr.source
+    if not isinstance(source, A.Scan) or source.args or not sql_capable(source.driver):
+        return None
+    if "table" not in source.request or "query" in source.request:
+        return None
+    if "where" in source.request or "columns" in source.request:
+        return None
+
+    var = expr.var
+    body = expr.body
+
+    # (a) selection pushdown: constant comparisons on the loop variable in the
+    # immediate filter chain under this generator.
+    pushable: List[Dict[str, object]] = []
+    def strip_filters(node: A.Expr) -> A.Expr:
+        if (isinstance(node, A.IfThenElse) and isinstance(node.else_branch, A.Empty)
+                and node.else_branch.kind == expr.kind):
+            condition = _constant_comparison(node.cond, var)
+            if condition is not None:
+                pushable.append(condition)
+                return strip_filters(node.then_branch)
+            return A.IfThenElse(node.cond, strip_filters(node.then_branch), node.else_branch)
+        return node
+
+    new_body = strip_filters(body)
+
+    # (b) projection pushdown: when every use of the variable is a field
+    # projection, ask the server for just those columns.
+    columns = _used_columns(new_body, var)
+
+    if not pushable and columns is None:
+        return None
+    request = dict(source.request)
+    if pushable:
+        request["where"] = pushable
+    if columns:
+        request["columns"] = sorted(columns)
+    return A.Ext(var, new_body, source.with_request(request), expr.kind)
+
+
+def _constant_comparison(condition: A.Expr, var: str) -> Optional[Dict[str, object]]:
+    if not isinstance(condition, A.PrimCall) or condition.name not in _COMPARISON_PRIMS:
+        return None
+    if len(condition.args) != 2:
+        return None
+    left, right = condition.args
+    for column_side, const_side, flip in ((left, right, False), (right, left, True)):
+        if (isinstance(column_side, A.Project) and isinstance(column_side.expr, A.Var)
+                and column_side.expr.name == var and isinstance(const_side, A.Const)
+                and isinstance(const_side.value, (str, int, float))
+                and not isinstance(const_side.value, bool)):
+            op = _COMPARISON_PRIMS[condition.name]
+            if flip:
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            return {"column": column_side.label, "op": op, "value": const_side.value}
+    return None
+
+
+def _used_columns(expr: A.Expr, var: str) -> Optional[set]:
+    """Columns of ``var`` used in ``expr``; None when ``var`` is used whole."""
+    columns: set = set()
+    ok = _collect_columns(expr, var, columns)
+    if not ok:
+        return None
+    return columns if columns else None
+
+
+def _collect_columns(expr: A.Expr, var: str, columns: set) -> bool:
+    if isinstance(expr, A.Project) and isinstance(expr.expr, A.Var) and expr.expr.name == var:
+        columns.add(expr.label)
+        return True
+    if isinstance(expr, A.Var) and expr.name == var:
+        return False
+    if isinstance(expr, (A.Lam, A.Ext, A.Let)) :
+        # Respect shadowing of the variable by inner binders.
+        if isinstance(expr, A.Lam) and expr.param == var:
+            return True
+        if isinstance(expr, A.Ext) and expr.var == var:
+            return _collect_columns(expr.source, var, columns)
+        if isinstance(expr, A.Let) and expr.var == var:
+            return _collect_columns(expr.value, var, columns)
+    for child in expr.children():
+        if not _collect_columns(child, var, columns):
+            return False
+    return True

@@ -1,0 +1,630 @@
+"""The CPL type system.
+
+The paper's type grammar (Section 2) is::
+
+    tau := bool | int | string | ...
+         | {tau}            -- set
+         | {| tau |}        -- bag (multiset)
+         | [| tau |]        -- list
+         | [l1: tau1, ..., ln: taun]    -- record
+         | <l1: tau1, ..., ln: taun>    -- variant (tagged union)
+
+We add ``float``, ``unit``, function types (CPL allows function definition),
+reference types (for object identity, Section 2 "Object Identity"), and type
+variables plus *row variables* so that open record patterns written with
+``...`` can be given principal types during inference.
+
+Types are immutable, hashable, and compare structurally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .errors import CPLTypeError
+
+__all__ = [
+    "Type",
+    "BoolType",
+    "IntType",
+    "FloatType",
+    "StringType",
+    "UnitType",
+    "SetType",
+    "BagType",
+    "ListType",
+    "RecordType",
+    "VariantType",
+    "FunctionType",
+    "RefType",
+    "TypeVar",
+    "RowVar",
+    "BOOL",
+    "INT",
+    "FLOAT",
+    "STRING",
+    "UNIT",
+    "fresh_type_var",
+    "fresh_row_var",
+    "unify",
+    "Substitution",
+    "apply_substitution",
+    "free_type_vars",
+    "parse_type",
+]
+
+
+class Type:
+    """Base class for all CPL types."""
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> Tuple:
+        return ()
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class _BaseType(Type):
+    """A built-in scalar type, identified by its name."""
+
+    name = "base"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def _key(self) -> Tuple:
+        return (self.name,)
+
+
+class BoolType(_BaseType):
+    name = "bool"
+
+
+class IntType(_BaseType):
+    name = "int"
+
+
+class FloatType(_BaseType):
+    name = "float"
+
+
+class StringType(_BaseType):
+    name = "string"
+
+
+class UnitType(_BaseType):
+    name = "unit"
+
+
+BOOL = BoolType()
+INT = IntType()
+FLOAT = FloatType()
+STRING = StringType()
+UNIT = UnitType()
+
+
+class SetType(Type):
+    """``{tau}`` — a set of elements of type ``element``."""
+
+    def __init__(self, element: Type):
+        self.element = element
+
+    def __str__(self) -> str:
+        return "{%s}" % self.element
+
+    def _key(self) -> Tuple:
+        return (self.element,)
+
+
+class BagType(Type):
+    """``{| tau |}`` — a bag (multiset) of elements of type ``element``."""
+
+    def __init__(self, element: Type):
+        self.element = element
+
+    def __str__(self) -> str:
+        return "{|%s|}" % self.element
+
+    def _key(self) -> Tuple:
+        return (self.element,)
+
+
+class ListType(Type):
+    """``[| tau |]`` — a list of elements of type ``element``."""
+
+    def __init__(self, element: Type):
+        self.element = element
+
+    def __str__(self) -> str:
+        return "[|%s|]" % self.element
+
+    def _key(self) -> Tuple:
+        return (self.element,)
+
+
+COLLECTION_TYPES = (SetType, BagType, ListType)
+
+
+class RecordType(Type):
+    """``[l1: tau1, ..., ln: taun]`` with an optional row variable.
+
+    ``row`` is ``None`` for a *closed* record type; a :class:`RowVar` means the
+    record is known to have *at least* these fields (it arose from an open
+    pattern such as ``[name = \\n, ...]``).
+    """
+
+    def __init__(self, fields: Mapping[str, Type], row: Optional["RowVar"] = None):
+        self.fields: Dict[str, Type] = dict(sorted(fields.items()))
+        self.row = row
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{label}: {ty}" for label, ty in self.fields.items())
+        if self.row is not None:
+            inner = f"{inner}, ..." if inner else "..."
+        return f"[{inner}]"
+
+    def _key(self) -> Tuple:
+        return (tuple(self.fields.items()), self.row)
+
+    @property
+    def is_open(self) -> bool:
+        return self.row is not None
+
+    def field(self, label: str) -> Type:
+        try:
+            return self.fields[label]
+        except KeyError:
+            raise CPLTypeError(f"record type {self} has no field {label!r}")
+
+
+class VariantType(Type):
+    """``<l1: tau1, ..., ln: taun>`` with an optional row variable for open variants."""
+
+    def __init__(self, cases: Mapping[str, Type], row: Optional["RowVar"] = None):
+        self.cases: Dict[str, Type] = dict(sorted(cases.items()))
+        self.row = row
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{label}: {ty}" for label, ty in self.cases.items())
+        if self.row is not None:
+            inner = f"{inner}, ..." if inner else "..."
+        return f"<{inner}>"
+
+    def _key(self) -> Tuple:
+        return (tuple(self.cases.items()), self.row)
+
+    @property
+    def is_open(self) -> bool:
+        return self.row is not None
+
+    def case(self, label: str) -> Type:
+        try:
+            return self.cases[label]
+        except KeyError:
+            raise CPLTypeError(f"variant type {self} has no case {label!r}")
+
+
+class FunctionType(Type):
+    """``tau1 -> tau2``."""
+
+    def __init__(self, argument: Type, result: Type):
+        self.argument = argument
+        self.result = result
+
+    def __str__(self) -> str:
+        return f"({self.argument} -> {self.result})"
+
+    def _key(self) -> Tuple:
+        return (self.argument, self.result)
+
+
+class RefType(Type):
+    """``ref tau`` — a reference (object identity) to a value of type ``target``."""
+
+    def __init__(self, target: Type):
+        self.target = target
+
+    def __str__(self) -> str:
+        return f"ref {self.target}"
+
+    def _key(self) -> Tuple:
+        return (self.target,)
+
+
+class TypeVar(Type):
+    """A unification variable standing for an unknown type."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"'{self.name}"
+
+    def _key(self) -> Tuple:
+        return (self.name,)
+
+
+class RowVar:
+    """A row variable standing for "the rest of the fields" of an open record/variant."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowVar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("row", self.name))
+
+    def __repr__(self) -> str:
+        return f"...{self.name}"
+
+
+_type_var_counter = itertools.count(1)
+_row_var_counter = itertools.count(1)
+
+
+def fresh_type_var(prefix: str = "t") -> TypeVar:
+    """Return a fresh, globally unique type variable."""
+    return TypeVar(f"{prefix}{next(_type_var_counter)}")
+
+
+def fresh_row_var(prefix: str = "r") -> RowVar:
+    """Return a fresh, globally unique row variable."""
+    return RowVar(f"{prefix}{next(_row_var_counter)}")
+
+
+# ---------------------------------------------------------------------------
+# Substitutions and unification
+# ---------------------------------------------------------------------------
+
+Substitution = Dict[object, object]
+"""Maps :class:`TypeVar` -> :class:`Type` and :class:`RowVar` -> (fields, RowVar|None)."""
+
+
+def apply_substitution(ty: Type, subst: Substitution) -> Type:
+    """Apply ``subst`` to ``ty``, returning a new type."""
+    if isinstance(ty, TypeVar):
+        replacement = subst.get(ty)
+        if replacement is None:
+            return ty
+        return apply_substitution(replacement, subst)
+    if isinstance(ty, _BaseType):
+        return ty
+    if isinstance(ty, SetType):
+        return SetType(apply_substitution(ty.element, subst))
+    if isinstance(ty, BagType):
+        return BagType(apply_substitution(ty.element, subst))
+    if isinstance(ty, ListType):
+        return ListType(apply_substitution(ty.element, subst))
+    if isinstance(ty, RefType):
+        return RefType(apply_substitution(ty.target, subst))
+    if isinstance(ty, FunctionType):
+        return FunctionType(
+            apply_substitution(ty.argument, subst),
+            apply_substitution(ty.result, subst),
+        )
+    if isinstance(ty, RecordType):
+        fields = {label: apply_substitution(t, subst) for label, t in ty.fields.items()}
+        row = ty.row
+        while row is not None and row in subst:
+            extra_fields, row = subst[row]
+            for label, t in extra_fields.items():
+                fields[label] = apply_substitution(t, subst)
+        return RecordType(fields, row)
+    if isinstance(ty, VariantType):
+        cases = {label: apply_substitution(t, subst) for label, t in ty.cases.items()}
+        row = ty.row
+        while row is not None and row in subst:
+            extra_cases, row = subst[row]
+            for label, t in extra_cases.items():
+                cases[label] = apply_substitution(t, subst)
+        return VariantType(cases, row)
+    raise CPLTypeError(f"cannot apply substitution to {ty!r}")
+
+
+def free_type_vars(ty: Type) -> set:
+    """Return the set of type variables and row variables occurring in ``ty``."""
+    result: set = set()
+    _collect_free_vars(ty, result)
+    return result
+
+
+def _collect_free_vars(ty: Type, acc: set) -> None:
+    if isinstance(ty, TypeVar):
+        acc.add(ty)
+    elif isinstance(ty, (SetType, BagType, ListType)):
+        _collect_free_vars(ty.element, acc)
+    elif isinstance(ty, RefType):
+        _collect_free_vars(ty.target, acc)
+    elif isinstance(ty, FunctionType):
+        _collect_free_vars(ty.argument, acc)
+        _collect_free_vars(ty.result, acc)
+    elif isinstance(ty, RecordType):
+        for t in ty.fields.values():
+            _collect_free_vars(t, acc)
+        if ty.row is not None:
+            acc.add(ty.row)
+    elif isinstance(ty, VariantType):
+        for t in ty.cases.values():
+            _collect_free_vars(t, acc)
+        if ty.row is not None:
+            acc.add(ty.row)
+
+
+def _occurs(var: TypeVar, ty: Type, subst: Substitution) -> bool:
+    ty = apply_substitution(ty, subst)
+    return var in free_type_vars(ty)
+
+
+def unify(left: Type, right: Type, subst: Optional[Substitution] = None) -> Substitution:
+    """Unify ``left`` and ``right`` under ``subst``; return the extended substitution.
+
+    Raises :class:`CPLTypeError` when the types cannot be made equal.  Open
+    records/variants unify with closed ones by binding the row variable to the
+    missing fields, which is what gives ``...`` patterns their flexibility.
+    """
+    if subst is None:
+        subst = {}
+    left = apply_substitution(left, subst)
+    right = apply_substitution(right, subst)
+
+    if isinstance(left, TypeVar):
+        return _bind_type_var(left, right, subst)
+    if isinstance(right, TypeVar):
+        return _bind_type_var(right, left, subst)
+
+    if isinstance(left, _BaseType) and isinstance(right, _BaseType):
+        if left.name != right.name:
+            raise CPLTypeError(f"cannot unify {left} with {right}")
+        return subst
+
+    for collection in (SetType, BagType, ListType):
+        if isinstance(left, collection) and isinstance(right, collection):
+            return unify(left.element, right.element, subst)
+
+    if isinstance(left, RefType) and isinstance(right, RefType):
+        return unify(left.target, right.target, subst)
+
+    if isinstance(left, FunctionType) and isinstance(right, FunctionType):
+        subst = unify(left.argument, right.argument, subst)
+        return unify(left.result, right.result, subst)
+
+    if isinstance(left, RecordType) and isinstance(right, RecordType):
+        return _unify_rows(left, right, subst, kind="record")
+
+    if isinstance(left, VariantType) and isinstance(right, VariantType):
+        return _unify_rows(left, right, subst, kind="variant")
+
+    raise CPLTypeError(f"cannot unify {left} with {right}")
+
+
+def _bind_type_var(var: TypeVar, ty: Type, subst: Substitution) -> Substitution:
+    if isinstance(ty, TypeVar) and ty == var:
+        return subst
+    if _occurs(var, ty, subst):
+        raise CPLTypeError(f"occurs check failed: {var} in {ty}")
+    new_subst = dict(subst)
+    new_subst[var] = ty
+    return new_subst
+
+
+def _unify_rows(left, right, subst: Substitution, kind: str) -> Substitution:
+    # Resolve the current row bindings first so repeated unifications compose.
+    left = apply_substitution(left, subst)
+    right = apply_substitution(right, subst)
+    left_fields = left.fields if kind == "record" else left.cases
+    right_fields = right.fields if kind == "record" else right.cases
+    shared = set(left_fields) & set(right_fields)
+    only_left = {k: v for k, v in left_fields.items() if k not in shared}
+    only_right = {k: v for k, v in right_fields.items() if k not in shared}
+
+    for label in shared:
+        subst = unify(left_fields[label], right_fields[label], subst)
+
+    left_row = left.row
+    right_row = right.row
+
+    # Fields present on one side only must be absorbed by the other side's row.
+    if only_right and left_row is None:
+        raise CPLTypeError(
+            f"cannot unify {left} with {right}: missing {sorted(only_right)}"
+        )
+    if only_left and right_row is None:
+        raise CPLTypeError(
+            f"cannot unify {left} with {right}: missing {sorted(only_left)}"
+        )
+
+    if left_row is None and right_row is None:
+        return subst
+    if left_row is not None and right_row is None:
+        return _bind_row(left_row, only_right, None, subst)
+    if right_row is not None and left_row is None:
+        return _bind_row(right_row, only_left, None, subst)
+
+    # Both sides are open.  The same row variable on both sides is fine only
+    # when neither side has fields the other lacks.
+    if left_row == right_row:
+        if only_left or only_right:
+            raise CPLTypeError(f"cannot unify {left} with {right}: row occurs twice")
+        return subst
+    # Different row variables: introduce one fresh tail shared by both, so the
+    # substitution stays acyclic (binding them to each other directly would
+    # create a loop that apply_substitution could never resolve).
+    fresh = fresh_row_var()
+    subst = _bind_row(left_row, only_right, fresh, subst)
+    return _bind_row(right_row, only_left, fresh, subst)
+
+
+def _bind_row(row: RowVar, fields: Dict[str, Type], rest, subst: Substitution) -> Substitution:
+    if rest is not None and rest == row:
+        rest = None
+    if row in subst:
+        existing_fields, existing_rest = subst[row]
+        merged = dict(existing_fields)
+        for label, ty in fields.items():
+            if label in merged:
+                subst = unify(merged[label], ty, subst)
+            else:
+                merged[label] = ty
+        new_subst = dict(subst)
+        new_subst[row] = (merged, existing_rest if existing_rest is not None else rest)
+        return new_subst
+    new_subst = dict(subst)
+    new_subst[row] = (dict(fields), rest)
+    return new_subst
+
+
+# ---------------------------------------------------------------------------
+# A small concrete syntax for types (used by drivers and tests)
+# ---------------------------------------------------------------------------
+
+def parse_type(text: str) -> Type:
+    """Parse the paper's type notation.
+
+    Examples::
+
+        parse_type("{[title: string, year: int]}")
+        parse_type("<uncontrolled: string, controlled: <medline-jta: string>>")
+        parse_type("[|int|]")
+    """
+    parser = _TypeParser(text)
+    ty = parser.parse_type()
+    parser.expect_end()
+    return ty
+
+
+class _TypeParser:
+    """Hand-written recursive-descent parser for the type notation."""
+
+    _BASE = {
+        "bool": BOOL,
+        "int": INT,
+        "float": FLOAT,
+        "real": FLOAT,
+        "string": STRING,
+        "unit": UNIT,
+    }
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self, n: int = 1) -> str:
+        self._skip_ws()
+        return self.text[self.pos:self.pos + n]
+
+    def _consume(self, token: str) -> None:
+        self._skip_ws()
+        if not self.text.startswith(token, self.pos):
+            raise CPLTypeError(
+                f"expected {token!r} at position {self.pos} in type {self.text!r}"
+            )
+        self.pos += len(token)
+
+    def _try(self, token: str) -> bool:
+        self._skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    def expect_end(self) -> None:
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise CPLTypeError(
+                f"unexpected trailing text {self.text[self.pos:]!r} in type"
+            )
+
+    def parse_type(self) -> Type:
+        self._skip_ws()
+        if self._try("{|"):
+            element = self.parse_type()
+            self._consume("|}")
+            return BagType(element)
+        if self._try("{"):
+            element = self.parse_type()
+            self._consume("}")
+            return SetType(element)
+        if self._try("[|"):
+            element = self.parse_type()
+            self._consume("|]")
+            return ListType(element)
+        if self._try("["):
+            return self._parse_fields("]", RecordType)
+        if self._try("<"):
+            return self._parse_fields(">", VariantType)
+        if self._try("ref "):
+            return RefType(self.parse_type())
+        return self._parse_base()
+
+    def _parse_fields(self, closer: str, constructor) -> Type:
+        fields: Dict[str, Type] = {}
+        row: Optional[RowVar] = None
+        if self._try(closer):
+            return constructor(fields)
+        while True:
+            if self._try("..."):
+                row = fresh_row_var()
+                break
+            label = self._parse_label()
+            self._consume(":")
+            fields[label] = self.parse_type()
+            if not self._try(","):
+                break
+        self._consume(closer)
+        return constructor(fields, row)
+
+    def _parse_label(self) -> str:
+        self._skip_ws()
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if start == self.pos:
+            raise CPLTypeError(f"expected a label at position {start} in type {self.text!r}")
+        return self.text[start:self.pos]
+
+    def _parse_base(self) -> Type:
+        name = self._parse_label()
+        try:
+            return self._BASE[name]
+        except KeyError:
+            raise CPLTypeError(f"unknown base type {name!r}")
+
+
+def record_of(**fields: Type) -> RecordType:
+    """Convenience constructor: ``record_of(name=STRING, year=INT)``."""
+    return RecordType(fields)
+
+
+def variant_of(**cases: Type) -> VariantType:
+    """Convenience constructor: ``variant_of(uncontrolled=STRING)``."""
+    return VariantType(cases)
+
+
+def common_element_type(types: Iterable[Type]) -> Type:
+    """Return the unified element type of an iterable of types (used for literals)."""
+    result: Optional[Type] = None
+    subst: Substitution = {}
+    for ty in types:
+        if result is None:
+            result = ty
+        else:
+            subst = unify(result, ty, subst)
+            result = apply_substitution(result, subst)
+    if result is None:
+        return fresh_type_var()
+    return result

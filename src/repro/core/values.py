@@ -1,0 +1,428 @@
+"""The CPL value model.
+
+Mirrors the type system in :mod:`repro.core.types`: booleans, integers,
+floats, strings, the unit value, and the constructors
+
+* :class:`CSet` — sets (duplicate-eliminating, order-insensitive equality),
+* :class:`CBag` — bags/multisets (duplicate-preserving, order-insensitive),
+* :class:`CList` — lists (duplicate-preserving, order-sensitive),
+* :class:`Record` (re-exported from :mod:`repro.core.records`),
+* :class:`Variant` — tagged values,
+* :class:`Ref` — object identities, used by the ACE driver.
+
+All collection values are immutable and hashable, so nesting them arbitrarily
+(sets of records of lists of variants ...) works without special cases, which
+is the whole point of the paper's data model.
+
+The module also provides :func:`from_python` / :func:`to_python` conversions
+(drivers hand Kleisli plain Python data) and :func:`infer_type`, which computes
+the CPL type of a value — used when registering data sources and in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from . import types as T
+from .errors import EvaluationError
+from .records import Record, RecordDirectory
+
+__all__ = [
+    "CSet",
+    "CBag",
+    "CList",
+    "Record",
+    "Variant",
+    "Ref",
+    "UNIT_VALUE",
+    "Unit",
+    "from_python",
+    "to_python",
+    "infer_type",
+    "empty_like",
+    "singleton_like",
+    "union_like",
+    "iter_collection",
+    "make_collection",
+]
+
+
+class Unit:
+    """The single value of type ``unit``."""
+
+    _instance: Optional["Unit"] = None
+
+    def __new__(cls) -> "Unit":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "()"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unit)
+
+    def __hash__(self) -> int:
+        return hash("unit-value")
+
+
+UNIT_VALUE = Unit()
+
+
+class CSet:
+    """An immutable set value with canonical (sorted-by-hash) iteration order.
+
+    Iteration order is deterministic for a given content, which keeps query
+    results stable across runs — important for tests and for the printer.
+    """
+
+    __slots__ = ("_elements", "_hash")
+    kind = "set"
+
+    def __init__(self, elements: Iterable[object] = ()):
+        unique: Dict[object, None] = {}
+        for element in elements:
+            unique.setdefault(element, None)
+        self._elements: Tuple[object, ...] = tuple(unique.keys())
+        self._hash: Optional[int] = None
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._elements if len(self._elements) < 16 else item in set(self._elements)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSet):
+            return NotImplemented
+        return frozenset(self._elements) == frozenset(other._elements)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._elements))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "{%s}" % ", ".join(repr(element) for element in self._elements)
+
+    def union(self, other: "CSet") -> "CSet":
+        return CSet(self._elements + tuple(other))
+
+    def map(self, function) -> "CSet":
+        return CSet(function(element) for element in self._elements)
+
+    def filter(self, predicate) -> "CSet":
+        return CSet(element for element in self._elements if predicate(element))
+
+
+class CBag:
+    """An immutable bag (multiset) value; equality ignores order but keeps counts."""
+
+    __slots__ = ("_elements", "_hash")
+    kind = "bag"
+
+    def __init__(self, elements: Iterable[object] = ()):
+        self._elements: Tuple[object, ...] = tuple(elements)
+        self._hash: Optional[int] = None
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._elements
+
+    def counts(self) -> Dict[object, int]:
+        counts: Dict[object, int] = {}
+        for element in self._elements:
+            counts[element] = counts.get(element, 0) + 1
+        return counts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CBag):
+            return NotImplemented
+        return self.counts() == other.counts()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self.counts().items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "{|%s|}" % ", ".join(repr(element) for element in self._elements)
+
+    def union(self, other: "CBag") -> "CBag":
+        return CBag(self._elements + tuple(other))
+
+    def map(self, function) -> "CBag":
+        return CBag(function(element) for element in self._elements)
+
+    def filter(self, predicate) -> "CBag":
+        return CBag(element for element in self._elements if predicate(element))
+
+
+class CList:
+    """An immutable list value; equality is order-sensitive."""
+
+    __slots__ = ("_elements", "_hash")
+    kind = "list"
+
+    def __init__(self, elements: Iterable[object] = ()):
+        self._elements: Tuple[object, ...] = tuple(elements)
+        self._hash: Optional[int] = None
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._elements
+
+    def __getitem__(self, index: int) -> object:
+        return self._elements[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CList):
+            return NotImplemented
+        return self._elements == other._elements
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._elements)
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "[|%s|]" % ", ".join(repr(element) for element in self._elements)
+
+    def union(self, other: "CList") -> "CList":
+        """List 'union' is concatenation (the list monad's plus)."""
+        return CList(self._elements + tuple(other))
+
+    def map(self, function) -> "CList":
+        return CList(function(element) for element in self._elements)
+
+    def filter(self, predicate) -> "CList":
+        return CList(element for element in self._elements if predicate(element))
+
+
+class Variant:
+    """A tagged value ``<tag = value>`` of a variant type."""
+
+    __slots__ = ("tag", "value")
+
+    def __init__(self, tag: str, value: object = UNIT_VALUE):
+        self.tag = tag
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Variant):
+            return NotImplemented
+        return self.tag == other.tag and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash((self.tag, self.value))
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, Unit):
+            return f"<{self.tag}>"
+        return f"<{self.tag}={self.value!r}>"
+
+
+class Ref:
+    """An object identity: a (class, identifier) pair optionally resolvable via a store.
+
+    The paper extends CPL with a reference type, a dereferencing operation and
+    a reference pattern for sources (like ACE) with object identity; it does
+    *not* allow creating or updating references from the language, so ``Ref``
+    is immutable and resolution goes through the store it was minted by.
+    """
+
+    __slots__ = ("class_name", "identifier", "_store")
+
+    def __init__(self, class_name: str, identifier: object, store: Optional[object] = None):
+        self.class_name = class_name
+        self.identifier = identifier
+        self._store = store
+
+    def deref(self) -> object:
+        """Return the value this reference points at."""
+        if self._store is None:
+            raise EvaluationError(
+                f"reference {self} is not attached to a store and cannot be dereferenced"
+            )
+        return self._store.resolve(self)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ref):
+            return NotImplemented
+        return (self.class_name, self.identifier) == (other.class_name, other.identifier)
+
+    def __hash__(self) -> int:
+        return hash((self.class_name, self.identifier))
+
+    def __repr__(self) -> str:
+        return f"#{self.class_name}:{self.identifier}"
+
+
+# ---------------------------------------------------------------------------
+# Collection polymorphism helpers (used by the NRC evaluator)
+# ---------------------------------------------------------------------------
+
+_COLLECTION_CLASSES = {"set": CSet, "bag": CBag, "list": CList}
+
+
+def empty_like(kind: str):
+    """Return the empty collection of the given kind ('set' | 'bag' | 'list')."""
+    try:
+        return _COLLECTION_CLASSES[kind]()
+    except KeyError:
+        raise EvaluationError(f"unknown collection kind {kind!r}")
+
+
+def singleton_like(kind: str, value: object):
+    """Return the singleton collection of the given kind containing ``value``."""
+    try:
+        return _COLLECTION_CLASSES[kind]((value,))
+    except KeyError:
+        raise EvaluationError(f"unknown collection kind {kind!r}")
+
+
+def union_like(kind: str, left, right):
+    """Union/append two collections of the same kind."""
+    cls = _COLLECTION_CLASSES.get(kind)
+    if cls is None:
+        raise EvaluationError(f"unknown collection kind {kind!r}")
+    if not isinstance(left, cls) or not isinstance(right, cls):
+        raise EvaluationError(
+            f"union of {kind} expects two {cls.__name__} values, "
+            f"got {type(left).__name__} and {type(right).__name__}"
+        )
+    return left.union(right)
+
+
+def make_collection(kind: str, elements: Iterable[object]):
+    """Build a collection of the given kind from ``elements``."""
+    cls = _COLLECTION_CLASSES.get(kind)
+    if cls is None:
+        raise EvaluationError(f"unknown collection kind {kind!r}")
+    return cls(elements)
+
+
+def iter_collection(value) -> Iterator[object]:
+    """Iterate any CPL collection value (or raise if it is not a collection)."""
+    if isinstance(value, (CSet, CBag, CList)):
+        return iter(value)
+    raise EvaluationError(f"expected a collection value, got {type(value).__name__}")
+
+
+def collection_kind(value) -> str:
+    """Return 'set', 'bag' or 'list' for a collection value."""
+    if isinstance(value, (CSet, CBag, CList)):
+        return value.kind
+    raise EvaluationError(f"expected a collection value, got {type(value).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Conversion to and from plain Python data
+# ---------------------------------------------------------------------------
+
+def from_python(data: object, list_as: str = "list") -> object:
+    """Convert plain Python data into CPL values.
+
+    * ``dict`` → :class:`Record`
+    * ``set`` / ``frozenset`` → :class:`CSet`
+    * ``list`` / ``tuple`` → list (or the collection named by ``list_as``)
+    * 2-tuple ``("<tag>", value)`` is *not* special-cased; build variants explicitly.
+    * scalars pass through.
+
+    Drivers use this to lift the data they fetched into the Kleisli data model.
+    """
+    if isinstance(data, (Record, CSet, CBag, CList, Variant, Ref, Unit)):
+        return data
+    if isinstance(data, Mapping):
+        return Record({key: from_python(value, list_as) for key, value in data.items()})
+    if isinstance(data, (set, frozenset)):
+        return CSet(from_python(element, list_as) for element in data)
+    if isinstance(data, (list, tuple)):
+        converted = (from_python(element, list_as) for element in data)
+        return make_collection(list_as, converted)
+    if data is None:
+        return UNIT_VALUE
+    if isinstance(data, (bool, int, float, str, bytes)):
+        return data
+    raise EvaluationError(f"cannot convert {type(data).__name__} into a CPL value")
+
+
+def to_python(value: object) -> object:
+    """Convert a CPL value back into plain Python data (records → dicts, etc.)."""
+    if isinstance(value, Record):
+        return {label: to_python(field) for label, field in value.items()}
+    if isinstance(value, CSet):
+        return [to_python(element) for element in value]
+    if isinstance(value, (CBag, CList)):
+        return [to_python(element) for element in value]
+    if isinstance(value, Variant):
+        return {"<tag>": value.tag, "<value>": to_python(value.value)}
+    if isinstance(value, Ref):
+        return {"<ref>": value.class_name, "<id>": value.identifier}
+    if isinstance(value, Unit):
+        return None
+    return value
+
+
+def infer_type(value: object) -> T.Type:
+    """Compute the CPL type of a value.
+
+    Heterogeneous collections unify their element types where possible (open
+    records absorb extra fields); an empty collection gets a fresh element
+    type variable.
+    """
+    if isinstance(value, bool):
+        return T.BOOL
+    if isinstance(value, int):
+        return T.INT
+    if isinstance(value, float):
+        return T.FLOAT
+    if isinstance(value, (str, bytes)):
+        return T.STRING
+    if isinstance(value, Unit):
+        return T.UNIT
+    if isinstance(value, Record):
+        return T.RecordType({label: infer_type(field) for label, field in value.items()})
+    if isinstance(value, Variant):
+        return T.VariantType({value.tag: infer_type(value.value)}, row=T.fresh_row_var())
+    if isinstance(value, Ref):
+        return T.RefType(T.fresh_type_var())
+    if isinstance(value, (CSet, CBag, CList)):
+        element_types = [infer_type(element) for element in value]
+        if element_types:
+            element = _merge_element_types(element_types)
+        else:
+            element = T.fresh_type_var()
+        constructor = {"set": T.SetType, "bag": T.BagType, "list": T.ListType}[value.kind]
+        return constructor(element)
+    raise EvaluationError(f"cannot infer a CPL type for {type(value).__name__}")
+
+
+def _merge_element_types(element_types: List[T.Type]) -> T.Type:
+    """Merge element types of a collection, tolerating variant-case differences."""
+    merged = element_types[0]
+    subst: T.Substitution = {}
+    for ty in element_types[1:]:
+        try:
+            subst = T.unify(merged, ty, subst)
+            merged = T.apply_substitution(merged, subst)
+        except Exception:
+            # Heterogeneous in an irreconcilable way (e.g. different variant
+            # tags with closed rows): fall back to a fresh variable rather than
+            # failing; drivers dealing with loose external data rely on this.
+            return T.fresh_type_var()
+    return T.apply_substitution(merged, subst)

@@ -1,0 +1,18 @@
+"""Flat-file sequence formats (FASTA, EMBL, GCG) and tabular exchange files.
+
+The paper lists FASTA, GCG and EMBL among the formats its techniques handle;
+the Kleisli flat-file driver reads these into CPL values and CPL's printing
+routines write them back out.
+"""
+
+from .fasta import FastaRecord, read_fasta, write_fasta
+from .embl import EmblRecord, read_embl, write_embl
+from .gcg import read_gcg, write_gcg
+from .tabular import read_tabular, write_tabular
+
+__all__ = [
+    "FastaRecord", "read_fasta", "write_fasta",
+    "EmblRecord", "read_embl", "write_embl",
+    "read_gcg", "write_gcg",
+    "read_tabular", "write_tabular",
+]

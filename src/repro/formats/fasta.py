@@ -1,0 +1,79 @@
+"""FASTA format: ``>identifier description`` header lines followed by sequence lines."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Union
+
+from ..core.errors import FormatError
+from ..core.values import CList, Record
+
+__all__ = ["FastaRecord", "read_fasta", "write_fasta", "fasta_to_cpl"]
+
+
+class FastaRecord(NamedTuple):
+    identifier: str
+    description: str
+    sequence: str
+
+
+def read_fasta(text: str) -> List[FastaRecord]:
+    """Parse FASTA text into records."""
+    return list(iter_fasta(text))
+
+
+def iter_fasta(text: str) -> Iterator[FastaRecord]:
+    identifier = None
+    description = ""
+    sequence_lines: List[str] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if identifier is not None:
+                yield FastaRecord(identifier, description, "".join(sequence_lines))
+            header = line[1:].strip()
+            if not header:
+                raise FormatError(f"line {line_number}: empty FASTA header")
+            parts = header.split(None, 1)
+            identifier = parts[0]
+            description = parts[1] if len(parts) > 1 else ""
+            sequence_lines = []
+            continue
+        if identifier is None:
+            raise FormatError(f"line {line_number}: sequence data before any FASTA header")
+        cleaned = line.replace(" ", "")
+        if not cleaned.replace("*", "").replace("-", "").isalpha():
+            raise FormatError(f"line {line_number}: invalid sequence characters in {line!r}")
+        sequence_lines.append(cleaned.upper())
+    if identifier is not None:
+        yield FastaRecord(identifier, description, "".join(sequence_lines))
+
+
+def write_fasta(records: Iterable[Union[FastaRecord, Record]], line_width: int = 60) -> str:
+    """Render records (FastaRecord or CPL records with id/description/sequence) as FASTA text."""
+    blocks: List[str] = []
+    for record in records:
+        if isinstance(record, Record):
+            identifier = str(record.get("identifier") or record.get("id") or record.get("accession"))
+            description = str(record.get("description", ""))
+            sequence = str(record.get("sequence", ""))
+        else:
+            identifier, description, sequence = record
+        header = f">{identifier} {description}".rstrip()
+        lines = [header]
+        for start in range(0, len(sequence), line_width):
+            lines.append(sequence[start:start + line_width])
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks) + "\n"
+
+
+def fasta_to_cpl(records: Iterable[FastaRecord]) -> CList:
+    """Lift FASTA records into a CPL list of records (the flat-file driver's output)."""
+    return CList(
+        Record({"identifier": record.identifier,
+                "description": record.description,
+                "sequence": record.sequence,
+                "length": len(record.sequence)})
+        for record in records
+    )

@@ -1,0 +1,80 @@
+"""Tab-delimited exchange files.
+
+The simplest of the exchange formats: a header row of column names followed by
+value rows.  The CPL printing routine produces this form for "reading into
+another programming language (e.g. perl)"; the flat-file driver can also read
+it back as a relation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.errors import FormatError
+from ..core.values import CSet, Record
+
+__all__ = ["read_tabular", "write_tabular"]
+
+
+def read_tabular(text: str, separator: str = "\t",
+                 types: Optional[Sequence[str]] = None) -> CSet:
+    """Parse delimited text (header + rows) into a set of CPL records.
+
+    ``types`` optionally names per-column types (``"int"``, ``"float"``,
+    ``"string"``); by default everything stays a string.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return CSet()
+    header = lines[0].split(separator)
+    if types is not None and len(types) != len(header):
+        raise FormatError(
+            f"types has {len(types)} entries but the header has {len(header)} columns"
+        )
+    records = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        cells = line.split(separator)
+        if len(cells) != len(header):
+            raise FormatError(
+                f"line {line_number}: expected {len(header)} cells, found {len(cells)}"
+            )
+        fields = {}
+        for index, (name, cell) in enumerate(zip(header, cells)):
+            fields[name] = _convert(cell, types[index] if types else "string", line_number)
+        records.append(Record(fields))
+    return CSet(records)
+
+
+def _convert(cell: str, type_name: str, line_number: int) -> object:
+    if type_name == "string":
+        return cell
+    try:
+        if type_name == "int":
+            return int(cell)
+        if type_name == "float":
+            return float(cell)
+    except ValueError:
+        raise FormatError(f"line {line_number}: cannot convert {cell!r} to {type_name}")
+    raise FormatError(f"unknown column type {type_name!r}")
+
+
+def write_tabular(rows: Iterable[Record], separator: str = "\t") -> str:
+    """Render records as delimited text with a header row."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    header: List[str] = []
+    for row in rows:
+        for label in row.labels:
+            if label not in header:
+                header.append(label)
+    lines = [separator.join(header)]
+    for row in rows:
+        lines.append(separator.join(_render_cell(row.get(label)) for label in header))
+    return "\n".join(lines) + "\n"
+
+
+def _render_cell(value: object) -> str:
+    if value is None:
+        return ""
+    return str(value)

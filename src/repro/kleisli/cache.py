@@ -1,0 +1,100 @@
+"""The subquery result cache.
+
+"To avoid recomputation, we have therefore introduced an operator to cache the
+result of a subquery on disk."  The cache used by the evaluator's ``Cached``
+node is a plain mapping; this module provides one that holds small results in
+memory and spills large ones to disk (pickled), plus hit/miss accounting for
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from typing import Dict, Iterator, MutableMapping, Optional
+
+__all__ = ["SubqueryCache"]
+
+
+class SubqueryCache(MutableMapping):
+    """A mapping from cache keys to materialised subquery results.
+
+    Values whose pickled size exceeds ``spill_threshold_bytes`` are written to
+    a temporary file and re-read on access, so a very large cached inner
+    relation does not have to stay resident.
+    """
+
+    def __init__(self, spill_threshold_bytes: int = 1 << 20,
+                 directory: Optional[str] = None):
+        self.spill_threshold_bytes = spill_threshold_bytes
+        self._memory: Dict[str, object] = {}
+        self._spilled: Dict[str, str] = {}
+        self._directory = directory or tempfile.mkdtemp(prefix="kleisli-cache-")
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.spills = 0
+
+    # -- MutableMapping interface -------------------------------------------------
+
+    def __setitem__(self, key: str, value: object) -> None:
+        with self._lock:
+            try:
+                payload = pickle.dumps(value)
+            except Exception:
+                # Unpicklable values (closures etc.) stay in memory.
+                self._memory[key] = value
+                return
+            if len(payload) > self.spill_threshold_bytes:
+                path = os.path.join(self._directory, f"{abs(hash(key))}.pkl")
+                with open(path, "wb") as handle:
+                    handle.write(payload)
+                self._spilled[key] = path
+                self._memory.pop(key, None)
+                self.spills += 1
+            else:
+                self._memory[key] = value
+
+    def __getitem__(self, key: str) -> object:
+        with self._lock:
+            if key in self._memory:
+                self.hits += 1
+                return self._memory[key]
+            if key in self._spilled:
+                self.hits += 1
+                with open(self._spilled[key], "rb") as handle:
+                    return pickle.load(handle)
+            self.misses += 1
+            raise KeyError(key)
+
+    def __delitem__(self, key: str) -> None:
+        with self._lock:
+            if key in self._memory:
+                del self._memory[key]
+                return
+            if key in self._spilled:
+                path = self._spilled.pop(key)
+                if os.path.exists(path):
+                    os.unlink(path)
+                return
+            raise KeyError(key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._memory or key in self._spilled
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._memory
+        yield from self._spilled
+
+    def __len__(self) -> int:
+        return len(self._memory) + len(self._spilled)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._memory.clear()
+            for path in self._spilled.values():
+                if os.path.exists(path):
+                    os.unlink(path)
+            self._spilled.clear()

@@ -1,0 +1,27 @@
+"""Kleisli data drivers.
+
+"Once registered in Kleisli, the data drivers perform the task of logging into
+a specific data source, sending queries in the native form for that source,
+[and] returning results to Kleisli in internal Kleisli value syntax."  Each
+driver here wraps one substrate:
+
+* :class:`RelationalDriver` — SQL against :class:`repro.relational.Database`
+  (the Sybase/GDB driver); the pushdown target of experiment E4.
+* :class:`EntrezDriver` — index selection + path pruning against
+  :class:`repro.asn1.entrez.EntrezServer` (the GenBank driver); experiment E5.
+* :class:`AceDriver` — class scans and object fetches with object identity.
+* :class:`FlatFileDriver` — FASTA / EMBL / GCG / tabular files.
+* :class:`BlastDriver` — the sequence-analysis "application program".
+"""
+
+from .base import Driver, DriverFunction
+from .relational import RelationalDriver
+from .entrez import EntrezDriver
+from .ace import AceDriver
+from .flatfile import FlatFileDriver
+from .blast import BlastDriver
+
+__all__ = [
+    "Driver", "DriverFunction",
+    "RelationalDriver", "EntrezDriver", "AceDriver", "FlatFileDriver", "BlastDriver",
+]

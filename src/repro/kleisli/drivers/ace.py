@@ -1,0 +1,62 @@
+"""The ACE driver: class scans and object fetches, preserving object identity.
+
+Request vocabulary::
+
+    {"class": "Locus"}                      -- all objects of a class, as records
+    {"class": "Locus", "object": "D22S1"}   -- one object
+    {"classes": True}                        -- the class catalogue
+
+Object references inside results are CPL :class:`~repro.core.values.Ref`
+values bound to the underlying store, so CPL's dereferencing (``!r`` and
+reference patterns) resolves through the driver's database.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...ace.database import AceDatabase
+from ...core.errors import DriverError
+from ...core.values import CSet
+from .base import Driver, DriverFunction
+
+__all__ = ["AceDriver"]
+
+
+class AceDriver(Driver):
+    """Drives an :class:`repro.ace.database.AceDatabase`."""
+
+    capabilities = frozenset({"class-scan", "object-identity"})
+
+    def __init__(self, name: str, database: AceDatabase):
+        super().__init__(name)
+        self.database = database
+
+    def _execute(self, request: Dict[str, object]):
+        if request.get("classes"):
+            return CSet(self.database.class_names())
+        class_name = request.get("class")
+        if class_name is None:
+            raise DriverError(
+                f"ACE driver {self.name!r} needs a 'class' or 'classes' request, got {sorted(request)}"
+            )
+        if "object" in request:
+            obj = self.database.get(str(class_name), str(request["object"]))
+            return obj.to_record(self.database)
+        return self.database.scan(str(class_name))
+
+    def cpl_functions(self) -> List[DriverFunction]:
+        return [
+            DriverFunction(f"{self.name}-Class", {}, argument_key="class",
+                           doc=f"scan every object of a class in {self.name}"),
+            DriverFunction(self.name, {}, argument_is_record=True,
+                           doc=f"send a raw request (e.g. [class = ..., object = ...]) to {self.name}"),
+        ]
+
+    def collection_names(self) -> List[str]:
+        return self.database.class_names()
+
+    def cardinality(self, collection: str) -> Optional[int]:
+        if collection in self.database.classes:
+            return len(self.database.classes[collection])
+        return None

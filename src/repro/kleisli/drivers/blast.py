@@ -1,0 +1,68 @@
+"""The sequence-analysis ("BLAST") driver.
+
+The paper's system reaches sequence-analysis packages such as BLAST and FASTA
+through the same driver mechanism as databases.  This driver wraps the local
+Smith–Waterman/k-mer search over a named sequence library.
+
+Request vocabulary::
+
+    {"query": "ACGT...", "min_score": 30, "max_hits": 10}
+    {"query_id": "M81409", ...}      -- use a library sequence as the query
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from ...bio.similarity import similarity_search
+from ...core.errors import DriverError
+from ...core.values import CSet, Record
+from .base import Driver, DriverFunction
+
+__all__ = ["BlastDriver"]
+
+
+class BlastDriver(Driver):
+    """Searches a query sequence against an in-memory library."""
+
+    capabilities = frozenset({"similarity"})
+
+    def __init__(self, name: str, library: Mapping[str, str],
+                 default_min_score: int = 30):
+        super().__init__(name)
+        self.library: Dict[str, str] = dict(library)
+        self.default_min_score = default_min_score
+
+    def _execute(self, request: Dict[str, object]):
+        if "query" in request:
+            query = str(request["query"])
+        elif "query_id" in request:
+            query_id = str(request["query_id"])
+            if query_id not in self.library:
+                raise DriverError(f"library has no sequence named {query_id!r}")
+            query = self.library[query_id]
+        else:
+            raise DriverError("BLAST request needs a 'query' sequence or a 'query_id'")
+        min_score = int(request.get("min_score", self.default_min_score))
+        max_hits = request.get("max_hits")
+        hits = similarity_search(query, self.library, min_score=min_score,
+                                 max_hits=int(max_hits) if max_hits is not None else None)
+        return CSet(
+            Record({"subject": hit.subject_id, "score": hit.score,
+                    "identity": round(hit.identity, 4), "kmer_hits": hit.kmer_hits})
+            for hit in hits
+        )
+
+    def cpl_functions(self) -> List[DriverFunction]:
+        return [
+            DriverFunction(self.name, {}, argument_is_record=True,
+                           doc="run a similarity search: [query = ..., min_score = ...]"),
+            DriverFunction(f"{self.name}-Search", {}, argument_key="query",
+                           doc="run a similarity search on a raw query sequence"),
+        ]
+
+    def collection_names(self) -> List[str]:
+        return sorted(self.library)
+
+    def cardinality(self, collection: str) -> Optional[int]:
+        return len(self.library)

@@ -1,0 +1,120 @@
+"""The relational (Sybase-style) driver.
+
+Request vocabulary (what :class:`~repro.core.nrc.ast.Scan` nodes carry):
+
+``{"query": "<sql text>"}``
+    Ship SQL to the server verbatim (the fully pushed-down form of E4).
+``{"table": "<name>"}``
+    Scan a whole table.
+``{"table": "<name>", "columns": [...], "where": [{"column", "op", "value"}...]}``
+    Scan with server-side projection and selection (the partial pushdown form).
+
+Results come back as a set of CPL records.  When ``lazy`` is enabled the
+driver returns a :class:`~repro.kleisli.tokens.TokenStream` so the evaluator
+can pipeline (fast first response); materialising consumers are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ...core.errors import DriverError
+from ...core.values import CSet, Record, from_python
+from ...net.remote import RemoteSource
+from ...relational.database import Database
+from ..tokens import TokenStream
+from .base import Driver, DriverFunction
+
+__all__ = ["RelationalDriver"]
+
+_WHERE_OPS = {"=": "=", "eq": "=", "<>": "<>", "neq": "<>", "<": "<", "<=": "<=",
+              ">": ">", ">=": ">="}
+
+
+class RelationalDriver(Driver):
+    """Drives a :class:`repro.relational.Database`, optionally through a remote wrapper."""
+
+    capabilities = frozenset({"sql", "columns", "where"})
+
+    def __init__(self, name: str, database: Database,
+                 remote: Optional[RemoteSource] = None, lazy: bool = False):
+        super().__init__(name)
+        self.database = database
+        self.remote = remote
+        self.lazy = lazy
+
+    @classmethod
+    def with_latency(cls, name: str, database: Database, latency: float = 0.02,
+                     max_concurrent_requests: int = 5, lazy: bool = False) -> "RelationalDriver":
+        """Build a driver whose database sits behind a simulated remote link."""
+        remote = RemoteSource(name, database.sql, latency=latency,
+                              max_concurrent_requests=max_concurrent_requests)
+        return cls(name, database, remote=remote, lazy=lazy)
+
+    # -- request handling -----------------------------------------------------------
+
+    def _execute(self, request: Dict[str, object]):
+        if "query" in request:
+            rows = self._run(str(request["query"]))
+        elif "table" in request:
+            rows = self._run(self._build_sql(request))
+        else:
+            raise DriverError(
+                f"relational driver {self.name!r} needs a 'query' or 'table' request, "
+                f"got {sorted(request)}"
+            )
+        records = (Record({key: from_python(value) for key, value in row.items()})
+                   for row in rows)
+        if self.lazy:
+            return TokenStream(records, kind="set")
+        return CSet(records)
+
+    def _run(self, sql: str) -> List[Dict[str, object]]:
+        if self.remote is not None:
+            return self.remote.call(sql)
+        return self.database.sql(sql)
+
+    def _build_sql(self, request: Dict[str, object]) -> str:
+        table = str(request["table"])
+        columns = request.get("columns")
+        select_list = ", ".join(columns) if columns else "*"
+        sql = f"select {select_list} from {table}"
+        conditions = []
+        for condition in request.get("where", []):
+            column = condition["column"]
+            op = _WHERE_OPS.get(str(condition.get("op", "=")))
+            if op is None:
+                raise DriverError(f"unsupported pushdown operator {condition.get('op')!r}")
+            conditions.append(f"{column} {op} {self._literal(condition['value'])}")
+        if conditions:
+            sql += " where " + " and ".join(conditions)
+        return sql
+
+    @staticmethod
+    def _literal(value: object) -> str:
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(value, bool):
+            raise DriverError("boolean literals cannot be pushed into SQL")
+        if value is None:
+            return "null"
+        return repr(value)
+
+    # -- CPL integration ---------------------------------------------------------------
+
+    def cpl_functions(self) -> List[DriverFunction]:
+        return [
+            DriverFunction(self.name, {}, argument_is_record=True,
+                           doc=f"send a raw request (e.g. [query = ...]) to {self.name}"),
+            DriverFunction(f"{self.name}-Tab", {}, argument_key="table",
+                           doc=f"scan a whole table of {self.name} by name"),
+        ]
+
+    def collection_names(self) -> List[str]:
+        return self.database.table_names()
+
+    def cardinality(self, collection: str) -> Optional[int]:
+        if self.database.has_table(collection):
+            return len(self.database.table(collection))
+        return None

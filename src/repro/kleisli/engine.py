@@ -1,0 +1,174 @@
+"""The Kleisli engine: drivers + optimizer + evaluator.
+
+"CPL is implemented on top of an extensible query system called Kleisli ...
+Routines within Kleisli manage optimization, query evaluation, and I/O from
+remote and local data sources."  The engine is that middle layer:
+
+* a **driver registry** — drivers are registered by name, contribute CPL
+  functions and statistics, and are reached at run time through
+  :meth:`driver_executor`, the callback every :class:`~repro.core.nrc.ast.Scan`
+  node evaluates through;
+* the **optimizer pipeline** (rebuilt whenever registration changes);
+* the **evaluator context** — subquery cache, execution statistics;
+* ``execute`` / ``stream`` — eager evaluation and the pipelined variant that
+  yields results as the outermost generator produces them (fast first
+  response).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.errors import DriverNotRegisteredError
+from ..core.nrc import ast as A
+from ..core.nrc.eval import Environment, EvalContext, EvalStatistics, Evaluator
+from ..core.nrc.rewrite import RewriteStats
+from ..core.optimizer import OptimizerConfig, OptimizerPipeline, ScanSpec
+from ..core.values import iter_collection
+from .cache import SubqueryCache
+from .drivers.base import Driver, DriverFunction
+from .statistics import SourceStatisticsRegistry
+
+__all__ = ["KleisliEngine"]
+
+
+class KleisliEngine:
+    """Driver registry, optimizer and evaluator in one object."""
+
+    def __init__(self, optimizer_config: Optional[OptimizerConfig] = None):
+        self.drivers: Dict[str, Driver] = {}
+        self.driver_functions: Dict[str, Tuple[Driver, DriverFunction]] = {}
+        self.statistics_registry = SourceStatisticsRegistry()
+        self.cache = SubqueryCache()
+        self.optimizer_config = optimizer_config or OptimizerConfig()
+        self.optimizer = self._build_optimizer()
+        self.last_eval_statistics: Optional[EvalStatistics] = None
+        self.last_rewrite_stats: Optional[RewriteStats] = None
+
+    # -- driver registration ---------------------------------------------------------
+
+    def register_driver(self, driver: Driver, latency: Optional[float] = None) -> Driver:
+        """Register a driver; its CPL functions and statistics become available.
+
+        ``latency`` (seconds) marks the driver as remote in the statistics
+        registry, which is what the parallelism rules key on.
+        """
+        self.drivers[driver.name] = driver
+        driver.open()
+        for function in driver.cpl_functions():
+            self.driver_functions[function.name] = (driver, function)
+        for collection in driver.collection_names():
+            cardinality = driver.cardinality(collection)
+            if cardinality is not None:
+                self.statistics_registry.register_cardinality(driver.name, collection, cardinality)
+        if latency is not None:
+            self.statistics_registry.register_latency(driver.name, latency)
+        elif getattr(driver, "remote", None) is not None:
+            self.statistics_registry.register_latency(driver.name, driver.remote.latency)
+        self.optimizer = self._build_optimizer()
+        return driver
+
+    def unregister_driver(self, name: str) -> None:
+        driver = self.drivers.pop(name, None)
+        if driver is None:
+            raise DriverNotRegisteredError(name)
+        driver.close()
+        self.driver_functions = {
+            fname: (drv, fn) for fname, (drv, fn) in self.driver_functions.items()
+            if drv.name != name
+        }
+        self.optimizer = self._build_optimizer()
+
+    def driver(self, name: str) -> Driver:
+        try:
+            return self.drivers[name]
+        except KeyError:
+            raise DriverNotRegisteredError(name)
+
+    # -- optimizer wiring ---------------------------------------------------------------
+
+    def _build_optimizer(self) -> OptimizerPipeline:
+        registry = {
+            fname: ScanSpec(driver.name, function.request_template,
+                            function.argument_key, function.argument_is_record,
+                            function.result_kind)
+            for fname, (driver, function) in self.driver_functions.items()
+        }
+        capabilities = {name: driver.capabilities for name, driver in self.drivers.items()}
+        return OptimizerPipeline(
+            function_registry=registry,
+            capabilities=capabilities,
+            cardinality_of=self._estimate_cardinality,
+            is_remote_driver=self.statistics_registry.is_remote,
+            config=self.optimizer_config,
+        )
+
+    def _estimate_cardinality(self, source: A.Expr) -> int:
+        """Estimate the size of a generator source for the join rule set."""
+        if isinstance(source, A.Cached):
+            return self._estimate_cardinality(source.expr)
+        if isinstance(source, A.Scan):
+            collection = str(source.request.get("table")
+                             or source.request.get("class")
+                             or source.request.get("db")
+                             or "")
+            return self.statistics_registry.cardinality(source.driver, collection)
+        if isinstance(source, A.Const):
+            try:
+                return len(list(iter_collection(source.value)))
+            except Exception:
+                return SourceStatisticsRegistry.DEFAULT_CARDINALITY
+        return SourceStatisticsRegistry.DEFAULT_CARDINALITY
+
+    # -- compilation and execution ----------------------------------------------------------
+
+    def compile(self, expr: A.Expr, collect_stats: bool = True) -> A.Expr:
+        """Optimize an NRC expression with the current rule sets."""
+        stats = RewriteStats() if collect_stats else None
+        optimized = self.optimizer.optimize(expr, stats)
+        self.last_rewrite_stats = stats
+        return optimized
+
+    def driver_executor(self, driver_name: str, request: Mapping[str, object]):
+        """The Scan callback: route a request to the named driver."""
+        return self.driver(driver_name).execute(request)
+
+    def _make_context(self) -> EvalContext:
+        statistics = EvalStatistics()
+        self.last_eval_statistics = statistics
+        return EvalContext(driver_executor=self.driver_executor,
+                           statistics=statistics, cache=self.cache)
+
+    def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
+                optimize: bool = True):
+        """Optimize (optionally) and evaluate an NRC expression."""
+        if optimize:
+            expr = self.compile(expr)
+        evaluator = Evaluator(self._make_context())
+        return evaluator.evaluate(expr, Environment(dict(bindings or {})))
+
+    def stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
+               optimize: bool = True) -> Iterator[object]:
+        """Pipelined evaluation of a top-level comprehension.
+
+        When the (optimized) expression is an ``Ext`` whose source is a driver
+        scan, results are yielded as each source element is consumed — the
+        "laziness in strategic places" of Section 4, used to get initial output
+        to the user quickly.  Other shapes fall back to eager evaluation.
+        """
+        if optimize:
+            expr = self.compile(expr)
+        evaluator = Evaluator(self._make_context())
+        environment = Environment(dict(bindings or {}))
+        if type(expr) is A.Ext:
+            source = evaluator._eval(expr.source, environment)
+            for item in evaluator._iterate_source(source):
+                body_value = evaluator._eval(expr.body, environment.child(expr.var, item))
+                for element in iter_collection(evaluator._materialise(body_value)):
+                    yield element
+            return
+        result = evaluator.evaluate(expr, environment)
+        try:
+            yield from iter_collection(result)
+        except Exception:
+            yield result

@@ -1,0 +1,218 @@
+"""Bounded and adaptive concurrency for remote requests.
+
+Section 4, "Laziness, Latency, and Concurrency": the system issues several
+requests to a remote server at once, but must respect the server's capacity
+("say five") and not let unconsumed replies pile up.  :class:`BoundedScheduler`
+is that mechanism: a worker pool whose size never exceeds the per-server cap,
+used by the parallel-loop operator the optimizer introduces around remote
+inner loops.
+
+The paper closes the section with its reference [43]: *"techniques to
+automatically adjust the level of concurrency based on the capability of
+servers and on resource availability are being developed."*
+:class:`AdaptiveScheduler` implements that extension: it probes the server
+with an additive-increase / multiplicative-decrease policy, ramping the number
+of in-flight requests up while responses stay fast and backing off when the
+server rejects requests or its per-request latency degrades.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Type, TypeVar
+
+from ..core.errors import RemoteSourceError
+
+__all__ = ["BoundedScheduler", "AdaptiveScheduler"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class BoundedScheduler:
+    """Runs callables over a collection with at most ``max_workers`` in flight."""
+
+    def __init__(self, max_workers: int = 5):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        self.tasks_submitted = 0
+        self.batches = 0
+        self._lock = threading.Lock()
+
+    def map(self, function: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``function`` to every item, preserving order, never exceeding the cap.
+
+        Items are processed in batches of ``max_workers`` so that a slow
+        consumer never has more than one batch of unconsumed replies — the
+        resource-control concern the paper raises about unbounded threads.
+        """
+        items = list(items)
+        if not items:
+            return []
+        with self._lock:
+            self.tasks_submitted += len(items)
+        results: List[R] = []
+        if self.max_workers == 1 or len(items) == 1:
+            with self._lock:
+                self.batches += 1
+            return [function(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            for start in range(0, len(items), self.max_workers):
+                batch = items[start:start + self.max_workers]
+                with self._lock:
+                    self.batches += 1
+                results.extend(pool.map(function, batch))
+        return results
+
+
+class AdaptiveScheduler:
+    """Adjusts the level of concurrency to the capability of the server.
+
+    The policy is additive increase / multiplicative decrease over batches:
+
+    * run a batch of at most ``level`` requests concurrently;
+    * if the server rejected any of them (an ``overload_errors`` exception —
+      by default :class:`~repro.core.errors.RemoteSourceError`, what a
+      :class:`~repro.net.remote.RemoteSource` raises past its cap), halve the
+      level and retry the rejected requests;
+    * otherwise compare the batch's throughput (requests completed per second)
+      with the best seen so far: while adding workers keeps improving it, add
+      one more (up to ``max_workers``); when it collapses by more than
+      ``degradation_threshold`` the server is saturating, so remove one; on a
+      plateau hold the level, probing one step up every few batches so a slow
+      first batch cannot pin the level at 1 forever.
+
+    ``level_history`` records the level used for every batch and
+    ``overload_events`` counts rejections, which the tests and the adaptive
+    concurrency benchmark assert on.
+    """
+
+    #: Relative throughput improvement that justifies adding a worker.
+    IMPROVEMENT_FACTOR = 1.05
+    #: On a plateau, probe one level up every this many batches.
+    PROBE_INTERVAL = 4
+
+    def __init__(self, max_workers: int = 5, initial_workers: int = 1,
+                 degradation_threshold: float = 1.5, max_retries: int = 3,
+                 overload_errors: Tuple[Type[BaseException], ...] = (RemoteSourceError,)):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if initial_workers < 1 or initial_workers > max_workers:
+            raise ValueError("initial_workers must be between 1 and max_workers")
+        if degradation_threshold <= 1.0:
+            raise ValueError("degradation_threshold must be greater than 1.0")
+        self.max_workers = max_workers
+        self.level = initial_workers
+        self.degradation_threshold = degradation_threshold
+        self.max_retries = max_retries
+        self.overload_errors = overload_errors
+        self.tasks_submitted = 0
+        self.batches = 0
+        self.retries = 0
+        self.overload_events = 0
+        self.level_history: List[int] = []
+        self._best_throughput: Optional[float] = None
+        self._plateau_batches = 0
+        self._rejection_ceiling: Optional[int] = None
+        self._lock = threading.Lock()
+
+    def map(self, function: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``function`` to every item, preserving order, adapting the level.
+
+        Requests rejected by the server are retried (at the reduced level) up
+        to ``max_retries`` times each; a request that keeps being rejected
+        re-raises its last error.
+        """
+        items = list(items)
+        if not items:
+            return []
+        with self._lock:
+            self.tasks_submitted += len(items)
+        results: dict = {}
+        pending: List[Tuple[int, T]] = list(enumerate(items))
+        attempts: dict = {}
+        while pending:
+            level = self.level
+            batch, pending = pending[:level], pending[level:]
+            self.batches += 1
+            self.level_history.append(level)
+            started = time.perf_counter()
+            failed = self._run_batch(function, batch, results, attempts, level)
+            elapsed = time.perf_counter() - started
+            if failed:
+                self.overload_events += 1
+                self.retries += len(failed)
+                # The server pushed back at this level: never offer it that
+                # many again, re-baseline throughput at the reduced level.
+                ceiling = max(1, level - 1)
+                if self._rejection_ceiling is not None:
+                    ceiling = min(ceiling, self._rejection_ceiling)
+                self._rejection_ceiling = ceiling
+                self._best_throughput = None
+                self._plateau_batches = 0
+                self.level = max(1, level // 2)
+                pending = failed + pending
+                continue
+            self._adjust_level(level, throughput=len(batch) / max(elapsed, 1e-9))
+        return [results[index] for index in range(len(items))]
+
+    def _run_batch(self, function, batch, results, attempts, level):
+        """Run one batch; fill ``results``; return the rejected (index, item) pairs."""
+        failed = []
+
+        def run_one(entry):
+            index, item = entry
+            try:
+                results[index] = function(item)
+                return None
+            except self.overload_errors as error:
+                attempts[index] = attempts.get(index, 0) + 1
+                if attempts[index] > self.max_retries:
+                    raise
+                return (index, item, error)
+
+        if level == 1 or len(batch) == 1:
+            outcomes = [run_one(entry) for entry in batch]
+        else:
+            with ThreadPoolExecutor(max_workers=level) as pool:
+                outcomes = list(pool.map(run_one, batch))
+        for outcome in outcomes:
+            if outcome is not None:
+                failed.append((outcome[0], outcome[1]))
+        return failed
+
+    def _adjust_level(self, level: int, throughput: float) -> None:
+        if self._best_throughput is None:
+            # The first batch (or the first after a rejection) only
+            # establishes the baseline.
+            self._best_throughput = throughput
+            self.level = self._raised(level)
+            return
+        if throughput >= self._best_throughput * self.IMPROVEMENT_FACTOR:
+            # More workers genuinely helped: keep ramping up.
+            self._best_throughput = throughput
+            self._plateau_batches = 0
+            self.level = self._raised(level)
+        elif throughput < self._best_throughput / self.degradation_threshold:
+            # Throughput collapsed — the server is degrading under load.
+            self._plateau_batches = 0
+            self.level = max(1, level - 1)
+        else:
+            # Plateau: the server absorbed the extra requests without speeding
+            # up.  Hold the level, but probe upwards occasionally.
+            self._plateau_batches += 1
+            if self._plateau_batches >= self.PROBE_INTERVAL:
+                self._plateau_batches = 0
+                self.level = self._raised(level)
+            else:
+                self.level = level
+
+    def _raised(self, level: int) -> int:
+        """One more worker, never past the pool cap or a level the server rejected."""
+        ceiling = self.max_workers
+        if self._rejection_ceiling is not None:
+            ceiling = min(ceiling, self._rejection_ceiling)
+        return min(ceiling, level + 1)

@@ -1,0 +1,213 @@
+"""The CPL session: the user-facing layer of the system.
+
+A :class:`Session` is what the paper's biologist-facing views are built on: it
+parses CPL, type-checks it against the declared types of registered sources,
+desugars to NRC, hands the term to the Kleisli engine for optimization and
+evaluation, and formats results (CPL value syntax, HTML, tab-delimited).
+
+Typical use::
+
+    session = Session()
+    session.register_driver(RelationalDriver("GDB", gdb_database))
+    session.register_driver(EntrezDriver("GenBank", entrez_server))
+    session.run('define Loci22 == ...')
+    result = session.run('{ [locus = l, homologs = NA-Links(u)] | \\l <- Loci22, ... }')
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core import types as T
+from ..core.cpl import ast as S
+from ..core.cpl.desugar import desugar_expression, desugar_statement
+from ..core.cpl.parser import parse, parse_expression
+from ..core.cpl.printer import render_html, render_tabular, render_value
+from ..core.cpl.typecheck import TypeChecker, TypeEnvironment, TypeScheme
+from ..core.errors import CPLTypeError, ReproError
+from ..core.nrc import ast as A
+from ..core.nrc.eval import Environment
+from ..core.optimizer import OptimizerConfig
+from ..core.values import from_python
+from .drivers.base import Driver
+from .engine import KleisliEngine
+
+__all__ = ["Session", "QueryResult"]
+
+
+class QueryResult:
+    """The value of a query plus the compile/run artefacts a caller may inspect."""
+
+    def __init__(self, value: object, nrc: A.Expr, optimized: A.Expr,
+                 inferred_type: Optional[T.Type]):
+        self.value = value
+        self.nrc = nrc
+        self.optimized = optimized
+        self.inferred_type = inferred_type
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"QueryResult({self.value!r})"
+
+
+class Session:
+    """A CPL session over a Kleisli engine."""
+
+    def __init__(self, engine: Optional[KleisliEngine] = None,
+                 optimizer_config: Optional[OptimizerConfig] = None,
+                 typecheck: bool = True):
+        self.engine = engine or KleisliEngine(optimizer_config)
+        self.typecheck = typecheck
+        self.values: Dict[str, object] = {}
+        # ``define f == e`` makes f a *synonym* for e (the paper's wording), so
+        # definitions are stored as NRC expressions and expanded into queries
+        # before optimization — that is what lets the optimizer see through
+        # Loci22 / ASN-IDs in the DOE query and push work to the drivers.
+        self.definitions: Dict[str, A.Expr] = {}
+        self.type_checker = TypeChecker()
+        self._register_existing_driver_functions()
+
+    # -- registration ------------------------------------------------------------
+
+    def register_driver(self, driver: Driver, latency: Optional[float] = None,
+                        source_types: Optional[Dict[str, T.Type]] = None) -> Driver:
+        """Register a driver with the engine and bind its CPL functions.
+
+        ``source_types`` optionally declares the CPL result type of each driver
+        function for the type checker (e.g. the Publication type for an
+        Entrez division).
+        """
+        self.engine.register_driver(driver, latency=latency)
+        self._bind_driver_functions(driver)
+        for name, ty in (source_types or {}).items():
+            self.type_checker.bind_value_type(name, ty)
+        return driver
+
+    def _register_existing_driver_functions(self) -> None:
+        for driver in self.engine.drivers.values():
+            self._bind_driver_functions(driver)
+
+    def _bind_driver_functions(self, driver: Driver) -> None:
+        for function in driver.cpl_functions():
+            # A callable fallback so that applications the optimizer does not
+            # convert into Scan nodes still evaluate.
+            def call(argument, _driver=driver, _function=function):
+                return _driver.execute(_function.build_request(argument))
+
+            self.values[function.name] = call
+            # Give the function a permissive type so typechecking of queries
+            # that call it does not fail (drivers may declare better types via
+            # ``source_types``).
+            if self.type_checker.environment.lookup(function.name) is None:
+                self.type_checker.bind_value_type(
+                    function.name, T.FunctionType(T.fresh_type_var(), T.fresh_type_var()))
+
+    def bind(self, name: str, value: object, cpl_type: Optional[T.Type] = None,
+             list_as: str = "list") -> object:
+        """Bind a Python or CPL value in the session environment.
+
+        Plain Python data (dicts, lists, sets, scalars) is lifted into CPL
+        values; ``cpl_type`` (or an inferred type) is declared to the checker.
+        """
+        lifted = from_python(value, list_as=list_as)
+        self.values[name] = lifted
+        if cpl_type is None:
+            from ..core.values import infer_type
+
+            try:
+                cpl_type = infer_type(lifted)
+            except ReproError:
+                cpl_type = None
+        if cpl_type is not None:
+            self.type_checker.bind_value_type(name, cpl_type)
+        return lifted
+
+    def define_type(self, name: str, cpl_type: T.Type) -> None:
+        """Declare the type of a name without binding a value (e.g. a driver function)."""
+        self.type_checker.bind_value_type(name, cpl_type)
+
+    # -- running CPL ----------------------------------------------------------------
+
+    def run(self, source: str, optimize: bool = True):
+        """Run a CPL program (one or more statements); return the last query's value."""
+        program = parse(source)
+        result = None
+        for statement in program.statements:
+            result = self._run_statement(statement, optimize)
+        return result
+
+    def query(self, source: str, optimize: bool = True) -> QueryResult:
+        """Run a single CPL expression and return the full :class:`QueryResult`."""
+        expression = parse_expression(source)
+        inferred = self._infer(expression)
+        nrc = self._expand(desugar_expression(expression))
+        optimized = self.engine.compile(nrc) if optimize else nrc
+        value = self.engine.execute(optimized, self.values, optimize=False)
+        return QueryResult(value, nrc, optimized, inferred)
+
+    def stream(self, source: str, optimize: bool = True) -> Iterator[object]:
+        """Run a query with pipelined (lazy) result delivery."""
+        expression = parse_expression(source)
+        self._infer(expression)
+        nrc = self._expand(desugar_expression(expression))
+        return self.engine.stream(nrc, self.values, optimize=optimize)
+
+    def explain(self, source: str) -> Tuple[A.Expr, List[Tuple[str, str]]]:
+        """Return the optimized NRC form of a query and per-stage rewrite traces."""
+        expression = parse_expression(source)
+        nrc = self._expand(desugar_expression(expression))
+        optimized, _, traces = self.engine.optimizer.explain(nrc)
+        return optimized, traces
+
+    def _run_statement(self, statement: S.Statement, optimize: bool):
+        if isinstance(statement, S.Define):
+            if self.typecheck:
+                try:
+                    self.type_checker.define(statement.name, statement.expr)
+                except CPLTypeError:
+                    # Definitions over un-typed driver functions are allowed;
+                    # queries over properly declared sources still get checked.
+                    pass
+            _, _, nrc = desugar_statement(statement)
+            self.definitions[statement.name] = self._expand(nrc)
+            return None
+        if self.typecheck and isinstance(statement, S.ExprStatement):
+            self._infer(statement.expr)
+        _, _, nrc = desugar_statement(statement)
+        return self.engine.execute(self._expand(nrc), self.values, optimize=optimize)
+
+    def _expand(self, nrc: A.Expr, depth: int = 20) -> A.Expr:
+        """Substitute defined synonyms into ``nrc`` (non-recursive definitions only)."""
+        current = nrc
+        for _ in range(depth):
+            free = A.free_variables(current)
+            pending = [name for name in free if name in self.definitions]
+            if not pending:
+                return current
+            for name in pending:
+                current = A.substitute(current, name, self.definitions[name])
+        return current
+
+    def _infer(self, expression: S.SExpr) -> Optional[T.Type]:
+        if not self.typecheck:
+            return None
+        try:
+            return self.type_checker.infer(expression)
+        except CPLTypeError:
+            # Sources without declared types (driver functions, raw binds) make
+            # full checking impossible; evaluation still proceeds, matching the
+            # paper's "static type information is ... useful" (not mandatory).
+            return None
+
+    # -- output formatting --------------------------------------------------------------
+
+    def print_value(self, value: object, width: int = 100) -> str:
+        """Render a value in CPL value syntax."""
+        return render_value(value, width=width)
+
+    def print_html(self, value: object, title: str = "CPL query result") -> str:
+        """Render a value as an HTML page (nested tables for nested relations)."""
+        return render_html(value, title)
+
+    def print_tabular(self, value: object, separator: str = "\t") -> str:
+        """Render a flat relation as delimited text."""
+        return render_tabular(value, separator)

@@ -1,0 +1,48 @@
+"""Statically registered statistics about remote sources.
+
+"Several of the rules for join optimizations require statistics about the size
+of files ... We have found it problematic to obtain such statistics on the fly
+from remote sites, and are currently extending the system to use statically
+stored statistics from commonly used data sources."  This registry is that
+extension: per-driver (and per-table / per-division) cardinalities the join and
+caching rule sets consult at compile time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["SourceStatisticsRegistry"]
+
+
+class SourceStatisticsRegistry:
+    """Cardinality estimates keyed by (driver name, collection name)."""
+
+    DEFAULT_CARDINALITY = 1000
+
+    def __init__(self) -> None:
+        self._cardinalities: Dict[Tuple[str, str], int] = {}
+        self._remote_latency: Dict[str, float] = {}
+
+    def register_cardinality(self, driver: str, collection: str, rows: int) -> None:
+        self._cardinalities[(driver, collection)] = rows
+
+    def cardinality(self, driver: str, collection: str = "") -> int:
+        if (driver, collection) in self._cardinalities:
+            return self._cardinalities[(driver, collection)]
+        if (driver, "") in self._cardinalities:
+            return self._cardinalities[(driver, "")]
+        return self.DEFAULT_CARDINALITY
+
+    def has_cardinality(self, driver: str, collection: str = "") -> bool:
+        return (driver, collection) in self._cardinalities or (driver, "") in self._cardinalities
+
+    def register_latency(self, driver: str, seconds: float) -> None:
+        self._remote_latency[driver] = seconds
+
+    def latency(self, driver: str) -> float:
+        return self._remote_latency.get(driver, 0.0)
+
+    def is_remote(self, driver: str) -> bool:
+        """A driver with registered latency is treated as remote by the parallel rules."""
+        return self._remote_latency.get(driver, 0.0) > 0.0

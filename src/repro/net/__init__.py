@@ -1,0 +1,5 @@
+"""Simulated remote access: latency and concurrency caps around data sources."""
+
+from .remote import RemoteSource, RemoteCallLog
+
+__all__ = ["RemoteSource", "RemoteCallLog"]

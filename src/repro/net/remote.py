@@ -1,0 +1,102 @@
+"""Simulated remote data sources.
+
+In 1995 the paper's prototype reached GDB in Baltimore and GenBank in Bethesda
+over the Internet; latency and per-server concurrency limits are what make the
+laziness and bounded-concurrency optimizations of Section 4 matter.  Here a
+:class:`RemoteSource` wraps any callable "server" with:
+
+* a fixed per-request latency (``time.sleep``),
+* a hard cap on concurrent in-flight requests — exceeding it raises
+  :class:`~repro.core.errors.RemoteSourceError`, exactly the failure mode the
+  paper warns about ("the server S may only be able to handle a limited number
+  of requests at a time, say five"),
+* a call log with timestamps, which the concurrency benchmark uses to verify
+  that requests really overlapped and never exceeded the cap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import RemoteSourceError
+
+__all__ = ["RemoteCallLog", "RemoteSource"]
+
+
+class RemoteCallLog:
+    """Start/end timestamps of every request made against a remote source."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls: List[Dict[str, float]] = []
+
+    def record(self, started: float, finished: float) -> None:
+        with self._lock:
+            self.calls.append({"started": started, "finished": finished})
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def max_concurrency(self) -> int:
+        """The maximum number of requests that were in flight at the same instant."""
+        events = []
+        for call in self.calls:
+            events.append((call["started"], 1))
+            events.append((call["finished"], -1))
+        events.sort()
+        level = 0
+        peak = 0
+        for _, delta in events:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    def wall_clock(self) -> float:
+        """Total elapsed time from the first request start to the last finish."""
+        if not self.calls:
+            return 0.0
+        started = min(call["started"] for call in self.calls)
+        finished = max(call["finished"] for call in self.calls)
+        return finished - started
+
+
+class RemoteSource:
+    """Wrap a callable server with latency and a concurrency cap."""
+
+    def __init__(self, name: str, handler: Callable[..., object],
+                 latency: float = 0.02, max_concurrent_requests: int = 5):
+        self.name = name
+        self.handler = handler
+        self.latency = latency
+        self.max_concurrent_requests = max_concurrent_requests
+        self.log = RemoteCallLog()
+        self._lock = threading.Lock()
+        self._in_flight = 0
+
+    def call(self, *args, **kwargs) -> object:
+        """Issue one request: admission check, latency, then the wrapped handler."""
+        with self._lock:
+            if self._in_flight >= self.max_concurrent_requests:
+                raise RemoteSourceError(
+                    f"server {self.name!r} rejected the request: already handling "
+                    f"{self._in_flight} concurrent requests (cap {self.max_concurrent_requests})"
+                )
+            self._in_flight += 1
+        started = time.monotonic()
+        try:
+            if self.latency > 0:
+                time.sleep(self.latency)
+            return self.handler(*args, **kwargs)
+        finally:
+            finished = time.monotonic()
+            self.log.record(started, finished)
+            with self._lock:
+                self._in_flight -= 1
+
+    __call__ = call
+
+    @property
+    def request_count(self) -> int:
+        return len(self.log)

@@ -1,0 +1,26 @@
+"""A small in-process relational engine.
+
+This package stands in for the Sybase server hosting GDB in the paper: it is
+the external system the relational Kleisli driver talks SQL to, and the target
+of the optimizer's selection/projection/join pushdown (experiment E4).
+
+It is intentionally a *database engine*, not a list of dicts: it has a schema
+catalog, typed columns, primary keys, secondary indexes, per-table statistics
+and a SQL subset with its own parser, planner and executor — because the
+paper's point is that the pushed-down SQL can exploit "pre-computed indexes
+and table statistics" on the server side.
+"""
+
+from .schema import Column, TableSchema
+from .table import Table
+from .database import Database
+from .indexes import HashIndex, SortedIndex
+from .statistics import TableStatistics
+from .sql.parser import parse_sql
+from .sql.executor import execute_sql
+
+__all__ = [
+    "Column", "TableSchema", "Table", "Database",
+    "HashIndex", "SortedIndex", "TableStatistics",
+    "parse_sql", "execute_sql",
+]

@@ -1,0 +1,268 @@
+"""Executor for SQL plans.
+
+Rows flow through the plan as dictionaries keyed ``alias.column``; the final
+projection renames them to the select-list names.  The executor is where index
+lookups, hash joins and residual filters actually run.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ...core.errors import SQLExecutionError
+from ..database import Database
+from .ast import ColumnRef, Comparison, InList, Like, SelectStatement
+from .parser import parse_sql
+from .planner import (
+    DistinctNode,
+    HashJoinNode,
+    LimitNode,
+    NestedLoopJoinNode,
+    OrderNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    plan_query,
+)
+
+__all__ = ["execute_sql", "execute_plan"]
+
+Row = Dict[str, object]
+
+
+def execute_sql(database: Database, text: str) -> List[Row]:
+    """Parse, plan and execute ``text`` against ``database``."""
+    statement = parse_sql(text)
+    plan = plan_query(database, statement)
+    return execute_plan(plan)
+
+
+def execute_plan(plan: PlanNode) -> List[Row]:
+    """Execute a plan tree and return the result rows."""
+    return list(_run(plan))
+
+
+def _run(node: PlanNode) -> Iterator[Row]:
+    if isinstance(node, ScanNode):
+        return _run_scan(node)
+    if isinstance(node, HashJoinNode):
+        return _run_hash_join(node)
+    if isinstance(node, NestedLoopJoinNode):
+        return _run_nested_loop(node)
+    if isinstance(node, ProjectNode):
+        return _run_project(node)
+    if isinstance(node, DistinctNode):
+        return _run_distinct(node)
+    if isinstance(node, OrderNode):
+        return _run_order(node)
+    if isinstance(node, LimitNode):
+        return _run_limit(node)
+    raise SQLExecutionError(f"cannot execute plan node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+def _run_scan(node: ScanNode) -> Iterator[Row]:
+    if node.index_column is not None:
+        source = node.table.lookup(node.index_column, node.index_value)
+    elif node.range_column is not None and node.range_bounds is not None:
+        low, high, include_low, include_high = node.range_bounds
+        source = node.table.range_lookup(node.range_column, low, high, include_low, include_high)
+    else:
+        source = node.table.scan()
+    for raw in source:
+        row = {f"{node.alias}.{column}": value for column, value in raw.items()}
+        if all(_evaluate_predicate(predicate, row) for predicate in node.predicates):
+            yield row
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+def _run_hash_join(node: HashJoinNode) -> Iterator[Row]:
+    build_rows = list(_run(node.right))
+    index: Dict[object, List[Row]] = {}
+    right_key = _qualified_name(node.right_key)
+    for row in build_rows:
+        index.setdefault(_row_value(row, right_key), []).append(row)
+    left_key = _qualified_name(node.left_key)
+    for left_row in _run(node.left):
+        key = _row_value(left_row, left_key)
+        for right_row in index.get(key, ()):
+            combined = dict(left_row)
+            combined.update(right_row)
+            if all(_evaluate_predicate(p, combined) for p in node.residual):
+                yield combined
+
+
+def _run_nested_loop(node: NestedLoopJoinNode) -> Iterator[Row]:
+    right_rows = list(_run(node.right))
+    for left_row in _run(node.left):
+        for right_row in right_rows:
+            combined = dict(left_row)
+            combined.update(right_row)
+            if all(_evaluate_predicate(p, combined) for p in node.predicates):
+                yield combined
+
+
+# ---------------------------------------------------------------------------
+# Projection and friends
+# ---------------------------------------------------------------------------
+
+def _run_project(node: ProjectNode) -> Iterator[Row]:
+    for row in _run(node.child):
+        yield _project_row(node, row)
+
+
+def _project_row(node: ProjectNode, row: Row) -> Row:
+    result: Row = {}
+    for name, ref in node.columns:
+        if ref is None and name == "*":
+            for key, value in row.items():
+                result[key.split(".", 1)[1]] = value
+            continue
+        if ref is not None and ref.column == "*":
+            prefix = f"{ref.table}."
+            for key, value in row.items():
+                if key.startswith(prefix):
+                    result[key.split(".", 1)[1]] = value
+            continue
+        result[name] = _row_value(row, _qualified_name(ref))
+    return result
+
+
+def _run_distinct(node: DistinctNode) -> Iterator[Row]:
+    seen = set()
+    for row in _run(node.child):
+        key = tuple(sorted(row.items()))
+        if key not in seen:
+            seen.add(key)
+            yield row
+
+
+def _run_order(node: OrderNode) -> Iterator[Row]:
+    rows = list(_run(node.child))
+
+    def sort_key(row: Row):
+        key = []
+        for name, descending in node.keys:
+            value = row.get(name)
+            key.append(_Reversed(value) if descending else _Forward(value))
+        return key
+
+    rows.sort(key=sort_key)
+    return iter(rows)
+
+
+class _Forward:
+    """Total-order wrapper tolerating None and mixed types."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def _rank(self):
+        value = self.value
+        if value is None:
+            return (0, "")
+        if isinstance(value, bool):
+            return (1, value)
+        if isinstance(value, (int, float)):
+            return (2, value)
+        return (3, str(value))
+
+    def __lt__(self, other: "_Forward") -> bool:
+        return self._rank() < other._rank()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Forward) and self._rank() == other._rank()
+
+
+class _Reversed(_Forward):
+    def __lt__(self, other: "_Forward") -> bool:
+        return other._rank() < self._rank()
+
+
+def _run_limit(node: LimitNode) -> Iterator[Row]:
+    count = 0
+    for row in _run(node.child):
+        if count >= node.limit:
+            return
+        count += 1
+        yield row
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation
+# ---------------------------------------------------------------------------
+
+def _qualified_name(ref: ColumnRef) -> str:
+    return f"{ref.table}.{ref.column}" if ref.table else ref.column
+
+
+def _row_value(row: Row, name: str) -> object:
+    if name in row:
+        return row[name]
+    # Unqualified lookup: match a unique `alias.column` suffix.
+    suffix = "." + name
+    matches = [key for key in row if key.endswith(suffix)]
+    if len(matches) == 1:
+        return row[matches[0]]
+    if not matches:
+        raise SQLExecutionError(f"row has no column {name!r}")
+    raise SQLExecutionError(f"ambiguous column {name!r} in row")
+
+
+def _evaluate_predicate(predicate: object, row: Row) -> bool:
+    if isinstance(predicate, Comparison):
+        return _evaluate_comparison(predicate, row)
+    if isinstance(predicate, InList):
+        value = _operand_value(predicate.column, row)
+        return value in predicate.values
+    if isinstance(predicate, Like):
+        value = _operand_value(predicate.column, row)
+        if not isinstance(value, str):
+            return False
+        pattern = predicate.pattern.replace("%", "*").replace("_", "?")
+        return fnmatch.fnmatch(value, pattern)
+    raise SQLExecutionError(f"cannot evaluate predicate {predicate!r}")
+
+
+def _operand_value(operand: object, row: Row) -> object:
+    if isinstance(operand, ColumnRef):
+        return _row_value(row, _qualified_name(operand))
+    return operand
+
+
+def _evaluate_comparison(predicate: Comparison, row: Row) -> bool:
+    left = _operand_value(predicate.left, row)
+    if predicate.op == "is null":
+        return left is None
+    if predicate.op == "is not null":
+        return left is not None
+    right = _operand_value(predicate.right, row)
+    if predicate.op == "=":
+        return left == right
+    if predicate.op == "<>":
+        return left != right
+    if left is None or right is None:
+        return False
+    try:
+        if predicate.op == "<":
+            return left < right
+        if predicate.op == "<=":
+            return left <= right
+        if predicate.op == ">":
+            return left > right
+        if predicate.op == ">=":
+            return left >= right
+    except TypeError:
+        raise SQLExecutionError(
+            f"cannot compare {left!r} and {right!r} with {predicate.op}"
+        )
+    raise SQLExecutionError(f"unknown comparison operator {predicate.op!r}")

@@ -1,0 +1,91 @@
+"""Per-table statistics.
+
+The paper's join rule set "requires statistics about the size of files"; on
+the server side those statistics also drive the SQL planner's choice between
+index lookups and scans.  We keep the classical basics: row count, per-column
+distinct-value counts, and min/max for ordered columns, refreshed either
+incrementally on insert or by an explicit ``analyze``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+__all__ = ["ColumnStatistics", "TableStatistics"]
+
+
+class ColumnStatistics:
+    """Distinct count and min/max for one column."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self.distinct_values = 0
+        self.null_count = 0
+        self.minimum: Optional[object] = None
+        self.maximum: Optional[object] = None
+
+    def refresh(self, values: Iterable[object]) -> None:
+        seen = set()
+        self.null_count = 0
+        self.minimum = None
+        self.maximum = None
+        for value in values:
+            if value is None:
+                self.null_count += 1
+                continue
+            seen.add(value)
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+        self.distinct_values = len(seen)
+
+    def selectivity_equality(self, row_count: int) -> float:
+        """Estimated fraction of rows matching ``column = constant``."""
+        if row_count == 0 or self.distinct_values == 0:
+            return 0.0
+        return 1.0 / self.distinct_values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ColumnStatistics({self.column}, distinct={self.distinct_values}, "
+                f"min={self.minimum!r}, max={self.maximum!r})")
+
+
+class TableStatistics:
+    """Row count plus per-column statistics for one table."""
+
+    def __init__(self, table_name: str):
+        self.table_name = table_name
+        self.row_count = 0
+        self.columns: Dict[str, ColumnStatistics] = {}
+
+    def refresh(self, column_values: Dict[str, Iterable[object]], row_count: int) -> None:
+        self.row_count = row_count
+        for column, values in column_values.items():
+            stats = self.columns.setdefault(column, ColumnStatistics(column))
+            stats.refresh(values)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns.setdefault(name, ColumnStatistics(name))
+
+    def estimate_equality_matches(self, column: str, row_count: Optional[int] = None) -> float:
+        rows = self.row_count if row_count is None else row_count
+        return rows * self.column(column).selectivity_equality(rows)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "table": self.table_name,
+            "rows": self.row_count,
+            "columns": {
+                name: {
+                    "distinct": stats.distinct_values,
+                    "nulls": stats.null_count,
+                    "min": stats.minimum,
+                    "max": stats.maximum,
+                }
+                for name, stats in self.columns.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"TableStatistics({self.table_name}, rows={self.row_count})"

@@ -1,0 +1,40 @@
+"""Multidatabase user views (Section 3 and Figure 1 of the paper).
+
+The paper's intended users *"are not database experts"*, so the system exposes
+"multidatabase user-views": parameterised CPL functions over several sources,
+*"programmed with special purpose GUIs such as the one shown in Figure 1"* —
+the Mosaic form at ``cgi-bin/cpl/mapsearch1.html`` that lets a biologist pick
+a chromosome and cytogenetic band interval and get back the DOE query's
+nested answer.
+
+This subpackage reproduces that layer:
+
+* :class:`~repro.views.parameters.ViewParameter` — one form field: a name,
+  kind, optional choice list ("valid bands are listed") and default.
+* :class:`~repro.views.view.UserView` — a parameterised CPL query over the
+  registered sources plus the output format it should be rendered in.
+* :class:`~repro.views.registry.ViewRegistry` — the set of views a site
+  publishes.
+* :mod:`~repro.views.forms` — HTML rendering: the Figure-1 form, the result
+  page, and the view index.
+* :class:`~repro.views.gateway.ViewGateway` — the CGI-style entry point that
+  takes a form submission (a dict of strings), validates it, executes the
+  view's CPL, and returns an HTML response.
+* :mod:`~repro.views.mapsearch` — the Figure-1 map-search view itself, built
+  over the synthetic chromosome-22 scenario.
+"""
+
+from .parameters import ViewError, ViewParameter, ViewParameterError
+from .view import UserView, ViewResult
+from .registry import ViewRegistry
+from .forms import render_form, render_index, render_result_page
+from .gateway import ViewGateway, ViewResponse
+from .mapsearch import build_mapsearch_view, mapsearch_session
+
+__all__ = [
+    "ViewError", "ViewParameter", "ViewParameterError",
+    "UserView", "ViewResult", "ViewRegistry",
+    "render_form", "render_index", "render_result_page",
+    "ViewGateway", "ViewResponse",
+    "build_mapsearch_view", "mapsearch_session",
+]

@@ -1,0 +1,108 @@
+"""HTML rendering for user views: the Figure-1 form, result pages, and the index.
+
+The paper's Figure 1 is a Mosaic form ("Select a cytogenetic band interval on
+chromosome 22 (valid bands are listed)") backed by a CGI script that runs a
+CPL function with the submitted parameters.  These renderers produce the same
+three artefacts a mid-1990s genome-centre web server needed: the form, the
+answer page, and an index of available views.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Optional
+
+from ..core.cpl.printer import render_html, render_tabular, render_value
+from .parameters import ViewParameter
+from .registry import ViewRegistry
+from .view import UserView, ViewResult
+
+__all__ = ["render_form", "render_result_page", "render_index"]
+
+_PAGE = """<html>
+<head><title>{title}</title></head>
+<body>
+<h1>{title}</h1>
+{body}
+<hr>
+<address>CPL multidatabase user views &mdash; Kleisli reproduction</address>
+</body>
+</html>
+"""
+
+
+def render_form(view: UserView, action: Optional[str] = None,
+                error: Optional[str] = None) -> str:
+    """Render the HTML form for ``view`` (Figure 1 style).
+
+    ``action`` is the URL the form submits to; it defaults to the CGI-era path
+    the paper's footnote gives (``/cgi-bin/cpl/<name>.html``).  ``error``, when
+    given, is shown above the form — the gateway uses it to re-present the
+    form after a validation failure.
+    """
+    action = action or f"/cgi-bin/cpl/{view.name}.html"
+    parts = []
+    if view.description:
+        parts.append(f"<p>{_escape(view.description)}</p>")
+    if error:
+        parts.append(f'<p><b>Error:</b> {_escape(error)}</p>')
+    parts.append(f'<form method="get" action="{_escape(action)}">')
+    for parameter in view.parameters:
+        parts.append(_render_field(parameter))
+    parts.append('<p><input type="submit" value="Run query"></p>')
+    parts.append("</form>")
+    return _PAGE.format(title=_escape(view.title), body="\n".join(parts))
+
+
+def _render_field(parameter: ViewParameter) -> str:
+    label = _escape(parameter.label)
+    help_text = f" <i>({_escape(parameter.help)})</i>" if parameter.help else ""
+    if parameter.kind == "choice":
+        options = []
+        for choice in parameter.choices:
+            selected = " selected" if choice == parameter.default else ""
+            options.append(f'<option value="{_escape(str(choice))}"{selected}>'
+                           f"{_escape(str(choice))}</option>")
+        control = (f'<select name="{_escape(parameter.name)}">'
+                   + "".join(options) + "</select>")
+    elif parameter.kind == "bool":
+        checked = " checked" if parameter.default else ""
+        control = f'<input type="checkbox" name="{_escape(parameter.name)}" value="true"{checked}>'
+    else:
+        default = "" if parameter.default is None else str(parameter.default)
+        control = (f'<input type="text" name="{_escape(parameter.name)}" '
+                   f'value="{_escape(default)}">')
+    required = "" if parameter.required or parameter.default is not None else " (optional)"
+    return f"<p>{label}{required}: {control}{help_text}</p>"
+
+
+def render_result_page(result: ViewResult) -> str:
+    """Render the answer page for a completed view execution."""
+    view = result.view
+    parts = []
+    if result.parameters:
+        bound = ", ".join(f"{name} = {_escape(str(value))}"
+                          for name, value in sorted(result.parameters.items()))
+        parts.append(f"<p>Parameters: {bound}</p>")
+    if view.output == "html":
+        parts.append(render_html(result.value, title=view.title))
+    elif view.output == "tabular":
+        parts.append("<pre>" + _escape(render_tabular(result.value)) + "</pre>")
+    else:
+        parts.append("<pre>" + _escape(render_value(result.value)) + "</pre>")
+    return _PAGE.format(title=_escape(view.title), body="\n".join(parts))
+
+
+def render_index(registry: ViewRegistry, base_action: str = "/cgi-bin/cpl") -> str:
+    """Render an index page linking every registered view's form."""
+    items = []
+    for name in registry.names():
+        view = registry.get(name)
+        items.append(f'<li><a href="{_escape(base_action)}/{_escape(name)}.html">'
+                     f"{_escape(view.title)}</a> &mdash; {_escape(view.description)}</li>")
+    body = "<ul>\n" + "\n".join(items) + "\n</ul>" if items else "<p>No views registered.</p>"
+    return _PAGE.format(title="Available multidatabase views", body=body)
+
+
+def _escape(text: str) -> str:
+    return _html.escape(text, quote=True)

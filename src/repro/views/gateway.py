@@ -1,0 +1,101 @@
+"""The CGI-style gateway in front of the view registry.
+
+The paper's executable Figure-1 screen lived at
+``http://agave.humgen.upenn.edu/cgi-bin/cpl/mapsearch1.html``: Mosaic submits
+the form, a CGI script binds the parameters into a CPL function, Kleisli runs
+it, and the answer comes back as HTML.  :class:`ViewGateway` is that script's
+in-process equivalent — it needs no web server, so tests and examples can
+drive it directly, but its request/response shape (a path-like view name plus
+a dict of form strings in, status + content type + body out) matches what a
+CGI or WSGI wrapper would need.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..core.errors import ReproError
+from ..kleisli.session import Session
+from .forms import render_form, render_index, render_result_page
+from .parameters import ViewError, ViewParameterError
+from .registry import ViewRegistry
+
+__all__ = ["ViewGateway", "ViewResponse"]
+
+
+class ViewResponse:
+    """A minimal HTTP-ish response: status code, content type, body, and the value."""
+
+    def __init__(self, status: int, body: str, content_type: str = "text/html",
+                 value: object = None):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.value = value
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ViewResponse({self.status}, {len(self.body)} bytes)"
+
+
+class ViewGateway:
+    """Dispatches form submissions to registered views over one CPL session."""
+
+    def __init__(self, session: Session, registry: Optional[ViewRegistry] = None):
+        self.session = session
+        self.registry = registry or ViewRegistry()
+
+    # -- the three request shapes the 1995 site served ------------------------
+
+    def index(self) -> ViewResponse:
+        """The index page listing every available view."""
+        return ViewResponse(200, render_index(self.registry))
+
+    def form(self, view_name: str) -> ViewResponse:
+        """The (empty) form for one view."""
+        try:
+            view = self.registry.get(view_name)
+        except ViewError as error:
+            return ViewResponse(404, _error_page(str(error)))
+        return ViewResponse(200, render_form(view))
+
+    def submit(self, view_name: str, form: Optional[Mapping[str, object]] = None,
+               optimize: bool = True) -> ViewResponse:
+        """Validate ``form``, run the view, and return the rendered answer.
+
+        Validation failures re-render the form with the error message (status
+        400); unknown views give status 404; a failure inside query execution
+        gives status 500 with the error text.
+        """
+        try:
+            view = self.registry.get(view_name)
+        except ViewError as error:
+            return ViewResponse(404, _error_page(str(error)))
+        try:
+            result = view.run(self.session, form or {}, optimize=optimize)
+        except (ViewParameterError, ViewError) as error:
+            return ViewResponse(400, render_form(view, error=str(error)))
+        except ReproError as error:
+            return ViewResponse(500, _error_page(f"query execution failed: {error}"))
+        return ViewResponse(200, render_result_page(result), value=result.value)
+
+    # -- convenience -----------------------------------------------------------
+
+    def handle(self, path: str, form: Optional[Mapping[str, object]] = None) -> ViewResponse:
+        """Dispatch a CGI-style path: ``""`` or ``"index"`` lists views,
+        ``"<name>"`` with no form shows the form, with a form runs the view."""
+        name = path.strip("/").removesuffix(".html")
+        if name in ("", "index"):
+            return self.index()
+        if not form:
+            return self.form(name)
+        return self.submit(name, form)
+
+
+def _error_page(message: str) -> str:
+    from .forms import _escape, _PAGE
+
+    return _PAGE.format(title="CPL view error", body=f"<p>{_escape(message)}</p>")

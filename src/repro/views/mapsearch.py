@@ -1,0 +1,87 @@
+"""The Figure-1 map-search view, rebuilt over the synthetic chromosome-22 scenario.
+
+The paper's footnote: *"This executable screen is available via Mosaic using
+http://agave.humgen.upenn.edu/cgi-bin/cpl/mapsearch1.html"* — a form that
+generalises the DOE query by letting the user pick a chromosome and a
+cytogenetic band of interest.  :func:`build_mapsearch_view` constructs that
+view; :func:`mapsearch_session` wires a session with the GDB and GenBank
+drivers it needs (the same substitution the rest of the reproduction uses:
+synthetic GDB-shaped tables and a synthetic Entrez server).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..bio.chromosome22 import build_chromosome22
+from ..bio.gdb import GDB_BANDS
+from ..kleisli.drivers import EntrezDriver, RelationalDriver
+from ..kleisli.session import Session
+from .parameters import ViewParameter
+from .view import UserView
+
+__all__ = ["build_mapsearch_view", "mapsearch_session", "MAPSEARCH_QUERY"]
+
+# ``ASN-IDs`` is the paper's helper: Entrez sequence ids for an accession number,
+# pruned during the parse by the path expression.
+_MAPSEARCH_SETUP = '''
+define ASN-IDs == \\accession =>
+  GenBank([db = "na", select = "accession " ^ accession, path = "Seq-entry.seq.id..giim"])
+'''
+
+# The generalised DOE query behind the form: loci on the chosen chromosome
+# (optionally restricted to one band), each paired with its GenBank reference
+# and the precomputed similarity links to other organisms.
+MAPSEARCH_QUERY = '''
+{[locus-symbol = x, band = b, genbank-ref = y, homologs = NA-Links(uid)] |
+  [locus_symbol = \\x, locus_id = \\a, ...] <- GDB-Tab("locus"),
+  [genbank_ref = \\y, object_id = a, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"),
+  [loc_cyto_chrom_num = \\c, locus_cyto_location_id = a, loc_cyto_band_start = \\b, ...]
+      <- GDB-Tab("locus_cyto_location"),
+  c = chromosome,
+  (band = "any") or (b = band),
+  \\uid <- ASN-IDs(y)}
+'''
+
+
+def build_mapsearch_view(bands: Optional[Tuple[str, ...]] = None) -> UserView:
+    """Build the Figure-1 view: chromosome + cytogenetic band -> loci with homologues.
+
+    ``bands`` overrides the band choice list (Figure 1: "valid bands are
+    listed"); by default the chromosome-22 bands from the GDB generator are
+    offered, plus ``"any"`` to leave the band unconstrained.
+    """
+    band_choices = ["any"] + list(bands or GDB_BANDS)
+    return UserView(
+        "mapsearch1",
+        MAPSEARCH_QUERY,
+        title="Chromosome map search",
+        description=("Find information on the known DNA sequences in a cytogenetic "
+                     "band interval, as well as information on homologous sequences "
+                     "from other organisms."),
+        parameters=[
+            ViewParameter("chromosome", "choice", label="Chromosome",
+                          choices=[str(number) for number in range(1, 23)] + ["X", "Y"],
+                          default="22",
+                          help="human chromosome of interest"),
+            ViewParameter("band", "choice", label="Cytogenetic band interval",
+                          choices=band_choices, default="any",
+                          help="valid bands are listed"),
+        ],
+        setup=_MAPSEARCH_SETUP,
+        output="html",
+    )
+
+
+def mapsearch_session(locus_count: int = 80, seed: int = 22) -> Tuple[Session, object]:
+    """Return a (session, dataset) pair wired with the GDB and GenBank drivers.
+
+    This is the substitution for the paper's live Sybase/Entrez connections:
+    the synthetic Center-for-Chromosome-22 scenario with the same schema and
+    driver request vocabulary.
+    """
+    dataset = build_chromosome22(locus_count=locus_count, seed=seed)
+    session = Session()
+    session.register_driver(RelationalDriver("GDB", dataset.gdb))
+    session.register_driver(EntrezDriver("GenBank", dataset.genbank))
+    return session, dataset

@@ -1,0 +1,95 @@
+"""View parameters: the typed form fields of a multidatabase user view.
+
+Figure 1's form has a chromosome selector and a band-interval selector with
+the caption *"valid bands are listed"*; a :class:`ViewParameter` captures that
+idea — a named, typed, optionally enumerated input that arrives from a form
+as a string and must be validated and coerced before it is bound into the
+view's CPL query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.errors import ReproError
+
+__all__ = ["ViewError", "ViewParameterError", "ViewParameter"]
+
+
+class ViewError(ReproError):
+    """Base class for errors raised by the user-view layer."""
+
+
+class ViewParameterError(ViewError):
+    """A form value is missing, malformed, or outside the allowed choices."""
+
+
+_KINDS = ("string", "int", "float", "bool", "choice")
+
+
+class ViewParameter:
+    """One parameter of a user view.
+
+    ``kind`` is one of ``string``, ``int``, ``float``, ``bool`` or ``choice``;
+    ``choice`` parameters must supply ``choices`` (the values offered by the
+    form's ``<select>``).  ``default`` makes the parameter optional: a missing
+    or blank submission falls back to it.
+    """
+
+    def __init__(self, name: str, kind: str = "string", *, label: Optional[str] = None,
+                 required: bool = True, default: Optional[object] = None,
+                 choices: Optional[Sequence[str]] = None, help: str = ""):
+        if kind not in _KINDS:
+            raise ViewError(f"unknown parameter kind {kind!r}; expected one of {_KINDS}")
+        if kind == "choice" and not choices:
+            raise ViewError(f"parameter {name!r} is a choice but no choices were given")
+        self.name = name
+        self.kind = kind
+        self.label = label or name.replace("_", " ").replace("-", " ")
+        self.required = required
+        self.default = default
+        self.choices: List[str] = list(choices or [])
+        self.help = help
+
+    # -- coercion -----------------------------------------------------------
+
+    def coerce(self, raw: Optional[str]) -> object:
+        """Turn a raw form string into a typed value, or raise :class:`ViewParameterError`."""
+        if raw is None or (isinstance(raw, str) and raw.strip() == ""):
+            if self.default is not None:
+                return self.default
+            if not self.required:
+                return None
+            raise ViewParameterError(f"parameter {self.name!r} is required")
+        if not isinstance(raw, str):
+            # Programmatic callers may pass typed values directly.
+            return self._check_choice(raw)
+        text = raw.strip()
+        if self.kind == "int":
+            try:
+                return int(text)
+            except ValueError:
+                raise ViewParameterError(f"parameter {self.name!r} expects an integer, got {raw!r}")
+        if self.kind == "float":
+            try:
+                return float(text)
+            except ValueError:
+                raise ViewParameterError(f"parameter {self.name!r} expects a number, got {raw!r}")
+        if self.kind == "bool":
+            lowered = text.lower()
+            if lowered in ("true", "yes", "on", "1"):
+                return True
+            if lowered in ("false", "no", "off", "0"):
+                return False
+            raise ViewParameterError(f"parameter {self.name!r} expects a boolean, got {raw!r}")
+        return self._check_choice(text)
+
+    def _check_choice(self, value: object) -> object:
+        if self.kind == "choice" and value not in self.choices:
+            raise ViewParameterError(
+                f"parameter {self.name!r} must be one of the listed values, got {value!r}"
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ViewParameter({self.name!r}, kind={self.kind!r})"

@@ -1,0 +1,52 @@
+"""The registry of user views a site publishes.
+
+The Informatics Group of the Center for Chromosome 22 exposed its views as a
+set of CGI endpoints under ``cgi-bin/cpl/``; the registry is the in-process
+equivalent — the gateway dispatches an incoming request to the named view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .parameters import ViewError
+from .view import UserView
+
+__all__ = ["ViewRegistry"]
+
+
+class ViewRegistry:
+    """A name-indexed collection of :class:`~repro.views.view.UserView` objects."""
+
+    def __init__(self) -> None:
+        self._views: Dict[str, UserView] = {}
+
+    def register(self, view: UserView, replace: bool = False) -> UserView:
+        """Add ``view``; refuses to silently overwrite unless ``replace`` is set."""
+        if view.name in self._views and not replace:
+            raise ViewError(f"a view named {view.name!r} is already registered")
+        self._views[view.name] = view
+        return view
+
+    def unregister(self, name: str) -> None:
+        if name not in self._views:
+            raise ViewError(f"no view named {name!r} is registered")
+        del self._views[name]
+
+    def get(self, name: str) -> UserView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ViewError(f"no view named {name!r} is registered")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def __iter__(self) -> Iterator[UserView]:
+        return iter(self._views.values())
+
+    def names(self) -> List[str]:
+        return sorted(self._views)

@@ -1,0 +1,115 @@
+"""User views: parameterised CPL queries packaged for non-expert users.
+
+A :class:`UserView` is the paper's "multidatabase user-view": it is *not* a
+simple integration of underlying databases but a *generalised intended use* of
+them — a CPL query (often touching several drivers and restructuring their
+data) whose free variables are filled in from a form.  Figure 1's map-search
+form is one; ``views/mapsearch.py`` rebuilds it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..kleisli.session import Session
+from .parameters import ViewError, ViewParameter
+
+__all__ = ["UserView", "ViewResult"]
+
+
+class ViewResult:
+    """The outcome of executing a view: the CPL value plus the bound parameters."""
+
+    def __init__(self, view: "UserView", value: object, parameters: Dict[str, object]):
+        self.view = view
+        self.value = value
+        self.parameters = parameters
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ViewResult({self.view.name!r}, {len(self.parameters)} parameters)"
+
+
+class UserView:
+    """A parameterised CPL query published to non-expert users.
+
+    ``query`` is a CPL expression whose free variables include the parameter
+    names; ``setup`` is an optional CPL program (typically ``define``
+    statements such as ``ASN-IDs``) run once per session before the first
+    execution.  ``output`` selects how the gateway renders the result:
+    ``"html"`` (nested tables), ``"tabular"`` (tab-delimited rows) or
+    ``"value"`` (CPL value syntax).
+    """
+
+    _OUTPUTS = ("html", "tabular", "value")
+
+    def __init__(self, name: str, query: str, *, title: Optional[str] = None,
+                 description: str = "", parameters: Sequence[ViewParameter] = (),
+                 setup: Optional[str] = None, output: str = "html"):
+        if output not in self._OUTPUTS:
+            raise ViewError(f"unknown output format {output!r}; expected one of {self._OUTPUTS}")
+        names = [parameter.name for parameter in parameters]
+        if len(names) != len(set(names)):
+            raise ViewError(f"view {name!r} declares duplicate parameter names")
+        self.name = name
+        self.query = query
+        self.title = title or name.replace("_", " ").replace("-", " ")
+        self.description = description
+        self.parameters: List[ViewParameter] = list(parameters)
+        self.setup = setup
+        self.output = output
+        self._setup_done_for: set = set()
+
+    # -- parameters -----------------------------------------------------------
+
+    def parameter(self, name: str) -> ViewParameter:
+        for parameter in self.parameters:
+            if parameter.name == name:
+                return parameter
+        raise ViewError(f"view {self.name!r} has no parameter {name!r}")
+
+    def coerce_parameters(self, form: Mapping[str, object]) -> Dict[str, object]:
+        """Validate and coerce a form submission into typed parameter values."""
+        unknown = set(form) - {parameter.name for parameter in self.parameters}
+        if unknown:
+            raise ViewError(
+                f"view {self.name!r} does not accept parameter(s) {sorted(unknown)!r}"
+            )
+        values: Dict[str, object] = {}
+        for parameter in self.parameters:
+            coerced = parameter.coerce(form.get(parameter.name))
+            if coerced is not None:
+                values[parameter.name] = coerced
+        return values
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, session: Session, form: Optional[Mapping[str, object]] = None,
+            optimize: bool = True) -> ViewResult:
+        """Execute the view in ``session`` with the given form values.
+
+        Parameter values are bound under their own names for the duration of
+        the query and the session's previous bindings are restored afterwards,
+        so running a view never leaks its parameters into the session.
+        """
+        values = self.coerce_parameters(form or {})
+        self._ensure_setup(session)
+        saved = {name: session.values[name] for name in values if name in session.values}
+        try:
+            for name, value in values.items():
+                session.bind(name, value)
+            result_value = session.run(self.query, optimize=optimize)
+        finally:
+            for name in values:
+                session.values.pop(name, None)
+            for name, previous in saved.items():
+                session.values[name] = previous
+        return ViewResult(self, result_value, values)
+
+    def _ensure_setup(self, session: Session) -> None:
+        if self.setup is None or id(session) in self._setup_done_for:
+            return
+        session.run(self.setup)
+        self._setup_done_for.add(id(session))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"UserView({self.name!r}, {len(self.parameters)} parameters)"

@@ -1,0 +1,122 @@
+"""Tests for the ACE substrate: object model, database, .ace parse/dump, references."""
+
+import pytest
+
+from repro.ace import AceDatabase, dump_ace, parse_ace
+from repro.ace.model import AceObject, AceObjectRef
+from repro.ace.printer import record_to_ace_object
+from repro.core.errors import ACEError, ACEParseError
+from repro.core.values import CList, Record, Ref
+
+ACE_TEXT = '''
+Locus : "D22S1"
+GDB_id 101
+Genbank_ref "M81101"
+Contig Contig:"ctg22_1"
+
+Sequence : "M81101"
+Organism "Homo sapiens"
+Length 1234
+
+// a comment line
+Contig : "ctg22_1"
+Chromosome "22"
+Length_kb 540.5
+'''
+
+
+class TestAceModel:
+    def test_object_tags_and_values(self):
+        obj = AceObject("Locus", "D22S1")
+        obj.add("Remark", "first").add("Remark", "second")
+        assert obj.values("Remark") == ["first", "second"]
+        assert obj.first("Remark") == "first"
+        assert obj.first("Missing", default="none") == "none"
+
+    def test_class_rejects_foreign_objects(self):
+        from repro.ace.model import AceClass
+
+        ace_class = AceClass("Locus")
+        with pytest.raises(ACEError):
+            ace_class.add_object(AceObject("Clone", "c1"))
+
+    def test_to_record_converts_refs(self):
+        obj = AceObject("Locus", "D22S1")
+        obj.add("Contig", AceObjectRef("Contig", "ctg1"))
+        record = obj.to_record()
+        assert record.project("class") == "Locus"
+        assert record.project("Contig") == Ref("Contig", "ctg1")
+
+
+class TestAceParser:
+    def test_parse_objects(self):
+        objects = parse_ace(ACE_TEXT)
+        assert len(objects) == 3
+        locus = objects[0]
+        assert (locus.class_name, locus.name) == ("Locus", "D22S1")
+        assert locus.first("GDB_id") == 101
+        assert locus.first("Contig") == AceObjectRef("Contig", "ctg22_1")
+
+    def test_numeric_values(self):
+        objects = parse_ace(ACE_TEXT)
+        contig = objects[2]
+        assert contig.first("Length_kb") == 540.5
+
+    def test_bad_header_raises(self):
+        with pytest.raises(ACEParseError):
+            parse_ace("NotAHeaderLine without colon\nTag 1\n")
+
+    def test_roundtrip_through_dump(self):
+        objects = parse_ace(ACE_TEXT)
+        text = dump_ace(objects)
+        reparsed = parse_ace(text)
+        assert len(reparsed) == 3
+        assert reparsed[0].first("Genbank_ref") == "M81101"
+        assert reparsed[2].first("Length_kb") == 540.5
+
+    def test_dump_from_cpl_records(self):
+        """CPL transformations can emit .ace bulk-load text directly (the paper's point)."""
+        record = Record({"class": "Locus", "name": "D22S9",
+                         "Genbank_ref": "M81109",
+                         "Contig": Ref("Contig", "ctg22_2"),
+                         "Keywords": CList(["mapping", "cosmid"])})
+        text = dump_ace([record])
+        reparsed = parse_ace(text)[0]
+        assert reparsed.name == "D22S9"
+        assert reparsed.first("Contig") == AceObjectRef("Contig", "ctg22_2")
+        assert reparsed.values("Keywords") == ["mapping", "cosmid"]
+
+    def test_record_without_identity_rejected(self):
+        with pytest.raises(ACEError):
+            record_to_ace_object(Record({"Genbank_ref": "M1"}))
+
+
+class TestAceDatabase:
+    @pytest.fixture()
+    def database(self):
+        database = AceDatabase("test")
+        database.load(parse_ace(ACE_TEXT))
+        return database
+
+    def test_class_scan_returns_records(self, database):
+        loci = database.scan("Locus")
+        assert len(loci) == 1
+        record = next(iter(loci))
+        assert record.project("name") == "D22S1"
+
+    def test_reference_resolution_through_store(self, database):
+        locus = next(iter(database.scan("Locus")))
+        contig_ref = locus.project("Contig")
+        assert isinstance(contig_ref, Ref)
+        contig = contig_ref.deref()
+        assert contig.project("Chromosome") == "22"
+
+    def test_unknown_class_and_object(self, database):
+        with pytest.raises(ACEError):
+            database.scan("NoSuchClass")
+        with pytest.raises(ACEError):
+            database.get("Locus", "missing")
+
+    def test_size_and_class_names(self, database):
+        assert len(database) == 3
+        assert database.class_names() == ["Contig", "Locus", "Sequence"]

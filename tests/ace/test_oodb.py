@@ -1,0 +1,107 @@
+"""Tests for native OODB loader-program generation (Section 2, "Object Identity")."""
+
+import pytest
+
+from repro.ace import AceDatabase, dump_ace, execute_oodb_program, generate_oodb_program, parse_ace
+from repro.ace.model import AceObject, AceObjectRef
+from repro.core.errors import ACEError
+from repro.core.values import CSet, Record, Ref
+
+
+def _sample_objects():
+    locus = (AceObject("Locus", "D22S1")
+             .add("Map", "22q11.2")
+             .add("GenBank", AceObjectRef("Sequence", "M81409")))
+    sequence = AceObject("Sequence", "M81409").add("Length", 420).add("Organism", "human")
+    return [locus, sequence]
+
+
+class TestPythonDialect:
+    def test_generated_program_round_trips(self):
+        program = generate_oodb_program(_sample_objects())
+        database = execute_oodb_program(program)
+        assert set(database.class_names()) == {"Locus", "Sequence"}
+        locus = database.get("Locus", "D22S1")
+        assert locus.first("Map") == "22q11.2"
+        reference = locus.first("GenBank")
+        assert isinstance(reference, AceObjectRef)
+        assert (reference.class_name, reference.object_name) == ("Sequence", "M81409")
+        assert database.get("Sequence", "M81409").first("Length") == 420
+
+    def test_objects_are_constructed_before_links(self):
+        # Forward reference: the first object links to one declared later.
+        program = generate_oodb_program(_sample_objects())
+        creation = program.index("new_object(db, 'Sequence', 'M81409')")
+        linking = program.index("add_reference(locus_d22s1")
+        assert creation < linking
+
+    def test_cpl_records_are_accepted(self):
+        record = Record({"class": "Locus", "name": "X1", "Map": "22q12",
+                         "GenBank": Ref("Sequence", "M81001"),
+                         "keywd": CSet(["Exons", "Genes"])})
+        database = execute_oodb_program(generate_oodb_program([record]))
+        obj = database.get("Locus", "X1")
+        assert obj.first("Map") == "22q12"
+        assert sorted(obj.values("keywd")) == ["Exons", "Genes"]
+        assert isinstance(obj.first("GenBank"), AceObjectRef)
+
+    def test_record_without_identity_is_rejected(self):
+        with pytest.raises(ACEError):
+            generate_oodb_program([Record({"Map": "22q12"})])
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(ACEError):
+            generate_oodb_program(_sample_objects(), dialect="smalltalk")
+
+    def test_duplicate_variable_names_are_disambiguated(self):
+        # Two objects whose class/name mangle to the same identifier.
+        first = AceObject("Locus", "D22-S1").add("Map", "a")
+        second = AceObject("Locus", "D22 S1").add("Map", "b")
+        program = generate_oodb_program([first, second])
+        database = execute_oodb_program(program)
+        assert len(database) == 2
+
+    def test_awkward_names_are_mangled_to_identifiers(self):
+        obj = AceObject("Sequence", "123-45.6/7").add("Length", 1)
+        program = generate_oodb_program([obj])
+        database = execute_oodb_program(program)
+        assert database.get("Sequence", "123-45.6/7").first("Length") == 1
+
+    def test_program_that_never_creates_a_database_is_an_error(self):
+        with pytest.raises(ACEError):
+            execute_oodb_program("x = 1")
+
+    def test_loader_matches_ace_bulk_load(self):
+        """The two routes the paper describes — .ace bulk load and generated
+        native code — must build the same database contents."""
+        objects = _sample_objects()
+        via_loader = execute_oodb_program(generate_oodb_program(objects))
+        via_bulk = AceDatabase("acedb")
+        via_bulk.load(parse_ace(dump_ace(objects)))
+        assert set(via_loader.class_names()) == set(via_bulk.class_names())
+        for class_name in via_loader.class_names():
+            loader_names = {obj.name for obj in via_loader.ace_class(class_name)}
+            bulk_names = {obj.name for obj in via_bulk.ace_class(class_name)}
+            assert loader_names == bulk_names
+        assert (via_loader.get("Locus", "D22S1").first("Map")
+                == via_bulk.get("Locus", "D22S1").first("Map"))
+
+
+class TestCxxDialect:
+    def test_program_shape(self):
+        program = generate_oodb_program(_sample_objects(), dialect="cxx",
+                                        database_name="chr22")
+        assert program.startswith("// OODB loader program")
+        assert 'Database db("chr22");' in program
+        assert 'db.new_object("Locus", "D22S1");' in program
+        assert 'add_reference("GenBank", db.object("Sequence", "M81409"));' in program
+        assert program.rstrip().endswith("}")
+
+    def test_strings_are_escaped(self):
+        obj = AceObject("Publication", 'A "quoted" title').add("Note", 'say "hi"')
+        program = generate_oodb_program([obj], dialect="cxx")
+        assert '\\"quoted\\"' in program and '\\"hi\\"' in program
+
+    def test_numeric_values_are_not_quoted(self):
+        program = generate_oodb_program(_sample_objects(), dialect="cxx")
+        assert '->add("Length", 420);' in program

@@ -1,0 +1,200 @@
+"""Tests for the ASN.1 substrate: schemas, value text, paths, pruning parse, Entrez."""
+
+import pytest
+
+from repro.asn1 import (
+    EntrezServer,
+    parse_asn1_schema,
+    parse_path,
+    parse_value,
+    parse_value_with_path,
+    print_value,
+)
+from repro.core import types as T
+from repro.core.errors import ASN1Error, ASN1ParseError, PathApplicationError, PathSyntaxError
+from repro.core.values import CList, CSet, Record, Variant
+from repro.asn1.values import conforms, validate_value
+
+SPEC = """
+Seq-entry ::= SEQUENCE {
+    accession VisibleString,
+    seq SEQUENCE {
+        id SET OF CHOICE { giim INTEGER, genbank VisibleString },
+        length INTEGER
+    },
+    keywd SET OF VisibleString
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def seq_entry_type():
+    return parse_asn1_schema(SPEC).cpl_type("Seq-entry")
+
+
+@pytest.fixture()
+def sample_entry():
+    return Record({
+        "accession": "M81409",
+        "seq": Record({"id": CSet([Variant("giim", 5001), Variant("genbank", "M81409")]),
+                       "length": 1234}),
+        "keywd": CSet(["perforin", "chromosome 22"]),
+    })
+
+
+class TestTypeSpec:
+    def test_sequence_of_and_set_of(self):
+        schema = parse_asn1_schema("T ::= SEQUENCE OF INTEGER\nS ::= SET OF VisibleString")
+        assert schema.cpl_type("T") == T.ListType(T.INT)
+        assert schema.cpl_type("S") == T.SetType(T.STRING)
+
+    def test_choice_becomes_variant(self, seq_entry_type):
+        id_type = seq_entry_type.field("seq").field("id")
+        assert isinstance(id_type.element, T.VariantType)
+        assert id_type.element.case("giim") == T.INT
+
+    def test_named_type_references_resolve(self):
+        schema = parse_asn1_schema("""
+            Author ::= SEQUENCE { name VisibleString }
+            Publication ::= SEQUENCE { authors SEQUENCE OF Author }
+        """)
+        ty = schema.cpl_type("Publication")
+        assert ty.field("authors") == T.ListType(T.RecordType({"name": T.STRING}))
+
+    def test_undefined_reference_raises(self):
+        schema = parse_asn1_schema("T ::= SEQUENCE { x Undefined }")
+        with pytest.raises(ASN1ParseError):
+            schema.cpl_type("T")
+
+    def test_recursive_type_rejected(self):
+        schema = parse_asn1_schema("Node ::= SEQUENCE { child Node }")
+        with pytest.raises(ASN1ParseError):
+            schema.cpl_type("Node")
+
+    def test_unknown_type_name(self, seq_entry_type):
+        schema = parse_asn1_schema(SPEC)
+        with pytest.raises(ASN1ParseError):
+            schema.cpl_type("NoSuchType")
+
+
+class TestValueTextRoundtrip:
+    def test_roundtrip(self, seq_entry_type, sample_entry):
+        text = print_value(sample_entry)
+        assert parse_value(text, seq_entry_type) == sample_entry
+
+    def test_string_escaping(self):
+        ty = T.RecordType({"note": T.STRING})
+        value = Record({"note": 'says "hi"'})
+        assert parse_value(print_value(value), ty) == value
+
+    def test_validation(self, seq_entry_type, sample_entry):
+        validate_value(sample_entry, seq_entry_type)
+        assert conforms(sample_entry, seq_entry_type)
+        assert not conforms(Record({"accession": 42}), seq_entry_type)
+
+    def test_malformed_text_raises(self, seq_entry_type):
+        with pytest.raises(ASN1ParseError):
+            parse_value("{ accession }", seq_entry_type)
+        with pytest.raises(ASN1ParseError):
+            parse_value('{ accession "x" } trailing', seq_entry_type)
+
+
+class TestPathLanguage:
+    def test_parse_paper_path(self):
+        path = parse_path("Seq-entry.seq.id..giim")
+        assert path.root == "Seq-entry"
+        assert repr(path) == "Seq-entry.seq.id..giim"
+
+    def test_apply_projections_and_variant_extraction(self, sample_entry):
+        path = parse_path("Seq-entry.seq.id..giim")
+        assert path.apply(sample_entry) == CSet([5001])
+
+    def test_projection_maps_over_collections(self, sample_entry):
+        entries = CSet([sample_entry])
+        assert parse_path("E.accession").apply(entries) == CSet(["M81409"])
+
+    def test_variant_step_on_mismatching_single_variant_raises(self):
+        path = parse_path("E..giim")
+        with pytest.raises(PathApplicationError):
+            path.apply(Variant("genbank", "M81409"))
+
+    def test_missing_field_raises(self, sample_entry):
+        with pytest.raises(PathApplicationError):
+            parse_path("E.nosuch").apply(sample_entry)
+
+    def test_syntax_errors(self):
+        with pytest.raises(PathSyntaxError):
+            parse_path("")
+        with pytest.raises(PathSyntaxError):
+            parse_path("E...x")
+        with pytest.raises(PathSyntaxError):
+            parse_path("E.seq.")
+
+
+class TestPruningParse:
+    def test_pruned_parse_equals_parse_then_apply(self, seq_entry_type, sample_entry):
+        text = print_value(sample_entry)
+        for path_text in ("Seq-entry.accession", "Seq-entry.seq.length",
+                          "Seq-entry.seq.id..giim", "Seq-entry.keywd"):
+            path = parse_path(path_text)
+            assert parse_value_with_path(text, seq_entry_type, path) == \
+                path.apply(parse_value(text, seq_entry_type))
+
+    def test_pruning_skips_fields_not_on_path(self, seq_entry_type, sample_entry):
+        text = print_value(sample_entry)
+        value = parse_value_with_path(text, seq_entry_type, parse_path("Seq-entry.accession"))
+        assert value == "M81409"
+
+    def test_path_to_missing_field_raises(self, seq_entry_type, sample_entry):
+        text = print_value(sample_entry)
+        with pytest.raises(PathApplicationError):
+            parse_value_with_path(text, seq_entry_type, parse_path("Seq-entry.nosuch"))
+
+
+class TestEntrez:
+    @pytest.fixture()
+    def server(self, seq_entry_type, sample_entry):
+        server = EntrezServer("NCBI")
+        division = server.create_division("na", seq_entry_type)
+        uid = division.add_entry(sample_entry, {"accession": ["M81409"],
+                                                "keyword": ["perforin"]})
+        other = Record({
+            "accession": "X999",
+            "seq": Record({"id": CSet([Variant("giim", 7002)]), "length": 50}),
+            "keywd": CSet(["perforin"]),
+        })
+        other_uid = division.add_entry(other, {"accession": ["X999"], "keyword": ["perforin"]})
+        division.add_link(uid, other_uid, "na", 42.0, organism="Mus musculus")
+        return server
+
+    def test_index_selection(self, server):
+        assert len(server.query("na", "accession M81409")) == 1
+        assert len(server.query("na", "keyword perforin")) == 2
+
+    def test_boolean_combination(self, server):
+        assert len(server.query_uids("na", "keyword perforin AND accession X999")) == 1
+        assert len(server.query_uids("na", "accession M81409 OR accession X999")) == 2
+
+    def test_unknown_index_raises(self, server):
+        with pytest.raises(ASN1Error):
+            server.query("na", "organism human")
+
+    def test_path_applied_during_retrieval(self, server):
+        values = server.query("na", "accession M81409", path="Seq-entry.seq.id..giim")
+        assert values == [CSet([5001])]
+
+    def test_fetch_and_links(self, server):
+        uid = server.query_uids("na", "accession M81409")[0]
+        entry = server.fetch("na", uid)
+        assert entry.project("accession") == "M81409"
+        links = server.links("na", uid)
+        assert len(links) == 1
+        assert links[0]["organism"] == "Mus musculus"
+
+    def test_unknown_division_raises(self, server):
+        with pytest.raises(ASN1Error):
+            server.query("protein", "accession X")
+
+    def test_request_log_records_traffic(self, server):
+        server.query("na", "accession M81409")
+        assert server.request_log[-1]["select"] == "accession M81409"

@@ -1,0 +1,175 @@
+"""Tests for the synthetic bio data generators and the similarity search."""
+
+import pytest
+
+from repro.bio.gdb import GDB_BANDS, accession_for_locus, build_gdb
+from repro.bio.genbank import build_genbank, seq_entry_schema
+from repro.bio.publications import PUBLICATION_TYPE, build_publications, perforin_publication
+from repro.bio.sequences import SequenceGenerator, gc_content, reverse_complement
+from repro.bio.similarity import align_local, kmer_prefilter, similarity_search
+from repro.asn1.values import conforms
+from repro.core.values import CSet, Variant
+
+
+class TestSequences:
+    def test_generation_is_deterministic_per_seed(self):
+        a = SequenceGenerator(7).random_sequence(100)
+        b = SequenceGenerator(7).random_sequence(100)
+        c = SequenceGenerator(8).random_sequence(100)
+        assert a == b
+        assert a != c
+        assert set(a) <= set("ACGT")
+
+    def test_mutation_keeps_most_of_the_sequence(self):
+        generator = SequenceGenerator(1)
+        original = generator.random_sequence(400)
+        mutated = generator.mutate(original, substitution_rate=0.05, indel_rate=0.0)
+        same = sum(1 for a, b in zip(original, mutated) if a == b)
+        assert same > 300
+
+    def test_family_members_are_similar_to_ancestor(self):
+        generator = SequenceGenerator(2)
+        family = generator.family(200, 3)
+        assert len(family) == 3
+        assert kmer_prefilter(family[0], family[1]) > kmer_prefilter(
+            family[0], SequenceGenerator(99).random_sequence(200))
+
+    def test_reverse_complement_and_gc(self):
+        assert reverse_complement("ACGT") == "ACGT"
+        assert reverse_complement("AACC") == "GGTT"
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("") == 0.0
+
+
+class TestSimilarity:
+    def test_identical_sequences_align_perfectly(self):
+        result = align_local("ACGTACGTAC", "ACGTACGTAC")
+        assert result.score == 20
+        assert result.identity == 1.0
+
+    def test_unrelated_sequences_score_low(self):
+        a = "A" * 30
+        b = "C" * 30
+        assert align_local(a, b).score == 0
+
+    def test_local_alignment_finds_embedded_match(self):
+        core = "ACGTACGTGGCCTTAACGT"
+        subject = "TTTTTTT" + core + "GGGGGGG"
+        result = align_local(core, subject)
+        assert result.score >= len(core) * 2 - 4
+        assert result.identity > 0.9
+
+    def test_similarity_search_ranks_homologues_first(self):
+        generator = SequenceGenerator(3)
+        query = generator.random_sequence(200)
+        homolog = generator.mutate(query, substitution_rate=0.08)
+        unrelated = SequenceGenerator(4).random_sequence(200)
+        hits = similarity_search(query, {"homolog": homolog, "unrelated": unrelated},
+                                 min_score=20)
+        assert hits and hits[0].subject_id == "homolog"
+
+    def test_prefilter_skips_unrelated_subjects(self):
+        query = SequenceGenerator(5).random_sequence(150)
+        unrelated = SequenceGenerator(6).random_sequence(150)
+        hits = similarity_search(query, {"u": unrelated}, min_kmer_hits=5)
+        assert hits == []
+
+    def test_max_hits_limits_results(self):
+        generator = SequenceGenerator(7)
+        query = generator.random_sequence(150)
+        library = {f"h{i}": generator.mutate(query) for i in range(5)}
+        assert len(similarity_search(query, library, min_score=10, max_hits=2)) == 2
+
+
+class TestGdbBuilder:
+    def test_tables_and_indexes_exist(self):
+        gdb = build_gdb(locus_count=100)
+        assert set(gdb.table_names()) == {"locus", "object_genbank_eref", "locus_cyto_location"}
+        assert gdb.table("locus").has_index("locus_id")
+        assert gdb.table("locus").statistics.row_count == 100
+
+    def test_chromosome22_fraction_is_respected(self):
+        gdb = build_gdb(locus_count=400, chromosome22_fraction=0.5)
+        rows = gdb.sql("select locus_id from locus where chromosome = '22'")
+        assert 120 <= len(rows) <= 280
+
+    def test_chr22_loci_have_genbank_references_and_bands(self):
+        gdb = build_gdb(locus_count=100)
+        rows = gdb.sql(
+            "select locus.locus_id, loc_cyto_band_start from locus, locus_cyto_location,"
+            " object_genbank_eref"
+            " where locus.locus_id = locus_cyto_location.locus_cyto_location_id"
+            " and locus.locus_id = object_genbank_eref.object_id"
+            " and chromosome = '22'")
+        chr22 = gdb.sql("select locus_id from locus where chromosome = '22'")
+        assert len(rows) == len(chr22)
+        assert all(row["loc_cyto_band_start"] in GDB_BANDS for row in rows)
+
+    def test_accession_mapping_is_stable(self):
+        assert accession_for_locus(5) == "M81005"
+
+
+class TestGenBankBuilder:
+    @pytest.fixture(scope="class")
+    def genbank(self):
+        return build_genbank([1, 2, 3], homologues_per_entry=2, sequence_length=150)
+
+    def test_entries_conform_to_schema(self, genbank):
+        entry_type = seq_entry_schema().cpl_type("Seq-entry")
+        division = genbank.division("na")
+        for uid in list(division.entries)[:5]:
+            assert conforms(division.fetch(uid), entry_type)
+
+    def test_human_entries_indexed_by_accession_and_chromosome(self, genbank):
+        assert len(genbank.query_uids("na", "chromosome 22")) == 3
+        assert len(genbank.query_uids("na", "accession M81002")) == 1
+
+    def test_homologues_exist_for_other_organisms(self, genbank):
+        division = genbank.division("na")
+        assert len(division) == 3 * (1 + 2)
+
+    def test_links_point_to_non_human_homologues(self, genbank):
+        division = genbank.division("na")
+        uid = genbank.query_uids("na", "accession M81001")[0]
+        links = division.neighbours(uid)
+        assert links, "every human entry should have at least one precomputed link"
+        assert all(link["organism"] != "Homo sapiens" for link in links)
+        assert all(link["score"] > 0 for link in links)
+
+
+class TestPublications:
+    def test_first_record_is_the_paper_example(self):
+        publications = build_publications(10)
+        assert perforin_publication() in publications
+
+    def test_records_conform_to_publication_type(self):
+        publications = build_publications(30)
+        assert conforms(publications, PUBLICATION_TYPE)
+
+    def test_journal_variants_use_both_tags(self):
+        publications = build_publications(100)
+        tags = {record.project("journal").tag for record in publications}
+        assert tags == {"controlled", "uncontrolled"}
+
+    def test_generation_is_deterministic(self):
+        assert build_publications(20) == build_publications(20)
+
+
+class TestChromosome22Dataset:
+    def test_sources_are_consistent(self, chr22_dataset):
+        locus_ids = chr22_dataset.chromosome22_locus_ids()
+        assert locus_ids, "there must be chromosome-22 loci with GenBank references"
+        # Every such locus has a GenBank entry under its accession.
+        division = chr22_dataset.genbank.division("na")
+        for locus_id in locus_ids[:10]:
+            accession = accession_for_locus(locus_id)
+            assert chr22_dataset.genbank.query_uids("na", f"accession {accession}")
+
+    def test_ace_database_references_gdb_loci(self, chr22_dataset):
+        loci = chr22_dataset.acedb.scan("Locus")
+        symbols = {record.project("name") for record in loci}
+        rows = chr22_dataset.gdb.sql("select locus_symbol from locus where chromosome = '22'")
+        assert symbols == {row["locus_symbol"] for row in rows}
+
+    def test_fasta_library_covers_all_genbank_entries(self, chr22_dataset):
+        assert len(chr22_dataset.fasta_library) == len(chr22_dataset.genbank.division("na"))

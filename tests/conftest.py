@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic datasets and wired-up sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bio.chromosome22 import build_chromosome22
+from repro.bio.publications import build_publications
+from repro.core.values import CList, CSet, Record, Variant
+from repro.kleisli.drivers import AceDriver, BlastDriver, EntrezDriver, RelationalDriver
+from repro.kleisli.session import Session
+
+
+@pytest.fixture(scope="session")
+def chr22_dataset():
+    """A small (but complete) Center-for-Chromosome-22 dataset, built once."""
+    return build_chromosome22(locus_count=60, chromosome22_fraction=0.35,
+                              homologues_per_entry=1, sequence_length=120,
+                              publication_count=40, seed=22)
+
+
+@pytest.fixture(scope="session")
+def publications():
+    """The Publication set from the paper's introduction (40 records)."""
+    return build_publications(40)
+
+
+@pytest.fixture()
+def publication_session(publications):
+    """A session with the publication set bound as DB (no external drivers)."""
+    session = Session()
+    session.bind("DB", publications)
+    return session
+
+
+@pytest.fixture()
+def integrated_session(chr22_dataset):
+    """A session with GDB, GenBank, ACE and BLAST drivers registered."""
+    session = Session()
+    session.register_driver(RelationalDriver("GDB", chr22_dataset.gdb))
+    session.register_driver(EntrezDriver("GenBank", chr22_dataset.genbank))
+    session.register_driver(AceDriver("ACE22", chr22_dataset.acedb))
+    library = {record.identifier: record.sequence for record in chr22_dataset.fasta_library}
+    session.register_driver(BlastDriver("BLAST", library))
+    return session
+
+
+@pytest.fixture()
+def tiny_publications():
+    """Three hand-built publication records for precise assertions."""
+    return CSet([
+        Record({
+            "title": "Structure of the human perforin gene",
+            "authors": CList([Record({"name": "Lichtenheld", "initial": "MG"}),
+                              Record({"name": "Podack", "initial": "ER"})]),
+            "journal": Variant("controlled", Variant("medline-jta", "J Immunol")),
+            "year": 1989,
+            "keywd": CSet(["Exons", "Base Sequence"]),
+        }),
+        Record({
+            "title": "Mapping the BCR region",
+            "authors": CList([Record({"name": "Chen", "initial": "T"})]),
+            "journal": Variant("uncontrolled", "Workshop Notes"),
+            "year": 1992,
+            "keywd": CSet(["Chromosome 22", "Physical Mapping"]),
+        }),
+        Record({
+            "title": "Exon prediction methods",
+            "authors": CList([Record({"name": "Davidson", "initial": "SB"})]),
+            "journal": Variant("controlled", Variant("iso-jta", "Nucleic Acids Res.")),
+            "year": 1992,
+            "keywd": CSet(["Exons"]),
+        }),
+    ])

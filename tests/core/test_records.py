@@ -1,0 +1,100 @@
+"""Tests for Remy records: directories, projection, and the homogeneity cursor."""
+
+import pytest
+
+from repro.core.errors import EvaluationError
+from repro.core.records import (
+    ProjectionCursor,
+    Record,
+    RecordDirectory,
+    cursor_project,
+    directory_for,
+    plain_project,
+)
+
+
+class TestRecordDirectory:
+    def test_directories_are_interned_by_field_set(self):
+        a = directory_for(["title", "year"])
+        b = directory_for(["year", "title"])
+        assert a is b
+
+    def test_different_field_sets_get_different_directories(self):
+        assert directory_for(["a"]) is not directory_for(["a", "b"])
+
+    def test_slot_lookup_and_errors(self):
+        directory = directory_for(["x", "y"])
+        assert directory.slot_of("x") != directory.slot_of("y")
+        assert "x" in directory
+        with pytest.raises(EvaluationError):
+            directory.slot_of("missing")
+
+
+class TestRecord:
+    def test_records_with_same_fields_share_a_directory(self):
+        a = Record({"title": "A", "year": 1989})
+        b = Record({"year": 1992, "title": "B"})
+        assert a.directory is b.directory
+
+    def test_projection(self):
+        record = Record({"title": "A", "year": 1989})
+        assert record.project("title") == "A"
+        assert record["year"] == 1989
+        with pytest.raises(EvaluationError):
+            record.project("missing")
+
+    def test_get_with_default(self):
+        record = Record({"a": 1})
+        assert record.get("a") == 1
+        assert record.get("b", "fallback") == "fallback"
+
+    def test_equality_is_by_content(self):
+        assert Record({"a": 1, "b": 2}) == Record({"b": 2, "a": 1})
+        assert Record({"a": 1}) != Record({"a": 2})
+        assert Record({"a": 1}) != Record({"a": 1, "b": 2})
+
+    def test_from_directory_fast_path(self):
+        directory = directory_for(["a", "b"])
+        record = Record.from_directory(directory, [1, 2])
+        assert record.to_dict() == {"a": 1, "b": 2}
+        with pytest.raises(EvaluationError):
+            Record.from_directory(directory, [1])
+
+    def test_with_without_restrict(self):
+        record = Record({"a": 1, "b": 2, "c": 3})
+        assert record.with_fields(d=4).project("d") == 4
+        assert record.without_fields("b").labels == ("a", "c")
+        assert record.restrict(["a", "c"]) == Record({"a": 1, "c": 3})
+
+    def test_records_are_hashable_set_elements(self):
+        records = {Record({"a": 1}), Record({"a": 1}), Record({"a": 2})}
+        assert len(records) == 2
+
+
+class TestProjectionCursor:
+    def _homogeneous(self, count=100):
+        return [Record({"locus": f"D22S{i}", "chromosome": "22", "length": i})
+                for i in range(count)]
+
+    def test_cursor_matches_plain_projection(self):
+        records = self._homogeneous()
+        assert cursor_project(records, "locus") == plain_project(records, "locus")
+
+    def test_cursor_hits_after_first_record(self):
+        records = self._homogeneous(50)
+        cursor = ProjectionCursor("length")
+        values = [cursor.project(record) for record in records]
+        assert values == list(range(50))
+        assert cursor.misses == 1
+        assert cursor.hits == 49
+
+    def test_cursor_falls_back_on_heterogeneous_input(self):
+        mixed = [Record({"a": 1, "b": 2}), Record({"a": 3}), Record({"a": 4, "b": 5})]
+        cursor = ProjectionCursor("a")
+        assert [cursor.project(record) for record in mixed] == [1, 3, 4]
+        assert cursor.misses >= 2  # directory changed along the way
+
+    def test_cursor_error_on_missing_field(self):
+        cursor = ProjectionCursor("missing")
+        with pytest.raises(EvaluationError):
+            cursor.project(Record({"a": 1}))

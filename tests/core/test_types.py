@@ -1,0 +1,166 @@
+"""Tests for the CPL type system: construction, parsing, unification, rows."""
+
+import pytest
+
+from repro.core import types as T
+from repro.core.errors import CPLTypeError
+
+
+class TestTypeConstruction:
+    def test_base_types_are_singleton_like(self):
+        assert T.IntType() == T.INT
+        assert T.StringType() == T.STRING
+        assert hash(T.BoolType()) == hash(T.BOOL)
+
+    def test_base_types_are_distinct(self):
+        assert T.INT != T.FLOAT
+        assert T.STRING != T.BOOL
+
+    def test_collection_types_compare_structurally(self):
+        assert T.SetType(T.INT) == T.SetType(T.INT)
+        assert T.SetType(T.INT) != T.BagType(T.INT)
+        assert T.ListType(T.SetType(T.STRING)) == T.ListType(T.SetType(T.STRING))
+
+    def test_record_type_field_order_is_irrelevant(self):
+        left = T.RecordType({"a": T.INT, "b": T.STRING})
+        right = T.RecordType({"b": T.STRING, "a": T.INT})
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_record_field_lookup(self):
+        record = T.RecordType({"title": T.STRING, "year": T.INT})
+        assert record.field("year") == T.INT
+        with pytest.raises(CPLTypeError):
+            record.field("missing")
+
+    def test_variant_case_lookup(self):
+        variant = T.VariantType({"uncontrolled": T.STRING})
+        assert variant.case("uncontrolled") == T.STRING
+        with pytest.raises(CPLTypeError):
+            variant.case("controlled")
+
+    def test_function_and_ref_types(self):
+        fn = T.FunctionType(T.INT, T.SetType(T.STRING))
+        assert fn.argument == T.INT
+        assert "->" in str(fn)
+        assert T.RefType(T.INT) == T.RefType(T.INT)
+        assert T.RefType(T.INT) != T.RefType(T.STRING)
+
+    def test_string_rendering_matches_paper_notation(self):
+        ty = T.SetType(T.RecordType({"title": T.STRING, "keywd": T.SetType(T.STRING)}))
+        assert str(ty) == "{[keywd: {string}, title: string]}"
+        assert str(T.BagType(T.INT)) == "{|int|}"
+        assert str(T.ListType(T.INT)) == "[|int|]"
+
+    def test_open_record_renders_ellipsis(self):
+        ty = T.RecordType({"title": T.STRING}, row=T.fresh_row_var())
+        assert str(ty).endswith(", ...]")
+
+
+class TestTypeParsing:
+    def test_parse_base_types(self):
+        assert T.parse_type("int") == T.INT
+        assert T.parse_type("string") == T.STRING
+        assert T.parse_type("bool") == T.BOOL
+
+    def test_parse_nested_publication_like_type(self):
+        ty = T.parse_type(
+            "{[title: string, authors: [|[name: string, initial: string]|],"
+            " year: int, keywd: {string}]}")
+        assert isinstance(ty, T.SetType)
+        element = ty.element
+        assert element.field("year") == T.INT
+        assert element.field("authors") == T.ListType(
+            T.RecordType({"name": T.STRING, "initial": T.STRING}))
+
+    def test_parse_variant_type(self):
+        ty = T.parse_type("<uncontrolled: string, controlled: <medline-jta: string>>")
+        assert isinstance(ty, T.VariantType)
+        assert ty.case("uncontrolled") == T.STRING
+        assert isinstance(ty.case("controlled"), T.VariantType)
+
+    def test_parse_bag_and_list(self):
+        assert T.parse_type("{|int|}") == T.BagType(T.INT)
+        assert T.parse_type("[|{string}|]") == T.ListType(T.SetType(T.STRING))
+
+    def test_parse_ref(self):
+        assert T.parse_type("ref [name: string]") == T.RefType(T.RecordType({"name": T.STRING}))
+
+    def test_parse_open_record(self):
+        ty = T.parse_type("[title: string, ...]")
+        assert ty.is_open
+
+    def test_parse_errors(self):
+        with pytest.raises(CPLTypeError):
+            T.parse_type("{int")
+        with pytest.raises(CPLTypeError):
+            T.parse_type("unknown_base")
+        with pytest.raises(CPLTypeError):
+            T.parse_type("[a: int] extra")
+
+
+class TestUnification:
+    def test_unify_identical(self):
+        subst = T.unify(T.SetType(T.INT), T.SetType(T.INT))
+        assert subst == {}
+
+    def test_unify_variable_binds(self):
+        var = T.fresh_type_var()
+        subst = T.unify(var, T.INT)
+        assert T.apply_substitution(var, subst) == T.INT
+
+    def test_unify_mismatch_raises(self):
+        with pytest.raises(CPLTypeError):
+            T.unify(T.INT, T.STRING)
+        with pytest.raises(CPLTypeError):
+            T.unify(T.SetType(T.INT), T.ListType(T.INT))
+
+    def test_occurs_check(self):
+        var = T.fresh_type_var()
+        with pytest.raises(CPLTypeError):
+            T.unify(var, T.SetType(var))
+
+    def test_open_record_absorbs_extra_fields(self):
+        open_record = T.RecordType({"title": T.STRING}, row=T.fresh_row_var())
+        closed = T.RecordType({"title": T.STRING, "year": T.INT})
+        subst = T.unify(open_record, closed)
+        resolved = T.apply_substitution(open_record, subst)
+        assert resolved.fields["year"] == T.INT
+
+    def test_closed_record_rejects_extra_fields(self):
+        closed = T.RecordType({"title": T.STRING})
+        wider = T.RecordType({"title": T.STRING, "year": T.INT})
+        with pytest.raises(CPLTypeError):
+            T.unify(closed, wider)
+
+    def test_shared_field_types_must_unify(self):
+        left = T.RecordType({"year": T.INT}, row=T.fresh_row_var())
+        right = T.RecordType({"year": T.STRING}, row=T.fresh_row_var())
+        with pytest.raises(CPLTypeError):
+            T.unify(left, right)
+
+    def test_open_variants_merge_cases(self):
+        left = T.VariantType({"uncontrolled": T.STRING}, row=T.fresh_row_var())
+        right = T.VariantType({"controlled": T.STRING}, row=T.fresh_row_var())
+        subst = T.unify(left, right)
+        merged = T.apply_substitution(left, subst)
+        assert set(merged.cases) == {"uncontrolled", "controlled"}
+
+    def test_function_types_unify_componentwise(self):
+        a = T.fresh_type_var()
+        subst = T.unify(T.FunctionType(a, T.INT), T.FunctionType(T.STRING, T.INT))
+        assert T.apply_substitution(a, subst) == T.STRING
+
+    def test_free_type_vars(self):
+        a = T.fresh_type_var()
+        row = T.fresh_row_var()
+        ty = T.SetType(T.RecordType({"x": a}, row=row))
+        free = T.free_type_vars(ty)
+        assert a in free and row in free
+
+    def test_common_element_type(self):
+        merged = T.common_element_type([
+            T.RecordType({"a": T.INT}, row=T.fresh_row_var()),
+            T.RecordType({"b": T.STRING}, row=T.fresh_row_var()),
+        ])
+        assert set(merged.fields) == {"a", "b"}

@@ -1,0 +1,130 @@
+"""Tests for CPL → NRC desugaring: Wadler's identities and pattern compilation."""
+
+import pytest
+
+from repro.core.cpl.desugar import desugar_expression
+from repro.core.cpl.parser import parse_expression
+from repro.core.errors import EvaluationError
+from repro.core.nrc import ast as A
+from repro.core.nrc.eval import evaluate
+from repro.core.values import CList, CSet, Record, Variant
+
+
+def run(text, **bindings):
+    return evaluate(desugar_expression(parse_expression(text)), bindings)
+
+
+class TestWadlerIdentities:
+    def test_empty_qualifier_list_is_singleton(self):
+        expr = desugar_expression(parse_expression("{1 + 1 | }"))
+        # No qualifiers: {e |} --> {e}
+        assert isinstance(expr, A.Singleton)
+
+    def test_generator_becomes_ext(self):
+        expr = desugar_expression(parse_expression(r"{x | \x <- S}"))
+        assert isinstance(expr, A.Ext)
+        assert isinstance(expr.source, A.Var)
+
+    def test_filter_becomes_conditional(self):
+        expr = desugar_expression(parse_expression(r"{x | \x <- S, x > 1}"))
+        assert isinstance(expr, A.Ext)
+        body = expr.body
+        # The pattern Let is inlined only by the optimizer, so unwrap manually.
+        while isinstance(body, A.Let):
+            body = body.body
+        assert isinstance(body, A.IfThenElse)
+        assert isinstance(body.else_branch, A.Empty)
+
+    def test_comprehension_kind_propagates(self):
+        assert desugar_expression(parse_expression(r"{|x | \x <- S|}")).kind == "bag"
+        assert desugar_expression(parse_expression(r"[|x | \x <- S|]")).kind == "list"
+
+
+class TestEvaluationSemantics:
+    def test_literal_collection(self):
+        assert run("{1, 2, 2, 3}") == CSet([1, 2, 3])
+        assert run("[|1, 2, 2|]") == CList([1, 2, 2])
+
+    def test_projection_comprehension(self):
+        db = CSet([Record({"title": "A", "year": 1}), Record({"title": "B", "year": 2})])
+        assert run(r"{p.title | \p <- DB}", DB=db) == CSet(["A", "B"])
+
+    def test_filter_semantics(self):
+        assert run(r"{x | \x <- {1,2,3,4}, x > 2}") == CSet([3, 4])
+
+    def test_pattern_filter_equivalence(self):
+        """The paper's two formulations of the year-1988 query agree."""
+        db = CSet([Record({"title": "A", "authors": "x", "year": 1988}),
+                   Record({"title": "B", "authors": "y", "year": 1990})])
+        by_filter = run(
+            r"{[title = t, authors = a] |"
+            r" [title = \t, authors = \a, year = \y, ...] <- DB, y = 1988}", DB=db)
+        by_pattern = run(
+            r"{[title = t, authors = a] |"
+            r" [title = \t, authors = \a, year = 1988, ...] <- DB}", DB=db)
+        assert by_filter == by_pattern == CSet([Record({"title": "A", "authors": "x"})])
+
+    def test_flattening_query(self):
+        db = CSet([Record({"title": "A", "keywd": CSet(["k1", "k2"])}),
+                   Record({"title": "B", "keywd": CSet(["k1"])})])
+        result = run(
+            r"{[title = t, keyword = k] | [title = \t, keywd = \kk, ...] <- DB, \k <- kk}",
+            DB=db)
+        assert result == CSet([
+            Record({"title": "A", "keyword": "k1"}),
+            Record({"title": "A", "keyword": "k2"}),
+            Record({"title": "B", "keyword": "k1"}),
+        ])
+
+    def test_keyword_inversion_query(self):
+        db = CSet([Record({"title": "A", "keywd": CSet(["k1", "k2"])}),
+                   Record({"title": "B", "keywd": CSet(["k1"])})])
+        result = run(
+            r"{[keyword = k, titles = {x.title | \x <- DB, k <- x.keywd}] |"
+            r" \y <- DB, \k <- y.keywd}", DB=db)
+        assert Record({"keyword": "k1", "titles": CSet(["A", "B"])}) in result
+        assert Record({"keyword": "k2", "titles": CSet(["A"])}) in result
+
+    def test_variant_pattern_selects_matching_tag_only(self):
+        db = CSet([Record({"title": "A", "journal": Variant("uncontrolled", "Notes")}),
+                   Record({"title": "B", "journal": Variant("controlled", "X")})])
+        result = run(
+            r"{[name = n, title = t] |"
+            r" [title = \t, journal = <uncontrolled = \n>, ...] <- DB}", DB=db)
+        assert result == CSet([Record({"name": "Notes", "title": "A"})])
+
+    def test_bound_variable_membership_generator(self):
+        db = CSet([Record({"title": "A", "authors": CList(["x", "y"])}),
+                   Record({"title": "B", "authors": CList(["z"])})])
+        result = run(r"{p.title | \p <- DB, a <- p.authors}", DB=db, a="z")
+        assert result == CSet(["B"])
+
+    def test_multi_clause_function_falls_through(self):
+        jname = desugar_expression(parse_expression(
+            "<uncontrolled = \\s> => s | <controlled = <medline-jta = \\s>> => s"))
+        value = evaluate(A.Apply(jname, A.Const(Variant("controlled",
+                                                        Variant("medline-jta", "J Immunol")))))
+        assert value == "J Immunol"
+
+    def test_multi_clause_function_match_failure_raises(self):
+        jname = desugar_expression(parse_expression("<uncontrolled = \\s> => s"))
+        with pytest.raises(EvaluationError):
+            evaluate(A.Apply(jname, A.Const(Variant("controlled", "x"))))
+
+    def test_boolean_operators_short_circuit(self):
+        # The right operand would fail (division by zero) if evaluated.
+        assert run("false and (1 / 0 = 1)") is False
+        assert run("true or (1 / 0 = 1)") is True
+
+    def test_arithmetic_and_string_operators(self):
+        assert run("7 - 2 * 3") == 1
+        assert run('"select * from " ^ "locus"') == "select * from locus"
+        assert run("- (3 + 4)") == -7
+
+    def test_aggregates_via_primitives(self):
+        assert run("sum({1, 2, 3})") == 6
+        assert run("count({|1, 1, 2|})") == 3
+        assert run("max({3, 9, 4})") == 9
+
+    def test_wildcard_pattern(self):
+        assert run(r"{1 | _ <- {10, 20, 30}}") == CSet([1])

@@ -1,0 +1,74 @@
+"""Tests for the CPL lexer."""
+
+import pytest
+
+from repro.core.cpl.lexer import Token, tokenize
+from repro.core.errors import CPLSyntaxError
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)][:-1]  # drop EOF
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_integer_and_float(self):
+        tokens = tokenize("42 3.14 1e6")
+        assert [t.kind for t in tokens[:3]] == ["INT", "FLOAT", "FLOAT"]
+
+    def test_string_with_escapes(self):
+        token = tokenize(r'"a \"quoted\" string\n"')[0]
+        assert token.kind == "STRING"
+        assert token.value == 'a "quoted" string\n'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(CPLSyntaxError):
+            tokenize('"never closed')
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("define iffy if then else true false")
+        assert [t.kind for t in tokens[:7]] == [
+            "KEYWORD", "IDENT", "KEYWORD", "KEYWORD", "KEYWORD", "KEYWORD", "KEYWORD"]
+
+    def test_comment_runs_to_end_of_line(self):
+        assert values("1 -- a comment\n2") == ["1", "2"]
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(CPLSyntaxError) as error:
+            tokenize("a @ b")
+        assert error.value.line == 1
+
+
+class TestHyphenatedIdentifiers:
+    def test_hyphen_joins_identifier_characters(self):
+        assert values("locus-symbol") == ["locus-symbol"]
+        assert values("medline-jta") == ["medline-jta"]
+        assert values("GDB-Tab") == ["GDB-Tab"]
+
+    def test_spaced_minus_is_subtraction(self):
+        assert values("a - b") == ["a", "-", "b"]
+
+    def test_arrow_not_confused_with_hyphen(self):
+        assert values("x <- y") == ["x", "<-", "y"]
+
+
+class TestCompositeSymbols:
+    def test_bag_and_list_brackets(self):
+        assert values("{| |} [| |]") == ["{|", "|}", "[|", "|]"]
+
+    def test_comparison_symbols(self):
+        assert values("<= >= <> == => <-") == ["<=", ">=", "<>", "==", "=>", "<-"]
+
+    def test_ellipsis(self):
+        assert values("[a = 1, ...]")[-2] == "..."
+
+    def test_wildcard_and_backslash(self):
+        assert values(r"\x _")[:3] == ["\\", "x", "_"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)

@@ -1,0 +1,164 @@
+"""Tests for the CPL parser: expressions, comprehensions, patterns, programs."""
+
+import pytest
+
+from repro.core.cpl import ast as S
+from repro.core.cpl.parser import parse, parse_expression
+from repro.core.errors import CPLSyntaxError
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expression("42") == S.SLit(42)
+        assert parse_expression('"hello"') == S.SLit("hello")
+        assert parse_expression("true") == S.SLit(True)
+        assert parse_expression("3.5") == S.SLit(3.5)
+
+    def test_record_literal(self):
+        expr = parse_expression('[title = "x", year = 1989]')
+        assert isinstance(expr, S.SRecord)
+        assert set(expr.fields) == {"title", "year"}
+
+    def test_variant_literal_nested(self):
+        expr = parse_expression('<controlled = <medline-jta = "J Immunol">>')
+        assert isinstance(expr, S.SVariant)
+        assert expr.tag == "controlled"
+        assert isinstance(expr.value, S.SVariant)
+
+    def test_collection_literals(self):
+        assert parse_expression("{1, 2, 3}").kind == "set"
+        assert parse_expression("{|1, 2|}").kind == "bag"
+        assert parse_expression("[|1, 2|]").kind == "list"
+        assert parse_expression("{}").elements == []
+
+    def test_projection_chain(self):
+        expr = parse_expression("p.seq.id")
+        assert isinstance(expr, S.SProject)
+        assert expr.label == "id"
+        assert isinstance(expr.expr, S.SProject)
+
+    def test_application(self):
+        expr = parse_expression('GDB-Tab("locus")')
+        assert isinstance(expr, S.SApp)
+        assert expr.func == S.SVar("GDB-Tab")
+
+    def test_operator_precedence(self):
+        expr = parse_expression("1 + 2 * 3 = 7")
+        assert isinstance(expr, S.SBinOp)
+        assert expr.op == "="
+
+    def test_string_concat_operator(self):
+        expr = parse_expression('"a" ^ "b"')
+        assert expr.op == "^"
+
+    def test_if_then_else(self):
+        expr = parse_expression('if x > 1 then "big" else "small"')
+        assert isinstance(expr, S.SIf)
+
+    def test_boolean_connectives(self):
+        expr = parse_expression("a and not b or c")
+        assert expr.op == "or"
+
+    def test_unexpected_token_reports_position(self):
+        with pytest.raises(CPLSyntaxError):
+            parse_expression("[a = ]")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CPLSyntaxError):
+            parse_expression("1 2")
+
+
+class TestComprehensions:
+    def test_simple_comprehension(self):
+        expr = parse_expression(r"{p.title | \p <- DB}")
+        assert isinstance(expr, S.SComprehension)
+        assert len(expr.qualifiers) == 1
+        generator = expr.qualifiers[0]
+        assert isinstance(generator, S.Generator)
+        assert isinstance(generator.pattern, S.PVar)
+
+    def test_filter_qualifier(self):
+        expr = parse_expression(r"{p | \p <- DB, p.year = 1988}")
+        assert isinstance(expr.qualifiers[1], S.Filter)
+
+    def test_record_pattern_generator(self):
+        expr = parse_expression(r"{t | [title = \t, year = 1988, ...] <- DB}")
+        pattern = expr.qualifiers[0].pattern
+        assert isinstance(pattern, S.PRecord)
+        assert pattern.open
+        assert isinstance(pattern.fields["title"], S.PVar)
+        assert isinstance(pattern.fields["year"], S.PLit)
+
+    def test_variant_pattern_in_record_pattern(self):
+        expr = parse_expression(
+            r"{n | [journal = <uncontrolled = \n>, ...] <- DB}")
+        pattern = expr.qualifiers[0].pattern.fields["journal"]
+        assert isinstance(pattern, S.PVariant)
+        assert pattern.tag == "uncontrolled"
+
+    def test_bound_variable_generator_becomes_equality_pattern(self):
+        expr = parse_expression(r"{p | \p <- DB, x <- p.authors}")
+        second = expr.qualifiers[1]
+        assert isinstance(second, S.Generator)
+        assert isinstance(second.pattern, S.PExpr)
+
+    def test_nested_comprehension(self):
+        expr = parse_expression(
+            r"{[keyword = k, titles = {x.title | \x <- DB, k <- x.keywd}] |"
+            r" \y <- DB, \k <- y.keywd}")
+        head = expr.head
+        assert isinstance(head.fields["titles"], S.SComprehension)
+
+    def test_bag_and_list_comprehensions(self):
+        assert parse_expression(r"{|x | \x <- B|}").kind == "bag"
+        assert parse_expression(r"[|x | \x <- L|]").kind == "list"
+
+
+class TestFunctionsAndPrograms:
+    def test_simple_lambda(self):
+        expr = parse_expression(r"\x => x + 1")
+        assert isinstance(expr, S.SLambda)
+        assert len(expr.clauses) == 1
+        assert isinstance(expr.clauses[0].pattern, S.PVar)
+
+    def test_multi_clause_function(self):
+        expr = parse_expression(
+            "<uncontrolled = \\s> => s | <controlled = <medline-jta = \\s>> => s")
+        assert isinstance(expr, S.SLambda)
+        assert len(expr.clauses) == 2
+
+    def test_define_statement(self):
+        program = parse('define papers-of == \\x => {p | \\p <- DB, x <- p.authors}')
+        assert len(program.statements) == 1
+        assert isinstance(program.statements[0], S.Define)
+        assert program.statements[0].name == "papers-of"
+
+    def test_program_with_multiple_statements(self):
+        program = parse('define a == 1; define b == 2; a + b')
+        assert len(program.statements) == 3
+        assert isinstance(program.statements[2], S.ExprStatement)
+
+    def test_paper_loci22_query_parses(self):
+        program = parse('''
+            define Loci22 == {[locus-symbol = x, genbank-ref = y] |
+              [locus_symbol = \\x, locus_id = \\a, ...] <- GDB-Tab("locus"),
+              [genbank_ref = \\y, object_id = a, object_class_key = 1, ...]
+                  <- GDB-Tab("object_genbank_eref"),
+              [loc_cyto_chrom_num = "22", locus_cyto_location_id = a, ...]
+                  <- GDB-Tab("locus_cyto_location")}
+        ''')
+        define = program.statements[0]
+        comprehension = define.expr
+        assert isinstance(comprehension, S.SComprehension)
+        assert len(comprehension.qualifiers) == 3
+
+    def test_paper_jname_function_parses(self):
+        program = parse('''
+            define jname ==
+               <uncontrolled = \\s> => s
+             | <controlled = <medline-jta = \\s>> => s
+             | <controlled = <iso-jta = \\s>> => s
+             | <controlled = <journal-title = \\s>> => s
+             | <controlled = <issn = \\s>> => s
+        ''')
+        assert len(program.statements[0].expr.clauses) == 5

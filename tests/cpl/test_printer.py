@@ -1,0 +1,82 @@
+"""Tests for the CPL value printers (value syntax, tabular, HTML, Python)."""
+
+import pytest
+
+from repro.core.cpl.printer import render_html, render_python, render_tabular, render_value
+from repro.core.values import CBag, CList, CSet, Record, UNIT_VALUE, Variant
+
+
+@pytest.fixture()
+def publication():
+    return Record({
+        "title": "Structure of the human perforin gene",
+        "authors": CList([Record({"name": "Lichtenheld", "initial": "MG"})]),
+        "journal": Variant("controlled", Variant("medline-jta", "J Immunol")),
+        "year": 1989,
+        "keywd": CSet(["Exons"]),
+    })
+
+
+class TestValueSyntax:
+    def test_scalars(self):
+        assert render_value(42) == "42"
+        assert render_value(True) == "true"
+        assert render_value("x\"y") == '"x\\"y"'
+        assert render_value(UNIT_VALUE) == "()"
+
+    def test_flat_record_and_collections(self):
+        assert render_value(Record({"a": 1, "b": "x"})) == '[a=1, b="x"]'
+        assert render_value(CSet([1])) == "{1}"
+        assert render_value(CBag([1, 1])) == "{|1, 1|}"
+        assert render_value(CList([1, 2])) == "[|1, 2|]"
+
+    def test_variant_rendering(self):
+        assert render_value(Variant("giim", 5001)) == "<giim=5001>"
+        assert render_value(Variant("flag")) == "<flag>"
+
+    def test_nested_value_wraps_when_too_wide(self, publication):
+        rendered = render_value(publication, width=40)
+        assert "\n" in rendered
+        assert "perforin" in rendered
+
+    def test_wide_output_stays_on_one_line(self):
+        assert "\n" not in render_value(Record({"a": 1}), width=100)
+
+
+class TestTabular:
+    def test_header_union_of_fields(self):
+        rows = CSet([Record({"a": 1, "b": 2}), Record({"a": 3, "c": 4})])
+        text = render_tabular(rows)
+        header = text.splitlines()[0].split("\t")
+        assert set(header) == {"a", "b", "c"}
+        assert len(text.splitlines()) == 3
+
+    def test_nested_cells_render_in_value_syntax(self, publication):
+        text = render_tabular(CSet([publication]))
+        assert "{" in text  # the keywd set is rendered inside its cell
+
+    def test_empty_collection(self):
+        assert render_tabular(CSet()) == ""
+
+    def test_non_record_rows(self):
+        assert render_tabular(CSet([1, 2])).count("\n") == 1
+
+
+class TestHtmlAndPython:
+    def test_html_table_for_relation(self, publication):
+        html = render_html(CSet([publication]), title="pubs & more")
+        assert "<table" in html
+        assert "pubs &amp; more" in html
+
+    def test_html_list_for_scalars(self):
+        html = render_html(CSet([1, 2, 3]))
+        assert "<ul>" in html
+
+    def test_html_escapes_values(self):
+        html = render_html(CSet([Record({"note": "<b>bold</b>"})]))
+        assert "<b>bold</b>" not in html
+
+    def test_render_python(self, publication):
+        data = render_python(publication)
+        assert data["year"] == 1989
+        assert data["authors"][0]["name"] == "Lichtenheld"

@@ -1,0 +1,140 @@
+"""Tests for CPL type inference with row polymorphism."""
+
+import pytest
+
+from repro.core import types as T
+from repro.core.cpl.parser import parse, parse_expression
+from repro.core.cpl.typecheck import TypeChecker, infer_expression_type
+from repro.core.errors import CPLTypeError
+
+PUBLICATION = T.parse_type(
+    "{[title: string, year: int, keywd: {string},"
+    " authors: [|[name: string, initial: string]|],"
+    " journal: <uncontrolled: string, controlled: <medline-jta: string>>]}")
+
+
+class TestLiteralAndOperatorTypes:
+    def test_literals(self):
+        assert infer_expression_type("1") == T.INT
+        assert infer_expression_type('"x"') == T.STRING
+        assert infer_expression_type("true") == T.BOOL
+        assert infer_expression_type("2.5") == T.FLOAT
+
+    def test_arithmetic(self):
+        assert infer_expression_type("1 + 2 * 3") == T.INT
+
+    def test_comparison_is_boolean(self):
+        assert infer_expression_type("1 < 2") == T.BOOL
+        assert infer_expression_type('"a" = "b"') == T.BOOL
+
+    def test_concat_requires_strings(self):
+        assert infer_expression_type('"a" ^ "b"') == T.STRING
+        with pytest.raises(CPLTypeError):
+            infer_expression_type('"a" ^ 1')
+
+    def test_if_branches_must_agree(self):
+        assert infer_expression_type('if true then 1 else 2') == T.INT
+        with pytest.raises(CPLTypeError):
+            infer_expression_type('if true then 1 else "x"')
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(CPLTypeError):
+            infer_expression_type('if 1 then 2 else 3')
+
+
+class TestCollectionsAndComprehensions:
+    def test_homogeneous_set(self):
+        assert infer_expression_type("{1, 2, 3}") == T.SetType(T.INT)
+
+    def test_heterogeneous_set_rejected(self):
+        with pytest.raises(CPLTypeError):
+            infer_expression_type('{1, "two"}')
+
+    def test_projection_comprehension(self):
+        ty = infer_expression_type(r"{p.title | \p <- DB}", {"DB": PUBLICATION})
+        assert ty == T.SetType(T.STRING)
+
+    def test_record_head_type(self):
+        ty = infer_expression_type(
+            r"{[title = p.title, year = p.year] | \p <- DB}", {"DB": PUBLICATION})
+        assert ty == T.SetType(T.RecordType({"title": T.STRING, "year": T.INT}))
+
+    def test_flattening_query_type(self):
+        ty = infer_expression_type(
+            r"{[title = t, keyword = k] | [title = \t, keywd = \kk, ...] <- DB, \k <- kk}",
+            {"DB": PUBLICATION})
+        assert ty == T.SetType(T.RecordType({"title": T.STRING, "keyword": T.STRING}))
+
+    def test_open_pattern_on_unknown_extra_fields(self):
+        """Open record patterns type against any record containing the named fields."""
+        narrow = T.parse_type("{[title: string]}")
+        ty = infer_expression_type(r"{t | [title = \t, ...] <- DB}", {"DB": narrow})
+        assert ty == T.SetType(T.STRING)
+
+    def test_closed_pattern_against_wider_record_fails(self):
+        ty = T.parse_type("{[title: string, year: int]}")
+        with pytest.raises(CPLTypeError):
+            infer_expression_type(r"{t | [title = \t] <- DB}", {"DB": ty})
+
+    def test_filter_must_be_boolean(self):
+        with pytest.raises(CPLTypeError):
+            infer_expression_type(r"{p | \p <- DB, p.year}", {"DB": PUBLICATION})
+
+    def test_generator_source_must_be_collection(self):
+        with pytest.raises(CPLTypeError):
+            infer_expression_type(r"{x | \x <- 42}")
+
+    def test_list_generator_allowed(self):
+        ty = infer_expression_type(r"{a.name | \p <- DB, \a <- p.authors}",
+                                   {"DB": PUBLICATION})
+        assert ty == T.SetType(T.STRING)
+
+    def test_variant_pattern_type(self):
+        ty = infer_expression_type(
+            r"{[name = n, title = t] |"
+            r" [title = \t, journal = <uncontrolled = \n>, ...] <- DB}",
+            {"DB": PUBLICATION})
+        assert ty == T.SetType(T.RecordType({"name": T.STRING, "title": T.STRING}))
+
+    def test_nonexistent_field_projection_fails(self):
+        with pytest.raises(CPLTypeError):
+            infer_expression_type(r"{p.nosuchfield | \p <- DB}",
+                                  {"DB": T.parse_type("{[title: string]}")})
+
+
+class TestFunctions:
+    def test_lambda_type(self):
+        ty = infer_expression_type(r"\x => x + 1")
+        assert isinstance(ty, T.FunctionType)
+        assert ty.result == T.INT
+
+    def test_lambda_clauses_must_return_same_type(self):
+        with pytest.raises(CPLTypeError):
+            infer_expression_type('<a = \\x> => 1 | <b = \\y> => "s"')
+
+    def test_application(self):
+        checker = TypeChecker()
+        checker.define("inc", parse_expression(r"\x => x + 1"))
+        assert checker.infer(parse_expression("inc(41)")) == T.INT
+
+    def test_application_argument_mismatch(self):
+        checker = TypeChecker()
+        checker.define("inc", parse_expression(r"\x => x + 1"))
+        with pytest.raises(CPLTypeError):
+            checker.infer(parse_expression('inc("not a number")'))
+
+    def test_definition_is_generalised(self):
+        """A polymorphic definition can be used at two different types."""
+        checker = TypeChecker()
+        checker.define("identity", parse_expression(r"\x => x"))
+        assert checker.infer(parse_expression("identity(1)")) == T.INT
+        assert checker.infer(parse_expression('identity("s")')) == T.STRING
+
+    def test_unbound_variable_reports_name(self):
+        with pytest.raises(CPLTypeError) as error:
+            infer_expression_type("nowhere")
+        assert "nowhere" in str(error.value)
+
+    def test_primitive_signatures(self):
+        assert infer_expression_type("count({1,2})") == T.INT
+        assert infer_expression_type("string_length(\"abc\")") == T.INT

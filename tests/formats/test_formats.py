@@ -1,0 +1,123 @@
+"""Tests for the flat-file formats: FASTA, EMBL, GCG, tabular."""
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.core.values import CSet, Record
+from repro.formats import (
+    FastaRecord,
+    read_embl,
+    read_fasta,
+    read_gcg,
+    read_tabular,
+    write_embl,
+    write_fasta,
+    write_gcg,
+    write_tabular,
+)
+from repro.formats.embl import embl_to_cpl
+from repro.formats.fasta import fasta_to_cpl
+from repro.formats.gcg import gcg_checksum
+
+
+class TestFasta:
+    def test_roundtrip(self):
+        records = [FastaRecord("M81409", "human perforin gene", "ACGT" * 30),
+                   FastaRecord("X999", "", "GATTACA")]
+        text = write_fasta(records)
+        assert read_fasta(text) == records
+
+    def test_multiline_sequences_are_joined(self):
+        text = ">s1 desc\nACGT\nacgt\n>s2\nTTTT\n"
+        records = read_fasta(text)
+        assert records[0].sequence == "ACGTACGT"
+        assert records[1].identifier == "s2"
+
+    def test_errors(self):
+        with pytest.raises(FormatError):
+            read_fasta("ACGT\n")          # sequence before header
+        with pytest.raises(FormatError):
+            read_fasta(">\nACGT\n")       # empty header
+        with pytest.raises(FormatError):
+            read_fasta(">ok\nAC1T\n")     # invalid characters
+
+    def test_fasta_to_cpl(self):
+        values = fasta_to_cpl(read_fasta(">a x\nACGT\n"))
+        record = values[0]
+        assert record.project("identifier") == "a"
+        assert record.project("length") == 4
+
+
+class TestEmbl:
+    def test_roundtrip_of_fields(self):
+        text = write_embl([Record({
+            "identifier": "HS22PER", "description": "Human perforin gene",
+            "organism": "Homo sapiens", "keywords": ["perforin", "exon"],
+            "references": ["Structure of the human perforin gene"],
+            "sequence": "ACGTACGTAA"})])
+        records = read_embl(text)
+        assert len(records) == 1
+        record = records[0]
+        assert record.identifier == "HS22PER"
+        assert record.organism == "Homo sapiens"
+        assert record.keywords == ["perforin", "exon"]
+        assert record.sequence == "ACGTACGTAA"
+
+    def test_multiple_entries(self):
+        text = write_embl([Record({"identifier": "A", "description": "", "organism": "",
+                                   "keywords": [], "references": [], "sequence": "AC"}),
+                           Record({"identifier": "B", "description": "", "organism": "",
+                                   "keywords": [], "references": [], "sequence": "GT"})])
+        assert [record.identifier for record in read_embl(text)] == ["A", "B"]
+
+    def test_embl_to_cpl_keywords_become_a_set(self):
+        text = write_embl([Record({"identifier": "A", "description": "d", "organism": "o",
+                                   "keywords": ["k1", "k2"], "references": [],
+                                   "sequence": "ACGT"})])
+        value = embl_to_cpl(read_embl(text))[0]
+        assert value.project("keywd") == CSet(["k1", "k2"])
+
+
+class TestGcg:
+    def test_roundtrip_and_checksum(self):
+        sequence = "ACGTACGTGGCCTTAA" * 5
+        text = write_gcg("M81409", sequence, comment="human perforin")
+        record = read_gcg(text)
+        assert record.name == "M81409"
+        assert record.sequence == sequence
+        assert record.checksum == gcg_checksum(sequence)
+
+    def test_checksum_mismatch_detected(self):
+        text = write_gcg("X", "ACGTACGT")
+        tampered = text.replace("ACGTACGT".lower()[:4], "tttt")
+        with pytest.raises(FormatError):
+            read_gcg(tampered)
+
+    def test_missing_divider_detected(self):
+        with pytest.raises(FormatError):
+            read_gcg("just a comment line\nacgt\n")
+
+
+class TestTabular:
+    def test_roundtrip(self):
+        rows = [Record({"locus": "D22S1", "chromosome": "22"}),
+                Record({"locus": "D22S2", "chromosome": "21"})]
+        text = write_tabular(rows)
+        assert read_tabular(text) == CSet(rows)
+
+    def test_typed_columns(self):
+        text = "locus\tlength\nD22S1\t120\n"
+        value = read_tabular(text, types=["string", "int"])
+        assert next(iter(value)).project("length") == 120
+
+    def test_errors(self):
+        with pytest.raises(FormatError):
+            read_tabular("a\tb\n1\n")                    # ragged row
+        with pytest.raises(FormatError):
+            read_tabular("a\n x\n", types=["int"])        # bad conversion
+        with pytest.raises(FormatError):
+            read_tabular("a\tb\n1\t2\n", types=["int"])   # wrong arity
+
+    def test_empty_input(self):
+        assert read_tabular("") == CSet()
+        assert write_tabular([]) == ""

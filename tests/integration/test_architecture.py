@@ -1,0 +1,99 @@
+"""Integration tests for the Figure-2 architecture: one session, many source kinds.
+
+A single CPL session reaches the relational GDB stand-in, the ASN.1/Entrez
+GenBank stand-in, the ACE database and the BLAST-style application driver, and
+transforms data between their formats.
+"""
+
+import pytest
+
+from repro.ace import parse_ace
+from repro.core.values import CSet, Record
+from repro.formats.tabular import read_tabular
+
+
+class TestMultiSourceQueries:
+    def test_query_touching_three_source_kinds(self, integrated_session, chr22_dataset):
+        """Join GDB loci with ACE clone objects and GenBank entry titles."""
+        integrated_session.run('''
+            define Chr22Loci == {[symbol = s, id = i] |
+              [locus_symbol = \\s, locus_id = \\i, chromosome = "22", ...] <- GDB-Tab("locus")}
+        ''')
+        result = integrated_session.run('''
+            {[symbol = l.symbol,
+              clones = {c.name | \\c <- ACE22-Class("Clone"),
+                                 c.Locus = [class = "Locus", name = l.symbol]},
+              titles = {e.title | \\e <- GenBank([db = "na",
+                                                  select = "chromosome 22"]),
+                                  e.accession = acc}] |
+              \\l <- Chr22Loci, \\acc <- {"M" ^ string_of_int(81000 + l.id)}}
+        ''')
+        assert len(result) == len(integrated_session.run("Chr22Loci"))
+        # Loci that carry a GenBank reference have exactly one matching title.
+        with_titles = [row for row in result if len(row.project("titles"))]
+        assert with_titles
+
+    def test_ace_reference_dereferencing_in_cpl(self, integrated_session):
+        result = integrated_session.run(
+            '{[locus = l.name, chrom = (!(l.Contig)).Chromosome] |'
+            ' \\l <- ACE22-Class("Locus")}')
+        assert len(result) > 0
+        assert all(row.project("chrom") == "22" for row in result)
+
+    def test_blast_driver_from_cpl(self, integrated_session, chr22_dataset):
+        record = chr22_dataset.fasta_library[0]
+        hits = integrated_session.run(
+            f'{{h.subject | \\h <- BLAST([query = "{record.sequence}", min_score = 50])}}')
+        assert record.identifier in hits
+
+
+class TestTransformations:
+    def test_asn1_to_relational_shape(self, integrated_session):
+        """The 'transform into a relational database format' example of Section 2."""
+        flat = integrated_session.run(
+            '{[accession = e.accession, organism = e.organism, length = e.seq.length] |'
+            ' \\e <- GenBank([db = "na", select = "chromosome 22"])}')
+        assert all(set(row.labels) == {"accession", "organism", "length"} for row in flat)
+        text = integrated_session.print_tabular(flat)
+        parsed = read_tabular(text, types=None)
+        assert len(parsed) == len(flat)
+
+    def test_genbank_to_ace_bulk_load(self, integrated_session):
+        """CPL output reformatting can generate .ace bulk-load text (Section 2)."""
+        from repro.ace import dump_ace
+
+        records = integrated_session.run(
+            '{[class = "Sequence", name = e.accession, Organism = e.organism,'
+            '  Length = e.seq.length] |'
+            ' \\e <- GenBank([db = "na", select = "chromosome 22"])}')
+        text = dump_ace(records)
+        objects = parse_ace(text)
+        assert len(objects) == len(records)
+        assert all(obj.class_name == "Sequence" for obj in objects)
+
+    def test_keyword_inversion_on_publications(self, integrated_session, chr22_dataset):
+        integrated_session.bind("Pubs", chr22_dataset.publications)
+        inverted = integrated_session.run(
+            '{[keyword = k, count = count({x.title | \\x <- Pubs, k <- x.keywd})] |'
+            ' \\y <- Pubs, \\k <- y.keywd}')
+        assert len(inverted) > 3
+        assert all(row.project("count") >= 1 for row in inverted)
+
+
+class TestSessionRobustness:
+    def test_driver_functions_work_unoptimized_too(self, integrated_session):
+        optimized = integrated_session.query('GDB-Tab("locus")').value
+        unoptimized = integrated_session.query('GDB-Tab("locus")', optimize=False).value
+        assert optimized == unoptimized
+
+    def test_request_counts_accumulate_per_driver(self, integrated_session):
+        before = integrated_session.engine.driver("GDB").request_count
+        integrated_session.run('GDB-Tab("locus")')
+        assert integrated_session.engine.driver("GDB").request_count == before + 1
+
+    def test_explain_shows_stage_traces(self, integrated_session):
+        _, traces = integrated_session.explain(
+            '{p.locus_symbol | \\p <- GDB-Tab("locus"), p.chromosome = "22"}')
+        stage_names = [name for name, _ in traces]
+        assert "monadic" in stage_names
+        assert "sql-pushdown" in stage_names

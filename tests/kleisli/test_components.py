@@ -1,0 +1,166 @@
+"""Tests for Kleisli components: token streams, scheduler, cache, statistics registry."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.values import CSet
+from repro.kleisli.cache import SubqueryCache
+from repro.kleisli.scheduler import BoundedScheduler
+from repro.kleisli.statistics import SourceStatisticsRegistry
+from repro.kleisli.tokens import TokenStream
+from repro.net.remote import RemoteCallLog, RemoteSource
+from repro.core.errors import RemoteSourceError
+
+
+class TestTokenStream:
+    def test_lazy_iteration_and_materialisation(self):
+        produced = []
+
+        def generator():
+            for i in range(5):
+                produced.append(i)
+                yield i
+
+        stream = TokenStream(generator(), kind="set")
+        iterator = iter(stream)
+        assert next(iterator) == 0
+        assert produced == [0]          # nothing beyond the first element was pulled
+        assert stream.to_collection() == CSet(range(5))
+
+    def test_first_item_callback_fires_once(self):
+        fired = []
+        stream = TokenStream(iter([1, 2, 3]), first_item_callback=lambda: fired.append(1))
+        list(stream)
+        assert fired == [1]
+
+    def test_materialised_count_tracks_progress(self):
+        stream = TokenStream(iter(range(10)))
+        iterator = iter(stream)
+        next(iterator)
+        next(iterator)
+        assert stream.materialised_count() == 2
+
+
+class TestBoundedScheduler:
+    def test_results_preserve_order(self):
+        scheduler = BoundedScheduler(max_workers=4)
+        assert scheduler.map(lambda x: x * x, list(range(20))) == [x * x for x in range(20)]
+
+    def test_never_exceeds_worker_cap(self):
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def task(x):
+            with lock:
+                active.append(x)
+                peak.append(len(active))
+            time.sleep(0.005)
+            with lock:
+                active.remove(x)
+            return x
+
+        scheduler = BoundedScheduler(max_workers=3)
+        scheduler.map(task, list(range(12)))
+        assert max(peak) <= 3
+
+    def test_single_worker_runs_sequentially(self):
+        scheduler = BoundedScheduler(max_workers=1)
+        assert scheduler.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        assert scheduler.batches == 1
+
+    def test_rejects_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            BoundedScheduler(max_workers=0)
+
+
+class TestSubqueryCache:
+    def test_basic_mapping_behaviour(self):
+        cache = SubqueryCache()
+        cache["k"] = CSet([1, 2])
+        assert "k" in cache
+        assert cache["k"] == CSet([1, 2])
+        assert len(cache) == 1
+        del cache["k"]
+        assert "k" not in cache
+
+    def test_miss_raises_and_counts(self):
+        cache = SubqueryCache()
+        with pytest.raises(KeyError):
+            cache["missing"]
+        assert cache.misses == 1
+
+    def test_large_values_spill_to_disk(self):
+        cache = SubqueryCache(spill_threshold_bytes=128)
+        cache["big"] = list(range(10000))
+        assert cache.spills == 1
+        assert cache["big"] == list(range(10000))
+
+    def test_unpicklable_values_stay_in_memory(self):
+        cache = SubqueryCache(spill_threshold_bytes=1)
+        cache["fn"] = lambda x: x
+        assert cache["fn"](3) == 3
+
+    def test_clear(self):
+        cache = SubqueryCache(spill_threshold_bytes=16)
+        cache["a"] = 1
+        cache["b"] = list(range(1000))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStatisticsRegistry:
+    def test_cardinality_lookup_with_default(self):
+        registry = SourceStatisticsRegistry()
+        registry.register_cardinality("GDB", "locus", 500)
+        assert registry.cardinality("GDB", "locus") == 500
+        assert registry.cardinality("GDB", "unknown_table") == registry.DEFAULT_CARDINALITY
+        assert not registry.has_cardinality("GenBank", "na")
+
+    def test_driver_wide_fallback(self):
+        registry = SourceStatisticsRegistry()
+        registry.register_cardinality("GenBank", "", 10000)
+        assert registry.cardinality("GenBank", "na") == 10000
+
+    def test_remote_flag_from_latency(self):
+        registry = SourceStatisticsRegistry()
+        assert not registry.is_remote("GDB")
+        registry.register_latency("GDB", 0.05)
+        assert registry.is_remote("GDB")
+        assert registry.latency("GDB") == 0.05
+
+
+class TestRemoteSource:
+    def test_latency_and_logging(self):
+        source = RemoteSource("S", lambda x: x * 2, latency=0.01)
+        assert source.call(21) == 42
+        assert source.request_count == 1
+        assert source.log.wall_clock() >= 0.01
+
+    def test_concurrency_cap_enforced(self):
+        source = RemoteSource("S", lambda x: time.sleep(0.05) or x, latency=0.0,
+                              max_concurrent_requests=1)
+        errors = []
+
+        def hammer():
+            try:
+                source.call(1)
+            except RemoteSourceError:
+                errors.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors  # at least one request was rejected over the cap
+
+    def test_max_concurrency_measurement(self):
+        log = RemoteCallLog()
+        log.record(0.0, 1.0)
+        log.record(0.5, 1.5)
+        log.record(2.0, 3.0)
+        assert log.max_concurrency() == 2
+        assert log.wall_clock() == 3.0

@@ -1,0 +1,161 @@
+"""Tests for the Kleisli drivers against their substrates."""
+
+import pytest
+
+from repro.core.errors import DriverError, DriverNotRegisteredError
+from repro.core.values import CSet, Record, Ref
+from repro.formats.fasta import write_fasta
+from repro.kleisli.drivers import (
+    AceDriver,
+    BlastDriver,
+    EntrezDriver,
+    FlatFileDriver,
+    RelationalDriver,
+)
+from repro.kleisli.engine import KleisliEngine
+from repro.kleisli.tokens import TokenStream
+
+
+class TestRelationalDriver:
+    def test_table_scan(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb)
+        result = driver.execute({"table": "locus"})
+        assert isinstance(result, CSet)
+        assert len(result) == len(chr22_dataset.gdb.table("locus"))
+
+    def test_raw_sql_request(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb)
+        result = driver.execute({"query": "select locus_symbol from locus where locus_id = 1"})
+        assert len(result) == 1
+
+    def test_where_and_columns_request(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb)
+        result = driver.execute({"table": "locus", "columns": ["locus_symbol"],
+                                 "where": [{"column": "chromosome", "op": "=", "value": "22"}]})
+        assert all(record.labels == ("locus_symbol",) for record in result)
+
+    def test_string_literal_escaping(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb)
+        result = driver.execute({"table": "locus",
+                                 "where": [{"column": "locus_symbol", "op": "=",
+                                            "value": "it's"}]})
+        assert result == CSet()
+
+    def test_lazy_mode_returns_token_stream(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb, lazy=True)
+        result = driver.execute({"table": "locus"})
+        assert isinstance(result, TokenStream)
+        assert len(result.to_collection()) == len(chr22_dataset.gdb.table("locus"))
+
+    def test_bad_request_rejected(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb)
+        with pytest.raises(DriverError):
+            driver.execute({"nonsense": True})
+
+    def test_capabilities_and_statistics(self, chr22_dataset):
+        driver = RelationalDriver("GDB", chr22_dataset.gdb)
+        assert "sql" in driver.capabilities
+        assert "locus" in driver.collection_names()
+        assert driver.cardinality("locus") == len(chr22_dataset.gdb.table("locus"))
+
+
+class TestEntrezDriver:
+    def test_select_with_path(self, chr22_dataset):
+        driver = EntrezDriver("GenBank", chr22_dataset.genbank)
+        result = driver.execute({"db": "na", "select": "chromosome 22",
+                                 "path": "Seq-entry.accession"})
+        assert all(isinstance(value, str) for value in result)
+
+    def test_links_request(self, chr22_dataset):
+        driver = EntrezDriver("GenBank", chr22_dataset.genbank)
+        division = chr22_dataset.genbank.division("na")
+        uid = next(uid for uid, links in division.links.items() if len(links))
+        result = driver.execute({"db": "na", "links": uid})
+        assert len(result) >= 1
+        assert all(record.has_field("organism") for record in result)
+
+    def test_fetch_request(self, chr22_dataset):
+        driver = EntrezDriver("GenBank", chr22_dataset.genbank)
+        uid = next(iter(chr22_dataset.genbank.division("na").entries))
+        entry = driver.execute({"db": "na", "fetch": uid})
+        assert entry.has_field("accession")
+
+    def test_bad_request_rejected(self, chr22_dataset):
+        driver = EntrezDriver("GenBank", chr22_dataset.genbank)
+        with pytest.raises(DriverError):
+            driver.execute({"db": "na"})
+
+
+class TestAceDriver:
+    def test_class_scan_and_object_fetch(self, chr22_dataset):
+        driver = AceDriver("ACE22", chr22_dataset.acedb)
+        classes = driver.execute({"classes": True})
+        assert "Locus" in classes
+        loci = driver.execute({"class": "Locus"})
+        assert len(loci) > 0
+        first = next(iter(loci))
+        one = driver.execute({"class": "Locus", "object": first.project("name")})
+        assert one.project("name") == first.project("name")
+
+    def test_references_resolve_through_store(self, chr22_dataset):
+        driver = AceDriver("ACE22", chr22_dataset.acedb)
+        locus = next(iter(driver.execute({"class": "Locus"})))
+        contig_ref = locus.project("Contig")
+        assert isinstance(contig_ref, Ref)
+        assert contig_ref.deref().project("Chromosome") == "22"
+
+
+class TestFlatFileAndBlastDrivers:
+    def test_flatfile_reads_inline_fasta(self, chr22_dataset):
+        driver = FlatFileDriver("Files")
+        text = write_fasta(chr22_dataset.fasta_library[:3])
+        values = driver.execute({"format": "fasta", "text": text})
+        assert len(values) == 3
+
+    def test_flatfile_reads_from_disk(self, tmp_path, chr22_dataset):
+        path = tmp_path / "library.fa"
+        path.write_text(write_fasta(chr22_dataset.fasta_library[:2]))
+        driver = FlatFileDriver("Files", root=str(tmp_path))
+        values = driver.execute({"format": "fasta", "file": "library.fa"})
+        assert len(values) == 2
+
+    def test_flatfile_missing_file(self):
+        driver = FlatFileDriver("Files")
+        with pytest.raises(DriverError):
+            driver.execute({"format": "fasta", "file": "/nonexistent/path.fa"})
+
+    def test_blast_driver_finds_similar_sequences(self, chr22_dataset):
+        library = {record.identifier: record.sequence
+                   for record in chr22_dataset.fasta_library}
+        driver = BlastDriver("BLAST", library)
+        query_id = chr22_dataset.fasta_library[0].identifier
+        hits = driver.execute({"query_id": query_id, "min_score": 30})
+        assert any(hit.project("subject") == query_id for hit in hits)  # self hit
+
+    def test_blast_driver_bad_requests(self):
+        driver = BlastDriver("BLAST", {"a": "ACGT"})
+        with pytest.raises(DriverError):
+            driver.execute({})
+        with pytest.raises(DriverError):
+            driver.execute({"query_id": "missing"})
+
+
+class TestEngineRegistry:
+    def test_registration_exposes_functions_and_statistics(self, chr22_dataset):
+        engine = KleisliEngine()
+        engine.register_driver(RelationalDriver("GDB", chr22_dataset.gdb))
+        assert "GDB-Tab" in engine.driver_functions
+        assert engine.statistics_registry.cardinality("GDB", "locus") > 0
+
+    def test_unregister(self, chr22_dataset):
+        engine = KleisliEngine()
+        engine.register_driver(RelationalDriver("GDB", chr22_dataset.gdb))
+        engine.unregister_driver("GDB")
+        assert "GDB-Tab" not in engine.driver_functions
+        with pytest.raises(DriverNotRegisteredError):
+            engine.driver("GDB")
+
+    def test_unknown_driver_request_fails(self):
+        engine = KleisliEngine()
+        with pytest.raises(DriverNotRegisteredError):
+            engine.driver_executor("NoSuchDriver", {})

@@ -1,0 +1,116 @@
+"""Tests for the CPL session: binds, defines, queries, output formats, streaming."""
+
+import pytest
+
+from repro.core import types as T
+from repro.core.values import CList, CSet, Record, Variant
+from repro.kleisli.session import Session
+
+
+class TestBindAndRun:
+    def test_bind_python_data_and_query(self):
+        session = Session()
+        session.bind("DB", [{"title": "A", "year": 1989}, {"title": "B", "year": 1992}],
+                     list_as="set")
+        result = session.run(r"{p.title | \p <- DB, p.year = 1989}")
+        assert result == CSet(["A"])
+
+    def test_query_result_carries_type_and_plans(self, publication_session):
+        result = publication_session.query(r"{p.title | \p <- DB}")
+        assert result.inferred_type == T.SetType(T.STRING)
+        assert result.nrc is not None and result.optimized is not None
+        assert len(result.value) > 0
+
+    def test_defines_are_synonyms_expanded_into_queries(self, publication_session):
+        publication_session.run("define Recent == {p | \\p <- DB, p.year >= 1990}")
+        result = publication_session.run("{p.title | \\p <- Recent}")
+        direct = publication_session.run(r"{p.title | \p <- DB, p.year >= 1990}")
+        assert result == direct
+
+    def test_defined_function_applies(self, publication_session):
+        publication_session.run(
+            "define titles-in == \\y => {p.title | \\p <- DB, p.year = y}")
+        assert publication_session.run("titles-in(1989)") == \
+            publication_session.run(r"{p.title | \p <- DB, p.year = 1989}")
+
+    def test_paper_jname_function(self, tiny_publications):
+        session = Session()
+        session.bind("DB", tiny_publications)
+        session.run('''
+            define jname ==
+               <uncontrolled = \\s> => s
+             | <controlled = <medline-jta = \\s>> => s
+             | <controlled = <iso-jta = \\s>> => s
+        ''')
+        result = session.run(r"{[title = t, name = jname(v)] | [title = \t, journal = \v, ...] <- DB}")
+        names = {record.project("name") for record in result}
+        assert names == {"J Immunol", "Workshop Notes", "Nucleic Acids Res."}
+
+    def test_unoptimized_and_optimized_agree(self, publication_session):
+        query = (r"{[keyword = k, titles = {x.title | \x <- DB, k <- x.keywd}] |"
+                 r" \y <- DB, \k <- y.keywd}")
+        assert publication_session.query(query).value == \
+            publication_session.query(query, optimize=False).value
+
+    def test_typecheck_can_be_disabled(self, publications):
+        session = Session(typecheck=False)
+        session.bind("DB", publications)
+        assert session.query(r"{p.title | \p <- DB}").inferred_type is None
+
+
+class TestOutputFormats:
+    def test_print_value_round_trips_visually(self, publication_session):
+        rendered = publication_session.print_value(CSet([Record({"a": 1})]))
+        assert rendered == "{[a=1]}"
+
+    def test_print_value_wraps_long_output(self, publication_session):
+        value = publication_session.run(r"{p | \p <- DB, p.year = 1989}")
+        rendered = publication_session.print_value(value, width=40)
+        assert "\n" in rendered
+
+    def test_tabular_output(self, publication_session):
+        value = publication_session.run(r"{[title = p.title, year = p.year] | \p <- DB}")
+        text = publication_session.print_tabular(value)
+        header = text.splitlines()[0].split("\t")
+        assert set(header) == {"title", "year"}
+        assert len(text.splitlines()) == len(value) + 1
+
+    def test_html_output_contains_table(self, publication_session):
+        value = publication_session.run(r"{[title = p.title] | \p <- DB, p.year = 1989}")
+        html = publication_session.print_html(value, title="Publications in 1989")
+        assert "<table" in html and "Publications in 1989" in html
+
+    def test_html_escapes_content(self, publication_session):
+        html = publication_session.print_html(CSet([Record({"t": "<script>"})]))
+        assert "<script>" not in html
+
+
+class TestStreaming:
+    def test_stream_yields_same_elements_as_query(self, publication_session):
+        query = r"{p.title | \p <- DB, p.year >= 1990}"
+        streamed = CSet(publication_session.stream(query))
+        assert streamed == publication_session.run(query)
+
+    def test_stream_of_scalar_query(self, publication_session):
+        assert list(publication_session.stream("{1, 2, 3}")) == list(CSet([1, 2, 3]))
+
+
+class TestVariantsEndToEnd:
+    def test_variant_pattern_query(self, tiny_publications):
+        session = Session()
+        session.bind("DB", tiny_publications)
+        result = session.run(
+            r"{[name = n, title = t] |"
+            r" [title = \t, journal = <uncontrolled = \n>, ...] <- DB}")
+        assert result == CSet([Record({"name": "Workshop Notes",
+                                       "title": "Mapping the BCR region"})])
+
+    def test_flatten_and_invert(self, tiny_publications):
+        session = Session()
+        session.bind("DB", tiny_publications)
+        inverted = session.run(
+            r"{[keyword = k, titles = {x.title | \x <- DB, k <- x.keywd}] |"
+            r" \y <- DB, \k <- y.keywd}")
+        exons = next(r for r in inverted if r.project("keyword") == "Exons")
+        assert exons.project("titles") == CSet(["Structure of the human perforin gene",
+                                                "Exon prediction methods"])

@@ -1,0 +1,130 @@
+"""Tests for the rewrite engine: rules, rule sets, traversal orders, statistics."""
+
+import pytest
+
+from repro.core.errors import NRCError
+from repro.core.nrc import ast as A
+from repro.core.nrc import builder as B
+from repro.core.nrc.rewrite import RewriteEngine, RewriteStats, Rule, RuleSet
+
+
+def _fold_add(expr):
+    """Constant-fold add(Const, Const) — a simple rule for exercising the engine."""
+    if (isinstance(expr, A.PrimCall) and expr.name == "add"
+            and all(isinstance(arg, A.Const) for arg in expr.args)):
+        return A.Const(expr.args[0].value + expr.args[1].value)
+    return None
+
+
+class TestRule:
+    def test_rule_returns_none_when_not_applicable(self):
+        rule = Rule("fold", _fold_add)
+        assert rule.apply(B.var("x")) is None
+
+    def test_rule_rewrites_matching_node(self):
+        rule = Rule("fold", _fold_add)
+        assert rule.apply(B.prim("add", B.const(1), B.const(2))) == A.Const(3)
+
+
+class TestRuleSet:
+    def test_bottom_up_reaches_fixpoint(self):
+        rule_set = RuleSet("fold", [Rule("fold", _fold_add)])
+        expr = B.prim("add", B.prim("add", B.const(1), B.const(2)), B.const(3))
+        assert rule_set.apply(expr) == A.Const(6)
+
+    def test_top_down_traversal(self):
+        rule_set = RuleSet("fold", [Rule("fold", _fold_add)], direction="top-down")
+        expr = B.prim("add", B.prim("add", B.const(1), B.const(2)), B.const(3))
+        assert rule_set.apply(expr) == A.Const(6)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(NRCError):
+            RuleSet("bad", [], direction="sideways")
+
+    def test_iteration_bound_prevents_runaway(self):
+        # A rule that keeps wrapping a node would loop forever without the bound.
+        def wrap(expr):
+            if isinstance(expr, A.Const) and isinstance(expr.value, int) and expr.value < 1000:
+                return A.Const(expr.value + 1)
+            return None
+
+        rule_set = RuleSet("wrap", [Rule("wrap", wrap)], max_iterations=3)
+        result = rule_set.apply(A.Const(0))
+        assert isinstance(result, A.Const)
+        assert result.value < 1000  # stopped by the bound, not by reaching 1000
+
+    def test_statistics_record_firings(self):
+        stats = RewriteStats()
+        rule_set = RuleSet("fold", [Rule("fold", _fold_add)])
+        rule_set.apply(B.prim("add", B.prim("add", B.const(1), B.const(2)), B.const(3)), stats)
+        assert stats.fired("fold") == 2
+        assert stats.total() == 2
+
+    def test_add_rule_extensibility(self):
+        """New rules can be added to an existing rule set (the paper's extensibility point)."""
+        rule_set = RuleSet("empty", [])
+        assert rule_set.apply(B.prim("add", B.const(1), B.const(1))) == \
+            B.prim("add", B.const(1), B.const(1))
+        rule_set.add_rule(Rule("fold", _fold_add))
+        assert rule_set.apply(B.prim("add", B.const(1), B.const(1))) == A.Const(2)
+
+
+class TestRewriteEngine:
+    def test_rule_sets_apply_in_order(self):
+        def to_mul(expr):
+            if isinstance(expr, A.PrimCall) and expr.name == "add":
+                return A.PrimCall("mul", expr.args)
+            return None
+
+        def fold_mul(expr):
+            if (isinstance(expr, A.PrimCall) and expr.name == "mul"
+                    and all(isinstance(arg, A.Const) for arg in expr.args)):
+                return A.Const(expr.args[0].value * expr.args[1].value)
+            return None
+
+        engine = RewriteEngine([
+            RuleSet("first", [Rule("to-mul", to_mul)]),
+            RuleSet("second", [Rule("fold-mul", fold_mul)]),
+        ])
+        assert engine.rewrite(B.prim("add", B.const(3), B.const(4))) == A.Const(12)
+
+    def test_explain_reports_per_stage_traces(self):
+        engine = RewriteEngine([RuleSet("fold", [Rule("fold", _fold_add)])])
+        result, stats, traces = engine.explain(B.prim("add", B.const(1), B.const(2)))
+        assert result == A.Const(3)
+        assert stats.fired("fold") == 1
+        assert len(traces) == 1
+        assert "fold" == traces[0][0]
+
+    def test_engine_with_no_rule_sets_is_identity(self):
+        expr = B.prim("add", B.const(1), B.const(2))
+        assert RewriteEngine().rewrite(expr) == expr
+
+
+class TestAstUtilities:
+    def test_free_variables(self):
+        expr = B.ext("x", B.singleton(B.prim("add", B.var("x"), B.var("y"))), B.var("S"))
+        assert A.free_variables(expr) == frozenset({"y", "S"})
+
+    def test_substitution_is_capture_avoiding(self):
+        # Substituting y := x inside a binder over x must not capture.
+        expr = B.ext("x", B.singleton(B.prim("add", B.var("x"), B.var("y"))), B.var("S"))
+        substituted = A.substitute(expr, "y", B.var("x"))
+        # The binder must have been renamed so the free x stays free.
+        assert "x" in A.free_variables(substituted)
+        assert substituted.var != "x"
+
+    def test_substitute_in_lambda_shadowing(self):
+        lam = B.lam("x", B.var("x"))
+        assert A.substitute(lam, "x", B.const(1)) == lam
+
+    def test_node_count(self):
+        expr = B.prim("add", B.const(1), B.prim("add", B.const(2), B.const(3)))
+        assert A.node_count(expr) == 5
+
+    def test_structural_equality_and_hash(self):
+        a = B.ext("x", B.singleton(B.var("x")), B.var("S"))
+        b = B.ext("x", B.singleton(B.var("x")), B.var("S"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != B.ext("y", B.singleton(B.var("y")), B.var("S"))

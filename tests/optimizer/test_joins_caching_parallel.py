@@ -1,0 +1,228 @@
+"""Tests for the non-monadic optimizations: local joins, subquery caching, parallel loops."""
+
+import pytest
+
+from repro.core.nrc import ast as A
+from repro.core.nrc import builder as B
+from repro.core.nrc.eval import EvalContext, Evaluator, evaluate
+from repro.core.nrc.rewrite import RewriteStats
+from repro.core.optimizer.caching import is_expensive, make_caching_rule_set
+from repro.core.optimizer.joins import make_join_rule_set
+from repro.core.optimizer.parallel import ParallelExt, make_parallel_rule_set
+from repro.core.values import CSet, Record
+
+
+def nested_loop_join_expr():
+    """U{ U{ if o.id = i.ref then {[n=o.name, d=i.data]} else {} | i <- INNER } | o <- OUTER }"""
+    condition = B.eq(B.project(B.var("o"), "id"), B.project(B.var("i"), "ref"))
+    head = B.record(n=B.project(B.var("o"), "name"), d=B.project(B.var("i"), "data"))
+    inner = B.ext("i", B.if_then_else(condition, B.singleton(head), B.empty()), B.var("INNER"))
+    return B.ext("o", inner, B.var("OUTER"))
+
+
+def join_data(outer_size=20, inner_size=30):
+    outer = CSet([Record({"id": i, "name": f"n{i}"}) for i in range(outer_size)])
+    inner = CSet([Record({"ref": i % 10, "data": f"d{i}"}) for i in range(inner_size)])
+    return {"OUTER": outer, "INNER": inner}
+
+
+class TestJoinRuleSet:
+    def test_equality_condition_yields_indexed_join(self):
+        rewritten = make_join_rule_set(minimum_inner_size=0).apply(nested_loop_join_expr())
+        assert isinstance(rewritten, A.Join)
+        assert rewritten.method == "indexed"
+        assert rewritten.outer_key is not None
+
+    def test_non_equality_condition_yields_blocked_join(self):
+        condition = B.prim("lt", B.project(B.var("o"), "id"), B.project(B.var("i"), "ref"))
+        inner = B.ext("i", B.if_then_else(condition, B.singleton(B.const(1)), B.empty()),
+                      B.var("INNER"))
+        expr = B.ext("o", inner, B.var("OUTER"))
+        rewritten = make_join_rule_set(minimum_inner_size=0).apply(expr)
+        assert isinstance(rewritten, A.Join)
+        assert rewritten.method == "blocked"
+
+    def test_join_rewrite_preserves_semantics(self):
+        expr = nested_loop_join_expr()
+        rewritten = make_join_rule_set(minimum_inner_size=0).apply(expr)
+        data = join_data()
+        assert evaluate(expr, data) == evaluate(rewritten, data)
+
+    def test_correlated_inner_loop_is_not_rewritten(self):
+        # The inner source depends on the outer variable: not a local join.
+        inner = B.ext("i", B.singleton(B.var("i")), B.project(B.var("o"), "children"))
+        expr = B.ext("o", inner, B.var("OUTER"))
+        assert make_join_rule_set(minimum_inner_size=0).apply(expr) == expr
+
+    def test_small_inner_is_left_alone_by_statistics(self):
+        rewritten = make_join_rule_set(cardinality_of=lambda source: 2,
+                                       minimum_inner_size=8).apply(nested_loop_join_expr())
+        assert not isinstance(rewritten, A.Join)
+
+    def test_indexed_join_runs_faster_statistics(self):
+        """The indexed join touches far fewer pairs than the nested loop."""
+        expr = nested_loop_join_expr()
+        rewritten = make_join_rule_set(minimum_inner_size=0).apply(expr)
+        data = join_data(outer_size=50, inner_size=50)
+
+        plain_context = EvalContext()
+        Evaluator(plain_context).evaluate(expr, _env(data))
+        join_context = EvalContext()
+        Evaluator(join_context).evaluate(rewritten, _env(data))
+        assert join_context.statistics.joins_indexed == 1
+        assert plain_context.statistics.ext_iterations == 50 + 50 * 50
+
+
+def _env(data):
+    from repro.core.nrc.eval import Environment
+
+    return Environment(dict(data))
+
+
+class TestCachingRuleSet:
+    def _loop_with_inner_scan(self):
+        inner = B.ext("y", B.singleton(B.var("y")), A.Scan("SRC", {"table": "t"}))
+        return B.ext("x", inner, B.var("OUTER"))
+
+    def test_independent_scan_source_is_cached(self):
+        rewritten = make_caching_rule_set().apply(self._loop_with_inner_scan())
+        inner_source = rewritten.body.source
+        assert isinstance(inner_source, A.Cached)
+
+    def test_dependent_source_is_not_cached(self):
+        scan = A.Scan("SRC", {"table": "t"}, {"key": B.project(B.var("x"), "id")})
+        inner = B.ext("y", B.singleton(B.var("y")), scan)
+        expr = B.ext("x", inner, B.var("OUTER"))
+        rewritten = make_caching_rule_set().apply(expr)
+        assert not isinstance(rewritten.body.source, A.Cached)
+
+    def test_source_depending_on_intermediate_binder_is_not_cached(self):
+        """Regression: dependence on *any* enclosing loop variable blocks caching."""
+        scan = A.Scan("SRC", {"table": "t"}, {"key": B.project(B.var("m"), "id")})
+        innermost = B.ext("y", B.singleton(B.var("y")), scan)
+        middle = B.ext("m", innermost, B.var("MIDDLE"))
+        expr = B.ext("x", middle, B.var("OUTER"))
+        rewritten = make_caching_rule_set().apply(expr)
+        assert "cached" not in rewritten.pretty()
+
+    def test_cheap_sources_are_not_cached(self):
+        inner = B.ext("y", B.singleton(B.var("y")), B.var("SMALL"))
+        expr = B.ext("x", inner, B.var("OUTER"))
+        assert make_caching_rule_set().apply(expr) == expr
+
+    def test_cached_scan_is_fetched_once(self):
+        calls = []
+
+        def executor(driver, request):
+            calls.append(request)
+            return CSet([1, 2, 3])
+
+        expr = self._loop_with_inner_scan()
+        rewritten = make_caching_rule_set().apply(expr)
+        context = EvalContext(driver_executor=executor)
+        Evaluator(context).evaluate(rewritten, _env({"OUTER": CSet(range(5))}))
+        assert len(calls) == 1
+
+    def test_is_expensive_detects_scans_and_joins(self):
+        assert is_expensive(A.Scan("S", {}))
+        assert not is_expensive(B.var("x"))
+        assert is_expensive(B.ext("x", B.singleton(B.var("x")), A.Scan("S", {})))
+
+    def test_top_level_source_is_not_cached(self):
+        # The outermost loop's source is evaluated exactly once; caching it
+        # would only obscure the plan.
+        expr = B.ext("x", B.singleton(B.project(B.var("x"), "a")), A.Scan("SRC", {"table": "t"}))
+        assert make_caching_rule_set().apply(expr) == expr
+
+    def test_source_depending_on_outermost_binder_is_not_cached(self):
+        """Regression: the rule must see *all* enclosing binders, not just the
+        loop it happens to fire on — a deeply nested source depending on the
+        outermost loop variable must stay uncached."""
+        scan = A.Scan("SRC", {"table": "t"}, {"key": B.project(B.var("x"), "id")})
+        innermost = B.ext("y", B.singleton(B.var("y")), scan)
+        middle = B.ext("m", innermost, B.var("MIDDLE"))
+        expr = B.ext("x", middle, B.var("OUTER"))
+        assert "cached" not in make_caching_rule_set().apply(expr).pretty()
+
+    def test_join_inner_depending_on_enclosing_loop_is_not_cached(self):
+        """Regression for the mapsearch bug: a Join nested in an outer loop
+        whose inner scan depends on the outer loop variable must not be cached
+        (caching froze the first accession's GenBank result for every locus)."""
+        dependent_scan = A.Scan("GenBank", {"db": "na"},
+                                {"select": B.project(B.var("outer_rec"), "genbank_ref")})
+        join = A.Join("blocked", "o", B.var("CYTO"), "i", dependent_scan,
+                      condition=B.eq(B.project(B.var("o"), "id"), B.const(1)),
+                      body=B.singleton(B.var("i")))
+        expr = B.ext("outer_rec", join, A.Scan("GDB", {"table": "object_genbank_eref"}))
+        rewritten = make_caching_rule_set().apply(expr)
+        assert "cached(scan[GenBank]" not in rewritten.pretty()
+
+    def test_join_inner_independent_of_all_loops_is_cached(self):
+        independent_scan = A.Scan("GenBank", {"db": "na", "select": "fixed"})
+        join = A.Join("blocked", "o", B.var("CYTO"), "i", independent_scan,
+                      condition=None, body=B.singleton(B.var("i")))
+        expr = B.ext("outer_rec", join, A.Scan("GDB", {"table": "locus"}))
+        rewritten = make_caching_rule_set().apply(expr)
+        assert "cached(scan[GenBank]" in rewritten.pretty()
+
+    def test_dependent_pushdown_query_keeps_its_answer(self, integrated_session):
+        """End-to-end regression: optimized and unoptimized answers agree for a
+        query whose trailing generator calls a driver with a variable bound by
+        an earlier generator (the mapsearch shape)."""
+        integrated_session.run(
+            'define ASN-IDs == \\accession => GenBank([db = "na", '
+            'select = "accession " ^ accession, path = "Seq-entry.seq.id..giim"])')
+        query = ('{[ref = y, id = uid] | '
+                 '[genbank_ref = \\y, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"), '
+                 '[loc_cyto_chrom_num = "22", ...] <- GDB-Tab("locus_cyto_location"), '
+                 '\\uid <- ASN-IDs(y)}')
+        optimized = integrated_session.run(query, optimize=True)
+        unoptimized = integrated_session.run(query, optimize=False)
+        assert optimized == unoptimized
+        assert len(optimized) > 0
+
+
+class TestParallelRuleSet:
+    def _remote_loop(self):
+        scan = A.Scan("REMOTE", {"db": "na"}, {"select": B.project(B.var("x"), "acc")})
+        body = B.singleton(B.record(acc=B.project(B.var("x"), "acc"),
+                                    hits=B.prim("count", scan)))
+        return B.ext("x", body, B.var("OUTER"))
+
+    def test_remote_dependent_loop_becomes_parallel(self):
+        rule_set = make_parallel_rule_set(lambda driver: driver == "REMOTE", max_workers=3)
+        rewritten = rule_set.apply(self._remote_loop())
+        assert isinstance(rewritten, ParallelExt)
+        assert rewritten.max_workers == 3
+
+    def test_local_driver_loop_stays_sequential(self):
+        rule_set = make_parallel_rule_set(lambda driver: False)
+        assert not isinstance(rule_set.apply(self._remote_loop()), ParallelExt)
+
+    def test_parallel_ext_preserves_semantics(self):
+        def executor(driver, request):
+            return CSet([request["select"], request["select"] * 2])
+
+        expr = self._remote_loop()
+        parallel = make_parallel_rule_set(lambda d: True, max_workers=4).apply(expr)
+        data = {"OUTER": CSet([Record({"acc": i}) for i in range(1, 9)])}
+        sequential_value = Evaluator(EvalContext(driver_executor=executor)).evaluate(
+            expr, _env(data))
+        parallel_value = Evaluator(EvalContext(driver_executor=executor)).evaluate(
+            parallel, _env(data))
+        assert sequential_value == parallel_value
+
+    def test_parallel_loop_never_exceeds_server_cap(self):
+        from repro.net.remote import RemoteSource
+
+        server = RemoteSource("S", lambda request: CSet([request["select"]]),
+                              latency=0.005, max_concurrent_requests=3)
+
+        def executor(driver, request):
+            return server.call(request)
+
+        parallel = make_parallel_rule_set(lambda d: True, max_workers=3).apply(self._remote_loop())
+        data = {"OUTER": CSet([Record({"acc": i}) for i in range(12)])}
+        Evaluator(EvalContext(driver_executor=executor)).evaluate(parallel, _env(data))
+        assert server.log.max_concurrency() <= 3
+        assert server.request_count == 12

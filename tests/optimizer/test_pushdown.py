@@ -1,0 +1,129 @@
+"""Tests for SQL and ASN.1-path pushdown (experiments E4 / E5 correctness side)."""
+
+import pytest
+
+from repro.bio.gdb import build_gdb
+from repro.bio.genbank import build_genbank
+from repro.core.nrc import ast as A
+from repro.kleisli.drivers import EntrezDriver, RelationalDriver
+from repro.kleisli.session import Session
+
+
+@pytest.fixture(scope="module")
+def gdb_session():
+    session = Session()
+    session.register_driver(RelationalDriver("GDB", build_gdb(locus_count=80)))
+    return session
+
+
+@pytest.fixture(scope="module")
+def genbank_session():
+    server = build_genbank(list(range(1, 11)), homologues_per_entry=1, sequence_length=100)
+    session = Session()
+    session.register_driver(EntrezDriver("GenBank", server))
+    return session
+
+
+LOCI22_CPL = '''
+{[locus-symbol = x, genbank-ref = y] |
+  [locus_symbol = \\x, locus_id = \\a, ...] <- GDB-Tab("locus"),
+  [genbank_ref = \\y, object_id = a, object_class_key = 1, ...] <- GDB-Tab("object_genbank_eref"),
+  [loc_cyto_chrom_num = "22", locus_cyto_location_id = a, ...] <- GDB-Tab("locus_cyto_location")}
+'''
+
+
+class TestDriverIntroduction:
+    def test_table_function_becomes_scan(self, gdb_session):
+        result = gdb_session.query('GDB-Tab("locus")')
+        assert isinstance(result.optimized, A.Scan)
+        assert result.optimized.request == {"table": "locus"}
+
+    def test_raw_request_record_becomes_scan(self, gdb_session):
+        result = gdb_session.query('GDB([query = "select locus_id from locus"])')
+        assert isinstance(result.optimized, A.Scan)
+        assert "query" in result.optimized.request
+
+    def test_computed_argument_goes_into_args(self, gdb_session):
+        result = gdb_session.query('GDB([query = "select * from " ^ "locus"])')
+        assert isinstance(result.optimized, A.Scan)
+        assert "query" in result.optimized.args
+        assert len(result.value) == 80
+
+
+class TestSQLJoinPushdown:
+    def test_loci22_becomes_single_sql_query(self, gdb_session):
+        """The paper's headline example: three generators become one shipped query."""
+        result = gdb_session.query(LOCI22_CPL)
+        assert isinstance(result.optimized, A.Scan)
+        sql = result.optimized.request["query"]
+        assert sql.count("from") == 1
+        for table in ("locus", "object_genbank_eref", "locus_cyto_location"):
+            assert table in sql
+        assert "loc_cyto_chrom_num = '22'" in sql
+
+    def test_pushdown_preserves_results(self, gdb_session):
+        optimized = gdb_session.query(LOCI22_CPL).value
+        unoptimized = gdb_session.query(LOCI22_CPL, optimize=False).value
+        assert optimized == unoptimized
+        assert len(optimized) > 0
+
+    def test_single_scan_request_after_pushdown(self, gdb_session):
+        gdb_session.query(LOCI22_CPL)
+        assert gdb_session.engine.last_eval_statistics.scan_requests == 1
+
+    def test_selection_and_projection_pushdown(self, gdb_session):
+        query = '{[sym = x] | [locus_symbol = \\x, chromosome = "22", ...] <- GDB-Tab("locus")}'
+        result = gdb_session.query(query)
+        assert isinstance(result.optimized, A.Scan)
+        sql = result.optimized.request["query"]
+        assert "chromosome = '22'" in sql
+        assert result.value == gdb_session.query(query, optimize=False).value
+
+    def test_head_referencing_whole_tuple_pushes_star(self, gdb_session):
+        query = '{p | \\p <- GDB-Tab("locus"), p.chromosome = "22"}'
+        result = gdb_session.query(query)
+        assert isinstance(result.optimized, A.Scan)
+        assert ".*" in result.optimized.request["query"]
+        assert result.value == gdb_session.query(query, optimize=False).value
+
+    def test_unpushable_condition_stays_local_and_correct(self, gdb_session):
+        # string_length is not expressible in the SQL subset, so the query must
+        # still run (partially pushed or fully local) with correct results.
+        query = ('{p.locus_symbol | \\p <- GDB-Tab("locus"),'
+                 ' string_length(p.locus_symbol) > 5}')
+        result = gdb_session.query(query)
+        assert result.value == gdb_session.query(query, optimize=False).value
+
+
+class TestPathPushdown:
+    def test_projection_comprehension_extends_path(self, genbank_session):
+        query = '{e.accession | \\e <- GenBank([db = "na", select = "organism homo_sapiens"])}'
+        # organism values are indexed lowercased with spaces; use the chromosome index instead.
+        query = '{e.accession | \\e <- GenBank([db = "na", select = "chromosome 22"])}'
+        result = genbank_session.query(query)
+        assert isinstance(result.optimized, A.Scan)
+        assert result.optimized.request.get("path", "").endswith(".accession")
+        assert result.value == genbank_session.query(query, optimize=False).value
+        assert len(result.value) == 10
+
+    def test_nested_projection_chain(self, genbank_session):
+        query = '{e.seq.length | \\e <- GenBank([db = "na", select = "chromosome 22"])}'
+        result = genbank_session.query(query)
+        assert isinstance(result.optimized, A.Scan)
+        assert result.optimized.request["path"].endswith(".seq.length")
+        assert result.value == genbank_session.query(query, optimize=False).value
+
+    def test_explicit_path_request_still_works(self, genbank_session):
+        query = ('GenBank([db = "na", select = "chromosome 22",'
+                 ' path = "Seq-entry.seq.id..giim"])')
+        result = genbank_session.query(query)
+        assert len(result.value) == 10
+        assert all(isinstance(uid, int) for uid in result.value)
+
+    def test_non_projection_body_is_not_pushed(self, genbank_session):
+        query = ('{[acc = e.accession, org = e.organism] |'
+                 ' \\e <- GenBank([db = "na", select = "chromosome 22"])}')
+        result = genbank_session.query(query)
+        # A record head cannot become a single path; the loop stays local.
+        assert not isinstance(result.optimized, A.Scan)
+        assert result.value == genbank_session.query(query, optimize=False).value

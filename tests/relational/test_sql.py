@@ -1,0 +1,170 @@
+"""Tests for the SQL subset: parser, planner and executor."""
+
+import pytest
+
+from repro.core.errors import SQLExecutionError, SQLSyntaxError
+from repro.relational import Database
+from repro.relational.sql.ast import Comparison, SelectStatement
+from repro.relational.sql.parser import parse_sql
+from repro.relational.sql.planner import HashJoinNode, ScanNode, explain_query, plan_query
+
+
+@pytest.fixture()
+def gdb():
+    """A small GDB-shaped database with the three Loci22 tables."""
+    database = Database("GDB")
+    locus = database.create_table_from_spec(
+        "locus", {"locus_id": "int", "locus_symbol": "string"}, primary_key=["locus_id"])
+    gref = database.create_table_from_spec(
+        "object_genbank_eref",
+        {"object_id": "int", "genbank_ref": "string", "object_class_key": "int"})
+    cyto = database.create_table_from_spec(
+        "locus_cyto_location",
+        {"locus_cyto_location_id": "int", "loc_cyto_chrom_num": "string"})
+    for i in range(1, 101):
+        locus.insert({"locus_id": i, "locus_symbol": f"D22S{i}"})
+        gref.insert({"object_id": i, "genbank_ref": f"M{81000 + i}",
+                     "object_class_key": 1 if i % 4 else 2})
+        cyto.insert({"locus_cyto_location_id": i,
+                     "loc_cyto_chrom_num": "22" if i % 2 == 0 else "21"})
+    locus.create_hash_index("locus_id")
+    gref.create_hash_index("object_id")
+    cyto.create_hash_index("locus_cyto_location_id")
+    database.analyze()
+    return database
+
+
+LOCI22_SQL = """
+    select locus_symbol, genbank_ref
+    from locus, object_genbank_eref, locus_cyto_location
+    where locus.locus_id = locus_cyto_location.locus_cyto_location_id
+      and locus.locus_id = object_genbank_eref.object_id
+      and object_class_key = 1
+      and loc_cyto_chrom_num = '22'
+"""
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse_sql("select a, b from t where a = 1")
+        assert isinstance(statement, SelectStatement)
+        assert len(statement.select_items) == 2
+        assert len(statement.predicates) == 1
+
+    def test_star_and_alias(self):
+        statement = parse_sql("select * from locus l")
+        assert statement.select_items[0].star
+        assert statement.tables[0].alias == "l"
+
+    def test_string_escaping(self):
+        statement = parse_sql("select a from t where a = 'it''s'")
+        assert statement.predicates[0].right == "it's"
+
+    def test_in_like_null(self):
+        statement = parse_sql(
+            "select a from t where a in (1, 2) and b like 'D22%' and c is not null")
+        assert len(statement.predicates) == 3
+
+    def test_order_limit_distinct(self):
+        statement = parse_sql("select distinct a from t order by a desc limit 5")
+        assert statement.distinct
+        assert statement.order_by[0].descending
+        assert statement.limit == 5
+
+    def test_paper_query_parses(self):
+        statement = parse_sql(LOCI22_SQL)
+        assert len(statement.tables) == 3
+        assert len(statement.predicates) == 4
+
+    def test_syntax_errors(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select from t")
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select a from t where a = 'unterminated")
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select a from t where a = 1 or b = 2")
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("select a from t extra junk")
+
+
+class TestPlanner:
+    def test_single_table_equality_uses_index(self, gdb):
+        plan = plan_query(gdb, parse_sql("select * from locus where locus_id = 7"))
+        explanation = plan.explain()
+        assert "index lookup on locus_id" in explanation
+
+    def test_unindexed_predicate_full_scan(self, gdb):
+        explanation = explain_query(gdb, "select * from locus where locus_symbol = 'D22S7'")
+        assert "full scan" in explanation
+
+    def test_join_uses_hash_join(self, gdb):
+        explanation = explain_query(gdb, LOCI22_SQL)
+        assert explanation.count("HashJoin") == 2
+
+    def test_unknown_column_rejected(self, gdb):
+        with pytest.raises(SQLExecutionError):
+            plan_query(gdb, parse_sql("select nosuch from locus"))
+
+    def test_ambiguous_column_rejected(self, gdb):
+        database = Database("x")
+        database.create_table_from_spec("a", {"k": "int"})
+        database.create_table_from_spec("b", {"k": "int"})
+        with pytest.raises(SQLExecutionError):
+            plan_query(database, parse_sql("select k from a, b"))
+
+
+class TestExecutor:
+    def test_projection_and_selection(self, gdb):
+        rows = gdb.sql("select locus_symbol from locus where locus_id = 7")
+        assert rows == [{"locus_symbol": "D22S7"}]
+
+    def test_comparison_operators(self, gdb):
+        assert len(gdb.sql("select * from locus where locus_id <= 10")) == 10
+        assert len(gdb.sql("select * from locus where locus_id <> 1")) == 99
+        assert len(gdb.sql("select * from locus where locus_id > 95")) == 5
+
+    def test_in_and_like(self, gdb):
+        assert len(gdb.sql("select * from locus where locus_id in (1, 2, 3)")) == 3
+        assert len(gdb.sql("select * from locus where locus_symbol like 'D22S1%'")) == 12
+
+    def test_order_by_and_limit(self, gdb):
+        rows = gdb.sql("select locus_id from locus order by locus_id desc limit 3")
+        assert [row["locus_id"] for row in rows] == [100, 99, 98]
+
+    def test_distinct(self, gdb):
+        rows = gdb.sql("select distinct loc_cyto_chrom_num from locus_cyto_location")
+        assert sorted(row["loc_cyto_chrom_num"] for row in rows) == ["21", "22"]
+
+    def test_column_alias(self, gdb):
+        rows = gdb.sql("select locus_symbol sym from locus where locus_id = 1")
+        assert rows == [{"sym": "D22S1"}]
+
+    def test_qualified_star(self, gdb):
+        rows = gdb.sql("select locus.* from locus, object_genbank_eref "
+                       "where locus.locus_id = object_genbank_eref.object_id "
+                       "and object_class_key = 2 and locus_id <= 8")
+        assert {row["locus_id"] for row in rows} == {4, 8}
+
+    def test_paper_join_query_results(self, gdb):
+        rows = gdb.sql(LOCI22_SQL)
+        # Even locus ids on chromosome 22, excluding multiples of 4 with class key 2.
+        expected = [i for i in range(1, 101) if i % 2 == 0 and i % 4 != 0]
+        assert sorted(int(row["genbank_ref"][1:]) - 81000 for row in rows) == expected
+        assert set(rows[0]) == {"locus_symbol", "genbank_ref"}
+
+    def test_join_equivalent_to_manual_nested_loop(self, gdb):
+        joined = gdb.sql("select locus_symbol, genbank_ref from locus, object_genbank_eref "
+                         "where locus.locus_id = object_genbank_eref.object_id")
+        assert len(joined) == 100
+
+    def test_cross_join_without_predicate(self, gdb):
+        rows = gdb.sql("select locus.locus_id from locus, locus_cyto_location "
+                       "where locus.locus_id <= 2 and locus_cyto_location_id <= 3")
+        assert len(rows) == 6
+
+    def test_null_comparison_is_false(self):
+        database = Database("n")
+        table = database.create_table_from_spec("t", {"a": "int", "b": "int"})
+        table.insert({"a": 1, "b": None})
+        assert database.sql("select * from t where b > 0") == []
+        assert len(database.sql("select * from t where b is null")) == 1

@@ -1,0 +1,279 @@
+"""Tests for the multidatabase user-view layer (Section 3, Figure 1)."""
+
+import pytest
+
+from repro.core.values import CSet, Record
+from repro.kleisli.session import Session
+from repro.views import (
+    UserView,
+    ViewError,
+    ViewGateway,
+    ViewParameter,
+    ViewParameterError,
+    ViewRegistry,
+    build_mapsearch_view,
+    render_form,
+    render_index,
+    render_result_page,
+)
+from repro.views.mapsearch import MAPSEARCH_QUERY
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+# ---------------------------------------------------------------------------
+
+class TestViewParameter:
+    def test_string_coercion_passes_through(self):
+        parameter = ViewParameter("symbol")
+        assert parameter.coerce("  D22S1  ") == "D22S1"
+
+    def test_int_and_float_coercion(self):
+        assert ViewParameter("n", "int").coerce("42") == 42
+        assert ViewParameter("score", "float").coerce("0.5") == 0.5
+
+    def test_int_coercion_rejects_garbage(self):
+        with pytest.raises(ViewParameterError):
+            ViewParameter("n", "int").coerce("forty-two")
+
+    def test_bool_coercion(self):
+        parameter = ViewParameter("flag", "bool")
+        assert parameter.coerce("true") is True
+        assert parameter.coerce("off") is False
+        with pytest.raises(ViewParameterError):
+            parameter.coerce("maybe")
+
+    def test_missing_required_parameter(self):
+        with pytest.raises(ViewParameterError):
+            ViewParameter("band").coerce(None)
+        with pytest.raises(ViewParameterError):
+            ViewParameter("band").coerce("   ")
+
+    def test_default_fills_in_missing_value(self):
+        parameter = ViewParameter("band", "choice", choices=["22q11.2"], default="22q11.2")
+        assert parameter.coerce(None) == "22q11.2"
+
+    def test_optional_parameter_without_default_is_none(self):
+        assert ViewParameter("note", required=False).coerce("") is None
+
+    def test_choice_validation(self):
+        parameter = ViewParameter("band", "choice", choices=["22q11.1", "22q11.2"])
+        assert parameter.coerce("22q11.1") == "22q11.1"
+        with pytest.raises(ViewParameterError):
+            parameter.coerce("17p13")
+
+    def test_choice_requires_choices(self):
+        with pytest.raises(ViewError):
+            ViewParameter("band", "choice")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ViewError):
+            ViewParameter("x", "date")
+
+    def test_typed_value_passes_choice_check(self):
+        parameter = ViewParameter("n", "int")
+        assert parameter.coerce(7) == 7
+
+
+# ---------------------------------------------------------------------------
+# UserView over a plain session
+# ---------------------------------------------------------------------------
+
+def _publication_view():
+    return UserView(
+        "papers-from-year",
+        "{[title = p.title] | \\p <- DB, p.year = year}",
+        description="Titles of publications from a given year",
+        parameters=[ViewParameter("year", "int")],
+        output="tabular",
+    )
+
+
+@pytest.fixture()
+def bound_session():
+    session = Session()
+    session.bind("DB", CSet([
+        Record({"title": "Perforin gene", "year": 1989}),
+        Record({"title": "BCR mapping", "year": 1992}),
+        Record({"title": "Exon prediction", "year": 1992}),
+    ]))
+    return session
+
+
+class TestUserView:
+    def test_run_binds_parameters_and_returns_value(self, bound_session):
+        result = _publication_view().run(bound_session, {"year": "1992"})
+        titles = {row.project("title") for row in result.value}
+        assert titles == {"BCR mapping", "Exon prediction"}
+        assert result.parameters == {"year": 1992}
+
+    def test_parameters_do_not_leak_into_the_session(self, bound_session):
+        _publication_view().run(bound_session, {"year": "1989"})
+        assert "year" not in bound_session.values
+
+    def test_existing_binding_is_restored(self, bound_session):
+        bound_session.bind("year", 1700)
+        _publication_view().run(bound_session, {"year": "1992"})
+        assert bound_session.values["year"] == 1700
+
+    def test_unknown_parameter_rejected(self, bound_session):
+        with pytest.raises(ViewError):
+            _publication_view().run(bound_session, {"year": "1992", "author": "Hart"})
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(ViewError):
+            UserView("v", "DB", parameters=[ViewParameter("a"), ViewParameter("a")])
+
+    def test_unknown_output_format_rejected(self):
+        with pytest.raises(ViewError):
+            UserView("v", "DB", output="pdf")
+
+    def test_setup_runs_once_per_session(self, bound_session):
+        view = UserView(
+            "recent",
+            "recent-titles(cutoff)",
+            parameters=[ViewParameter("cutoff", "int")],
+            setup="define recent-titles == \\y => {p.title | \\p <- DB, p.year >= y}",
+        )
+        first = view.run(bound_session, {"cutoff": "1990"})
+        second = view.run(bound_session, {"cutoff": "1990"})
+        assert first.value == second.value
+        assert len(first.value) == 2
+
+    def test_parameter_lookup(self):
+        view = _publication_view()
+        assert view.parameter("year").kind == "int"
+        with pytest.raises(ViewError):
+            view.parameter("missing")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class TestViewRegistry:
+    def test_register_get_and_names(self):
+        registry = ViewRegistry()
+        view = registry.register(_publication_view())
+        assert registry.get(view.name) is view
+        assert registry.names() == [view.name]
+        assert view.name in registry and len(registry) == 1
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        registry = ViewRegistry()
+        registry.register(_publication_view())
+        with pytest.raises(ViewError):
+            registry.register(_publication_view())
+        registry.register(_publication_view(), replace=True)
+
+    def test_unregister(self):
+        registry = ViewRegistry()
+        registry.register(_publication_view())
+        registry.unregister("papers-from-year")
+        assert len(registry) == 0
+        with pytest.raises(ViewError):
+            registry.unregister("papers-from-year")
+
+    def test_get_unknown_view(self):
+        with pytest.raises(ViewError):
+            ViewRegistry().get("nope")
+
+
+# ---------------------------------------------------------------------------
+# Forms
+# ---------------------------------------------------------------------------
+
+class TestForms:
+    def test_form_lists_choices_like_figure_1(self):
+        html = render_form(build_mapsearch_view())
+        assert "<select" in html and "22q11.2" in html
+        assert "valid bands are listed" in html
+        assert 'action="/cgi-bin/cpl/mapsearch1.html"' in html
+
+    def test_form_escapes_error_message(self):
+        html = render_form(_publication_view(), error="bad <value>")
+        assert "bad &lt;value&gt;" in html
+
+    def test_text_and_checkbox_fields(self):
+        view = UserView("v", "DB", parameters=[
+            ViewParameter("symbol", "string", default="D22S1"),
+            ViewParameter("include_links", "bool", default=True),
+        ])
+        html = render_form(view)
+        assert 'type="text"' in html and 'value="D22S1"' in html
+        assert 'type="checkbox"' in html and "checked" in html
+
+    def test_index_links_every_view(self):
+        registry = ViewRegistry()
+        registry.register(_publication_view())
+        registry.register(build_mapsearch_view())
+        html = render_index(registry)
+        assert "papers-from-year" in html and "mapsearch1" in html
+
+    def test_result_page_tabular_output(self, bound_session):
+        result = _publication_view().run(bound_session, {"year": "1992"})
+        html = render_result_page(result)
+        assert "BCR mapping" in html and "year = 1992" in html and "<pre>" in html
+
+
+# ---------------------------------------------------------------------------
+# Gateway + the Figure-1 mapsearch view over the integrated scenario
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def gateway(integrated_session):
+    registry = ViewRegistry()
+    registry.register(build_mapsearch_view())
+    return ViewGateway(integrated_session, registry)
+
+
+class TestGateway:
+    def test_index_and_form_pages(self, gateway):
+        assert gateway.handle("").status == 200
+        form = gateway.handle("mapsearch1.html")
+        assert form.status == 200 and "<form" in form.body
+
+    def test_unknown_view_is_404(self, gateway):
+        assert gateway.form("nope").status == 404
+        assert gateway.submit("nope", {"x": "1"}).status == 404
+
+    def test_validation_failure_re_renders_form(self, gateway):
+        response = gateway.submit("mapsearch1", {"chromosome": "99"})
+        assert response.status == 400
+        assert "<form" in response.body and "Error" in response.body
+
+    def test_submit_runs_the_doe_query_shape(self, gateway, integrated_session):
+        response = gateway.submit("mapsearch1", {"chromosome": "22", "band": "any"})
+        assert response.status == 200
+        rows = response.value
+        assert len(rows) > 0
+        for row in rows:
+            assert set(row.labels) == {"locus-symbol", "band", "genbank-ref", "homologs"}
+        assert "<table" in response.body.lower() or "<html>" in response.body.lower()
+
+    def test_optimized_matches_unoptimized(self, gateway):
+        optimized = gateway.submit("mapsearch1", {"chromosome": "22", "band": "any"})
+        unoptimized = gateway.submit("mapsearch1", {"chromosome": "22", "band": "any"},
+                                     optimize=False)
+        assert optimized.value == unoptimized.value
+
+    def test_band_restriction_filters_rows(self, gateway, integrated_session):
+        everything = gateway.submit("mapsearch1", {"chromosome": "22", "band": "any"}).value
+        bands = {row.project("band") for row in everything}
+        assert bands, "scenario should place loci in at least one band"
+        one_band = sorted(bands)[0]
+        restricted = gateway.submit("mapsearch1", {"chromosome": "22", "band": one_band}).value
+        assert len(restricted) >= 1
+        assert {row.project("band") for row in restricted} == {one_band}
+        assert len(restricted) <= len(everything)
+
+    def test_other_chromosome_yields_no_chr22_loci(self, gateway):
+        response = gateway.submit("mapsearch1", {"chromosome": "1", "band": "any"})
+        assert response.status == 200
+        # Synthetic GenBank only indexes chromosome-22 accessions, so loci on
+        # other chromosomes have no retrievable entries.
+        assert len(response.value) == 0
+
+    def test_query_text_mentions_all_three_gdb_tables(self):
+        for table in ("locus", "object_genbank_eref", "locus_cyto_location"):
+            assert table in MAPSEARCH_QUERY
