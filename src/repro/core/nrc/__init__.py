@@ -34,6 +34,7 @@ from .ast import (
     substitute,
 )
 from .eval import Evaluator, Environment
+from .compile import CompiledQuery, ExecutionMode, compile_term
 from .rewrite import Rule, RuleSet, RewriteEngine, RewriteStats
 
 __all__ = [
@@ -42,5 +43,6 @@ __all__ = [
     "IfThenElse", "PrimCall", "Let", "Deref", "Scan", "Join", "Cached",
     "fresh_var", "free_variables", "substitute",
     "Evaluator", "Environment",
+    "CompiledQuery", "ExecutionMode", "compile_term",
     "Rule", "RuleSet", "RewriteEngine", "RewriteStats",
 ]

@@ -1,0 +1,932 @@
+"""Compile-to-closures backend for NRC: the Kleisli execution engine's fast path.
+
+The paper's Kleisli implementation gets its evaluation speed from *compiling*
+CPL/NRC into an executable form rather than interpreting the tree.  This
+module is that stage for the reproduction: a **staged compiler** that lowers
+an (already optimized) NRC term into nested Python closures.
+
+Staging strategy
+----------------
+
+Compilation is a single bottom-up pass, ``compile_term(term)``, producing one
+Python callable per AST node with the uniform signature::
+
+    fn(frame: list, context: EvalContext) -> value
+
+Everything that the tree-walking :class:`~repro.core.nrc.eval.Evaluator` must
+re-discover *per element of every collection* is decided **once, at compile
+time**, and burned into the closure:
+
+* **Dispatch** — the interpreter does a ``type(expr)`` dictionary lookup per
+  node per element; here each node becomes a direct closure call, so the AST
+  is never consulted again after compilation.
+* **Variable lookup** — the interpreter allocates a chained ``Environment``
+  dict per binding and walks the chain per lookup.  The compiler maintains a
+  compile-time *scope* (a tuple of binder names, innermost last) and resolves
+  every ``Var`` to a fixed integer slot; at run time the environment is a flat
+  Python list (the *frame*) and a lookup is a single ``frame[i]`` index.
+  Loop binders (``Ext``) reuse one frame slot across iterations, so the hot
+  path allocates no environment at all.
+* **Constant work** — primitive functions are looked up, collection
+  constructors selected, record labels fixed, and scan request templates
+  prepared at compile time.
+* **Projection** — each compiled ``Project`` node carries an inline
+  ``(directory, slot)`` cache, giving the Remy homogeneous-collection fast
+  path (Section 4 of the paper) without a per-record directory lookup.
+
+Closure values (``Lam``) snapshot the current frame when they are created, so
+a function value escaping a loop observes the bindings that were live at its
+creation, exactly like the interpreter's chained environments.
+
+Fallback
+--------
+
+Node types without a registered compiler (see :func:`register_compiler`) are
+not errors: the compiler emits a *fallback thunk* that reconstructs an
+:class:`~repro.core.nrc.eval.Environment` from the frame and delegates the
+subtree to the interpreter.  ``CompiledQuery.fallback_nodes`` reports which
+node types fell back, and ``EvalStatistics.compiled_fallbacks`` counts how
+often the handoff happened at run time.  Both execution modes share the same
+:class:`~repro.core.nrc.eval.EvalContext` (driver executor, subquery cache,
+statistics), so compiled and interpreted fragments interoperate freely —
+including closures crossing the boundary in either direction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Tuple, Type, Union
+
+from ..errors import EvaluationError, UnboundVariableError
+from ..records import Record, RecordDirectory
+from ..values import (
+    CBag,
+    CList,
+    CSet,
+    Ref,
+    UNIT_VALUE,
+    Variant,
+    _COLLECTION_CLASSES,
+    empty_like,
+    iter_collection,
+    make_collection,
+    union_like,
+)
+from . import ast as A
+from .ast import free_variables
+from .eval import (
+    Closure,
+    Environment,
+    EvalContext,
+    Evaluator,
+    _CountingStream,
+    cache_payload,
+    iterate_source,
+    materialise,
+    materialise_source,
+)
+from .prims import lookup_primitive
+
+__all__ = [
+    "ExecutionMode", "CompiledQuery", "CompiledClosure", "compile_term",
+    "register_compiler", "supported_node_types", "term_fingerprint",
+]
+
+_COLLECTIONS = (CSet, CBag, CList)
+
+
+class ExecutionMode(enum.Enum):
+    """How the Kleisli engine runs an optimized NRC term."""
+
+    INTERPRET = "interpret"
+    COMPILED = "compiled"
+
+    @classmethod
+    def coerce(cls, value: Union["ExecutionMode", str]) -> "ExecutionMode":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise EvaluationError(
+                f"unknown execution mode {value!r}; "
+                f"expected one of {[mode.value for mode in cls]}"
+            ) from None
+
+
+class _Unbound:
+    """Marks a top-level frame slot whose name had no binding at call time.
+
+    The interpreter raises :class:`UnboundVariableError` only if an unbound
+    variable is actually *reached*; compiled queries preserve that by filling
+    missing slots with a marker and checking it on access.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+class CompiledClosure:
+    """The run-time value of a compiled ``Lam``: a frame snapshot + body closure.
+
+    Like an interpreter :class:`~repro.core.nrc.eval.Closure`, the *bindings*
+    are fixed at creation but the ambient context (driver executor, cache,
+    statistics) is the one of whoever applies it: :meth:`apply_in` takes the
+    applying context, so a closure that outlives its run — stored in the
+    subquery cache, returned to user code — charges statistics to, and
+    resolves drivers through, the run that calls it.  ``__call__`` (the bare
+    Python-callable protocol) falls back to the creation context.
+    """
+
+    __slots__ = ("body_fn", "frame", "context")
+
+    def __init__(self, body_fn, frame, context):
+        self.body_fn = body_fn
+        self.frame = frame
+        self.context = context
+
+    def apply_in(self, arg: object, context: EvalContext) -> object:
+        frame = list(self.frame)
+        frame.append(arg)
+        return self.body_fn(frame, context)
+
+    def __call__(self, arg: object) -> object:
+        return self.apply_in(arg, self.context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return "<compiled closure>"
+
+
+def _apply_value(func: object, arg: object, context: EvalContext) -> object:
+    """Apply a compiled closure, an interpreter closure, or a native callable."""
+    if type(func) is CompiledClosure:
+        return func.apply_in(arg, context)
+    if isinstance(func, Closure):
+        # An interpreter closure leaked across the boundary (e.g. out of a
+        # fallback subtree or the subquery cache): evaluate it there.
+        return Evaluator(context).apply_function(func, arg)
+    if callable(func):
+        return func(arg)
+    raise EvaluationError(f"attempt to apply a non-function value {func!r}")
+
+
+class _CompileState:
+    """Per-``compile_term`` bookkeeping shared by the node compilers."""
+
+    __slots__ = ("n_free", "fallbacks")
+
+    def __init__(self, n_free: int):
+        self.n_free = n_free
+        self.fallbacks: List[str] = []
+
+
+_Scope = Tuple[str, ...]
+_CompiledFn = Callable[[list, EvalContext], object]
+_COMPILERS: Dict[Type[A.Expr], Callable[[A.Expr, _Scope, _CompileState], _CompiledFn]] = {}
+
+
+def register_compiler(node_type: Type[A.Expr]):
+    """Register a closure compiler for an AST node type (extension hook).
+
+    Dispatch is by *exact* type, so subclasses with different semantics (for
+    example :class:`~repro.core.optimizer.parallel.ParallelExt`) are not
+    silently compiled as their base class — they either register their own
+    compiler with this decorator or fall back to the interpreter.
+
+    A registered node type whose compiled form bakes in parameters beyond
+    its structural children should also define ``fingerprint_extras()``
+    returning those parameters, so :func:`term_fingerprint` (the engine's
+    compile-cache key) can tell such terms apart; without it, terms
+    containing the node are cached by identity only.
+    """
+
+    def decorator(function):
+        _COMPILERS[node_type] = function
+        return function
+
+    return decorator
+
+
+def supported_node_types() -> Tuple[str, ...]:
+    """Names of node types with a native closure compiler (for docs and tests)."""
+    return tuple(sorted(cls.__name__ for cls in _COMPILERS))
+
+
+def _compile(expr: A.Expr, scope: _Scope, state: _CompileState) -> _CompiledFn:
+    compiler = _COMPILERS.get(type(expr))
+    if compiler is None:
+        return _compile_fallback(expr, scope, state)
+    return compiler(expr, scope, state)
+
+
+def _compile_fallback(expr: A.Expr, scope: _Scope, state: _CompileState) -> _CompiledFn:
+    """Delegate an unsupported subtree to the tree-walking interpreter."""
+    state.fallbacks.append(type(expr).__name__)
+    names = tuple(scope)
+
+    def run(frame, context):
+        context.statistics.compiled_fallbacks += 1
+        bindings = {}
+        for name, value in zip(names, frame):
+            if type(value) is not _Unbound:
+                bindings[name] = value
+        return Evaluator(context)._eval(expr, Environment(bindings))
+
+    return run
+
+
+def _slot_of(scope: _Scope, name: str) -> Optional[int]:
+    """Resolve ``name`` to its innermost slot (shadowing: scan from the end)."""
+    for index in range(len(scope) - 1, -1, -1):
+        if scope[index] == name:
+            return index
+    return None
+
+
+def _extended(frame: list, value: object) -> list:
+    new_frame = list(frame)
+    new_frame.append(value)
+    return new_frame
+
+
+# ---------------------------------------------------------------------------
+# Node compilers
+# ---------------------------------------------------------------------------
+
+@register_compiler(A.Const)
+def _compile_const(expr: A.Const, scope, state):
+    value = UNIT_VALUE if expr.value is None else expr.value
+    return lambda frame, context: value
+
+
+@register_compiler(A.Var)
+def _compile_var(expr: A.Var, scope, state):
+    slot = _slot_of(scope, expr.name)
+    if slot is None:
+        # Free variable outside even the top-level scope (cannot happen via
+        # compile_term, which seeds the scope with all free names).
+        name = expr.name
+
+        def unbound(frame, context):
+            raise UnboundVariableError(name)
+
+        return unbound
+    if slot < state.n_free:
+        # A top-level free name: its slot may hold the "no binding" marker.
+        name = expr.name
+
+        def checked(frame, context, _slot=slot, _name=name):
+            value = frame[_slot]
+            if type(value) is _Unbound:
+                raise UnboundVariableError(_name)
+            return value
+
+        return checked
+
+    def run(frame, context, _slot=slot):
+        return frame[_slot]
+
+    return run
+
+
+@register_compiler(A.Lam)
+def _compile_lam(expr: A.Lam, scope, state):
+    body_fn = _compile(expr.body, scope + (expr.param,), state)
+
+    def run(frame, context):
+        return CompiledClosure(body_fn, tuple(frame), context)
+
+    return run
+
+
+@register_compiler(A.Apply)
+def _compile_apply(expr: A.Apply, scope, state):
+    func_fn = _compile(expr.func, scope, state)
+    arg_fn = _compile(expr.arg, scope, state)
+
+    def run(frame, context):
+        func = func_fn(frame, context)
+        arg = arg_fn(frame, context)
+        if type(func) is CompiledClosure:
+            return func.apply_in(arg, context)
+        return _apply_value(func, arg, context)
+
+    return run
+
+
+@register_compiler(A.RecordExpr)
+def _compile_record(expr: A.RecordExpr, scope, state):
+    labels = tuple(expr.fields.keys())
+    # The label set is static, so the Remy directory is interned once at
+    # compile time; each evaluation fills a value array directly instead of
+    # building a dict and re-interning.  Fields still evaluate in source
+    # order (side-effect order matches the interpreter).
+    directory = RecordDirectory.for_labels(labels)
+    slot_fns = tuple(
+        (directory.slots[label], _compile(value, scope, state))
+        for label, value in expr.fields.items()
+    )
+    width = len(directory)
+
+    def run(frame, context):
+        values = [None] * width
+        for slot, fn in slot_fns:
+            values[slot] = fn(frame, context)
+        return Record(_directory=directory, _values=tuple(values))
+
+    return run
+
+
+@register_compiler(A.Project)
+def _compile_project(expr: A.Project, scope, state):
+    subject_fn = _compile(expr.expr, scope, state)
+    label = expr.label
+    # Inline Remy fast path: cache (directory, slot) as one tuple so the
+    # closure stays safe when shared across scheduler threads.
+    cache: List[Optional[tuple]] = [None]
+
+    def run(frame, context):
+        subject = subject_fn(frame, context)
+        if isinstance(subject, Record):
+            cached = cache[0]
+            directory = subject.directory
+            if cached is not None and cached[0] is directory:
+                return subject.values[cached[1]]
+            slot = directory.slot_of(label)
+            cache[0] = (directory, slot)
+            return subject.values[slot]
+        if isinstance(subject, Ref):
+            target = subject.deref()
+            if isinstance(target, Record):
+                return target.project(label)
+            raise EvaluationError(
+                f"dereferenced value of {subject!r} is not a record; "
+                f"cannot project {label!r}"
+            )
+        raise EvaluationError(
+            f"cannot project field {label!r} from {type(subject).__name__}"
+        )
+
+    return run
+
+
+@register_compiler(A.VariantExpr)
+def _compile_variant(expr: A.VariantExpr, scope, state):
+    value_fn = _compile(expr.expr, scope, state)
+    tag = expr.tag
+
+    def run(frame, context):
+        return Variant(tag, value_fn(frame, context))
+
+    return run
+
+
+@register_compiler(A.Case)
+def _compile_case(expr: A.Case, scope, state):
+    subject_fn = _compile(expr.subject, scope, state)
+    branch_fns = tuple(
+        (branch.tag, _compile(branch.body, scope + (branch.var,), state))
+        for branch in expr.branches
+    )
+    default_fn = None
+    if expr.default is not None:
+        var, body = expr.default
+        default_fn = _compile(body, scope + (var,), state)
+
+    def run(frame, context):
+        subject = subject_fn(frame, context)
+        if not isinstance(subject, Variant):
+            raise EvaluationError(
+                f"case subject must be a variant, got {type(subject).__name__}"
+            )
+        for tag, body_fn in branch_fns:
+            if tag == subject.tag:
+                return body_fn(_extended(frame, subject.value), context)
+        if default_fn is not None:
+            return default_fn(_extended(frame, subject), context)
+        raise EvaluationError(f"no case branch matches variant tag {subject.tag!r}")
+
+    return run
+
+
+@register_compiler(A.Empty)
+def _compile_empty(expr: A.Empty, scope, state):
+    value = empty_like(expr.kind)
+    return lambda frame, context: value
+
+
+@register_compiler(A.Singleton)
+def _compile_singleton(expr: A.Singleton, scope, state):
+    cls = _COLLECTION_CLASSES[expr.kind]
+    value_fn = _compile(expr.expr, scope, state)
+
+    def run(frame, context):
+        return cls((value_fn(frame, context),))
+
+    return run
+
+
+@register_compiler(A.Union)
+def _compile_union(expr: A.Union, scope, state):
+    left_fn = _compile(expr.left, scope, state)
+    right_fn = _compile(expr.right, scope, state)
+    kind = expr.kind
+
+    def run(frame, context):
+        left = left_fn(frame, context)
+        right = right_fn(frame, context)
+        return union_like(kind, left, right)
+
+    return run
+
+
+def _compile_body_emitter(body: A.Expr, scope: _Scope, state: _CompileState):
+    """Compile a loop body into ``emit(frame, context, elements)``.
+
+    The generic form evaluates the body to a collection and splices its
+    elements in.  Two shapes the desugarer and the rewrite rules produce for
+    nearly every comprehension get specialized emitters that never build the
+    intermediate one-element collection:
+
+    * ``Singleton(e)`` — append ``e`` directly;
+    * ``if c then Singleton(e) else Empty`` (a filter) and its mirror —
+      test, then append directly.
+    """
+    if type(body) is A.Singleton:
+        value_fn = _compile(body.expr, scope, state)
+
+        def emit_singleton(frame, context, elements):
+            elements.append(value_fn(frame, context))
+
+        return emit_singleton
+
+    if type(body) is A.IfThenElse:
+        then_branch, else_branch = body.then_branch, body.else_branch
+        filter_shape = None
+        if type(then_branch) is A.Singleton and type(else_branch) is A.Empty:
+            filter_shape = (True, then_branch.expr)
+        elif type(then_branch) is A.Empty and type(else_branch) is A.Singleton:
+            filter_shape = (False, else_branch.expr)
+        if filter_shape is not None:
+            emit_when, value_expr = filter_shape
+            cond_fn = _compile(body.cond, scope, state)
+            value_fn = _compile(value_expr, scope, state)
+
+            def emit_filter(frame, context, elements):
+                cond = cond_fn(frame, context)
+                if not (cond is True or cond is False):
+                    raise EvaluationError(
+                        f"condition must be a boolean, got {type(cond).__name__}"
+                    )
+                if cond is emit_when:
+                    elements.append(value_fn(frame, context))
+
+            return emit_filter
+
+    body_fn = _compile(body, scope, state)
+
+    def emit(frame, context, elements):
+        value = body_fn(frame, context)
+        if isinstance(value, _COLLECTIONS):
+            elements.extend(value)
+        else:
+            elements.extend(iter_collection(materialise(value)))
+
+    return emit
+
+
+@register_compiler(A.Ext)
+def _compile_ext(expr: A.Ext, scope, state):
+    source_fn = _compile(expr.source, scope, state)
+    emit = _compile_body_emitter(expr.body, scope + (expr.var,), state)
+    kind = expr.kind
+    slot = len(scope)
+
+    def run(frame, context):
+        source = source_fn(frame, context)
+        stats = context.statistics
+        elements: list = []
+        # One loop frame, one slot, reused across iterations: the hot path
+        # allocates no environment.  Escaping closures snapshot the frame.
+        loop_frame = _extended(frame, None)
+        iterations = 0
+        try:
+            for item in iterate_source(source):
+                iterations += 1
+                loop_frame[slot] = item
+                emit(loop_frame, context, elements)
+        finally:
+            # Batched counter update; the finally keeps partial counts on a
+            # failing body identical to the interpreter's per-iteration ones.
+            stats.ext_iterations += iterations
+            stats.note_intermediate(len(elements))
+        return make_collection(kind, elements)
+
+    return run
+
+
+@register_compiler(A.Fold)
+def _compile_fold(expr: A.Fold, scope, state):
+    func_fn = _compile(expr.func, scope, state)
+    init_fn = _compile(expr.init, scope, state)
+    source_fn = _compile(expr.source, scope, state)
+
+    def run(frame, context):
+        func = func_fn(frame, context)
+        accumulator = init_fn(frame, context)
+        stats = context.statistics
+        source = source_fn(frame, context)
+        iterations = 0
+        try:
+            for item in iterate_source(source):
+                iterations += 1
+                accumulator = _apply_value(
+                    _apply_value(func, accumulator, context), item, context)
+        finally:
+            stats.fold_iterations += iterations
+        return accumulator
+
+    return run
+
+
+@register_compiler(A.IfThenElse)
+def _compile_if(expr: A.IfThenElse, scope, state):
+    cond_fn = _compile(expr.cond, scope, state)
+    then_fn = _compile(expr.then_branch, scope, state)
+    else_fn = _compile(expr.else_branch, scope, state)
+
+    def run(frame, context):
+        cond = cond_fn(frame, context)
+        if cond is True:
+            return then_fn(frame, context)
+        if cond is False:
+            return else_fn(frame, context)
+        raise EvaluationError(
+            f"condition must be a boolean, got {type(cond).__name__}"
+        )
+
+    return run
+
+
+@register_compiler(A.PrimCall)
+def _compile_prim(expr: A.PrimCall, scope, state):
+    try:
+        function = lookup_primitive(expr.name)
+    except EvaluationError:
+        # Unknown primitive: the interpreter raises only when the node is
+        # reached, so defer the lookup (and its error) to run time.
+        function = None
+    name = expr.name
+    arg_fns = tuple(_compile(arg, scope, state) for arg in expr.args)
+
+    if function is not None and len(arg_fns) == 1:
+        only_fn = arg_fns[0]
+
+        def run1(frame, context):
+            return function(only_fn(frame, context))
+
+        return run1
+
+    if function is not None and len(arg_fns) == 2:
+        first_fn, second_fn = arg_fns
+
+        def run2(frame, context):
+            return function(first_fn(frame, context), second_fn(frame, context))
+
+        return run2
+
+    def run(frame, context):
+        target = function if function is not None else lookup_primitive(name)
+        return target(*[fn(frame, context) for fn in arg_fns])
+
+    return run
+
+
+@register_compiler(A.Let)
+def _compile_let(expr: A.Let, scope, state):
+    value_fn = _compile(expr.value, scope, state)
+    body_fn = _compile(expr.body, scope + (expr.var,), state)
+
+    def run(frame, context):
+        return body_fn(_extended(frame, value_fn(frame, context)), context)
+
+    return run
+
+
+@register_compiler(A.Deref)
+def _compile_deref(expr: A.Deref, scope, state):
+    ref_fn = _compile(expr.expr, scope, state)
+
+    def run(frame, context):
+        ref = ref_fn(frame, context)
+        if not isinstance(ref, Ref):
+            raise EvaluationError(f"cannot dereference {type(ref).__name__}")
+        return ref.deref()
+
+    return run
+
+
+@register_compiler(A.Scan)
+def _compile_scan(expr: A.Scan, scope, state):
+    driver = expr.driver
+    base_request = dict(expr.request)
+    arg_fns = tuple((key, _compile(arg, scope, state))
+                    for key, arg in expr.args.items())
+
+    def run(frame, context):
+        executor = context.driver_executor
+        if executor is None:
+            raise EvaluationError(
+                f"no driver executor available to satisfy scan of driver {driver!r}"
+            )
+        request = dict(base_request)
+        for key, fn in arg_fns:
+            request[key] = fn(frame, context)
+        stats = context.statistics
+        stats.scan_requests += 1
+        result = executor(driver, request)
+        if isinstance(result, _COLLECTIONS):
+            stats.scan_elements += len(result)
+            return result
+        return _CountingStream(result, stats)
+
+    return run
+
+
+@register_compiler(A.Join)
+def _compile_join(expr: A.Join, scope, state):
+    outer_fn = _compile(expr.outer, scope, state)
+    inner_fn = _compile(expr.inner, scope, state)
+    pair_scope = scope + (expr.outer_var, expr.inner_var)
+    emit = _compile_body_emitter(expr.body, pair_scope, state)
+    cond_fn = None
+    if expr.condition is not None:
+        cond_fn = _compile(expr.condition, pair_scope, state)
+    kind = expr.kind
+    outer_slot = len(scope)
+    inner_slot = outer_slot + 1
+
+    if expr.method == "indexed":
+        if expr.outer_key is None or expr.inner_key is None:
+            def broken(frame, context):
+                raise EvaluationError(
+                    "indexed join requires outer and inner key expressions")
+            return broken
+        outer_key_fn = _compile(expr.outer_key, scope + (expr.outer_var,), state)
+        inner_key_fn = _compile(expr.inner_key, scope + (expr.inner_var,), state)
+
+        def run_indexed(frame, context):
+            outer = materialise_source(outer_fn(frame, context))
+            context.statistics.joins_indexed += 1
+            inner = materialise_source(inner_fn(frame, context))
+            key_frame = _extended(frame, None)
+            key_slot = outer_slot
+            index: Dict[object, list] = {}
+            for inner_item in inner:
+                key_frame[key_slot] = inner_item
+                index.setdefault(inner_key_fn(key_frame, context), []).append(inner_item)
+            elements: list = []
+            pair_frame = _extended(_extended(frame, None), None)
+            for outer_item in outer:
+                key_frame[key_slot] = outer_item
+                matches = index.get(outer_key_fn(key_frame, context))
+                if not matches:
+                    continue
+                pair_frame[outer_slot] = outer_item
+                for inner_item in matches:
+                    pair_frame[inner_slot] = inner_item
+                    if cond_fn is not None and not cond_fn(pair_frame, context):
+                        continue
+                    emit(pair_frame, context, elements)
+            return make_collection(kind, elements)
+
+        return run_indexed
+
+    block_size = max(1, expr.block_size)
+
+    def run_blocked(frame, context):
+        outer = materialise_source(outer_fn(frame, context))
+        context.statistics.joins_blocked += 1
+        elements: list = []
+        pair_frame = _extended(_extended(frame, None), None)
+        for start in range(0, len(outer), block_size):
+            block = outer[start:start + block_size]
+            # The inner side is re-evaluated once per outer block, exactly
+            # like the interpreter (a driver stream can be consumed once).
+            inner = materialise_source(inner_fn(frame, context))
+            for inner_item in inner:
+                pair_frame[inner_slot] = inner_item
+                for outer_item in block:
+                    pair_frame[outer_slot] = outer_item
+                    if cond_fn is not None:
+                        keep = cond_fn(pair_frame, context)
+                        if not isinstance(keep, bool):
+                            raise EvaluationError("join condition must be boolean")
+                        if not keep:
+                            continue
+                    emit(pair_frame, context, elements)
+        return make_collection(kind, elements)
+
+    return run_blocked
+
+
+@register_compiler(A.Cached)
+def _compile_cached(expr: A.Cached, scope, state):
+    inner_fn = _compile(expr.expr, scope, state)
+    key = expr.key
+
+    def run(frame, context):
+        cache = context.cache
+        stats = context.statistics
+        if key in cache:
+            stats.cache_hits += 1
+            return cache[key]
+        stats.cache_misses += 1
+        value = cache_payload(inner_fn(frame, context))
+        cache[key] = value
+        return value
+
+    return run
+
+
+# ---------------------------------------------------------------------------
+# The public entry point
+# ---------------------------------------------------------------------------
+
+class CompiledQuery:
+    """An NRC term lowered to nested closures, callable like the evaluator.
+
+    ``free_names`` lists the term's free variables in slot order; calling the
+    query reads them out of the supplied :class:`Environment` into the flat
+    top-level frame.  ``fallback_nodes`` names the node types (if any) that
+    had no native compiler and were delegated to the interpreter.
+    """
+
+    __slots__ = ("expr", "free_names", "fallback_nodes", "_fn")
+
+    def __init__(self, expr: A.Expr):
+        self.expr = expr
+        self.free_names: Tuple[str, ...] = tuple(sorted(free_variables(expr)))
+        state = _CompileState(n_free=len(self.free_names))
+        self._fn = _compile(expr, self.free_names, state)
+        self.fallback_nodes: Tuple[str, ...] = tuple(sorted(set(state.fallbacks)))
+
+    @property
+    def fully_compiled(self) -> bool:
+        return not self.fallback_nodes
+
+    def __call__(self, env: Optional[Environment] = None,
+                 context: Optional[EvalContext] = None) -> object:
+        context = context if context is not None else EvalContext()
+        frame: list = []
+        for name in self.free_names:
+            try:
+                frame.append(env.lookup(name) if env is not None
+                             else _Unbound(name))
+            except UnboundVariableError:
+                frame.append(_Unbound(name))
+        return self._fn(frame, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        status = "full" if self.fully_compiled else \
+            "fallback: " + ", ".join(self.fallback_nodes)
+        return f"<CompiledQuery ({status})>"
+
+
+def compile_term(term: A.Expr) -> CompiledQuery:
+    """Lower an (optimized) NRC term into nested closures.
+
+    Returns a :class:`CompiledQuery`; call it with an
+    :class:`~repro.core.nrc.eval.Environment` and an
+    :class:`~repro.core.nrc.eval.EvalContext` to evaluate.
+    """
+    return CompiledQuery(term)
+
+
+# ---------------------------------------------------------------------------
+# Term fingerprints (compile-cache identity)
+# ---------------------------------------------------------------------------
+
+def _const_token(value: object) -> Tuple:
+    """A type-exact token for a literal.
+
+    Structural ``Expr`` equality uses Python ``==``, under which
+    ``Const(True) == Const(1) == Const(1.0)`` — fine for rewrite fixpoints,
+    unsound as a compile-cache key (the closure bakes the literal in).
+    """
+    try:
+        hash(value)
+    except TypeError:
+        return ("unhashable", id(value))
+    return (type(value).__name__, value)
+
+
+def _freeze_request_value(value: object) -> object:
+    if isinstance(value, dict):
+        return ("dict", tuple(sorted(
+            (key, _freeze_request_value(item)) for key, item in value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_freeze_request_value(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", frozenset(_freeze_request_value(item) for item in value))
+    return _const_token(value)
+
+
+def term_fingerprint(expr: A.Expr, _scope: _Scope = ()) -> Tuple:
+    """A hashable identity of a term suitable for caching compiled queries.
+
+    Differs from structural equality in exactly the ways a compile cache
+    needs:
+
+    * **stricter** where closures bake detail in — literal *types*
+      (``True`` vs ``1``), ``Cached.key``, ``Join.block_size``;
+    * **looser** where compiled code is interchangeable — bound variables
+      are de-Bruijn-indexed, so terms that differ only in the fresh binder
+      names the desugarer mints share one compiled query.  Free names stay
+      literal (they select top-level frame slots by name).
+    """
+    node_type = type(expr)
+    name = node_type.__name__
+
+    def sub(child: A.Expr, scope: _Scope = _scope) -> Tuple:
+        return term_fingerprint(child, scope)
+
+    if node_type is A.Const:
+        return (name, _const_token(expr.value))
+    if node_type is A.Var:
+        for index in range(len(_scope) - 1, -1, -1):
+            if _scope[index] == expr.name:
+                return (name, len(_scope) - 1 - index)
+        return (name, "free", expr.name)
+    if node_type is A.Lam:
+        return (name, sub(expr.body, _scope + (expr.param,)))
+    if node_type is A.Apply:
+        return (name, sub(expr.func), sub(expr.arg))
+    if node_type is A.RecordExpr:
+        return (name, tuple((label, sub(value))
+                            for label, value in expr.fields.items()))
+    if node_type is A.Project:
+        return (name, expr.label, sub(expr.expr))
+    if node_type is A.VariantExpr:
+        return (name, expr.tag, sub(expr.expr))
+    if node_type is A.Case:
+        branches = tuple((branch.tag, sub(branch.body, _scope + (branch.var,)))
+                         for branch in expr.branches)
+        default = None
+        if expr.default is not None:
+            default = sub(expr.default[1], _scope + (expr.default[0],))
+        return (name, sub(expr.subject), branches, default)
+    if node_type is A.Empty:
+        return (name, expr.kind)
+    if node_type is A.Singleton:
+        return (name, expr.kind, sub(expr.expr))
+    if node_type is A.Union:
+        return (name, expr.kind, sub(expr.left), sub(expr.right))
+    if node_type is A.Ext:
+        return (name, expr.kind, sub(expr.source),
+                sub(expr.body, _scope + (expr.var,)))
+    if isinstance(expr, A.Ext):
+        # An Ext subclass: its compiled loop may bake in parameters this
+        # function cannot know about.  Subclasses declare them via a
+        # ``fingerprint_extras()`` method (ParallelExt: scheduler settings);
+        # without one, fall through to the sound identity key below.
+        extras = getattr(expr, "fingerprint_extras", None)
+        if extras is not None:
+            return (name, expr.kind, sub(expr.source),
+                    sub(expr.body, _scope + (expr.var,)), tuple(extras()))
+    if node_type is A.Fold:
+        return (name, sub(expr.func), sub(expr.init), sub(expr.source))
+    if node_type is A.IfThenElse:
+        return (name, sub(expr.cond), sub(expr.then_branch), sub(expr.else_branch))
+    if node_type is A.PrimCall:
+        return (name, expr.name, tuple(sub(arg) for arg in expr.args))
+    if node_type is A.Let:
+        return (name, sub(expr.value), sub(expr.body, _scope + (expr.var,)))
+    if node_type is A.Deref:
+        return (name, sub(expr.expr))
+    if node_type is A.Scan:
+        # args stay in insertion order: the compiled closure evaluates them
+        # in that order, so it is part of the baked-in behavior.
+        return (name, expr.driver, expr.kind,
+                _freeze_request_value(expr.request),
+                tuple((key, sub(arg)) for key, arg in expr.args.items()))
+    if node_type is A.Cached:
+        return (name, expr.key, sub(expr.expr))
+    if node_type is A.Join:
+        pair_scope = _scope + (expr.outer_var, expr.inner_var)
+        return (name, expr.method, expr.kind, expr.block_size,
+                sub(expr.outer), sub(expr.inner),
+                None if expr.condition is None else sub(expr.condition, pair_scope),
+                sub(expr.body, pair_scope),
+                None if expr.outer_key is None
+                else sub(expr.outer_key, _scope + (expr.outer_var,)),
+                None if expr.inner_key is None
+                else sub(expr.inner_key, _scope + (expr.inner_var,)))
+    # Unknown node type (no native compiler): structural equality is too
+    # loose to key a compile cache (it conflates True/1 and may ignore
+    # baked-in attributes), so key on object identity — always sound, at the
+    # price of never sharing across rebuilt terms.  The id stays valid
+    # because the memoized CompiledQuery keeps its term alive.
+    return (name, "identity", id(expr))

@@ -39,7 +39,14 @@ from ..values import (
 from . import ast as A
 from .prims import lookup_primitive
 
-__all__ = ["Environment", "Closure", "EvalContext", "EvalStatistics", "Evaluator", "evaluate"]
+__all__ = [
+    "Environment", "Closure", "EvalContext", "EvalStatistics", "Evaluator",
+    "evaluate", "iterate_source", "materialise", "materialise_source",
+    "cache_payload", "close_source",
+]
+
+#: Sentinel distinguishing "no binding" from a binding whose value is ``None``.
+_MISSING = object()
 
 
 class Environment:
@@ -52,21 +59,24 @@ class Environment:
         self.bindings = bindings or {}
         self.parent = parent
 
-    def lookup(self, name: str) -> object:
+    def _find(self, name: str) -> object:
+        """Walk the chain once; return the bound value or ``_MISSING``."""
         env: Optional[Environment] = self
         while env is not None:
-            if name in env.bindings:
-                return env.bindings[name]
+            value = env.bindings.get(name, _MISSING)
+            if value is not _MISSING:
+                return value
             env = env.parent
-        raise UnboundVariableError(name)
+        return _MISSING
+
+    def lookup(self, name: str) -> object:
+        value = self._find(name)
+        if value is _MISSING:
+            raise UnboundVariableError(name)
+        return value
 
     def contains(self, name: str) -> bool:
-        env: Optional[Environment] = self
-        while env is not None:
-            if name in env.bindings:
-                return True
-            env = env.parent
-        return False
+        return self._find(name) is not _MISSING
 
     def child(self, name: str, value: object) -> "Environment":
         """Return a new environment extending this one with a single binding."""
@@ -74,6 +84,23 @@ class Environment:
 
     def extended(self, bindings: Dict[str, object]) -> "Environment":
         return Environment(dict(bindings), parent=self)
+
+
+_compiled_closure_type: Optional[type] = None
+
+
+def _is_compiled_closure(value: object) -> bool:
+    """Exact-type check against compile.CompiledClosure, imported lazily.
+
+    The lazy import breaks the module cycle (compile imports eval at load
+    time); by the time a compiled closure can exist, the module is loaded.
+    """
+    global _compiled_closure_type
+    if _compiled_closure_type is None:
+        from .compile import CompiledClosure
+
+        _compiled_closure_type = CompiledClosure
+    return type(value) is _compiled_closure_type
 
 
 class Closure:
@@ -103,13 +130,31 @@ class EvalStatistics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.peak_intermediate = 0
+        #: How the query was executed: "interpreted", "compiled", or
+        #: "compiled+fallback" when the closure compiler had to hand
+        #: unsupported nodes back to the interpreter.
+        self.execution_mode = "interpreted"
+        #: Run-time count of fallback evaluations (compiled mode only).
+        self.compiled_fallbacks = 0
+
+    @property
+    def elements_fetched(self) -> int:
+        """Total elements drawn from sources: scans, loop and fold iterations.
+
+        The differential-testing harness asserts this number is identical
+        under the interpreter and the closure compiler, which pins down all
+        three underlying counters at once.
+        """
+        return self.scan_elements + self.ext_iterations + self.fold_iterations
 
     def note_intermediate(self, size: int) -> None:
         if size > self.peak_intermediate:
             self.peak_intermediate = size
 
-    def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+    def as_dict(self) -> Dict[str, object]:
+        result: Dict[str, object] = dict(self.__dict__)
+        result["elements_fetched"] = self.elements_fetched
+        return result
 
 
 class EvalContext:
@@ -164,6 +209,11 @@ class Evaluator:
         """Apply a closure or a native Python callable to an argument."""
         if isinstance(func, Closure):
             return self._eval(func.body, func.env.child(func.param, arg))
+        # A compiled closure crossing the boundary: run it under *this*
+        # context so statistics and driver routing follow the active
+        # evaluation.
+        if _is_compiled_closure(func):
+            return func.apply_in(arg, self.context)
         if callable(func):
             return func(arg)
         raise EvaluationError(f"attempt to apply a non-function value {func!r}")
@@ -230,26 +280,11 @@ class Evaluator:
 
     def _iterate_source(self, source: object) -> Iterator[object]:
         """Iterate a collection or a lazy token stream."""
-        if isinstance(source, (CSet, CBag, CList)):
-            return iter(source)
-        if hasattr(source, "__iter__"):
-            # A token stream (or any iterator) from a driver: consume lazily.
-            return iter(source)
-        raise EvaluationError(
-            f"generator source must be a collection, got {type(source).__name__}"
-        )
+        return iterate_source(source)
 
     def _materialise(self, value: object) -> object:
         """Force a token stream into a collection (body values must be collections)."""
-        if isinstance(value, (CSet, CBag, CList)):
-            return value
-        if hasattr(value, "to_collection"):
-            return value.to_collection()
-        if hasattr(value, "__iter__") and not isinstance(value, (str, bytes, Record)):
-            return CList(value)
-        raise EvaluationError(
-            f"body of a comprehension must produce a collection, got {type(value).__name__}"
-        )
+        return materialise(value)
 
     def _eval_fold(self, expr: A.Fold, env: Environment) -> object:
         """Structural recursion: thread an accumulator through the collection."""
@@ -318,13 +353,7 @@ class Evaluator:
         return make_collection(expr.kind, elements)
 
     def _materialise_source(self, value: object) -> List[object]:
-        if isinstance(value, (CSet, CBag, CList)):
-            return list(value)
-        if hasattr(value, "__iter__"):
-            return list(value)
-        raise EvaluationError(
-            f"join input must be a collection, got {type(value).__name__}"
-        )
+        return materialise_source(value)
 
     def _blocked_join(self, expr: A.Join, outer: List[object], env: Environment) -> List[object]:
         """Blocked nested-loop join: scan the inner once per outer *block*."""
@@ -377,8 +406,7 @@ class Evaluator:
             stats.cache_hits += 1
             return cache[expr.key]
         stats.cache_misses += 1
-        value = self._eval(expr.expr, env)
-        value = self._materialise(value) if not isinstance(value, (bool, int, float, str)) and hasattr(value, "__iter__") and not isinstance(value, Record) else value
+        value = cache_payload(self._eval(expr.expr, env))
         cache[expr.key] = value
         return value
 
@@ -409,10 +437,80 @@ Evaluator._DISPATCH = {
 }
 
 
+def iterate_source(source: object) -> Iterator[object]:
+    """Iterate a collection or a lazy token stream.
+
+    Shared by the tree-walking :class:`Evaluator` and the closure compiler in
+    :mod:`repro.core.nrc.compile`, so both execution modes accept exactly the
+    same generator sources.
+    """
+    if isinstance(source, (CSet, CBag, CList)):
+        return iter(source)
+    if hasattr(source, "__iter__"):
+        # A token stream (or any iterator) from a driver: consume lazily.
+        return iter(source)
+    raise EvaluationError(
+        f"generator source must be a collection, got {type(source).__name__}"
+    )
+
+
+def materialise(value: object) -> object:
+    """Force a token stream into a collection (body values must be collections)."""
+    if isinstance(value, (CSet, CBag, CList)):
+        return value
+    if hasattr(value, "to_collection"):
+        return value.to_collection()
+    if hasattr(value, "__iter__") and not isinstance(value, (str, bytes, Record)):
+        return CList(value)
+    raise EvaluationError(
+        f"body of a comprehension must produce a collection, got {type(value).__name__}"
+    )
+
+
+def cache_payload(value: object) -> object:
+    """What a ``Cached`` node stores: streams forced, everything else as-is.
+
+    Shared by both execution modes — compiled and interpreted runs write into
+    the same subquery cache, so what they store must be decided in one place.
+    """
+    if (not isinstance(value, (bool, int, float, str))
+            and hasattr(value, "__iter__") and not isinstance(value, Record)):
+        return materialise(value)
+    return value
+
+
+def close_source(iterator: object, source: object) -> None:
+    """Release a (possibly layered) abandoned stream.
+
+    Closes the iterator, then the source it was drawn from when that is a
+    distinct object — an iterator wrapper's ``close`` (e.g. the generator
+    from ``TokenStream.__iter__``) does not reach the source's own cursor.
+    """
+    close = getattr(iterator, "close", None)
+    if close is not None:
+        close()
+    if source is not iterator:
+        close = getattr(source, "close", None)
+        if close is not None:
+            close()
+
+
+def materialise_source(value: object) -> List[object]:
+    """Drain a join input (collection or stream) into a list."""
+    if isinstance(value, (CSet, CBag, CList)):
+        return list(value)
+    if hasattr(value, "__iter__"):
+        return list(value)
+    raise EvaluationError(
+        f"join input must be a collection, got {type(value).__name__}"
+    )
+
+
 class _CountingStream:
     """Wraps a driver token stream, updating scan statistics as elements flow through."""
 
     def __init__(self, inner, statistics: EvalStatistics):
+        self._source = inner
         self._inner = iter(inner)
         self._statistics = statistics
 
@@ -423,6 +521,10 @@ class _CountingStream:
         value = next(self._inner)
         self._statistics.scan_elements += 1
         return value
+
+    def close(self) -> None:
+        """Release the underlying driver cursor (early stream termination)."""
+        close_source(self._inner, self._source)
 
 
 def evaluate(expr: A.Expr, bindings: Optional[Dict[str, object]] = None,

@@ -23,6 +23,8 @@ from typing import Callable, List, Optional
 
 from ..nrc import ast as A
 from ..nrc.eval import Environment, Evaluator
+from ..nrc.eval import iterate_source as iter_source
+from ..nrc.eval import materialise
 from ..nrc.rewrite import Rule, RuleSet
 from ..values import iter_collection, make_collection
 
@@ -53,34 +55,89 @@ class ParallelExt(A.Ext):
     def _key(self):
         return super()._key() + (self.max_workers, self.adaptive)
 
+    def fingerprint_extras(self):
+        """Parameters the compiled loop bakes in beyond the Ext structure
+        (consulted by :func:`repro.core.nrc.compile.term_fingerprint`)."""
+        return (self.max_workers, self.adaptive)
 
-def _evaluate_parallel_ext(evaluator: Evaluator, expr: ParallelExt, env: Environment):
-    """Evaluate the body for batches of source elements concurrently."""
+
+def _run_parallel_loop(items: List[object], run_body, kind: str,
+                       max_workers: int, adaptive: bool, statistics):
+    """Shared ParallelExt execution: scheduler selection, fan-out, statistics.
+
+    Both execution modes route through here (the interpreter dispatch and the
+    compiled closure differ only in ``run_body``), so scheduler or accounting
+    changes cannot diverge the modes.
+    """
     from ...kleisli.scheduler import AdaptiveScheduler, BoundedScheduler  # avoids a cycle
 
-    source = evaluator._eval(expr.source, env)
-    items = list(evaluator._iterate_source(source))
-    if expr.adaptive:
-        scheduler = AdaptiveScheduler(max_workers=expr.max_workers)
+    if adaptive:
+        scheduler = AdaptiveScheduler(max_workers=max_workers)
     else:
-        scheduler = BoundedScheduler(max_workers=expr.max_workers)
+        scheduler = BoundedScheduler(max_workers=max_workers)
 
     def run_one(item):
-        body_value = evaluator._eval(expr.body, env.child(expr.var, item))
-        return list(iter_collection(evaluator._materialise(body_value)))
+        return list(iter_collection(materialise(run_body(item))))
 
     results = scheduler.map(run_one, items)
     elements: List[object] = []
     for chunk in results:
         elements.extend(chunk)
-    statistics = evaluator.context.statistics
     statistics.ext_iterations += len(items)
     statistics.note_intermediate(len(elements))
-    return make_collection(expr.kind, elements)
+    return make_collection(kind, elements)
+
+
+def _evaluate_parallel_ext(evaluator: Evaluator, expr: ParallelExt, env: Environment):
+    """Evaluate the body for batches of source elements concurrently."""
+    source = evaluator._eval(expr.source, env)
+    items = list(iter_source(source))
+
+    def run_body(item):
+        return evaluator._eval(expr.body, env.child(expr.var, item))
+
+    return _run_parallel_loop(items, run_body, expr.kind, expr.max_workers,
+                              expr.adaptive, evaluator.context.statistics)
 
 
 # Register the node with the evaluator's dispatch table.
 Evaluator._DISPATCH[ParallelExt] = _evaluate_parallel_ext
+
+
+# -- closure-compiler support -------------------------------------------------
+#
+# The compiler dispatches on exact node type, so without this registration a
+# ParallelExt would fall back to the interpreter (correct but slower).  The
+# compiled form keeps the scheduler semantics: bounded (or adaptive) workers,
+# one frame copy per in-flight element so concurrent bodies never share
+# mutable slots.
+
+from ..nrc import compile as C  # noqa: E402  (needs ParallelExt defined above)
+
+
+@C.register_compiler(ParallelExt)
+def _compile_parallel_ext(expr: ParallelExt, scope, state):
+    source_fn = C._compile(expr.source, scope, state)
+    body_fn = C._compile(expr.body, scope + (expr.var,), state)
+    kind = expr.kind
+    max_workers = expr.max_workers
+    adaptive = expr.adaptive
+
+    def run(frame, context):
+        source = source_fn(frame, context)
+        items = list(iter_source(source))
+
+        def run_body(item):
+            # One frame copy per in-flight element: concurrent bodies never
+            # share mutable slots.
+            item_frame = list(frame)
+            item_frame.append(item)
+            return body_fn(item_frame, context)
+
+        return _run_parallel_loop(items, run_body, kind, max_workers,
+                                  adaptive, context.statistics)
+
+    return run
 
 
 def make_parallel_rule_set(is_remote_driver: Callable[[str], bool],

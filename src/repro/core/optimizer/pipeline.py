@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..nrc import ast as A
+from ..nrc.compile import CompiledQuery, compile_term
 from ..nrc.rewrite import RewriteEngine, RewriteStats, RuleSet
 from ..nrc.rules_monadic import monadic_rule_set
 from .caching import make_caching_rule_set
@@ -100,6 +101,21 @@ class OptimizerPipeline:
                  stats: Optional[RewriteStats] = None) -> A.Expr:
         """Apply every configured stage to ``expr``."""
         return self.engine.rewrite(expr, stats)
+
+    def prepare(self, expr: A.Expr, stats: Optional[RewriteStats] = None,
+                lower: Optional[Callable[[A.Expr], CompiledQuery]] = None,
+                ) -> Tuple[A.Expr, CompiledQuery]:
+        """The full compile-time path: rewrite, then lower to closures.
+
+        The closure compiler runs strictly *after* every rewrite stage, so it
+        sees the Scan/Join/Cached/ParallelExt nodes the rule sets introduced
+        and lowers them natively instead of the surface forms.  ``lower``
+        lets a caller substitute a memoizing lowering step (the Kleisli
+        engine passes its fingerprint-keyed cache); the default compiles
+        fresh.
+        """
+        optimized = self.optimize(expr, stats)
+        return optimized, (lower or compile_term)(optimized)
 
     def explain(self, expr: A.Expr):
         """Optimize and also return per-stage before/after traces."""

@@ -21,7 +21,21 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..core.errors import DriverNotRegisteredError
 from ..core.nrc import ast as A
-from ..core.nrc.eval import Environment, EvalContext, EvalStatistics, Evaluator
+from ..core.nrc.compile import (
+    CompiledQuery,
+    ExecutionMode,
+    compile_term,
+    term_fingerprint,
+)
+from ..core.nrc.eval import (
+    Environment,
+    EvalContext,
+    EvalStatistics,
+    Evaluator,
+    close_source,
+    iterate_source,
+    materialise,
+)
 from ..core.nrc.rewrite import RewriteStats
 from ..core.optimizer import OptimizerConfig, OptimizerPipeline, ScanSpec
 from ..core.values import iter_collection
@@ -29,21 +43,27 @@ from .cache import SubqueryCache
 from .drivers.base import Driver, DriverFunction
 from .statistics import SourceStatisticsRegistry
 
-__all__ = ["KleisliEngine"]
+__all__ = ["KleisliEngine", "ExecutionMode"]
+
+#: How many compiled queries the engine keeps; evicted wholesale when full.
+_COMPILED_CACHE_LIMIT = 128
 
 
 class KleisliEngine:
     """Driver registry, optimizer and evaluator in one object."""
 
-    def __init__(self, optimizer_config: Optional[OptimizerConfig] = None):
+    def __init__(self, optimizer_config: Optional[OptimizerConfig] = None,
+                 execution_mode: object = ExecutionMode.COMPILED):
         self.drivers: Dict[str, Driver] = {}
         self.driver_functions: Dict[str, Tuple[Driver, DriverFunction]] = {}
         self.statistics_registry = SourceStatisticsRegistry()
         self.cache = SubqueryCache()
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.optimizer = self._build_optimizer()
+        self.execution_mode = ExecutionMode.coerce(execution_mode)
         self.last_eval_statistics: Optional[EvalStatistics] = None
         self.last_rewrite_stats: Optional[RewriteStats] = None
+        self._compiled_queries: Dict[Tuple, CompiledQuery] = {}
 
     # -- driver registration ---------------------------------------------------------
 
@@ -139,36 +159,113 @@ class KleisliEngine:
         return EvalContext(driver_executor=self.driver_executor,
                            statistics=statistics, cache=self.cache)
 
+    def _resolve_mode(self, mode: Optional[object]) -> ExecutionMode:
+        return self.execution_mode if mode is None else ExecutionMode.coerce(mode)
+
+    def compiled_query(self, expr: A.Expr) -> CompiledQuery:
+        """Return (and memoize) the closure-compiled form of ``expr``.
+
+        The memo key is :func:`~repro.core.nrc.compile.term_fingerprint`, not
+        structural equality: equality is too loose for a compile cache (it
+        conflates ``Const(True)``/``Const(1)`` and ignores ``Cached.key`` /
+        ``Join.block_size``, all of which compiled closures bake in) and too
+        strict across runs (each parse of the same query mints fresh binder
+        names; the fingerprint de-Bruijn-indexes them away, so the common
+        session pattern — the same query executed repeatedly — compiles
+        once).
+        """
+        memo_key = term_fingerprint(expr)
+        query = self._compiled_queries.get(memo_key)
+        if query is None:
+            if len(self._compiled_queries) >= _COMPILED_CACHE_LIMIT:
+                self._compiled_queries.clear()
+            query = compile_term(expr)
+            self._compiled_queries[memo_key] = query
+        return query
+
     def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
-                optimize: bool = True):
-        """Optimize (optionally) and evaluate an NRC expression."""
+                optimize: bool = True, mode: Optional[object] = None):
+        """Optimize (optionally) and evaluate an NRC expression.
+
+        ``mode`` overrides the engine's default :class:`ExecutionMode` for
+        this call (``"compiled"`` lowers the term to closures first;
+        ``"interpret"`` tree-walks it).
+        """
+        mode = self._resolve_mode(mode)
+        context = self._make_context()
+        environment = Environment(dict(bindings or {}))
+        if mode is ExecutionMode.COMPILED:
+            if optimize:
+                stats = RewriteStats()
+                # The pipeline owns the ordering: closure-lowering runs
+                # strictly post-rewrite, through this engine's memo.
+                expr, query = self.optimizer.prepare(expr, stats,
+                                                     lower=self.compiled_query)
+                self.last_rewrite_stats = stats
+            else:
+                query = self.compiled_query(expr)
+            context.statistics.execution_mode = (
+                "compiled" if query.fully_compiled else "compiled+fallback")
+            return query(environment, context)
         if optimize:
             expr = self.compile(expr)
-        evaluator = Evaluator(self._make_context())
-        return evaluator.evaluate(expr, Environment(dict(bindings or {})))
+        context.statistics.execution_mode = "interpreted"
+        return Evaluator(context).evaluate(expr, environment)
 
     def stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
-               optimize: bool = True) -> Iterator[object]:
+               optimize: bool = True, mode: Optional[object] = None) -> Iterator[object]:
         """Pipelined evaluation of a top-level comprehension.
 
         When the (optimized) expression is an ``Ext`` whose source is a driver
         scan, results are yielded as each source element is consumed — the
         "laziness in strategic places" of Section 4, used to get initial output
         to the user quickly.  Other shapes fall back to eager evaluation.
+
+        Closing the returned iterator early closes the underlying source
+        cursor (token stream, driver generator), so an abandoned stream does
+        not hold driver resources open.  Both execution modes stream.
         """
+        mode = self._resolve_mode(mode)
         if optimize:
             expr = self.compile(expr)
-        evaluator = Evaluator(self._make_context())
-        environment = Environment(dict(bindings or {}))
+        # Resolution above runs eagerly (a bad mode raises at the call site);
+        # evaluation below starts on the first next().
+        return self._stream(expr, bindings, mode)
+
+    def _stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]],
+                mode: ExecutionMode) -> Iterator[object]:
         if type(expr) is A.Ext:
-            source = evaluator._eval(expr.source, environment)
-            for item in evaluator._iterate_source(source):
-                body_value = evaluator._eval(expr.body, environment.child(expr.var, item))
-                for element in iter_collection(evaluator._materialise(body_value)):
-                    yield element
+            context = self._make_context()
+            environment = Environment(dict(bindings or {}))
+            if mode is ExecutionMode.COMPILED:
+                source_query = self.compiled_query(expr.source)
+                body_query = self.compiled_query(A.Lam(expr.var, expr.body))
+                context.statistics.execution_mode = (
+                    "compiled"
+                    if source_query.fully_compiled and body_query.fully_compiled
+                    else "compiled+fallback")
+                source = source_query(environment, context)
+                evaluate_body = body_query(environment, context)
+            else:
+                context.statistics.execution_mode = "interpreted"
+                evaluator = Evaluator(context)
+                source = evaluator._eval(expr.source, environment)
+
+                def evaluate_body(item):
+                    return evaluator._eval(expr.body, environment.child(expr.var, item))
+
+            iterator = iterate_source(source)
+            try:
+                for item in iterator:
+                    for element in iter_collection(materialise(evaluate_body(item))):
+                        yield element
+            finally:
+                close_source(iterator, source)
             return
-        result = evaluator.evaluate(expr, environment)
+        result = self.execute(expr, bindings, optimize=False, mode=mode)
         try:
-            yield from iter_collection(result)
+            elements = iter_collection(result)
         except Exception:
             yield result
+            return
+        yield from elements

@@ -30,7 +30,7 @@ from ..core.nrc.eval import Environment
 from ..core.optimizer import OptimizerConfig
 from ..core.values import from_python
 from .drivers.base import Driver
-from .engine import KleisliEngine
+from .engine import ExecutionMode, KleisliEngine
 
 __all__ = ["Session", "QueryResult"]
 
@@ -54,8 +54,18 @@ class Session:
 
     def __init__(self, engine: Optional[KleisliEngine] = None,
                  optimizer_config: Optional[OptimizerConfig] = None,
-                 typecheck: bool = True):
-        self.engine = engine or KleisliEngine(optimizer_config)
+                 typecheck: bool = True,
+                 execution_mode: Optional[object] = None):
+        if engine is None:
+            engine = KleisliEngine(
+                optimizer_config,
+                execution_mode=(ExecutionMode.COMPILED if execution_mode is None
+                                else execution_mode))
+        elif execution_mode is not None:
+            # An explicit mode must not be silently dropped when the caller
+            # supplies their own engine.
+            engine.execution_mode = ExecutionMode.coerce(execution_mode)
+        self.engine = engine
         self.typecheck = typecheck
         self.values: Dict[str, object] = {}
         # ``define f == e`` makes f a *synonym* for e (the paper's wording), so
@@ -135,21 +145,27 @@ class Session:
             result = self._run_statement(statement, optimize)
         return result
 
-    def query(self, source: str, optimize: bool = True) -> QueryResult:
-        """Run a single CPL expression and return the full :class:`QueryResult`."""
+    def query(self, source: str, optimize: bool = True,
+              mode: Optional[object] = None) -> QueryResult:
+        """Run a single CPL expression and return the full :class:`QueryResult`.
+
+        ``mode`` overrides the engine's execution mode for this query
+        (``"compiled"`` | ``"interpret"``).
+        """
         expression = parse_expression(source)
         inferred = self._infer(expression)
         nrc = self._expand(desugar_expression(expression))
         optimized = self.engine.compile(nrc) if optimize else nrc
-        value = self.engine.execute(optimized, self.values, optimize=False)
+        value = self.engine.execute(optimized, self.values, optimize=False, mode=mode)
         return QueryResult(value, nrc, optimized, inferred)
 
-    def stream(self, source: str, optimize: bool = True) -> Iterator[object]:
+    def stream(self, source: str, optimize: bool = True,
+               mode: Optional[object] = None) -> Iterator[object]:
         """Run a query with pipelined (lazy) result delivery."""
         expression = parse_expression(source)
         self._infer(expression)
         nrc = self._expand(desugar_expression(expression))
-        return self.engine.stream(nrc, self.values, optimize=optimize)
+        return self.engine.stream(nrc, self.values, optimize=optimize, mode=mode)
 
     def explain(self, source: str) -> Tuple[A.Expr, List[Tuple[str, str]]]:
         """Return the optimized NRC form of a query and per-stage rewrite traces."""

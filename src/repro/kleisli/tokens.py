@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Iterable, Iterator, List, Optional
 
+from ..core.errors import EvaluationError
 from ..core.values import CList, CSet, make_collection
 
 __all__ = ["TokenStream"]
@@ -33,6 +34,7 @@ class TokenStream:
         self.kind = kind
         self._buffer: List[object] = []
         self._exhausted = False
+        self._closed = False
         self._first_seen = False
         self._first_item_callback = first_item_callback
         self._lock = threading.Lock()
@@ -44,6 +46,9 @@ class TokenStream:
             with self._lock:
                 if self._exhausted:
                     return
+                if self._closed:
+                    raise EvaluationError(
+                        "token stream was closed before being drained")
                 try:
                     item = next(self._iterator)
                 except StopIteration:
@@ -60,6 +65,24 @@ class TokenStream:
         """Force the stream and return it as a collection of its declared kind."""
         remaining = list(self)
         return make_collection(self.kind, self._buffer if self._exhausted else remaining)
+
+    def close(self) -> None:
+        """Stop the stream and release its underlying cursor.
+
+        Called by the engine when a pipelined query is abandoned before the
+        source is exhausted; a driver generator's ``finally`` blocks run so
+        its cursors do not stay open.  A closed (but not exhausted) stream is
+        poisoned: iterating or materialising it raises rather than silently
+        presenting the partial buffer as the complete collection.  Closing an
+        already-drained stream is a no-op.
+        """
+        with self._lock:
+            if self._exhausted or self._closed:
+                return
+            self._closed = True
+            close = getattr(self._iterator, "close", None)
+            if close is not None:
+                close()
 
     def materialised_count(self) -> int:
         """How many elements have crossed the driver boundary so far."""

@@ -1,0 +1,79 @@
+"""SubqueryCache accounting when one ``Cached`` node crosses execution modes.
+
+The subquery cache lives on the engine (one per session), so a ``Cached``
+node evaluated first in compiled mode must be a cache *hit* when the same
+query later runs interpreted (and vice versa) — with the hit/miss counters
+on both the cache and the per-run ``EvalStatistics`` agreeing.
+"""
+
+import pytest
+
+from repro.core.nrc import ast as A
+from repro.core.nrc import builder as B
+from repro.core.values import CSet
+from repro.kleisli.engine import ExecutionMode
+from repro.kleisli.session import Session
+
+
+def _cached_query():
+    """``{ x + sum(Cached(EXPENSIVE)) | x <- DB }`` — the cached subquery is
+    loop-invariant, so one evaluation has |DB| lookups of the same key."""
+    cached = A.Cached(B.ext("e", B.singleton(B.prim("mul", B.var("e"), B.const(2))),
+                            B.var("EXPENSIVE")), key="%shared-subquery")
+    body = B.singleton(B.prim("add", B.var("x"), B.prim("sum", cached)))
+    return B.ext("x", body, B.var("DB"))
+
+
+@pytest.fixture()
+def session():
+    session = Session()
+    session.bind("DB", {1, 2, 3, 4, 5}, list_as="set")
+    session.bind("EXPENSIVE", {10, 20, 30}, list_as="set")
+    return session
+
+
+def _run(session, mode):
+    value = session.engine.execute(_cached_query(), session.values,
+                                   optimize=False, mode=mode)
+    return value, session.engine.last_eval_statistics
+
+
+class TestCacheAcrossModes:
+    @pytest.mark.parametrize("first,second", [
+        (ExecutionMode.COMPILED, ExecutionMode.INTERPRET),
+        (ExecutionMode.INTERPRET, ExecutionMode.COMPILED),
+    ], ids=["compiled-then-interpreted", "interpreted-then-compiled"])
+    def test_second_mode_hits_the_first_modes_entry(self, session, first, second):
+        cache = session.engine.cache
+        value_first, stats_first = _run(session, first)
+
+        # First run: one miss populates the entry, the remaining |DB|-1
+        # lookups hit it.  SubqueryCache.misses stays 0 because the evaluator
+        # probes membership before reading.
+        assert stats_first.cache_misses == 1
+        assert stats_first.cache_hits == 4
+        assert cache.misses == 0
+        assert cache.hits == 4
+        assert "%shared-subquery" in cache
+
+        value_second, stats_second = _run(session, second)
+
+        # Second run, other mode: the very first lookup is already a hit.
+        assert stats_second.cache_misses == 0
+        assert stats_second.cache_hits == 5
+        assert cache.hits == 9
+        assert cache.misses == 0
+
+        assert value_first == value_second == CSet([121, 122, 123, 124, 125])
+        assert stats_first.execution_mode != stats_second.execution_mode
+
+    def test_cached_value_is_materialised_identically(self, session):
+        """The cached payload written by either mode is a plain collection
+        (not a lazy stream), so the *other* mode can consume it directly."""
+        _run(session, ExecutionMode.COMPILED)
+        payload = session.engine.cache["%shared-subquery"]
+        assert payload == CSet([20, 40, 60])
+        session.engine.cache.clear()
+        session.engine.cache.hits = 0
+        _run(session, ExecutionMode.INTERPRET)
+        assert session.engine.cache["%shared-subquery"] == payload

@@ -1,0 +1,155 @@
+"""Regression tests: abandoning a pipelined query must release its resources.
+
+``KleisliEngine.stream`` yields results as the outer generator produces them;
+a consumer that stops early (closes the iterator) must not
+
+* leave the driver's cursor open (the driver generator's ``finally`` must
+  run), nor
+* leak ``BoundedScheduler`` workers from a ``ParallelExt`` body, nor
+* eagerly drain the source behind the consumer's back —
+
+in **both** execution modes.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.nrc import ast as A
+from repro.core.nrc import builder as B
+from repro.core.optimizer.parallel import ParallelExt
+from repro.core.values import CSet, from_python
+from repro.kleisli.drivers.base import Driver
+from repro.kleisli.engine import ExecutionMode, KleisliEngine
+from repro.kleisli.tokens import TokenStream
+
+MODES = [ExecutionMode.INTERPRET, ExecutionMode.COMPILED]
+
+
+class CursorDriver(Driver):
+    """A driver whose scans hand out generators that track open/closed state."""
+
+    def __init__(self, name="cursors", total=100, wrap_token_stream=False):
+        super().__init__(name)
+        self.total = total
+        self.wrap_token_stream = wrap_token_stream
+        self.open_cursors = 0
+        self.produced = 0
+
+    def _execute(self, request):
+        def cursor():
+            self.open_cursors += 1
+            try:
+                for i in range(self.total):
+                    self.produced += 1
+                    yield i
+            finally:
+                self.open_cursors -= 1
+
+        if self.wrap_token_stream:
+            return TokenStream(cursor(), kind="set")
+        return cursor()
+
+
+def _scan_comprehension():
+    return B.ext("x", B.singleton(B.var("x")), A.Scan("cursors", {"table": "t"}))
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("wrap_token_stream", [False, True],
+                         ids=["raw-generator", "token-stream"])
+class TestEarlyTermination:
+    def test_closing_the_stream_closes_the_driver_cursor(self, mode, wrap_token_stream):
+        engine = KleisliEngine()
+        driver = engine.register_driver(
+            CursorDriver(total=100, wrap_token_stream=wrap_token_stream))
+        stream = engine.stream(_scan_comprehension(), optimize=False, mode=mode)
+        assert next(stream) == 0
+        assert next(stream) == 1
+        assert driver.open_cursors == 1
+        stream.close()
+        assert driver.open_cursors == 0, "driver cursor left open after close()"
+
+    def test_early_close_does_not_drain_the_source(self, mode, wrap_token_stream):
+        engine = KleisliEngine()
+        driver = engine.register_driver(
+            CursorDriver(total=100, wrap_token_stream=wrap_token_stream))
+        stream = engine.stream(_scan_comprehension(), optimize=False, mode=mode)
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        assert driver.produced <= 4, f"stream drained {driver.produced} elements eagerly"
+
+    def test_exhausted_stream_also_closes_the_cursor(self, mode, wrap_token_stream):
+        engine = KleisliEngine()
+        driver = engine.register_driver(
+            CursorDriver(total=5, wrap_token_stream=wrap_token_stream))
+        values = list(engine.stream(_scan_comprehension(), optimize=False, mode=mode))
+        assert values == list(range(5))
+        assert driver.open_cursors == 0
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+class TestDirectTokenStreamSource:
+    def test_early_close_reaches_a_bound_token_stream(self, mode):
+        """The source can be a TokenStream bound directly in the environment
+        (no Scan in between); closing the stream must still reach its cursor."""
+        state = {"open": 0}
+
+        def cursor():
+            state["open"] += 1
+            try:
+                for i in range(100):
+                    yield i
+            finally:
+                state["open"] -= 1
+
+        token_stream = TokenStream(cursor(), kind="list")
+        engine = KleisliEngine()
+        expr = B.ext("x", B.singleton(B.var("x"), "list"), B.var("S"), kind="list")
+        stream = engine.stream(expr, {"S": token_stream}, optimize=False, mode=mode)
+        assert next(stream) == 0
+        assert state["open"] == 1
+        stream.close()
+        assert state["open"] == 0, "bound TokenStream cursor left open"
+
+
+class TestClosedTokenStreamIsPoisoned:
+    def test_closed_stream_refuses_to_materialise_partially(self):
+        """A closed-but-undrained TokenStream must raise, not silently pass
+        off its partial buffer as the complete collection."""
+        from repro.core.errors import EvaluationError
+
+        stream = TokenStream(iter(range(10)), kind="list")
+        iterator = iter(stream)
+        assert [next(iterator), next(iterator)] == [0, 1]
+        stream.close()
+        with pytest.raises(EvaluationError):
+            stream.to_collection()
+        with pytest.raises(EvaluationError):
+            list(stream)
+
+    def test_closing_a_drained_stream_is_a_no_op(self):
+        stream = TokenStream(iter(range(3)), kind="list")
+        assert len(stream.to_collection()) == 3
+        stream.close()
+        assert len(stream.to_collection()) == 3
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+class TestSchedulerWorkerCleanup:
+    def test_no_scheduler_threads_survive_early_close(self, mode):
+        """A ParallelExt body spins workers per element; closing mid-stream
+        must leave none behind (the scheduler joins its pool per batch)."""
+        engine = KleisliEngine()
+        inner = ParallelExt(
+            "y", B.singleton(B.prim("add", B.var("y"), B.var("x"))),
+            A.Const(from_python([10, 20, 30], list_as="set")),
+            kind="set", max_workers=3)
+        expr = B.ext("x", inner, A.Const(CSet(range(50))))
+        baseline = threading.active_count()
+        stream = engine.stream(expr, optimize=False, mode=mode)
+        for _ in range(4):
+            next(stream)
+        stream.close()
+        assert threading.active_count() == baseline, "scheduler workers leaked"

@@ -198,3 +198,42 @@ class TestJoins:
         Evaluator(context).evaluate(join)
         assert context.statistics.joins_blocked == 1
         assert context.statistics.joins_indexed == 0
+
+
+class TestEnvironmentChain:
+    """lookup/contains share one chain walk; shadowing across child/extended."""
+
+    def test_child_shadows_parent(self):
+        env = Environment({"x": 1, "y": 2}).child("x", 10)
+        assert env.lookup("x") == 10
+        assert env.lookup("y") == 2
+        assert env.contains("x") and env.contains("y")
+
+    def test_extended_shadows_across_levels(self):
+        env = (Environment({"x": 1})
+               .extended({"x": 2, "y": 2})
+               .child("y", 3)
+               .extended({"z": 4}))
+        assert env.lookup("x") == 2
+        assert env.lookup("y") == 3
+        assert env.lookup("z") == 4
+
+    def test_contains_agrees_with_lookup_for_shadowed_names(self):
+        env = Environment({"x": 1}).child("x", None).child("q", False)
+        for name in ("x", "q"):
+            assert env.contains(name)
+            env.lookup(name)  # must not raise
+        assert env.lookup("x") is None
+        assert env.lookup("q") is False
+
+    def test_missing_name_is_consistent(self):
+        env = Environment({"x": 1}).child("y", 2)
+        assert not env.contains("z")
+        with pytest.raises(UnboundVariableError):
+            env.lookup("z")
+
+    def test_none_valued_binding_is_not_missing(self):
+        """A binding whose value is None must not look like an absent one."""
+        env = Environment({"x": None})
+        assert env.contains("x")
+        assert env.lookup("x") is None

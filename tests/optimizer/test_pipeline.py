@@ -96,3 +96,21 @@ class TestProjectionHelpers:
         result = homogeneous_projection(records, ["a", "b"],
                                         combine=lambda a, b: a + b, kind="list")
         assert list(result) == [i * 3 for i in range(10)]
+
+
+class TestPrepare:
+    def test_prepare_rewrites_then_lowers_to_closures(self, pipeline):
+        from repro.core.nrc.compile import CompiledQuery
+        from repro.core.nrc.eval import EvalContext, Environment
+
+        expr = B.ext("x", B.singleton(B.prim("add", B.var("x"), B.const(1))),
+                     B.ext("y", B.singleton(B.var("y")), B.var("S")))
+        optimized, compiled = pipeline.prepare(expr)
+        assert isinstance(compiled, CompiledQuery)
+        # The compiler saw the post-rewrite term (fused: one loop, not two).
+        assert compiled.expr is optimized
+        assert isinstance(optimized, A.Ext) and not isinstance(optimized.source, A.Ext)
+        context = EvalContext()
+        value = compiled(Environment({"S": CSet([1, 2, 3])}), context)
+        assert value == CSet([2, 3, 4])
+        assert context.statistics.ext_iterations == 3
