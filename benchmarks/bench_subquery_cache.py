@@ -48,7 +48,9 @@ def _make_executor():
 
 def _run(expr, outer_size):
     executor, source = _make_executor()
-    data = {"OUTER": CSet([Record({"key": i % 10}) for i in range(outer_size)])}
+    # ``id`` keeps the records distinct: a CSet of key-only records would
+    # deduplicate down to 10 elements and undercount the uncached requests.
+    data = {"OUTER": CSet([Record({"id": i, "key": i % 10}) for i in range(outer_size)])}
     context = EvalContext(driver_executor=executor)
     started = time.perf_counter()
     value = Evaluator(context).evaluate(expr, Environment(data))

@@ -50,6 +50,37 @@ often the handoff happened at run time.  Both execution modes share the same
 :class:`~repro.core.nrc.eval.EvalContext` (driver executor, subquery cache,
 statistics), so compiled and interpreted fragments interoperate freely —
 including closures crossing the boundary in either direction.
+
+Eager vs streaming lowering
+---------------------------
+
+The module offers **two lowering targets** over the same node registry
+discipline:
+
+* :func:`compile_term` — the eager backend: every closure returns a fully
+  materialized collection.  This is what ``KleisliEngine.execute`` uses; it
+  is the fastest way to produce a *whole* result, and the only correct way
+  to produce a value that outlives the evaluation (results are plain
+  collections, never half-consumed cursors).
+* :func:`compile_stream` — the pull-based backend: nodes with a registered
+  stream compiler (see :func:`register_stream_compiler`) become generator
+  pipeline stages that yield elements as they are produced.  This is what
+  ``KleisliEngine.stream`` uses: it minimizes time-to-first-result and peak
+  intermediate memory by overlapping remote I/O with downstream consumption
+  (Section 4's "laziness in strategic places").
+
+Selection is per *call site* (``execute`` vs ``stream``), then per *node*
+within a streamed pipeline: ``Ext`` chains, filters, ``Let``/``IfThenElse``,
+``Scan`` and the probe side of ``Join`` stream natively (set-kind stages
+dedup as they go); everything whose semantics require the whole value —
+``Fold``, ``Union`` (set dedup and operand type checks), the build side of
+joins, scalar operators — drops to the eager closure for that subtree and
+the pipeline yields from its materialized result.  Those eager sections are
+reported in ``CompiledStream.eager_nodes`` and counted by
+``EvalStatistics.stream_fallbacks``.  ``Cached`` is a special case: it is a
+*deliberate* materialization point (the subquery cache stores whole
+collections), so the pipeline yields from the cached value without
+reporting a fallback.
 """
 
 from __future__ import annotations
@@ -84,12 +115,15 @@ from .eval import (
     iterate_source,
     materialise,
     materialise_source,
+    scan_stream,
 )
 from .prims import lookup_primitive
 
 __all__ = [
-    "ExecutionMode", "CompiledQuery", "CompiledClosure", "compile_term",
-    "register_compiler", "supported_node_types", "term_fingerprint",
+    "ExecutionMode", "CompiledQuery", "CompiledClosure", "CompiledStream",
+    "compile_term", "compile_stream", "register_compiler",
+    "register_stream_compiler", "supported_node_types",
+    "streamable_node_types", "term_fingerprint",
 ]
 
 _COLLECTIONS = (CSet, CBag, CList)
@@ -173,13 +207,19 @@ def _apply_value(func: object, arg: object, context: EvalContext) -> object:
 
 
 class _CompileState:
-    """Per-``compile_term`` bookkeeping shared by the node compilers."""
+    """Per-``compile_term`` bookkeeping shared by the node compilers.
 
-    __slots__ = ("n_free", "fallbacks")
+    ``fallbacks`` names subtrees delegated to the tree-walking interpreter
+    (no eager compiler); ``eager`` names subtrees of a *streaming* lowering
+    that had no pull-based form and were lowered eagerly instead.
+    """
+
+    __slots__ = ("n_free", "fallbacks", "eager")
 
     def __init__(self, n_free: int):
         self.n_free = n_free
         self.fallbacks: List[str] = []
+        self.eager: List[str] = []
 
 
 _Scope = Tuple[str, ...]
@@ -235,6 +275,33 @@ def _compile_fallback(expr: A.Expr, scope: _Scope, state: _CompileState) -> _Com
         return Evaluator(context)._eval(expr, Environment(bindings))
 
     return run
+
+
+def _require_bool(cond: object) -> bool:
+    """Reject non-boolean condition values (shared by both lowerings).
+
+    The boolean-check policy must stay identical between the eager and
+    streaming backends (and, eventually, the interpreter — see ROADMAP);
+    keeping it in one place makes a coordinated change possible.
+    """
+    if cond is True or cond is False:
+        return cond
+    raise EvaluationError(
+        f"condition must be a boolean, got {type(cond).__name__}"
+    )
+
+
+def _require_join_condition(keep: object) -> bool:
+    """The blocked join's condition check (shared by both lowerings).
+
+    Kept separate from :func:`_require_bool` because the interpreter's
+    blocked join uses this exact message while its indexed join filters by
+    truthiness — a documented inconsistency (ROADMAP) that must be changed
+    everywhere at once, which one shared site per policy makes possible.
+    """
+    if not isinstance(keep, bool):
+        raise EvaluationError("join condition must be boolean")
+    return keep
 
 
 def _slot_of(scope: _Scope, name: str) -> Optional[int]:
@@ -442,6 +509,24 @@ def _compile_union(expr: A.Union, scope, state):
     return run
 
 
+def _filter_shape(body: A.Expr) -> Optional[Tuple[bool, A.Expr]]:
+    """Detect the desugarer's filter shape in a loop body.
+
+    Returns ``(emit_when, value_expr)`` for ``if c then Singleton(e) else
+    Empty`` and its mirror, else ``None``.  Shared by the eager body emitter
+    and the streaming body compiler so the two lowerings can never diverge
+    on which bodies qualify.
+    """
+    if type(body) is not A.IfThenElse:
+        return None
+    then_branch, else_branch = body.then_branch, body.else_branch
+    if type(then_branch) is A.Singleton and type(else_branch) is A.Empty:
+        return (True, then_branch.expr)
+    if type(then_branch) is A.Empty and type(else_branch) is A.Singleton:
+        return (False, else_branch.expr)
+    return None
+
+
 def _compile_body_emitter(body: A.Expr, scope: _Scope, state: _CompileState):
     """Compile a loop body into ``emit(frame, context, elements)``.
 
@@ -463,24 +548,14 @@ def _compile_body_emitter(body: A.Expr, scope: _Scope, state: _CompileState):
         return emit_singleton
 
     if type(body) is A.IfThenElse:
-        then_branch, else_branch = body.then_branch, body.else_branch
-        filter_shape = None
-        if type(then_branch) is A.Singleton and type(else_branch) is A.Empty:
-            filter_shape = (True, then_branch.expr)
-        elif type(then_branch) is A.Empty and type(else_branch) is A.Singleton:
-            filter_shape = (False, else_branch.expr)
+        filter_shape = _filter_shape(body)
         if filter_shape is not None:
             emit_when, value_expr = filter_shape
             cond_fn = _compile(body.cond, scope, state)
             value_fn = _compile(value_expr, scope, state)
 
             def emit_filter(frame, context, elements):
-                cond = cond_fn(frame, context)
-                if not (cond is True or cond is False):
-                    raise EvaluationError(
-                        f"condition must be a boolean, got {type(cond).__name__}"
-                    )
-                if cond is emit_when:
+                if _require_bool(cond_fn(frame, context)) is emit_when:
                     elements.append(value_fn(frame, context))
 
             return emit_filter
@@ -558,14 +633,9 @@ def _compile_if(expr: A.IfThenElse, scope, state):
     else_fn = _compile(expr.else_branch, scope, state)
 
     def run(frame, context):
-        cond = cond_fn(frame, context)
-        if cond is True:
+        if _require_bool(cond_fn(frame, context)):
             return then_fn(frame, context)
-        if cond is False:
-            return else_fn(frame, context)
-        raise EvaluationError(
-            f"condition must be a boolean, got {type(cond).__name__}"
-        )
+        return else_fn(frame, context)
 
     return run
 
@@ -650,9 +720,26 @@ def _compile_scan(expr: A.Scan, scope, state):
         if isinstance(result, _COLLECTIONS):
             stats.scan_elements += len(result)
             return result
-        return _CountingStream(result, stats)
+        # Lazy cursor: counted as consumed, and registered with the active
+        # evaluation scope (if any) so abandoning a pipeline closes it.
+        return scan_stream(result, context)
 
     return run
+
+
+def _build_join_index(inner, inner_key_fn, frame, key_slot, context):
+    """Build the hash index of an indexed join's inner (build) side.
+
+    Shared by the eager and streaming join lowerings so the index layout
+    and key evaluation cannot diverge; the key frame reuses one slot across
+    inner elements exactly like a loop frame.
+    """
+    key_frame = _extended(frame, None)
+    index: Dict[object, list] = {}
+    for inner_item in inner:
+        key_frame[key_slot] = inner_item
+        index.setdefault(inner_key_fn(key_frame, context), []).append(inner_item)
+    return key_frame, index
 
 
 @register_compiler(A.Join)
@@ -681,16 +768,12 @@ def _compile_join(expr: A.Join, scope, state):
             outer = materialise_source(outer_fn(frame, context))
             context.statistics.joins_indexed += 1
             inner = materialise_source(inner_fn(frame, context))
-            key_frame = _extended(frame, None)
-            key_slot = outer_slot
-            index: Dict[object, list] = {}
-            for inner_item in inner:
-                key_frame[key_slot] = inner_item
-                index.setdefault(inner_key_fn(key_frame, context), []).append(inner_item)
+            key_frame, index = _build_join_index(
+                inner, inner_key_fn, frame, outer_slot, context)
             elements: list = []
             pair_frame = _extended(_extended(frame, None), None)
             for outer_item in outer:
-                key_frame[key_slot] = outer_item
+                key_frame[outer_slot] = outer_item
                 matches = index.get(outer_key_fn(key_frame, context))
                 if not matches:
                     continue
@@ -720,12 +803,9 @@ def _compile_join(expr: A.Join, scope, state):
                 pair_frame[inner_slot] = inner_item
                 for outer_item in block:
                     pair_frame[outer_slot] = outer_item
-                    if cond_fn is not None:
-                        keep = cond_fn(pair_frame, context)
-                        if not isinstance(keep, bool):
-                            raise EvaluationError("join condition must be boolean")
-                        if not keep:
-                            continue
+                    if cond_fn is not None and \
+                            not _require_join_condition(cond_fn(pair_frame, context)):
+                        continue
                     emit(pair_frame, context, elements)
         return make_collection(kind, elements)
 
@@ -755,6 +835,23 @@ def _compile_cached(expr: A.Cached, scope, state):
 # The public entry point
 # ---------------------------------------------------------------------------
 
+def _build_frame(free_names: Tuple[str, ...], env: Optional[Environment]) -> list:
+    """Read a query's free names out of ``env`` into the flat top-level frame.
+
+    Shared by both lowering targets so unbound-name handling cannot diverge
+    between ``execute`` and ``stream``: a missing binding becomes an
+    :class:`_Unbound` marker, raising only if the variable is reached.
+    """
+    frame: list = []
+    for name in free_names:
+        try:
+            frame.append(env.lookup(name) if env is not None
+                         else _Unbound(name))
+        except UnboundVariableError:
+            frame.append(_Unbound(name))
+    return frame
+
+
 class CompiledQuery:
     """An NRC term lowered to nested closures, callable like the evaluator.
 
@@ -780,14 +877,7 @@ class CompiledQuery:
     def __call__(self, env: Optional[Environment] = None,
                  context: Optional[EvalContext] = None) -> object:
         context = context if context is not None else EvalContext()
-        frame: list = []
-        for name in self.free_names:
-            try:
-                frame.append(env.lookup(name) if env is not None
-                             else _Unbound(name))
-            except UnboundVariableError:
-                frame.append(_Unbound(name))
-        return self._fn(frame, context)
+        return self._fn(_build_frame(self.free_names, env), context)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         status = "full" if self.fully_compiled else \
@@ -803,6 +893,510 @@ def compile_term(term: A.Expr) -> CompiledQuery:
     :class:`~repro.core.nrc.eval.EvalContext` to evaluate.
     """
     return CompiledQuery(term)
+
+
+# ---------------------------------------------------------------------------
+# Streaming (pull-based) lowering
+# ---------------------------------------------------------------------------
+#
+# The second lowering target: instead of a closure returning a materialized
+# collection, each node becomes a *generator pipeline* stage yielding
+# elements as they are produced.  ``Ext``-of-``Ext`` chains, filters,
+# the probe side of hash joins and ``ParallelExt`` (registered in
+# repro.core.optimizer.parallel) all pull from their source incrementally,
+# so the first result of a remote-scan comprehension arrives after O(1)
+# source elements.  Set-kind loop/join stages dedup as they go (see
+# _dedup_set_stream), matching the eager CSet element-for-element.  Nodes
+# with no pull-based form (Fold, PrimCall, arbitrary bodies, Union — whose
+# union_like deduplicates sets and type-checks both operands' collection
+# classes) are lowered *eagerly* inside the pipeline; those sections are
+# named in ``CompiledStream.eager_nodes`` and counted at run time by
+# ``EvalStatistics.stream_fallbacks``, mirroring the eager backend's
+# interpreter fallback.
+
+_StreamFn = Callable[[list, EvalContext], object]
+_STREAM_COMPILERS: Dict[Type[A.Expr], Callable[[A.Expr, _Scope, _CompileState], _StreamFn]] = {}
+
+
+def register_stream_compiler(node_type: Type[A.Expr]):
+    """Register a pull-based (generator) lowering for an AST node type.
+
+    Same exact-type dispatch contract as :func:`register_compiler`.  The
+    registered function compiles ``expr`` to a *generator function*
+    ``stream(frame, context)`` whose iterator yields the element sequence of
+    the node's collection value; no work (including driver requests) may
+    happen before the first ``next()``.
+    """
+
+    def decorator(function):
+        _STREAM_COMPILERS[node_type] = function
+        return function
+
+    return decorator
+
+
+def streamable_node_types() -> Tuple[str, ...]:
+    """Names of node types with a native pull-based lowering."""
+    return tuple(sorted(cls.__name__ for cls in _STREAM_COMPILERS))
+
+
+def _iterate_streamed(value: object, context: EvalContext):
+    """Iterate a collection or lazy stream produced by an eager section.
+
+    Accepts exactly what :func:`~repro.core.nrc.eval.iterate_source` accepts
+    (any iterable), so a term legal as a generator source under the eager
+    backend is legal under the streaming one.  Lazy cursors that are not
+    already scope-registered (``_CountingStream`` registers itself at
+    creation) are registered with the active scope so an abandoned pipeline
+    releases them deterministically.
+    """
+    if isinstance(value, _COLLECTIONS):
+        return iter(value)
+    if hasattr(value, "__iter__"):
+        if type(value) is not _CountingStream:
+            scope = context.scope
+            if scope is not None and hasattr(value, "close"):
+                scope.register(value)
+                return _unregistering_iter(value, scope)
+        return iter(value)
+    raise EvaluationError(
+        f"generator source must be a collection, got {type(value).__name__}"
+    )
+
+
+def _unregistering_iter(value: object, scope):
+    """Iterate a scope-registered cursor, unregistering it when drained.
+
+    Mirrors ``_CountingStream``'s self-unregistration: on natural
+    exhaustion the scope stops tracking the dead cursor (so a long pipeline
+    does not pin one per occurrence); on abandonment the ``yield from``
+    never completes and the scope's close still reaches it.
+    """
+    yield from iter(value)
+    scope.unregister(value)
+
+
+def _compile_stream(expr: A.Expr, scope: _Scope, state: _CompileState) -> _StreamFn:
+    compiler = _STREAM_COMPILERS.get(type(expr))
+    if compiler is None:
+        return _stream_via_eager(expr, scope, state)
+    return compiler(expr, scope, state)
+
+
+def _stream_via_eager(expr: A.Expr, scope: _Scope, state: _CompileState) -> _StreamFn:
+    """Evaluate a non-streamable subtree eagerly, then yield its elements."""
+    state.eager.append(type(expr).__name__)
+    fn = _compile(expr, scope, state)
+
+    def stream(frame, context):
+        context.statistics.stream_fallbacks += 1
+        yield from _iterate_streamed(fn(frame, context), context)
+
+    return stream
+
+
+def _stream_leaf(expr: A.Expr, scope: _Scope, state: _CompileState) -> _StreamFn:
+    """A leaf in source position: evaluate (cheap), iterate lazily.
+
+    Unlike :func:`_stream_via_eager` this is not a fallback — a bound
+    collection or constant has no cheaper pull-based form — so it is not
+    counted in ``eager_nodes``/``stream_fallbacks``.
+    """
+    fn = _compile(expr, scope, state)
+
+    def stream(frame, context):
+        yield from _iterate_streamed(fn(frame, context), context)
+
+    return stream
+
+
+register_stream_compiler(A.Var)(_stream_leaf)
+register_stream_compiler(A.Const)(_stream_leaf)
+
+
+@register_stream_compiler(A.Empty)
+def _stream_empty(expr: A.Empty, scope, state):
+    def stream(frame, context):
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    return stream
+
+
+@register_stream_compiler(A.Singleton)
+def _stream_singleton(expr: A.Singleton, scope, state):
+    value_fn = _compile(expr.expr, scope, state)
+
+    def stream(frame, context):
+        yield value_fn(frame, context)
+
+    return stream
+
+
+@register_stream_compiler(A.Union)
+def _stream_union(expr: A.Union, scope, state):
+    # Union stays an eager section for every kind: ``union_like`` both
+    # deduplicates (sets) and type-checks the two operands' collection
+    # classes (all kinds) — a pipeline that chained the operand streams
+    # would silently accept terms ``execute`` rejects.
+    return _stream_via_eager(expr, scope, state)
+
+
+@register_stream_compiler(A.IfThenElse)
+def _stream_if(expr: A.IfThenElse, scope, state):
+    cond_fn = _compile(expr.cond, scope, state)
+    then_fn = _compile_stream(expr.then_branch, scope, state)
+    else_fn = _compile_stream(expr.else_branch, scope, state)
+
+    def stream(frame, context):
+        if _require_bool(cond_fn(frame, context)):
+            yield from then_fn(frame, context)
+        else:
+            yield from else_fn(frame, context)
+
+    return stream
+
+
+@register_stream_compiler(A.Let)
+def _stream_let(expr: A.Let, scope, state):
+    value_fn = _compile(expr.value, scope, state)
+    body_fn = _compile_stream(expr.body, scope + (expr.var,), state)
+
+    def stream(frame, context):
+        yield from body_fn(_extended(frame, value_fn(frame, context)), context)
+
+    return stream
+
+
+@register_stream_compiler(A.Scan)
+def _stream_scan(expr: A.Scan, scope, state):
+    run = _compile_scan(expr, scope, state)
+
+    def stream(frame, context):
+        # The request fires on first next(); a lazy cursor is registered with
+        # the evaluation scope inside the eager scan closure (scan_stream).
+        yield from _iterate_streamed(run(frame, context), context)
+
+    return stream
+
+
+# A Cached node is a deliberate materialization point: the subquery cache
+# stores whole collections (cache_payload), so the pipeline evaluates it
+# eagerly (hitting the cache) and yields from the cached value — exactly
+# the leaf treatment, and likewise not counted as a fallback.
+register_stream_compiler(A.Cached)(_stream_leaf)
+
+
+def _dedup_set_stream(stream_fn: _StreamFn) -> _StreamFn:
+    """Dedup-as-you-go for set-kind pipelines.
+
+    ``CSet`` iterates in first-occurrence insertion order, so suppressing
+    repeats incrementally yields *exactly* the element sequence of the
+    eagerly built set — laziness preserved, at O(distinct elements) memory
+    (no worse than the eager result itself).
+    """
+
+    def stream(frame, context):
+        seen = set()
+        for element in stream_fn(frame, context):
+            if element not in seen:
+                seen.add(element)
+                yield element
+
+    return stream
+
+
+def _compile_stream_body(body: A.Expr, scope: _Scope, state: _CompileState):
+    """Compile a loop body for streaming: ``('value', fn)``, ``('filter',
+    (cond_fn, value_fn, emit_when))`` or ``('stream', stream_fn)``.
+
+    Mirrors :func:`_compile_body_emitter`'s specializations so the common
+    ``Singleton``/filter bodies cost one closure call per element instead of
+    a nested generator.
+    """
+    if type(body) is A.Singleton:
+        return ("value", _compile(body.expr, scope, state))
+    filter_shape = _filter_shape(body)
+    if filter_shape is not None:
+        emit_when, value_expr = filter_shape
+        cond_fn = _compile(body.cond, scope, state)
+        value_fn = _compile(value_expr, scope, state)
+        return ("filter", (cond_fn, value_fn, emit_when))
+    return ("stream", _compile_stream(body, scope, state))
+
+
+@register_stream_compiler(A.Ext)
+def _stream_ext(expr: A.Ext, scope, state):
+    source_fn = _compile_stream(expr.source, scope, state)
+    mode, body = _compile_stream_body(expr.body, scope + (expr.var,), state)
+    slot = len(scope)
+
+    if mode == "value":
+        value_fn = body
+
+        def stream_fn(frame, context):
+            stats = context.statistics
+            loop_frame = _extended(frame, None)
+            for item in source_fn(frame, context):
+                stats.ext_iterations += 1
+                loop_frame[slot] = item
+                yield value_fn(loop_frame, context)
+
+    elif mode == "filter":
+        cond_fn, value_fn, emit_when = body
+
+        def stream_fn(frame, context):
+            stats = context.statistics
+            loop_frame = _extended(frame, None)
+            for item in source_fn(frame, context):
+                stats.ext_iterations += 1
+                loop_frame[slot] = item
+                if _require_bool(cond_fn(loop_frame, context)) is emit_when:
+                    yield value_fn(loop_frame, context)
+
+    else:
+        body_fn = body
+
+        def stream_fn(frame, context):
+            stats = context.statistics
+            # The loop frame is safely reused across iterations: the body's
+            # element stream for item N is exhausted before item N+1 is
+            # pulled, and escaping closures snapshot the frame at creation.
+            loop_frame = _extended(frame, None)
+            for item in source_fn(frame, context):
+                stats.ext_iterations += 1
+                loop_frame[slot] = item
+                yield from body_fn(loop_frame, context)
+
+    if expr.kind == "set":
+        return _dedup_set_stream(stream_fn)
+    return stream_fn
+
+
+def _stream_join_emit(mode, body, pair_frame, context):
+    """Yield the body elements for one matched pair (streaming join helper)."""
+    if mode == "value":
+        yield body(pair_frame, context)
+    elif mode == "filter":
+        cond_fn, value_fn, emit_when = body
+        if _require_bool(cond_fn(pair_frame, context)) is emit_when:
+            yield value_fn(pair_frame, context)
+    else:
+        yield from body(pair_frame, context)
+
+
+@register_stream_compiler(A.Join)
+def _stream_join(expr: A.Join, scope, state):
+    """Stream the probe (outer) side of a join; the build side materializes.
+
+    The asymmetry is inherent: an indexed join's hash index (and a blocked
+    join's per-block inner rescan) needs the whole inner collection, but the
+    outer side can be consumed element-by-element (indexed) or block-by-block
+    (blocked), so results flow before the outer source is exhausted.
+    """
+    outer_fn = _compile_stream(expr.outer, scope, state)
+    inner_fn = _compile(expr.inner, scope, state)
+    pair_scope = scope + (expr.outer_var, expr.inner_var)
+    mode, body = _compile_stream_body(expr.body, pair_scope, state)
+    cond_fn = None
+    if expr.condition is not None:
+        cond_fn = _compile(expr.condition, pair_scope, state)
+    outer_slot = len(scope)
+    inner_slot = outer_slot + 1
+
+    if expr.method == "indexed":
+        if expr.outer_key is None or expr.inner_key is None:
+            def broken(frame, context):
+                raise EvaluationError(
+                    "indexed join requires outer and inner key expressions")
+                yield  # pragma: no cover
+            return broken
+        outer_key_fn = _compile(expr.outer_key, scope + (expr.outer_var,), state)
+        inner_key_fn = _compile(expr.inner_key, scope + (expr.inner_var,), state)
+
+        def stream_indexed(frame, context):
+            context.statistics.joins_indexed += 1
+            outer = outer_fn(frame, context)
+            # Build side: materialized into a hash index before probing.
+            inner = materialise_source(inner_fn(frame, context))
+            key_frame, index = _build_join_index(
+                inner, inner_key_fn, frame, outer_slot, context)
+            pair_frame = _extended(_extended(frame, None), None)
+            for outer_item in outer:
+                key_frame[outer_slot] = outer_item
+                matches = index.get(outer_key_fn(key_frame, context))
+                if not matches:
+                    continue
+                pair_frame[outer_slot] = outer_item
+                for inner_item in matches:
+                    pair_frame[inner_slot] = inner_item
+                    if cond_fn is not None and not cond_fn(pair_frame, context):
+                        continue
+                    yield from _stream_join_emit(mode, body, pair_frame, context)
+
+        if expr.kind == "set":
+            return _dedup_set_stream(stream_indexed)
+        return stream_indexed
+
+    block_size = max(1, expr.block_size)
+
+    def stream_blocked(frame, context):
+        context.statistics.joins_blocked += 1
+        pair_frame = _extended(_extended(frame, None), None)
+        outer = iter(outer_fn(frame, context))
+        while True:
+            block = []
+            for outer_item in outer:
+                block.append(outer_item)
+                if len(block) >= block_size:
+                    break
+            if not block:
+                return
+            # The inner side is re-evaluated once per outer block, exactly
+            # like the eager lowering (a driver stream can be consumed once).
+            inner = materialise_source(inner_fn(frame, context))
+            for inner_item in inner:
+                pair_frame[inner_slot] = inner_item
+                for outer_item in block:
+                    pair_frame[outer_slot] = outer_item
+                    if cond_fn is not None and \
+                            not _require_join_condition(cond_fn(pair_frame, context)):
+                        continue
+                    yield from _stream_join_emit(mode, body, pair_frame, context)
+
+    if expr.kind == "set":
+        return _dedup_set_stream(stream_blocked)
+    return stream_blocked
+
+
+class CompiledStream:
+    """An NRC term lowered to a pull-based generator pipeline.
+
+    Calling it returns an *iterator* over the elements of the term's
+    collection value (a non-collection value is yielded as a single
+    element, matching ``KleisliEngine.stream``).  The whole run happens
+    inside a fresh :class:`~repro.core.nrc.eval.EvalScope` on the supplied
+    context: every cursor the pipeline opens — source scans *and* body-level
+    scans — is released when the iterator is exhausted or closed early.
+
+    ``eager_nodes`` names node types that had no pull-based lowering and ran
+    eagerly inside the pipeline; ``fallback_nodes`` names node types (inside
+    those eager sections) delegated all the way back to the interpreter.
+    """
+
+    __slots__ = ("expr", "free_names", "fallback_nodes", "eager_nodes", "_fn")
+
+    def __init__(self, expr: A.Expr):
+        self.expr = expr
+        self.free_names: Tuple[str, ...] = tuple(sorted(free_variables(expr)))
+        state = _CompileState(n_free=len(self.free_names))
+        self._fn = self._lower_toplevel(expr, self.free_names, state)
+        self.fallback_nodes: Tuple[str, ...] = tuple(sorted(set(state.fallbacks)))
+        self.eager_nodes: Tuple[str, ...] = tuple(sorted(set(state.eager)))
+
+    @classmethod
+    def _lower_toplevel(cls, expr: A.Expr, scope: _Scope, state: _CompileState) -> _StreamFn:
+        """Top-level lowering: tolerates a non-collection result.
+
+        A scalar query streams as a single element (matching the engine's
+        historical ``stream`` contract), unlike source/body positions where
+        a scalar is an error.  The tolerance follows the *transparent spine*
+        — ``Let`` bodies, ``IfThenElse`` branches, and value leaves — so
+        ``Let(x, Ext(...))`` still streams its comprehension while
+        ``Let(x, x + 2)`` yields one element instead of raising.
+        """
+        node_type = type(expr)
+        if node_type is A.Let:
+            value_fn = _compile(expr.value, scope, state)
+            body_fn = cls._lower_toplevel(expr.body, scope + (expr.var,), state)
+
+            def stream_let(frame, context):
+                yield from body_fn(_extended(frame, value_fn(frame, context)),
+                                   context)
+
+            return stream_let
+        if node_type is A.IfThenElse:
+            cond_fn = _compile(expr.cond, scope, state)
+            then_fn = cls._lower_toplevel(expr.then_branch, scope, state)
+            else_fn = cls._lower_toplevel(expr.else_branch, scope, state)
+
+            def stream_if(frame, context):
+                if _require_bool(cond_fn(frame, context)):
+                    yield from then_fn(frame, context)
+                else:
+                    yield from else_fn(frame, context)
+
+            return stream_if
+        if node_type in (A.Var, A.Const, A.Cached):
+            # Value leaves (and Cached, a materialization point): evaluate,
+            # then stream elements — or the value itself when it is scalar.
+            return cls._tolerant_stream(_compile(expr, scope, state),
+                                        count_fallback=False)
+        if node_type in _STREAM_COMPILERS:
+            # Collection-producing nodes (Ext, Scan, Join, Union, ...): a
+            # scalar cannot legally appear here, so stream directly.
+            return _compile_stream(expr, scope, state)
+        state.eager.append(node_type.__name__)
+        return cls._tolerant_stream(_compile(expr, scope, state),
+                                    count_fallback=True)
+
+    @staticmethod
+    def _tolerant_stream(fn: _CompiledFn, count_fallback: bool) -> _StreamFn:
+        """Yield a value's elements if it is a CPL collection, else the value.
+
+        Deliberately as strict as ``iter_collection``: a plain Python
+        iterable (tuple, dict, generator) bound to a variable is *one*
+        value, exactly as ``execute`` and the interpreted stream treat it —
+        not an element sequence to explode.
+        """
+
+        def stream(frame, context):
+            if count_fallback:
+                context.statistics.stream_fallbacks += 1
+            value = fn(frame, context)
+            if isinstance(value, _COLLECTIONS):
+                yield from value
+            else:
+                yield value
+
+        return stream
+
+    @property
+    def fully_compiled(self) -> bool:
+        """No interpreter fallback anywhere in the pipeline."""
+        return not self.fallback_nodes
+
+    @property
+    def fully_streamed(self) -> bool:
+        """Every node lowered pull-based (no eager sections)."""
+        return not self.eager_nodes
+
+    def __call__(self, env: Optional[Environment] = None,
+                 context: Optional[EvalContext] = None):
+        context = context if context is not None else EvalContext()
+        return self._pump(_build_frame(self.free_names, env), context)
+
+    def _pump(self, frame, context):
+        # The scope spans the whole iteration: activated on first next(),
+        # closed (releasing every registered cursor) when the pipeline is
+        # exhausted, abandoned (GeneratorExit) or fails.
+        with context.evaluation_scope():
+            yield from self._fn(frame, context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        detail = "fully streamed" if self.fully_streamed else \
+            "eager: " + ", ".join(self.eager_nodes)
+        return f"<CompiledStream ({detail})>"
+
+
+def compile_stream(term: A.Expr) -> CompiledStream:
+    """Lower an (optimized) NRC term into a pull-based generator pipeline.
+
+    Returns a :class:`CompiledStream`; call it with an
+    :class:`~repro.core.nrc.eval.Environment` and an
+    :class:`~repro.core.nrc.eval.EvalContext` to get the element iterator.
+    """
+    return CompiledStream(term)
 
 
 # ---------------------------------------------------------------------------

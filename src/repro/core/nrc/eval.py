@@ -19,6 +19,8 @@ Evaluation needs three pieces of ambient context, bundled in
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import EvaluationError, UnboundVariableError
@@ -40,9 +42,9 @@ from . import ast as A
 from .prims import lookup_primitive
 
 __all__ = [
-    "Environment", "Closure", "EvalContext", "EvalStatistics", "Evaluator",
-    "evaluate", "iterate_source", "materialise", "materialise_source",
-    "cache_payload", "close_source",
+    "Environment", "Closure", "EvalContext", "EvalScope", "EvalStatistics",
+    "Evaluator", "evaluate", "iterate_source", "materialise",
+    "materialise_source", "cache_payload", "close_source", "scan_stream",
 ]
 
 #: Sentinel distinguishing "no binding" from a binding whose value is ``None``.
@@ -136,6 +138,12 @@ class EvalStatistics:
         self.execution_mode = "interpreted"
         #: Run-time count of fallback evaluations (compiled mode only).
         self.compiled_fallbacks = 0
+        #: Run-time count of pipeline sections that had no streaming lowering
+        #: and were evaluated eagerly inside a streaming run (streamed mode).
+        self.stream_fallbacks = 0
+        #: Engine compile-cache (LRU) accounting for this query's lowering.
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
 
     @property
     def elements_fetched(self) -> int:
@@ -157,6 +165,86 @@ class EvalStatistics:
         return result
 
 
+class EvalScope:
+    """A deterministic-release registry for cursors opened during evaluation.
+
+    Every stream/cursor opened while a scope is active on the
+    :class:`EvalContext` (driver token streams, ``_CountingStream`` wrappers,
+    scheduler pools) registers itself here; :meth:`close` releases them in
+    LIFO order.  Closing a drained stream is a no-op by contract, so the
+    scope can close everything unconditionally — only *abandoned* cursors
+    are actually affected.
+
+    Registration is thread-safe: ``ParallelExt`` bodies open cursors from
+    scheduler worker threads while the consumer thread may be closing the
+    scope.
+    """
+
+    __slots__ = ("_resources", "_lock", "_closed")
+
+    def __init__(self) -> None:
+        self._resources: List[object] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def register(self, resource: object) -> object:
+        """Track ``resource`` (anything with a ``close()``); returns it.
+
+        If the scope is already closed — a worker thread losing the race
+        against an early ``close()`` — the resource is closed immediately
+        instead of leaking.
+        """
+        with self._lock:
+            if not self._closed:
+                self._resources.append(resource)
+                return resource
+        close = getattr(resource, "close", None)
+        if close is not None:
+            close()
+        return resource
+
+    def unregister(self, resource: object) -> None:
+        """Stop tracking a resource that released itself (e.g. a drained
+        cursor).  Without this a long pipeline would pin every exhausted
+        body-level cursor — and whatever it buffers — until the whole
+        stream ends; with it the scope holds only *live* cursors.
+
+        Resources drain roughly in registration order, so the linear scan
+        almost always finds the entry at the front.
+        """
+        with self._lock:
+            if not self._closed:
+                try:
+                    self._resources.remove(resource)
+                except ValueError:
+                    pass
+
+    def close(self) -> None:
+        """Release every registered resource, newest first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            resources, self._resources = self._resources, []
+        for resource in reversed(resources):
+            close = getattr(resource, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:  # pragma: no cover - best-effort release
+                    pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "EvalScope":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 class EvalContext:
     """Ambient services the evaluator needs (drivers, cache, statistics)."""
 
@@ -166,6 +254,38 @@ class EvalContext:
         self.driver_executor = driver_executor
         self.statistics = statistics or EvalStatistics()
         self.cache = cache if cache is not None else {}
+        #: The active :class:`EvalScope`, or ``None`` outside a scoped run.
+        #: Eager ``execute`` leaves it ``None`` (returned lazy values stay
+        #: usable); pipelined ``stream`` runs inside one so abandoning the
+        #: pipeline releases every cursor it opened — including body-level
+        #: scans — deterministically.
+        self.scope: Optional[EvalScope] = None
+
+    @contextmanager
+    def evaluation_scope(self):
+        """Activate a fresh :class:`EvalScope` for the duration of the block.
+
+        Scopes nest LIFO: the previous scope (if any) is restored on exit,
+        and only resources opened under the inner scope are released.
+
+        Interleaving two *streamed* runs on one shared context is not
+        supported: a pipeline's scope stays active while its generator is
+        suspended (worker threads may still be opening cursors into it), so
+        a second pipeline started on the same context would register its
+        cursors into the first one's scope.  Give each streamed run its own
+        ``EvalContext`` — ``KleisliEngine.stream`` does.  The conditional
+        restore below at least keeps a non-LIFO exit from clobbering
+        another run's active scope.
+        """
+        previous = self.scope
+        scope = EvalScope()
+        self.scope = scope
+        try:
+            yield scope
+        finally:
+            if self.scope is scope:
+                self.scope = previous
+            scope.close()
 
 
 class Evaluator:
@@ -338,7 +458,7 @@ class Evaluator:
             stats.scan_elements += len(result)
             return result
         # Lazy token stream: count as it is consumed.
-        return _CountingStream(result, stats)
+        return scan_stream(result, self.context)
 
     def _eval_join(self, expr: A.Join, env: Environment) -> object:
         outer = self._materialise_source(self._eval(expr.outer, env))
@@ -506,6 +626,24 @@ def materialise_source(value: object) -> List[object]:
     )
 
 
+def scan_stream(result: object, context: "EvalContext") -> "_CountingStream":
+    """Wrap a lazy driver result for scan accounting, scope-registered.
+
+    Shared by the interpreter's ``Scan`` evaluation and both compiled
+    lowerings: when an :class:`EvalScope` is active on the context, the
+    cursor is registered so an abandoned pipeline releases it without
+    waiting for GC — and unregisters itself once drained, so the scope
+    does not pin exhausted cursors (or their buffers) for the life of a
+    long stream.
+    """
+    stream = _CountingStream(result, context.statistics)
+    scope = context.scope
+    if scope is not None:
+        stream._scope = scope
+        scope.register(stream)
+    return stream
+
+
 class _CountingStream:
     """Wraps a driver token stream, updating scan statistics as elements flow through."""
 
@@ -513,12 +651,21 @@ class _CountingStream:
         self._source = inner
         self._inner = iter(inner)
         self._statistics = statistics
+        #: The EvalScope tracking this cursor, if any (set by scan_stream).
+        self._scope = None
 
     def __iter__(self):
         return self
 
     def __next__(self):
-        value = next(self._inner)
+        try:
+            value = next(self._inner)
+        except StopIteration:
+            scope = self._scope
+            if scope is not None:
+                self._scope = None
+                scope.unregister(self)
+            raise
         self._statistics.scan_elements += 1
         return value
 

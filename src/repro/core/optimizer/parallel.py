@@ -61,6 +61,14 @@ class ParallelExt(A.Ext):
         return (self.max_workers, self.adaptive)
 
 
+def _make_scheduler(max_workers: int, adaptive: bool):
+    from ...kleisli.scheduler import AdaptiveScheduler, BoundedScheduler  # avoids a cycle
+
+    if adaptive:
+        return AdaptiveScheduler(max_workers=max_workers)
+    return BoundedScheduler(max_workers=max_workers)
+
+
 def _run_parallel_loop(items: List[object], run_body, kind: str,
                        max_workers: int, adaptive: bool, statistics):
     """Shared ParallelExt execution: scheduler selection, fan-out, statistics.
@@ -69,17 +77,17 @@ def _run_parallel_loop(items: List[object], run_body, kind: str,
     compiled closure differ only in ``run_body``), so scheduler or accounting
     changes cannot diverge the modes.
     """
-    from ...kleisli.scheduler import AdaptiveScheduler, BoundedScheduler  # avoids a cycle
-
-    if adaptive:
-        scheduler = AdaptiveScheduler(max_workers=max_workers)
-    else:
-        scheduler = BoundedScheduler(max_workers=max_workers)
+    scheduler = _make_scheduler(max_workers, adaptive)
 
     def run_one(item):
         return list(iter_collection(materialise(run_body(item))))
 
-    results = scheduler.map(run_one, items)
+    try:
+        results = scheduler.map(run_one, items)
+    finally:
+        # The scheduler's worker pool persists across batches within this
+        # loop; release it (joining its threads) when the loop completes.
+        scheduler.close()
     elements: List[object] = []
     for chunk in results:
         elements.extend(chunk)
@@ -138,6 +146,61 @@ def _compile_parallel_ext(expr: ParallelExt, scope, state):
                                   adaptive, context.statistics)
 
     return run
+
+
+@C.register_stream_compiler(ParallelExt)
+def _stream_parallel_ext(expr: ParallelExt, scope, state):
+    """Pull-based ParallelExt: a bounded prefetcher over the source stream.
+
+    A sliding window of at most ``max_workers`` body evaluations is in
+    flight while downstream consumes earlier results (order preserved), so
+    remote latency overlaps consumption end-to-end — not just within one
+    batch as in the eager lowering.  The source itself is pulled lazily,
+    only one window ahead of the consumer, which bounds unconsumed replies
+    exactly as the paper requires.
+    """
+    source_fn = C._compile_stream(expr.source, scope, state)
+    body_fn = C._compile(expr.body, scope + (expr.var,), state)
+    kind = expr.kind
+    max_workers = expr.max_workers
+    adaptive = expr.adaptive
+
+    def stream(frame, context):
+        scheduler = _make_scheduler(max_workers, adaptive)
+        scope_obj = context.scope
+        if scope_obj is not None:
+            # Backstop: if this generator is abandoned without close()
+            # reaching its finally (e.g. dropped without GC running), the
+            # pipeline's evaluation scope still joins the worker pool.
+            scope_obj.register(scheduler)
+        stats = context.statistics
+
+        def run_body(item):
+            # One frame copy per in-flight element: concurrent bodies never
+            # share mutable slots.
+            item_frame = list(frame)
+            item_frame.append(item)
+            return list(iter_collection(materialise(body_fn(item_frame, context))))
+
+        try:
+            for chunk in scheduler.prefetch(run_body, source_fn(frame, context)):
+                stats.ext_iterations += 1
+                yield from chunk
+        finally:
+            # Always close on section exit: a ParallelExt in the body of an
+            # outer loop runs once per outer element — deferring the close
+            # to stream end would accumulate one live pool per iteration.
+            # Unregistering keeps the scope from pinning one dead scheduler
+            # per iteration for the life of the stream.
+            scheduler.close()
+            if scope_obj is not None:
+                scope_obj.unregister(scheduler)
+
+    if kind == "set":
+        # Set semantics: suppress repeats incrementally (first-occurrence
+        # order), matching the eagerly built CSet element-for-element.
+        return C._dedup_set_stream(stream)
+    return stream
 
 
 def make_parallel_rule_set(is_remote_driver: Callable[[str], bool],

@@ -71,10 +71,15 @@ UNIT_VALUE = Unit()
 
 
 class CSet:
-    """An immutable set value with canonical (sorted-by-hash) iteration order.
+    """An immutable set value iterating in first-occurrence insertion order.
 
-    Iteration order is deterministic for a given content, which keeps query
-    results stable across runs — important for tests and for the printer.
+    Iteration order is deterministic for a given construction order, which
+    keeps query results stable across runs — important for tests and for the
+    printer.  The first-occurrence order is **load-bearing**: the streaming
+    backend's set-kind dedup-as-you-go (``compile._dedup_set_stream``) yields
+    elements in production order and relies on the eagerly built set
+    iterating identically; changing this order breaks stream/execute parity
+    for every set-kind pipeline.
     """
 
     __slots__ = ("_elements", "_hash")

@@ -17,13 +17,16 @@ remote and local data sources."  The engine is that middle layer:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..core.errors import DriverNotRegisteredError
 from ..core.nrc import ast as A
 from ..core.nrc.compile import (
     CompiledQuery,
+    CompiledStream,
     ExecutionMode,
+    compile_stream,
     compile_term,
     term_fingerprint,
 )
@@ -45,8 +48,55 @@ from .statistics import SourceStatisticsRegistry
 
 __all__ = ["KleisliEngine", "ExecutionMode"]
 
-#: How many compiled queries the engine keeps; evicted wholesale when full.
+#: How many lowered queries (eager + streaming together) the engine keeps;
+#: the least recently used entry is evicted when the cache is full.
 _COMPILED_CACHE_LIMIT = 128
+
+
+class _CompileCache:
+    """A fingerprint-keyed LRU of lowered queries, shared by both targets.
+
+    Keys are ``(target, term_fingerprint(expr))`` where ``target`` is
+    ``"eager"`` (:class:`CompiledQuery`) or ``"stream"``
+    (:class:`CompiledStream`), so the two lowerings of one term coexist
+    without conflation.  A hit moves the entry to the most-recently-used
+    position; insertion past ``limit`` evicts only the least recently used
+    entry — not the whole cache, as the pre-LRU memo did.
+    """
+
+    __slots__ = ("limit", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, limit: int = _COMPILED_CACHE_LIMIT):
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    def get(self, key: Tuple) -> Optional[object]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 class KleisliEngine:
@@ -63,7 +113,7 @@ class KleisliEngine:
         self.execution_mode = ExecutionMode.coerce(execution_mode)
         self.last_eval_statistics: Optional[EvalStatistics] = None
         self.last_rewrite_stats: Optional[RewriteStats] = None
-        self._compiled_queries: Dict[Tuple, CompiledQuery] = {}
+        self._compiled_queries = _CompileCache(_COMPILED_CACHE_LIMIT)
 
     # -- driver registration ---------------------------------------------------------
 
@@ -162,26 +212,46 @@ class KleisliEngine:
     def _resolve_mode(self, mode: Optional[object]) -> ExecutionMode:
         return self.execution_mode if mode is None else ExecutionMode.coerce(mode)
 
-    def compiled_query(self, expr: A.Expr) -> CompiledQuery:
-        """Return (and memoize) the closure-compiled form of ``expr``.
+    def _lowered(self, target: str, expr: A.Expr, lower: Callable,
+                 statistics: Optional[EvalStatistics]) -> object:
+        """LRU lookup-or-compile for one lowering target; updates counters."""
+        cache = self._compiled_queries
+        memo_key = (target, term_fingerprint(expr))
+        query = cache.get(memo_key)
+        if query is None:
+            query = lower(expr)
+            cache.put(memo_key, query)
+            if statistics is not None:
+                statistics.compile_cache_misses += 1
+        elif statistics is not None:
+            statistics.compile_cache_hits += 1
+        return query
 
-        The memo key is :func:`~repro.core.nrc.compile.term_fingerprint`, not
+    def compiled_query(self, expr: A.Expr,
+                       statistics: Optional[EvalStatistics] = None) -> CompiledQuery:
+        """Return (and LRU-cache) the eager closure-compiled form of ``expr``.
+
+        The cache key is :func:`~repro.core.nrc.compile.term_fingerprint`, not
         structural equality: equality is too loose for a compile cache (it
         conflates ``Const(True)``/``Const(1)`` and ignores ``Cached.key`` /
         ``Join.block_size``, all of which compiled closures bake in) and too
         strict across runs (each parse of the same query mints fresh binder
         names; the fingerprint de-Bruijn-indexes them away, so the common
         session pattern — the same query executed repeatedly — compiles
-        once).
+        once).  ``statistics`` (when given) receives the hit/miss accounting
+        for this lookup.
         """
-        memo_key = term_fingerprint(expr)
-        query = self._compiled_queries.get(memo_key)
-        if query is None:
-            if len(self._compiled_queries) >= _COMPILED_CACHE_LIMIT:
-                self._compiled_queries.clear()
-            query = compile_term(expr)
-            self._compiled_queries[memo_key] = query
-        return query
+        return self._lowered("eager", expr, compile_term, statistics)
+
+    def compiled_stream(self, expr: A.Expr,
+                        statistics: Optional[EvalStatistics] = None) -> CompiledStream:
+        """Return (and LRU-cache) the pull-based streaming lowering of ``expr``.
+
+        Shares the LRU (and the fingerprint keying) with
+        :meth:`compiled_query` under a distinct target tag, so the eager and
+        streaming forms of one term coexist and age out independently.
+        """
+        return self._lowered("stream", expr, compile_stream, statistics)
 
     def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
                 optimize: bool = True, mode: Optional[object] = None):
@@ -195,15 +265,15 @@ class KleisliEngine:
         context = self._make_context()
         environment = Environment(dict(bindings or {}))
         if mode is ExecutionMode.COMPILED:
+            lower = lambda term: self.compiled_query(term, context.statistics)
             if optimize:
                 stats = RewriteStats()
                 # The pipeline owns the ordering: closure-lowering runs
-                # strictly post-rewrite, through this engine's memo.
-                expr, query = self.optimizer.prepare(expr, stats,
-                                                     lower=self.compiled_query)
+                # strictly post-rewrite, through this engine's LRU.
+                expr, query = self.optimizer.prepare(expr, stats, lower=lower)
                 self.last_rewrite_stats = stats
             else:
-                query = self.compiled_query(expr)
+                query = lower(expr)
             context.statistics.execution_mode = (
                 "compiled" if query.fully_compiled else "compiled+fallback")
             return query(environment, context)
@@ -214,58 +284,89 @@ class KleisliEngine:
 
     def stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
                optimize: bool = True, mode: Optional[object] = None) -> Iterator[object]:
-        """Pipelined evaluation of a top-level comprehension.
+        """Pipelined evaluation: yield elements as the pipeline produces them.
 
-        When the (optimized) expression is an ``Ext`` whose source is a driver
-        scan, results are yielded as each source element is consumed — the
-        "laziness in strategic places" of Section 4, used to get initial output
-        to the user quickly.  Other shapes fall back to eager evaluation.
+        In compiled mode the (optimized) term is lowered to a pull-based
+        generator pipeline (:meth:`compiled_stream`) — *any* shape pipelines:
+        nested ``Ext`` chains, filters, ``ParallelExt`` (with prefetch
+        overlapping remote latency), the probe side of hash joins.  Sections
+        with no streaming lowering run eagerly inside the pipeline and are
+        surfaced via ``EvalStatistics.stream_fallbacks``.  This is the
+        "laziness in strategic places" of Section 4, used to get initial
+        output to the user quickly.
 
-        Closing the returned iterator early closes the underlying source
-        cursor (token stream, driver generator), so an abandoned stream does
-        not hold driver resources open.  Both execution modes stream.
+        The whole run happens inside a context-managed evaluation scope:
+        closing the returned iterator early closes every cursor the pipeline
+        opened — the source's *and* any body-level scans' — so an abandoned
+        stream holds no driver resources.  Both execution modes stream.
         """
         mode = self._resolve_mode(mode)
         if optimize:
             expr = self.compile(expr)
-        # Resolution above runs eagerly (a bad mode raises at the call site);
-        # evaluation below starts on the first next().
-        return self._stream(expr, bindings, mode)
+        # Resolution and context creation run eagerly (a bad mode raises at
+        # the call site, and last_eval_statistics refers to *this* run as
+        # soon as stream() returns); evaluation starts on the first next().
+        context = self._make_context()
+        return self._stream(expr, bindings, mode, context)
 
     def _stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]],
-                mode: ExecutionMode) -> Iterator[object]:
-        if type(expr) is A.Ext:
-            context = self._make_context()
-            environment = Environment(dict(bindings or {}))
-            if mode is ExecutionMode.COMPILED:
-                source_query = self.compiled_query(expr.source)
-                body_query = self.compiled_query(A.Lam(expr.var, expr.body))
-                context.statistics.execution_mode = (
-                    "compiled"
-                    if source_query.fully_compiled and body_query.fully_compiled
-                    else "compiled+fallback")
-                source = source_query(environment, context)
-                evaluate_body = body_query(environment, context)
-            else:
-                context.statistics.execution_mode = "interpreted"
+                mode: ExecutionMode, context: EvalContext) -> Iterator[object]:
+        environment = Environment(dict(bindings or {}))
+        if mode is ExecutionMode.COMPILED:
+            stream_query = self.compiled_stream(expr, context.statistics)
+            context.statistics.execution_mode = (
+                "compiled" if stream_query.fully_compiled
+                else "compiled+fallback")
+            yield from stream_query(environment, context)
+            return
+        yield from self._stream_interpreted(expr, environment, context)
+
+    def _stream_interpreted(self, expr: A.Expr, environment: Environment,
+                            context: EvalContext) -> Iterator[object]:
+        """The interpreter's pipelined path (top-level ``Ext`` only).
+
+        Kept for mode parity: the outer loop is pipelined, the body is
+        evaluated eagerly per element.  The evaluation scope still releases
+        any cursor the body opened if the consumer abandons the stream
+        mid-element.
+        """
+        context.statistics.execution_mode = "interpreted"
+        with context.evaluation_scope():
+            if type(expr) is A.Ext:
                 evaluator = Evaluator(context)
                 source = evaluator._eval(expr.source, environment)
 
                 def evaluate_body(item):
                     return evaluator._eval(expr.body, environment.child(expr.var, item))
 
-            iterator = iterate_source(source)
+                iterator = iterate_source(source)
+                # Set semantics: suppress repeats incrementally (CSet order
+                # is first-occurrence order), so the stream matches the
+                # eagerly built value element-for-element — same policy as
+                # the compiled pipeline's set-kind stages.
+                seen = set() if expr.kind == "set" else None
+                try:
+                    for item in iterator:
+                        # Count the outer loop like the eager evaluator does,
+                        # so a drained stream and execute() agree on
+                        # elements_fetched (the differential harness pins it).
+                        context.statistics.ext_iterations += 1
+                        for element in iter_collection(materialise(evaluate_body(item))):
+                            if seen is not None:
+                                if element in seen:
+                                    continue
+                                seen.add(element)
+                            yield element
+                finally:
+                    close_source(iterator, source)
+                return
+            # Evaluate on *this* context (not via execute(), which would
+            # rebind last_eval_statistics to a fresh object mid-stream and
+            # orphan the statistics published at stream() time).
+            result = Evaluator(context).evaluate(expr, environment)
             try:
-                for item in iterator:
-                    for element in iter_collection(materialise(evaluate_body(item))):
-                        yield element
-            finally:
-                close_source(iterator, source)
-            return
-        result = self.execute(expr, bindings, optimize=False, mode=mode)
-        try:
-            elements = iter_collection(result)
-        except Exception:
-            yield result
-            return
-        yield from elements
+                elements = iter_collection(result)
+            except Exception:
+                yield result
+                return
+            yield from elements

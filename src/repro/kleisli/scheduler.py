@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Type, TypeVar
+from concurrent.futures import wait as _wait_futures
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Type, TypeVar
 
 from ..core.errors import RemoteSourceError
 
@@ -31,7 +33,107 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-class BoundedScheduler:
+def _drain_futures(futures: Iterable) -> None:
+    """Settle abandoned in-flight futures (early-close cleanup).
+
+    Cancels what has not started; awaits what has (a running request cannot
+    be cancelled, and its reply must not arrive with the pool still owed
+    work after the consumer is gone).  Shared by every ``prefetch``
+    implementation so the drain policy cannot diverge.
+    """
+    for future in futures:
+        future.cancel()
+        if not future.cancelled():
+            try:
+                future.result()
+            except Exception:
+                pass
+
+
+class _ExecutorMixin:
+    """One lazily-created worker pool per scheduler, shared across calls.
+
+    Earlier versions constructed a fresh ``ThreadPoolExecutor`` per ``map``
+    call (bounded) or per *batch* (adaptive) — thread creation and joining
+    dominated short batches.  The pool is created on first use, reused by
+    every subsequent ``map``/``prefetch``, and shut down by :meth:`close`
+    (or the context-manager protocol, or the finalizer as a backstop).
+    """
+
+    _pool: Optional[ThreadPoolExecutor] = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            with self._lock:
+                pool = self._pool
+                if pool is None:
+                    pool = ThreadPoolExecutor(max_workers=self.max_workers)
+                    self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (joins its threads); safe to call twice."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        pool = self.__dict__.get("_pool")
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def prefetch(self, function: Callable[[T], R], items: Iterable[T],
+                 window: Optional[int] = None) -> Iterator[R]:
+        """Apply ``function`` with a bounded sliding window, yielding in order.
+
+        The pipelined counterpart of ``map``: a window of at most
+        ``max_workers`` requests is in flight while the consumer processes
+        earlier replies, so remote latency overlaps consumption end-to-end
+        instead of only within one batch.  Each yielded result frees a slot
+        and the next item is issued immediately — and because ``items`` is
+        pulled lazily, the source itself is only consumed ``window`` elements
+        ahead of the consumer (bounding unconsumed replies, the paper's
+        resource-control concern).
+
+        Abandoning the iterator (``close()``) stops issuing new requests;
+        already in-flight ones are drained so the pool is left quiescent.
+        """
+        window = self.max_workers if window is None else max(1, min(window, self.max_workers))
+        iterator = iter(items)
+        in_flight: deque = deque()
+        pool = None
+        try:
+            while True:
+                while len(in_flight) < window:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        break
+                    with self._lock:
+                        self.tasks_submitted += 1
+                    if window == 1:
+                        # Degenerate window: no concurrency, no pool needed.
+                        yield function(item)
+                        continue
+                    if pool is None:
+                        pool = self._executor()
+                    in_flight.append(pool.submit(function, item))
+                if not in_flight:
+                    return
+                yield in_flight.popleft().result()
+        finally:
+            _drain_futures(in_flight)
+
+
+class BoundedScheduler(_ExecutorMixin):
     """Runs callables over a collection with at most ``max_workers`` in flight."""
 
     def __init__(self, max_workers: int = 5):
@@ -59,16 +161,16 @@ class BoundedScheduler:
             with self._lock:
                 self.batches += 1
             return [function(item) for item in items]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            for start in range(0, len(items), self.max_workers):
-                batch = items[start:start + self.max_workers]
-                with self._lock:
-                    self.batches += 1
-                results.extend(pool.map(function, batch))
+        pool = self._executor()
+        for start in range(0, len(items), self.max_workers):
+            batch = items[start:start + self.max_workers]
+            with self._lock:
+                self.batches += 1
+            results.extend(pool.map(function, batch))
         return results
 
 
-class AdaptiveScheduler:
+class AdaptiveScheduler(_ExecutorMixin):
     """Adjusts the level of concurrency to the capability of the server.
 
     The policy is additive increase / multiplicative decrease over batches:
@@ -145,15 +247,7 @@ class AdaptiveScheduler:
             if failed:
                 self.overload_events += 1
                 self.retries += len(failed)
-                # The server pushed back at this level: never offer it that
-                # many again, re-baseline throughput at the reduced level.
-                ceiling = max(1, level - 1)
-                if self._rejection_ceiling is not None:
-                    ceiling = min(ceiling, self._rejection_ceiling)
-                self._rejection_ceiling = ceiling
-                self._best_throughput = None
-                self._plateau_batches = 0
-                self.level = max(1, level // 2)
+                self._note_rejection(level)
                 pending = failed + pending
                 continue
             self._adjust_level(level, throughput=len(batch) / max(elapsed, 1e-9))
@@ -177,12 +271,28 @@ class AdaptiveScheduler:
         if level == 1 or len(batch) == 1:
             outcomes = [run_one(entry) for entry in batch]
         else:
-            with ThreadPoolExecutor(max_workers=level) as pool:
-                outcomes = list(pool.map(run_one, batch))
+            # The persistent pool is sized max_workers; submitting only
+            # ``len(batch) <= level`` tasks keeps at most ``level`` in flight.
+            outcomes = list(self._executor().map(run_one, batch))
         for outcome in outcomes:
             if outcome is not None:
                 failed.append((outcome[0], outcome[1]))
         return failed
+
+    def _note_rejection(self, level: int) -> None:
+        """AIMD decrease after a server rejection (shared by map/prefetch).
+
+        The server pushed back at ``level``: never offer it that many again
+        (the rejection ceiling), halve the level, and re-baseline throughput
+        at the reduced level.
+        """
+        ceiling = max(1, level - 1)
+        if self._rejection_ceiling is not None:
+            ceiling = min(ceiling, self._rejection_ceiling)
+        self._rejection_ceiling = ceiling
+        self._best_throughput = None
+        self._plateau_batches = 0
+        self.level = max(1, level // 2)
 
     def _adjust_level(self, level: int, throughput: float) -> None:
         if self._best_throughput is None:
@@ -216,3 +326,73 @@ class AdaptiveScheduler:
         if self._rejection_ceiling is not None:
             ceiling = min(ceiling, self._rejection_ceiling)
         return min(ceiling, level + 1)
+
+    def prefetch(self, function: Callable[[T], R], items: Iterable[T],
+                 window: Optional[int] = None) -> Iterator[R]:
+        """Sliding-window prefetch whose window follows the adaptive level.
+
+        The AIMD policy carries over from ``map`` in per-item form: the
+        window starts at the current ``level``, grows by one after every
+        ``level`` consecutive successes (additive increase, bounded by
+        ``max_workers`` and any rejection ceiling), and halves when the
+        server rejects a request (multiplicative decrease); rejected items
+        are re-issued up to ``max_retries`` times, preserving result order.
+        """
+        iterator = iter(items)
+        in_flight: deque = deque()  # entries: [item, future, attempts, level]
+        successes = 0
+
+        def submit(item, attempts):
+            # The submission level rides along so a whole burst rejected at
+            # one level counts as ONE rejection event, like map's per-batch
+            # policy — reacting once per failed future would compound the
+            # halving and pin the rejection ceiling at 1.
+            return [item, self._executor().submit(function, item), attempts,
+                    self.level]
+
+        try:
+            while True:
+                cap = self.level if window is None else max(1, min(window, self.level))
+                while len(in_flight) < cap:
+                    try:
+                        item = next(iterator)
+                    except StopIteration:
+                        break
+                    with self._lock:
+                        self.tasks_submitted += 1
+                    in_flight.append(submit(item, 0))
+                if not in_flight:
+                    return
+                item, future, attempts, submitted_at = in_flight.popleft()
+                try:
+                    result = future.result()
+                except self.overload_errors:
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise
+                    self.retries += 1
+                    if self.level >= submitted_at:
+                        # First failure seen from the burst submitted at this
+                        # level; later failures from the same burst skip the
+                        # decrease (the level is already below theirs).
+                        self.overload_events += 1
+                        self._note_rejection(submitted_at)
+                        self.level_history.append(self.level)
+                    successes = 0
+                    # Let the burst that overloaded the server settle before
+                    # re-issuing, or the retry lands on the same congestion
+                    # (their results/errors stay stored in the futures and
+                    # are handled in order as they are popped).
+                    _wait_futures([entry[1] for entry in in_flight])
+                    in_flight.appendleft(submit(item, attempts))
+                    continue
+                successes += 1
+                if successes >= self.level:
+                    successes = 0
+                    raised = self._raised(self.level)
+                    if raised != self.level:
+                        self.level = raised
+                        self.level_history.append(raised)
+                yield result
+        finally:
+            _drain_futures(entry[1] for entry in in_flight)

@@ -161,11 +161,26 @@ class Session:
 
     def stream(self, source: str, optimize: bool = True,
                mode: Optional[object] = None) -> Iterator[object]:
-        """Run a query with pipelined (lazy) result delivery."""
+        """Run a query with pipelined (lazy) result delivery.
+
+        In compiled mode the optimized term is lowered to a pull-based
+        generator pipeline, so *any* query shape — nested comprehensions,
+        filters, parallel remote loops, join probes — yields elements as
+        they are produced; time-to-first-result does not wait for sources
+        to drain.  Closing the returned iterator early releases every
+        cursor the pipeline opened (``engine.last_eval_statistics`` /
+        :attr:`last_eval_statistics` reports the run, including
+        ``stream_fallbacks`` for sections that had to run eagerly).
+        """
         expression = parse_expression(source)
         self._infer(expression)
         nrc = self._expand(desugar_expression(expression))
         return self.engine.stream(nrc, self.values, optimize=optimize, mode=mode)
+
+    @property
+    def last_eval_statistics(self):
+        """The :class:`~repro.core.nrc.eval.EvalStatistics` of the last run."""
+        return self.engine.last_eval_statistics
 
     def explain(self, source: str) -> Tuple[A.Expr, List[Tuple[str, str]]]:
         """Return the optimized NRC form of a query and per-stage rewrite traces."""

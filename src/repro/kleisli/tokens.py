@@ -87,3 +87,25 @@ class TokenStream:
     def materialised_count(self) -> int:
         """How many elements have crossed the driver boundary so far."""
         return len(self._buffer)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying cursor has been fully drained."""
+        return self._exhausted
+
+    @property
+    def closed(self) -> bool:
+        """True if the stream was closed before being drained (poisoned)."""
+        return self._closed
+
+    def __enter__(self) -> "TokenStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager support: releases the cursor on exit.
+
+        This is the same contract an :class:`~repro.core.nrc.eval.EvalScope`
+        applies when the engine registers the stream inside a pipelined run —
+        a drained stream is untouched, an abandoned one is closed.
+        """
+        self.close()

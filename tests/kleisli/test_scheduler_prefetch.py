@@ -1,0 +1,176 @@
+"""Scheduler pool reuse and the sliding-window prefetcher.
+
+Two behaviors added for the streaming backend:
+
+* one lazily-created executor per scheduler (``map`` used to build a fresh
+  ``ThreadPoolExecutor`` per call — per *batch* for the adaptive scheduler),
+  released by ``close()``/the context-manager protocol;
+* ``prefetch``: the pipelined counterpart of ``map`` — a bounded window of
+  in-flight requests refilled as the consumer drains results, preserving
+  order and never running more than one window ahead of the consumer.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import RemoteSourceError
+from repro.kleisli.scheduler import AdaptiveScheduler, BoundedScheduler
+from repro.net.remote import RemoteSource
+
+
+class TestExecutorReuse:
+    def test_map_reuses_one_pool_across_calls(self):
+        scheduler = BoundedScheduler(max_workers=4)
+        try:
+            scheduler.map(lambda x: x + 1, range(8))
+            pool = scheduler._pool
+            assert pool is not None
+            scheduler.map(lambda x: x + 1, range(8))
+            assert scheduler._pool is pool, "map rebuilt the executor"
+        finally:
+            scheduler.close()
+
+    def test_close_joins_worker_threads(self):
+        baseline = threading.active_count()
+        scheduler = BoundedScheduler(max_workers=4)
+        scheduler.map(lambda x: x, range(8))
+        assert threading.active_count() > baseline
+        scheduler.close()
+        assert threading.active_count() == baseline
+
+    def test_context_manager_closes(self):
+        baseline = threading.active_count()
+        with BoundedScheduler(max_workers=3) as scheduler:
+            scheduler.map(lambda x: x, range(6))
+        assert threading.active_count() == baseline
+
+    def test_adaptive_map_reuses_pool_across_batches(self):
+        scheduler = AdaptiveScheduler(max_workers=4, initial_workers=2)
+        try:
+            scheduler.map(lambda x: x, range(20))
+            assert scheduler.batches > 1
+            pool = scheduler._pool
+            scheduler.map(lambda x: x, range(20))
+            assert scheduler._pool is pool
+        finally:
+            scheduler.close()
+
+    def test_close_is_idempotent_and_map_recovers(self):
+        scheduler = BoundedScheduler(max_workers=2)
+        scheduler.map(lambda x: x, range(4))
+        scheduler.close()
+        scheduler.close()
+        # A closed scheduler lazily re-creates its pool on next use.
+        assert scheduler.map(lambda x: x * 2, range(3)) == [0, 2, 4]
+        scheduler.close()
+
+
+class TestBoundedPrefetch:
+    def test_preserves_order(self):
+        with BoundedScheduler(max_workers=4) as scheduler:
+            results = list(scheduler.prefetch(lambda x: x * x, range(20)))
+        assert results == [x * x for x in range(20)]
+
+    def test_never_exceeds_the_window_in_flight(self):
+        server = RemoteSource("S", lambda x: x, latency=0.002,
+                              max_concurrent_requests=100)
+        with BoundedScheduler(max_workers=3) as scheduler:
+            list(scheduler.prefetch(server.call, range(30)))
+        assert server.log.max_concurrency() <= 3
+
+    def test_consumes_the_source_lazily(self):
+        pulled = []
+
+        def source():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        with BoundedScheduler(max_workers=3) as scheduler:
+            iterator = scheduler.prefetch(lambda x: x, source())
+            assert next(iterator) == 0
+            # At most one window ahead of the consumer (plus the one yielded).
+            assert len(pulled) <= 4
+            iterator.close()
+        assert len(pulled) <= 4, "prefetch kept pulling after close()"
+
+    def test_early_close_leaves_no_threads(self):
+        baseline = threading.active_count()
+        scheduler = BoundedScheduler(max_workers=4)
+        iterator = scheduler.prefetch(lambda x: x, range(50))
+        next(iterator)
+        iterator.close()
+        scheduler.close()
+        assert threading.active_count() == baseline
+
+    def test_window_of_one_is_sequential(self):
+        with BoundedScheduler(max_workers=1) as scheduler:
+            assert list(scheduler.prefetch(lambda x: x + 1, range(5))) == [1, 2, 3, 4, 5]
+            assert scheduler._pool is None, "window 1 should not build a pool"
+
+    def test_overlaps_latency_with_consumption(self):
+        """With a window of W, total wall clock for N latency-bound requests
+        approaches N*latency/W even when the consumer does work per element."""
+        latency = 0.01
+        requests = 20
+
+        def slow(x):
+            time.sleep(latency)
+            return x
+
+        started = time.perf_counter()
+        with BoundedScheduler(max_workers=5) as scheduler:
+            for _ in scheduler.prefetch(slow, range(requests)):
+                pass
+        overlapped = time.perf_counter() - started
+        assert overlapped < requests * latency * 0.6, \
+            f"no overlap: {overlapped:.3f}s vs sequential {requests * latency:.3f}s"
+
+
+class TestAdaptivePrefetch:
+    def test_preserves_order_and_completes(self):
+        with AdaptiveScheduler(max_workers=4, initial_workers=2) as scheduler:
+            results = list(scheduler.prefetch(lambda x: x * 3, range(25)))
+        assert results == [x * 3 for x in range(25)]
+
+    def test_backs_off_on_overload_and_retries(self):
+        server = RemoteSource("S", lambda x: x, latency=0.002,
+                              max_concurrent_requests=2)
+        with AdaptiveScheduler(max_workers=8, initial_workers=8) as scheduler:
+            results = list(scheduler.prefetch(server.call, range(30)))
+        assert results == list(range(30))
+        assert scheduler.overload_events >= 1
+        assert scheduler.level <= 2
+
+    def test_one_burst_is_one_rejection_event(self):
+        """All failures from a window submitted at one level count as ONE
+        rejection — per-future halving would compound the decrease and pin
+        the rejection ceiling at 1 for the rest of the stream (regression).
+        The scheduler must recover to the server's actual capacity, like
+        map's per-batch policy does."""
+        cap = 4
+        server = RemoteSource("S", lambda x: x, latency=0.002,
+                              max_concurrent_requests=cap)
+        with AdaptiveScheduler(max_workers=8, initial_workers=8) as scheduler:
+            results = list(scheduler.prefetch(server.call, range(60)))
+        assert results == list(range(60))
+        assert scheduler.overload_events >= 1
+        assert scheduler._rejection_ceiling >= cap - 1, \
+            f"ceiling collapsed to {scheduler._rejection_ceiling} (compounded)"
+        assert scheduler.level >= cap - 1, \
+            f"level never recovered: {scheduler.level}"
+
+    def test_ramps_up_on_success(self):
+        with AdaptiveScheduler(max_workers=6, initial_workers=1) as scheduler:
+            list(scheduler.prefetch(lambda x: x, range(40)))
+            assert scheduler.level > 1, "level never ramped despite successes"
+
+    def test_gives_up_after_max_retries(self):
+        def always_reject(x):
+            raise RemoteSourceError("S", "overloaded")
+
+        with AdaptiveScheduler(max_workers=2, max_retries=1) as scheduler:
+            with pytest.raises(RemoteSourceError):
+                list(scheduler.prefetch(always_reject, range(4)))

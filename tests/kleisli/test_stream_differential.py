@@ -1,0 +1,368 @@
+"""Differential streaming harness: ``stream`` must agree with ``execute``.
+
+For every query shape the streaming backend pipelines — nested ``Ext``
+chains, filtered comprehensions, unions, ``ParallelExt``, both join methods —
+and in both execution modes, ``engine.stream`` must yield exactly the element
+sequence of ``engine.execute``'s result, and consume exactly as many source
+elements (``EvalStatistics.elements_fetched``) once drained.
+
+Set-kind shapes hold with *duplicate-producing* data too: set stages dedup
+as they go, and ``CSet`` iterates in first-occurrence order, so the streamed
+sequence equals iterating the eagerly built set.
+"""
+
+import pytest
+
+from repro.core.nrc import ast as A
+from repro.core.nrc import builder as B
+from repro.core.optimizer.joins import make_join_rule_set
+from repro.core.optimizer.parallel import ParallelExt
+from repro.core.values import CList, CSet, Record, iter_collection
+from repro.kleisli.drivers.base import Driver
+from repro.kleisli.engine import ExecutionMode, KleisliEngine
+
+MODES = [ExecutionMode.INTERPRET, ExecutionMode.COMPILED]
+
+
+class RangeDriver(Driver):
+    """Scans yield ``base .. base+count-1`` lazily through a generator."""
+
+    def __init__(self, name="ranges"):
+        super().__init__(name)
+
+    def _execute(self, request):
+        base = int(request.get("base", 0))
+        count = int(request.get("count", 5))
+
+        def cursor():
+            for i in range(base, base + count):
+                yield i
+
+        return cursor()
+
+
+def _engine():
+    engine = KleisliEngine()
+    engine.register_driver(RangeDriver())
+    return engine
+
+
+def _scan(base=0, count=5):
+    request = {"table": "t", "count": count}
+    args = {}
+    if isinstance(base, A.Expr):
+        # A computed base (e.g. the outer loop variable) is a scan argument,
+        # evaluated before the request is issued.
+        args["base"] = base
+    else:
+        request["base"] = base
+    return A.Scan("ranges", request, args=args, kind="list")
+
+
+def _shapes():
+    """(label, expr, bindings) triples covering the pipelined shapes."""
+    xs = CList(range(4))
+    records = CList([Record({"id": i, "tag": f"r{i}"}) for i in range(6)])
+    refs = CList([Record({"ref": i % 3, "weight": i * 10}) for i in range(9)])
+
+    shapes = []
+
+    shapes.append((
+        "flat scan comprehension",
+        B.ext("x", B.singleton(B.prim("mul", B.var("x"), B.const(3)), "list"),
+              _scan(count=6), kind="list"),
+        {},
+    ))
+
+    shapes.append((
+        "nested ext over two scans (body scan depends on loop var)",
+        B.ext("x",
+              B.ext("y",
+                    B.singleton(B.prim("add", B.prim("mul", B.var("x"), B.const(100)),
+                                       B.var("y")), "list"),
+                    _scan(count=3, base=B.var("x")), kind="list"),
+              _scan(count=4), kind="list"),
+        {},
+    ))
+
+    shapes.append((
+        "filtered comprehension",
+        B.ext("x",
+              B.if_then_else(B.prim("gt", B.var("x"), B.const(2)),
+                             B.singleton(B.var("x"), "list"),
+                             B.empty("list")),
+              _scan(count=8), kind="list"),
+        {},
+    ))
+
+    shapes.append((
+        "union of two comprehensions (list)",
+        A.Union(
+            B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=3), kind="list"),
+            B.ext("x", B.singleton(B.prim("add", B.var("x"), B.const(50)), "list"),
+                  _scan(count=3), kind="list"),
+            "list"),
+        {},
+    ))
+
+    shapes.append((
+        "let over a bound collection",
+        A.Let("k", B.const(7),
+              B.ext("x", B.singleton(B.prim("add", B.var("x"), B.var("k")), "list"),
+                    B.var("XS"), kind="list")),
+        {"XS": xs},
+    ))
+
+    shapes.append((
+        "parallel ext (bounded prefetch)",
+        ParallelExt("x", B.singleton(B.prim("mul", B.var("x"), B.const(2)), "list"),
+                    _scan(count=7), kind="list", max_workers=3),
+        {},
+    ))
+
+    shapes.append((
+        "parallel ext nested inside an outer loop",
+        B.ext("x",
+              ParallelExt("y", B.singleton(B.prim("add", B.var("x"), B.var("y")),
+                                           "list"),
+                          A.Const(CList([100, 200, 300])), kind="list",
+                          max_workers=2),
+              A.Const(CList([1, 2])), kind="list"),
+        {},
+    ))
+
+    condition = B.eq(B.project(B.var("o"), "id"), B.project(B.var("i"), "ref"))
+    head = B.record(tag=B.project(B.var("o"), "tag"),
+                    weight=B.project(B.var("i"), "weight"))
+    nested_join = B.ext(
+        "o", B.ext("i", B.if_then_else(condition, B.singleton(head),
+                                       B.empty()), B.var("INNER")),
+        B.var("OUTER"))
+    indexed = make_join_rule_set(minimum_inner_size=0).apply(nested_join)
+    assert isinstance(indexed, A.Join) and indexed.method == "indexed"
+    shapes.append(("indexed join (streamed probe side)", indexed,
+                   {"OUTER": records, "INNER": refs}))
+
+    blocked = A.Join("blocked", "o", B.var("OUTER"), "i", B.var("INNER"),
+                     condition, B.singleton(head), None, None,
+                     "set", 4)
+    shapes.append(("blocked join (streamed per outer block)", blocked,
+                   {"OUTER": records, "INNER": refs}))
+
+    shapes.append((
+        "scalar query (single-element stream)",
+        B.prim("add", B.const(40), B.const(2)),
+        {},
+    ))
+
+    shapes.append((
+        "set-kind comprehension (duplicate-free)",
+        B.ext("x", B.singleton(B.prim("mul", B.var("x"), B.var("x"))),
+              A.Const(CSet([1, 2, 3, 4]))),
+        {},
+    ))
+
+    shapes.append((
+        "set-kind comprehension producing duplicates (mod collapses them)",
+        B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.const(3))),
+              A.Const(CSet(range(10)))),
+        {},
+    ))
+
+    shapes.append((
+        "set-kind let-wrapped duplicate-producing comprehension",
+        A.Let("v", B.const(2),
+              B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.var("v"))),
+                    A.Const(CSet([1, 2, 3, 4, 5])))),
+        {},
+    ))
+
+    shapes.append((
+        "set-kind parallel ext producing duplicates",
+        ParallelExt("x", B.singleton(B.prim("mod", B.var("x"), B.const(4))),
+                    A.Const(CSet(range(12))), kind="set", max_workers=3),
+        {},
+    ))
+
+    return shapes
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("label,expr,bindings",
+                         _shapes(), ids=lambda v: v if isinstance(v, str) else "")
+def test_stream_matches_execute(mode, label, expr, bindings):
+    engine = _engine()
+    streamed = list(engine.stream(expr, bindings, optimize=False, mode=mode))
+    stream_stats = engine.last_eval_statistics
+
+    engine2 = _engine()
+    result = engine2.execute(expr, bindings, optimize=False, mode=mode)
+    execute_stats = engine2.last_eval_statistics
+    try:
+        executed = list(iter_collection(result))
+    except Exception:
+        executed = [result]
+
+    assert streamed == executed, label
+    assert stream_stats.elements_fetched == execute_stats.elements_fetched, label
+
+
+@pytest.mark.parametrize("label,expr,bindings",
+                         _shapes(), ids=lambda v: v if isinstance(v, str) else "")
+def test_stream_agrees_across_modes(label, expr, bindings):
+    """Compiled-streamed, interpreted-streamed: one element sequence."""
+    per_mode = {}
+    for mode in MODES:
+        engine = _engine()
+        per_mode[mode.value] = list(engine.stream(expr, bindings,
+                                                  optimize=False, mode=mode))
+    assert per_mode["interpret"] == per_mode["compiled"], label
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_plain_python_iterables_are_one_value_not_a_sequence(mode):
+    """A non-CPL iterable (tuple, dict, str) bound to a variable is a single
+    value in every mode — streaming must not explode it element-wise
+    (regression: the compiled top-level tolerance iterated any iterable)."""
+    engine = _engine()
+    for value in [(1, 2), {"a": 1}, "xy"]:
+        streamed = list(engine.stream(B.var("V"), {"V": value},
+                                      optimize=False, mode=mode))
+        assert streamed == [value], (value, streamed)
+        executed = engine.execute(B.var("V"), {"V": value}, optimize=False,
+                                  mode=mode)
+        assert executed == value
+
+
+def test_last_eval_statistics_is_current_before_first_next():
+    """engine.stream() must rebind last_eval_statistics to the new run
+    immediately, not on first next() (regression: callers reading it right
+    after stream() got the previous run's numbers)."""
+    engine = _engine()
+    expr = B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=3), kind="list")
+    assert list(engine.stream(expr, optimize=False)) == [0, 1, 2]
+    previous = engine.last_eval_statistics
+    stream = engine.stream(expr, optimize=False)
+    assert engine.last_eval_statistics is not previous
+    assert engine.last_eval_statistics.elements_fetched == 0
+    stream.close()
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_stats_object_published_at_stream_time_reports_the_run(mode):
+    """The EvalStatistics bound at stream() time must be the one the run
+    updates — for every shape, including the interpreted non-Ext path
+    (regression: that path routed through execute(), which rebound
+    last_eval_statistics to a fresh object mid-stream)."""
+    engine = _engine()
+    plus = B.lam("a", B.lam("b", B.prim("add", B.var("a"), B.var("b"))))
+    fold = B.fold(plus, B.const(0), A.Const(CList([1, 2, 3])))
+    stream = engine.stream(fold, optimize=False, mode=mode)
+    stats = engine.last_eval_statistics
+    assert list(stream) == [6]
+    assert engine.last_eval_statistics is stats
+    assert stats.fold_iterations == 3
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_scalar_results_stream_as_one_element(mode):
+    """Scalar values reached through the transparent spine (Const, Var, Let
+    bodies, IfThenElse branches) must stream as a single element, exactly
+    like the eager path — not raise (regression: the first streaming lowering
+    rejected them as non-collections in compiled mode)."""
+    engine = _engine()
+    cases = [
+        ("const", A.Const(5), {}, [5]),
+        ("var bound to a scalar", B.var("N"), {"N": 7}, [7]),
+        ("let with a scalar body",
+         A.Let("x", B.const(40), B.prim("add", B.var("x"), B.const(2))), {}, [42]),
+        ("if-then-else with scalar branches",
+         B.if_then_else(B.const(True), B.const(1), B.const(2)), {}, [1]),
+        ("let with a streaming body",
+         A.Let("k", B.const(5),
+               B.ext("x", B.singleton(B.prim("add", B.var("x"), B.var("k")),
+                                      "list"),
+                     A.Const(CList([1, 2])), kind="list")), {}, [6, 7]),
+    ]
+    for label, expr, bindings, expected in cases:
+        got = list(engine.stream(expr, bindings, optimize=False, mode=mode))
+        assert got == expected, (label, got)
+
+
+def test_parallel_ext_in_body_does_not_accumulate_pools():
+    """A ParallelExt in the body of an outer loop runs once per outer
+    element; each section must close its worker pool on exit (regression:
+    pools were only released at whole-stream end, one live pool per
+    iteration)."""
+    import threading
+
+    engine = _engine()
+    expr = B.ext(
+        "x",
+        ParallelExt("y", B.singleton(B.prim("add", B.var("x"), B.var("y")),
+                                     "list"),
+            A.Const(CList([1, 2, 3])), kind="list", max_workers=3),
+        A.Const(CList(range(20))), kind="list")
+    baseline = threading.active_count()
+    stream = engine.stream(expr, optimize=False, mode="compiled")
+    peak = 0
+    for i, _ in enumerate(stream):
+        if i % 6 == 0:
+            peak = max(peak, threading.active_count())
+    assert peak <= baseline + 3, \
+        f"{peak - baseline} threads live mid-stream (pools accumulating)"
+    assert threading.active_count() == baseline
+
+
+def test_streamed_pipeline_reports_compiled_mode():
+    engine = _engine()
+    expr = B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=3), kind="list")
+    assert list(engine.stream(expr, optimize=False, mode="compiled")) == [0, 1, 2]
+    stats = engine.last_eval_statistics
+    assert stats.execution_mode == "compiled"
+    assert stats.stream_fallbacks == 0
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_union_of_mismatched_kinds_raises_in_stream_too(mode):
+    """union_like's operand type check must hold when streaming: a term
+    execute() rejects must not silently succeed under stream() (regression:
+    the streamed list/bag union chained operands without the check)."""
+    from repro.core.errors import EvaluationError
+
+    engine = _engine()
+    expr = A.Union(B.var("L"), B.var("R"), "list")
+    bindings = {"L": CList([1, 2]), "R": CSet([3, 4])}
+    with pytest.raises(EvaluationError):
+        engine.execute(expr, bindings, optimize=False, mode=mode)
+    with pytest.raises(EvaluationError):
+        list(engine.stream(expr, bindings, optimize=False, mode=mode))
+
+
+def test_streamed_source_accepts_what_eager_accepts():
+    """iterate_source accepts any iterable as a generator source (e.g. a
+    bound str); the streaming lowering must agree (regression: it rejected
+    str/bytes sources the eager backend iterates)."""
+    engine = _engine()
+    expr = B.ext("x", B.singleton(B.var("x"), "list"), B.var("S"), kind="list")
+    bindings = {"S": "abc"}
+    executed = list(iter_collection(
+        engine.execute(expr, bindings, optimize=False, mode="compiled")))
+    streamed = list(engine.stream(expr, bindings, optimize=False,
+                                  mode="compiled"))
+    assert streamed == executed == ["a", "b", "c"]
+
+
+def test_eager_sections_are_surfaced_in_statistics():
+    """A set-kind Union has no pull-based form (it deduplicates across both
+    operands): it runs eagerly inside the pipeline and the run reports it."""
+    engine = _engine()
+    source = A.Union(A.Const(CSet([1, 2])), A.Const(CSet([2, 3])), "set")
+    expr = B.ext("x", B.singleton(B.var("x")), source)
+    streamed = list(engine.stream(expr, optimize=False, mode="compiled"))
+    assert sorted(streamed) == [1, 2, 3]
+    stats = engine.last_eval_statistics
+    assert stats.stream_fallbacks >= 1
+    query = engine.compiled_stream(expr)
+    assert "Union" in query.eager_nodes
+    assert query.fully_compiled  # eager section != interpreter fallback

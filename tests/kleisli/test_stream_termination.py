@@ -136,6 +136,183 @@ class TestClosedTokenStreamIsPoisoned:
         assert len(stream.to_collection()) == 3
 
 
+class BiDriver(Driver):
+    """Two cursor families ("outer"/"inner") with independent open/close state."""
+
+    def __init__(self, name="bi", outer_total=50, inner_total=50):
+        super().__init__(name)
+        self.totals = {"outer": outer_total, "inner": inner_total}
+        self.open_cursors = {"outer": 0, "inner": 0}
+        self.produced = {"outer": 0, "inner": 0}
+
+    def _execute(self, request):
+        family = request["table"]
+
+        def cursor():
+            self.open_cursors[family] += 1
+            try:
+                for i in range(self.totals[family]):
+                    self.produced[family] += 1
+                    yield i
+            finally:
+                self.open_cursors[family] -= 1
+
+        return cursor()
+
+
+def _nested_scan_comprehension():
+    """ext x <- scan(outer): ext y <- scan(inner, base=x): {x*1000 + y}"""
+    inner = B.ext(
+        "y",
+        B.singleton(B.prim("add", B.prim("mul", B.var("x"), B.const(1000)),
+                           B.var("y")), "list"),
+        A.Scan("bi", {"table": "inner"}, args={"base": B.var("x")}, kind="list"),
+        kind="list")
+    return B.ext("x", inner, A.Scan("bi", {"table": "outer"}, kind="list"),
+                 kind="list")
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+class TestBodyCursorRelease:
+    """Closing the stream must release *body-level* cursors, not just the
+    source's (the context-managed evaluation scope)."""
+
+    def test_early_close_closes_body_cursors(self, mode):
+        engine = KleisliEngine()
+        driver = engine.register_driver(BiDriver())
+        stream = engine.stream(_nested_scan_comprehension(),
+                               optimize=False, mode=mode)
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        assert driver.open_cursors == {"outer": 0, "inner": 0}, \
+            "body-level cursor left open after close()"
+
+    def test_compiled_stream_pipelines_the_body_cursor(self, mode):
+        """In compiled mode the body scan is itself pipelined: after pulling
+        two elements the inner cursor is still open mid-consumption — and
+        close() must reach it.  (Interpreted mode materializes the body per
+        outer element, so its inner cursor is already drained here.)"""
+        engine = KleisliEngine()
+        driver = engine.register_driver(BiDriver())
+        stream = engine.stream(_nested_scan_comprehension(),
+                               optimize=False, mode=mode)
+        assert next(stream) == 0
+        assert next(stream) == 1
+        if mode is ExecutionMode.COMPILED:
+            assert driver.open_cursors["inner"] == 1, \
+                "body scan should stream, not materialize"
+            assert driver.produced["inner"] <= 3
+            assert driver.produced["outer"] <= 2
+        stream.close()
+        assert driver.open_cursors == {"outer": 0, "inner": 0}
+
+    def test_exhausting_the_stream_closes_everything(self, mode):
+        engine = KleisliEngine()
+        driver = engine.register_driver(BiDriver(outer_total=3, inner_total=4))
+        values = list(engine.stream(_nested_scan_comprehension(),
+                                    optimize=False, mode=mode))
+        assert len(values) == 12
+        assert driver.open_cursors == {"outer": 0, "inner": 0}
+
+    def test_drained_body_cursors_are_not_pinned_by_the_scope(self, mode):
+        """The scope must track only *live* cursors: a drained body-level
+        cursor unregisters itself, so a long stream does not accumulate one
+        retained (buffer-holding) cursor per outer element (regression)."""
+        from repro.core.nrc.compile import compile_stream
+        from repro.core.nrc.eval import EvalContext, Environment, Evaluator
+
+        engine = KleisliEngine()
+        engine.register_driver(BiDriver(outer_total=40, inner_total=5))
+        context = EvalContext(driver_executor=engine.driver_executor)
+        if mode is ExecutionMode.COMPILED:
+            iterator = compile_stream(_nested_scan_comprehension())(None, context)
+        else:
+            expr = _nested_scan_comprehension()
+
+            def interpreted():
+                with context.evaluation_scope():
+                    evaluator = Evaluator(context)
+                    source = evaluator._eval(expr.source, Environment())
+                    for item in source:
+                        body = evaluator._eval(
+                            expr.body, Environment({expr.var: item}))
+                        yield from body
+
+            iterator = interpreted()
+        peak = 0
+        for i, _ in enumerate(iterator):
+            if i % 10 == 0:
+                # The run's scope is active on the context mid-iteration.
+                peak = max(peak, len(context.scope._resources))
+        assert peak <= 3, f"scope pinned {peak} cursors (drained ones retained)"
+
+
+class TestVarBoundCursorScopeRelease:
+    def test_drained_streams_unregister_via_direct_iteration(self):
+        """Direct check on the helper: _iterate_streamed registers a
+        closeable source and unregisters it once drained."""
+        from repro.core.nrc.compile import _iterate_streamed
+        from repro.core.nrc.eval import EvalContext
+
+        context = EvalContext()
+        with context.evaluation_scope() as scope:
+            token_stream = TokenStream(iter(range(5)), kind="list")
+            iterator = _iterate_streamed(token_stream, context)
+            assert list(iterator) == [0, 1, 2, 3, 4]
+            assert len(scope._resources) == 0, "drained cursor still tracked"
+            abandoned = TokenStream(iter(range(5)), kind="list")
+            iterator = _iterate_streamed(abandoned, context)
+            assert next(iterator) == 0
+            assert len(scope._resources) == 1, "live cursor must be tracked"
+        state = {"closed": abandoned.closed}
+        assert state["closed"], "abandoned cursor not closed by the scope"
+
+
+class TestCompiledPipelining:
+    """The compiled backend pipelines nested/filtered/parallel shapes — the
+    first element must arrive after O(1) source elements, not O(n)."""
+
+    def test_nested_ext_is_pipelined(self):
+        engine = KleisliEngine()
+        driver = engine.register_driver(BiDriver(outer_total=100, inner_total=100))
+        stream = engine.stream(_nested_scan_comprehension(),
+                               optimize=False, mode=ExecutionMode.COMPILED)
+        assert next(stream) == 0
+        assert driver.produced["outer"] <= 2, "outer source drained eagerly"
+        assert driver.produced["inner"] <= 2, "inner source drained eagerly"
+        stream.close()
+
+    def test_filtered_comprehension_is_pipelined(self):
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        expr = B.ext(
+            "x",
+            B.if_then_else(B.prim("gt", B.var("x"), B.const(4)),
+                           B.singleton(B.var("x")), B.empty()),
+            A.Scan("cursors", {"table": "t"}))
+        stream = engine.stream(expr, optimize=False, mode=ExecutionMode.COMPILED)
+        assert next(stream) == 5
+        assert driver.produced <= 7, "filter drained the source eagerly"
+        stream.close()
+        assert driver.open_cursors == 0
+
+    def test_parallel_ext_prefetches_boundedly(self):
+        """A streamed ParallelExt keeps at most max_workers requests in
+        flight: the source is consumed only one window ahead."""
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        expr = ParallelExt("x", B.singleton(B.prim("mul", B.var("x"), B.const(2))),
+                           A.Scan("cursors", {"table": "t"}),
+                           kind="set", max_workers=4)
+        stream = engine.stream(expr, optimize=False, mode=ExecutionMode.COMPILED)
+        assert next(stream) == 0
+        assert driver.produced <= 4 + 2, \
+            f"prefetch ran {driver.produced} elements ahead of the consumer"
+        stream.close()
+        assert driver.open_cursors == 0
+
+
 @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
 class TestSchedulerWorkerCleanup:
     def test_no_scheduler_threads_survive_early_close(self, mode):
