@@ -14,8 +14,20 @@ over the eager closure backend on a remote-scan comprehension chain:
 * **peak intermediate size** — the eager backend buffers the whole result
   list; the pipeline holds no intermediate collection.
 
+Two shapes that used to break the pipeline are benchmarked against the pure
+``Ext`` chain:
+
+* a **union chain** — ``Union`` of two remote-scan comprehensions; the
+  typed streaming union (kind proof, see ``compile._stream_union``) keeps
+  its TTFR at one source element where the eager section used to drain both
+  operands first;
+* a **blocked-join probe** — a blocked join with block size 1 (what the
+  optimizer emits under the streaming hint) yields per outer element where
+  the default block buffers ``block_size`` outer elements first.
+
 A ``BENCH_streaming.json`` summary is written next to this file for the
-experiment log.
+experiment log; CI uploads it as a workflow artifact and gates on the
+union-chain/join TTFR factors below.
 """
 
 import json
@@ -26,7 +38,7 @@ from repro.core.nrc import ast as A
 from repro.core.nrc import builder as B
 from repro.kleisli.drivers.base import Driver
 from repro.kleisli.engine import KleisliEngine
-from repro.core.values import iter_collection
+from repro.core.values import CList, iter_collection
 
 from conftest import report
 
@@ -40,6 +52,11 @@ LATENCY = 0.0015
 MIN_SPEEDUP = float(os.environ.get("BENCH_STREAMING_MIN_SPEEDUP", "3.0"))
 #: Allowed relative difference in full-drain time between the two backends.
 PARITY_TOLERANCE = float(os.environ.get("BENCH_STREAMING_PARITY", "0.10"))
+#: TTFR regression gates: a streamed union chain / unit-block join probe must
+#: reach its first result within this factor of the pure-Ext chain's TTFR
+#: (the acceptance bar is 5x; CI can widen it for shared-runner jitter).
+UNION_TTFR_FACTOR = float(os.environ.get("BENCH_STREAMING_UNION_FACTOR", "5.0"))
+JOIN_TTFR_FACTOR = float(os.environ.get("BENCH_STREAMING_JOIN_FACTOR", "5.0"))
 
 REPS = 3
 
@@ -75,10 +92,66 @@ def _chain():
                  inner, kind="list")
 
 
+def _union_chain():
+    """Union of two comprehension chains over the remote scan (list kind).
+
+    Both operands are ``Ext`` nodes, so the kind proof holds and the union
+    streams: the first result needs one element of the *left* scan; the
+    right operand is not even requested yet.
+    """
+    def operand(offset):
+        return B.ext("y",
+                     B.singleton(B.prim("add", B.var("y"), B.const(offset)),
+                                 "list"),
+                     A.Scan("remote", {"table": "t"}, kind="list"),
+                     kind="list")
+
+    return A.Union(operand(1000), operand(5000), "list")
+
+
+def _blocked_join_probe(block_size):
+    """A blocked join probing the remote scan against a small local inner."""
+    inner = CList(range(0, 8))
+    condition = B.eq(B.prim("mod", B.var("o"), B.const(8)), B.var("i"))
+    return A.Join("blocked", "o",
+                  A.Scan("remote", {"table": "t"}, kind="list"),
+                  "i", A.Const(inner), condition,
+                  B.singleton(B.prim("add", B.prim("mul", B.var("o"), B.const(10)),
+                                     B.var("i")), "list"),
+                  None, None, "list", block_size)
+
+
 def _engine():
     engine = KleisliEngine()
     engine.register_driver(SlowRemoteDriver())
     return engine
+
+
+def _stream_first(engine, expr):
+    """Time-to-first-result of the streamed pipeline (and close the rest)."""
+    started = time.perf_counter()
+    stream = engine.stream(expr, optimize=False, mode="compiled")
+    first = next(stream)
+    first_at = time.perf_counter() - started
+    stream.close()
+    return first, first_at
+
+
+def _update_summary(section, data):
+    """Merge one benchmark's numbers into BENCH_streaming.json."""
+    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "BENCH_streaming.json")
+    summary = {}
+    if os.path.exists(out_path):
+        try:
+            with open(out_path) as handle:
+                summary = json.load(handle)
+        except ValueError:
+            summary = {}
+    summary[section] = data
+    with open(out_path, "w") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
 
 
 def _measure_streaming(engine, expr):
@@ -146,11 +219,7 @@ def test_e10_report():
         "peak_intermediate_eager": eager_stats.peak_intermediate,
         "peak_intermediate_streaming": stream_stats.peak_intermediate,
     }
-    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                            "BENCH_streaming.json")
-    with open(out_path, "w") as handle:
-        json.dump(summary, handle, indent=2)
-        handle.write("\n")
+    _update_summary("ext_chain", summary)
 
     # Acceptance: first element after O(1) source elements, not O(n) …
     assert speedup >= MIN_SPEEDUP, summary
@@ -159,6 +228,125 @@ def test_e10_report():
     # … with no intermediate buffering in the pipeline.
     assert eager_stats.peak_intermediate >= ELEMENTS
     assert stream_stats.peak_intermediate == 0
+
+
+def test_union_chain_ttfr():
+    """The typed streaming union: TTFR within UNION_TTFR_FACTOR of the pure
+    Ext chain (the eager-section union used to drain BOTH operand scans
+    before the first result), zero intermediate materialization, and no
+    stream fallbacks."""
+    chain_expr = _chain()
+    union_expr = _union_chain()
+
+    chain_first = union_first = float("inf")
+    union_eager_first = float("inf")
+    stats = None
+    for _ in range(REPS):
+        _, first_at = _stream_first(_engine(), chain_expr)
+        chain_first = min(chain_first, first_at)
+
+        engine = _engine()
+        value, first_at = _stream_first(engine, union_expr)
+        assert value == 1000
+        union_first = min(union_first, first_at)
+        stats = engine.last_eval_statistics
+
+        # The eager baseline: nothing visible until the whole union is built.
+        engine = _engine()
+        started = time.perf_counter()
+        result = engine.execute(union_expr, optimize=False, mode="compiled")
+        union_eager_first = min(union_eager_first,
+                                time.perf_counter() - started)
+        assert len(list(iter_collection(result))) == 2 * ELEMENTS
+
+    # The union pipelines end-to-end: no eager section ran, nothing buffered.
+    assert stats.stream_fallbacks == 0, stats.as_dict()
+    assert stats.peak_intermediate == 0, stats.as_dict()
+    query = _engine().compiled_stream(union_expr)
+    assert query.fully_streamed, query.eager_nodes
+
+    ratio = union_first / chain_first
+    summary = {
+        "elements_per_operand": ELEMENTS,
+        "chain_ttfr_s": chain_first,
+        "union_ttfr_s": union_first,
+        "union_eager_ttfr_s": union_eager_first,
+        "union_vs_chain_ttfr_factor": ratio,
+        "union_vs_eager_speedup": union_eager_first / union_first,
+        "peak_intermediate_streaming": stats.peak_intermediate,
+        "stream_fallbacks": stats.stream_fallbacks,
+    }
+    report("E10b: typed streaming union vs pure Ext chain",
+           [["pure Ext chain", f"{chain_first * 1000:.1f} ms", ""],
+            ["streamed union chain", f"{union_first * 1000:.1f} ms",
+             f"{ratio:.1f}x the chain's TTFR"],
+            ["eager union (baseline)", f"{union_eager_first * 1000:.1f} ms",
+             f"{union_eager_first / union_first:.0f}x slower to first result"]],
+           ["shape", "first result", "notes"])
+    _update_summary("union_chain", summary)
+
+    # The TTFR regression gate CI enforces (BENCH_STREAMING_UNION_FACTOR).
+    assert ratio <= UNION_TTFR_FACTOR, summary
+
+
+def test_blocked_join_probe_ttfr():
+    """The per-element join probe: a block-size-1 blocked join (what the
+    optimizer emits under the streaming hint) reaches its first result
+    within JOIN_TTFR_FACTOR of the pure Ext chain; the default block size
+    buffers a whole outer block first."""
+    chain_expr = _chain()
+    probe_expr = _blocked_join_probe(1)
+    block_expr = _blocked_join_probe(256)
+
+    chain_first = probe_first = block_first = float("inf")
+    stats = None
+    for _ in range(REPS):
+        _, first_at = _stream_first(_engine(), chain_expr)
+        chain_first = min(chain_first, first_at)
+
+        engine = _engine()
+        value, first_at = _stream_first(engine, probe_expr)
+        assert value == 0
+        probe_first = min(probe_first, first_at)
+        stats = engine.last_eval_statistics
+
+        _, first_at = _stream_first(_engine(), block_expr)
+        block_first = min(block_first, first_at)
+
+    assert stats.stream_fallbacks == 0, stats.as_dict()
+    assert stats.peak_intermediate == 0, stats.as_dict()
+
+    # Differential guard: blocked-join emission is outer-major at every
+    # block size, so block 1 and block 256 produce the SAME element
+    # sequence as each other and as eager execution — the plan's block size
+    # is value-invisible (only fetch counts and TTFR differ).
+    probe_all = list(_engine().stream(probe_expr, optimize=False, mode="compiled"))
+    block_all = list(_engine().stream(block_expr, optimize=False, mode="compiled"))
+    eager_all = list(iter_collection(
+        _engine().execute(probe_expr, optimize=False, mode="compiled")))
+    assert probe_all == block_all == eager_all
+
+    ratio = probe_first / chain_first
+    summary = {
+        "outer_elements": ELEMENTS,
+        "chain_ttfr_s": chain_first,
+        "unit_block_ttfr_s": probe_first,
+        "default_block_ttfr_s": block_first,
+        "unit_block_vs_chain_ttfr_factor": ratio,
+        "unit_vs_default_block_speedup": block_first / probe_first,
+        "stream_fallbacks": stats.stream_fallbacks,
+    }
+    report("E10c: per-element join probe vs per-block",
+           [["pure Ext chain", f"{chain_first * 1000:.1f} ms", ""],
+            ["blocked join, block 1", f"{probe_first * 1000:.1f} ms",
+             f"{ratio:.1f}x the chain's TTFR"],
+            ["blocked join, block 256", f"{block_first * 1000:.1f} ms",
+             f"{block_first / probe_first:.0f}x slower to first result"]],
+           ["shape", "first result", "notes"])
+    _update_summary("blocked_join_probe", summary)
+
+    # The TTFR regression gate CI enforces (BENCH_STREAMING_JOIN_FACTOR).
+    assert ratio <= JOIN_TTFR_FACTOR, summary
 
 
 def test_first_result_consumes_o1_source_elements():

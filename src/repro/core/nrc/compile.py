@@ -73,14 +73,47 @@ Selection is per *call site* (``execute`` vs ``stream``), then per *node*
 within a streamed pipeline: ``Ext`` chains, filters, ``Let``/``IfThenElse``,
 ``Scan`` and the probe side of ``Join`` stream natively (set-kind stages
 dedup as they go); everything whose semantics require the whole value —
-``Fold``, ``Union`` (set dedup and operand type checks), the build side of
-joins, scalar operators — drops to the eager closure for that subtree and
-the pipeline yields from its materialized result.  Those eager sections are
-reported in ``CompiledStream.eager_nodes`` and counted by
+``Fold``, the build side of joins, scalar operators — drops to the eager
+closure for that subtree and the pipeline yields from its materialized
+result.  Those eager sections are reported in
+``CompiledStream.eager_nodes`` and counted by
 ``EvalStatistics.stream_fallbacks``.  ``Cached`` is a special case: it is a
 *deliberate* materialization point (the subquery cache stores whole
 collections), so the pipeline yields from the cached value without
 reporting a fallback.
+
+Streaming semantics
+-------------------
+
+Three rules keep a streamed run element-for-element identical to the eager
+value, at O(1)-per-element cost:
+
+* **Set dedup-as-you-go** — ``CSet`` iterates in first-occurrence insertion
+  order, so a set-kind stage that suppresses repeats incrementally
+  (:func:`_dedup_set_stream`) yields exactly the eager set's element
+  sequence at O(distinct) memory.
+* **The kind proof** — ``Union`` streams as a chained pipeline (left
+  operand's elements, then the right's, under one shared set seen-filter)
+  only when :func:`~repro.core.nrc.structural.proven_collection_kind` proves
+  *statically* that both operands produce the union's collection class;
+  that proof is what makes skipping ``union_like``'s run-time operand class
+  check sound.  Terms whose operand kind cannot be proven (a bound ``Var``,
+  a ``Scan`` whose driver controls the result class, a ``Cached`` value, a
+  proven kind *mismatch*) fall back to the eager ``union_like`` section so
+  they keep raising exactly where ``execute`` raises.
+* **Per-element join probing** — the probe (outer) side of both join
+  methods streams; the build side must materialize.  An indexed join probes
+  its hash index per outer element; a blocked join yields per outer *block*,
+  except ``block_size == 1`` (what the optimizer emits under the streaming
+  hint, see ``OptimizerConfig.streaming``), where the inner side is
+  materialized once and probed per outer element.
+
+Eager sections remain exactly where the whole value is semantically
+required: ``Fold`` (the accumulator consumes every element), the build side
+of joins (the hash index / rescan source), unproven ``Union`` operands (the
+run-time class check needs the values), ``Cached`` (a deliberate
+materialization point), and scalar operators reached through a collection
+position.
 """
 
 from __future__ import annotations
@@ -115,9 +148,11 @@ from .eval import (
     iterate_source,
     materialise,
     materialise_source,
+    require_join_condition,
     scan_stream,
 )
 from .prims import lookup_primitive
+from .structural import proven_collection_kind
 
 __all__ = [
     "ExecutionMode", "CompiledQuery", "CompiledClosure", "CompiledStream",
@@ -289,19 +324,6 @@ def _require_bool(cond: object) -> bool:
     raise EvaluationError(
         f"condition must be a boolean, got {type(cond).__name__}"
     )
-
-
-def _require_join_condition(keep: object) -> bool:
-    """The blocked join's condition check (shared by both lowerings).
-
-    Kept separate from :func:`_require_bool` because the interpreter's
-    blocked join uses this exact message while its indexed join filters by
-    truthiness — a documented inconsistency (ROADMAP) that must be changed
-    everywhere at once, which one shared site per policy makes possible.
-    """
-    if not isinstance(keep, bool):
-        raise EvaluationError("join condition must be boolean")
-    return keep
 
 
 def _slot_of(scope: _Scope, name: str) -> Optional[int]:
@@ -780,7 +802,8 @@ def _compile_join(expr: A.Join, scope, state):
                 pair_frame[outer_slot] = outer_item
                 for inner_item in matches:
                     pair_frame[inner_slot] = inner_item
-                    if cond_fn is not None and not cond_fn(pair_frame, context):
+                    if cond_fn is not None and \
+                            not require_join_condition(cond_fn(pair_frame, context)):
                         continue
                     emit(pair_frame, context, elements)
             return make_collection(kind, elements)
@@ -788,6 +811,31 @@ def _compile_join(expr: A.Join, scope, state):
         return run_indexed
 
     block_size = max(1, expr.block_size)
+
+    if block_size == 1:
+        def run_unit_blocked(frame, context):
+            # Per-element probe: the inner side is materialized ONCE and
+            # probed per outer element (like the indexed join), instead of
+            # re-evaluated per one-element block — same policy as the
+            # interpreter and the streamed lowering.
+            outer = materialise_source(outer_fn(frame, context))
+            context.statistics.joins_blocked += 1
+            elements: list = []
+            pair_frame = _extended(_extended(frame, None), None)
+            inner = None
+            for outer_item in outer:
+                if inner is None:
+                    inner = materialise_source(inner_fn(frame, context))
+                pair_frame[outer_slot] = outer_item
+                for inner_item in inner:
+                    pair_frame[inner_slot] = inner_item
+                    if cond_fn is not None and \
+                            not require_join_condition(cond_fn(pair_frame, context)):
+                        continue
+                    emit(pair_frame, context, elements)
+            return make_collection(kind, elements)
+
+        return run_unit_blocked
 
     def run_blocked(frame, context):
         outer = materialise_source(outer_fn(frame, context))
@@ -797,14 +845,16 @@ def _compile_join(expr: A.Join, scope, state):
         for start in range(0, len(outer), block_size):
             block = outer[start:start + block_size]
             # The inner side is re-evaluated once per outer block, exactly
-            # like the interpreter (a driver stream can be consumed once).
+            # like the interpreter (a driver stream can be consumed once);
+            # emission is outer-major so the block size never shows in the
+            # element sequence (see the interpreter's _blocked_join).
             inner = materialise_source(inner_fn(frame, context))
-            for inner_item in inner:
-                pair_frame[inner_slot] = inner_item
-                for outer_item in block:
-                    pair_frame[outer_slot] = outer_item
+            for outer_item in block:
+                pair_frame[outer_slot] = outer_item
+                for inner_item in inner:
+                    pair_frame[inner_slot] = inner_item
                     if cond_fn is not None and \
-                            not _require_join_condition(cond_fn(pair_frame, context)):
+                            not require_join_condition(cond_fn(pair_frame, context)):
                         continue
                     emit(pair_frame, context, elements)
         return make_collection(kind, elements)
@@ -902,17 +952,17 @@ def compile_term(term: A.Expr) -> CompiledQuery:
 # The second lowering target: instead of a closure returning a materialized
 # collection, each node becomes a *generator pipeline* stage yielding
 # elements as they are produced.  ``Ext``-of-``Ext`` chains, filters,
-# the probe side of hash joins and ``ParallelExt`` (registered in
-# repro.core.optimizer.parallel) all pull from their source incrementally,
-# so the first result of a remote-scan comprehension arrives after O(1)
-# source elements.  Set-kind loop/join stages dedup as they go (see
-# _dedup_set_stream), matching the eager CSet element-for-element.  Nodes
-# with no pull-based form (Fold, PrimCall, arbitrary bodies, Union — whose
-# union_like deduplicates sets and type-checks both operands' collection
-# classes) are lowered *eagerly* inside the pipeline; those sections are
-# named in ``CompiledStream.eager_nodes`` and counted at run time by
-# ``EvalStatistics.stream_fallbacks``, mirroring the eager backend's
-# interpreter fallback.
+# the probe side of hash joins, ``Union`` under a kind proof and
+# ``ParallelExt`` (registered in repro.core.optimizer.parallel) all pull
+# from their source incrementally, so the first result of a remote-scan
+# comprehension arrives after O(1) source elements.  Set-kind loop/join/
+# union stages dedup as they go (see _dedup_set_stream), matching the eager
+# CSet element-for-element.  Nodes with no pull-based form (Fold, PrimCall,
+# arbitrary bodies, Union operands whose collection kind cannot be
+# statically proven) are lowered *eagerly* inside the pipeline; those
+# sections are named in ``CompiledStream.eager_nodes`` and counted at run
+# time by ``EvalStatistics.stream_fallbacks``, mirroring the eager
+# backend's interpreter fallback.
 
 _StreamFn = Callable[[list, EvalContext], object]
 _STREAM_COMPILERS: Dict[Type[A.Expr], Callable[[A.Expr, _Scope, _CompileState], _StreamFn]] = {}
@@ -1035,11 +1085,44 @@ def _stream_singleton(expr: A.Singleton, scope, state):
 
 @register_stream_compiler(A.Union)
 def _stream_union(expr: A.Union, scope, state):
-    # Union stays an eager section for every kind: ``union_like`` both
-    # deduplicates (sets) and type-checks the two operands' collection
-    # classes (all kinds) — a pipeline that chained the operand streams
-    # would silently accept terms ``execute`` rejects.
-    return _stream_via_eager(expr, scope, state)
+    """The typed streaming union: chain the operand streams under a kind proof.
+
+    ``union_like`` both deduplicates (sets) and type-checks the two
+    operands' collection classes (all kinds).  When the static kind proof
+    (:func:`~repro.core.nrc.structural.proven_collection_kind`) guarantees
+    both operands produce this union's collection class, the run-time check
+    is redundant and the union pipelines: the left operand's elements, then
+    the right's — for sets under one seen-filter carried across both
+    operands, which matches ``left.union(right)``'s first-occurrence order
+    exactly (bag/list union is concatenation, so chaining is the semantics).
+
+    Without a proof for either operand (a bound ``Var``, a ``Scan``, a
+    ``Cached`` value — or a *provable mismatch*), the union stays an eager
+    ``union_like`` section: chaining would silently accept terms ``execute``
+    rejects.
+    """
+    kind = expr.kind
+    if (proven_collection_kind(expr.left) != kind
+            or proven_collection_kind(expr.right) != kind):
+        return _stream_via_eager(expr, scope, state)
+    left_fn = _compile_stream(expr.left, scope, state)
+    right_fn = _compile_stream(expr.right, scope, state)
+    if kind == "set":
+        # The union's own seen-filter below provides all the dedup the
+        # chain needs, so operands that dedup on their own (set-kind
+        # Ext/Join/ParallelExt, nested unions) are unwrapped to their raw
+        # stages — an N-level union chain then carries exactly one seen-set
+        # instead of N+1 (operands without the wrapper stream as-is).
+        left_fn = getattr(left_fn, "undeduped", left_fn)
+        right_fn = getattr(right_fn, "undeduped", right_fn)
+
+    def stream(frame, context):
+        yield from left_fn(frame, context)
+        yield from right_fn(frame, context)
+
+    if kind == "set":
+        return _dedup_set_stream(stream)
+    return stream
 
 
 @register_stream_compiler(A.IfThenElse)
@@ -1094,6 +1177,12 @@ def _dedup_set_stream(stream_fn: _StreamFn) -> _StreamFn:
     repeats incrementally yields *exactly* the element sequence of the
     eagerly built set — laziness preserved, at O(distinct elements) memory
     (no worse than the eager result itself).
+
+    The wrapper remembers the raw stage (``undeduped``) so an enclosing
+    set-kind union can chain operand streams under ONE shared seen-filter:
+    filtering the raw concatenation yields the same first-occurrence
+    sequence as filtering pre-deduped operands, at one hash probe and one
+    live seen-set per element instead of one per pipeline layer.
     """
 
     def stream(frame, context):
@@ -1103,6 +1192,7 @@ def _dedup_set_stream(stream_fn: _StreamFn) -> _StreamFn:
                 seen.add(element)
                 yield element
 
+    stream.undeduped = stream_fn
     return stream
 
 
@@ -1230,7 +1320,8 @@ def _stream_join(expr: A.Join, scope, state):
                 pair_frame[outer_slot] = outer_item
                 for inner_item in matches:
                     pair_frame[inner_slot] = inner_item
-                    if cond_fn is not None and not cond_fn(pair_frame, context):
+                    if cond_fn is not None and \
+                            not require_join_condition(cond_fn(pair_frame, context)):
                         continue
                     yield from _stream_join_emit(mode, body, pair_frame, context)
 
@@ -1239,6 +1330,31 @@ def _stream_join(expr: A.Join, scope, state):
         return stream_indexed
 
     block_size = max(1, expr.block_size)
+
+    if block_size == 1:
+        def stream_unit_blocked(frame, context):
+            # Per-element probe (what the optimizer emits under the
+            # streaming hint): pull one outer element, materialize the inner
+            # side ONCE on first need, and yield that element's matches
+            # immediately — the blocked join's time-to-first-result becomes
+            # one outer element plus the build side, like the indexed join.
+            context.statistics.joins_blocked += 1
+            pair_frame = _extended(_extended(frame, None), None)
+            inner = None
+            for outer_item in outer_fn(frame, context):
+                if inner is None:
+                    inner = materialise_source(inner_fn(frame, context))
+                pair_frame[outer_slot] = outer_item
+                for inner_item in inner:
+                    pair_frame[inner_slot] = inner_item
+                    if cond_fn is not None and \
+                            not require_join_condition(cond_fn(pair_frame, context)):
+                        continue
+                    yield from _stream_join_emit(mode, body, pair_frame, context)
+
+        if expr.kind == "set":
+            return _dedup_set_stream(stream_unit_blocked)
+        return stream_unit_blocked
 
     def stream_blocked(frame, context):
         context.statistics.joins_blocked += 1
@@ -1253,14 +1369,16 @@ def _stream_join(expr: A.Join, scope, state):
             if not block:
                 return
             # The inner side is re-evaluated once per outer block, exactly
-            # like the eager lowering (a driver stream can be consumed once).
+            # like the eager lowering (a driver stream can be consumed
+            # once); outer-major emission keeps the sequence block-size-
+            # independent.
             inner = materialise_source(inner_fn(frame, context))
-            for inner_item in inner:
-                pair_frame[inner_slot] = inner_item
-                for outer_item in block:
-                    pair_frame[outer_slot] = outer_item
+            for outer_item in block:
+                pair_frame[outer_slot] = outer_item
+                for inner_item in inner:
+                    pair_frame[inner_slot] = inner_item
                     if cond_fn is not None and \
-                            not _require_join_condition(cond_fn(pair_frame, context)):
+                            not require_join_condition(cond_fn(pair_frame, context)):
                         continue
                     yield from _stream_join_emit(mode, body, pair_frame, context)
 

@@ -45,7 +45,24 @@ __all__ = [
     "Environment", "Closure", "EvalContext", "EvalScope", "EvalStatistics",
     "Evaluator", "evaluate", "iterate_source", "materialise",
     "materialise_source", "cache_payload", "close_source", "scan_stream",
+    "require_join_condition",
 ]
+
+
+def require_join_condition(keep: object) -> bool:
+    """The join-condition boolean policy, shared by every backend.
+
+    One policy for both join methods in all three backends (tree-walking
+    interpreter, eager closures, streamed pipelines): a non-boolean condition
+    value is an evaluation error.  Blocked joins always behaved this way;
+    indexed joins used to filter by truthiness, so which strictness a query
+    got depended on the optimizer's join-method choice (ROADMAP item, fixed
+    here).  Keeping the check in one shared site is what makes a coordinated
+    policy change possible at all.
+    """
+    if not isinstance(keep, bool):
+        raise EvaluationError("join condition must be boolean")
+    return keep
 
 #: Sentinel distinguishing "no binding" from a binding whose value is ``None``.
 _MISSING = object()
@@ -476,25 +493,48 @@ class Evaluator:
         return materialise_source(value)
 
     def _blocked_join(self, expr: A.Join, outer: List[object], env: Environment) -> List[object]:
-        """Blocked nested-loop join: scan the inner once per outer *block*."""
+        """Blocked nested-loop join: scan the inner once per outer *block*.
+
+        ``block_size == 1`` is the per-element probe: the inner side is
+        materialised once and probed per outer element (like the indexed
+        join), instead of re-evaluated per block — the same special case as
+        both compiled lowerings, so the three backends agree on how many
+        times the inner side is fetched.
+
+        Emission is outer-major at every block size (for each outer element
+        in order, all its inner matches), like the indexed join — so the
+        block size affects only fetch counts, never the element sequence,
+        and the optimizer may pick different block sizes for ``execute``
+        and ``stream`` plans without the two diverging observably.
+        """
         elements: List[object] = []
         block_size = max(1, expr.block_size)
+        if block_size == 1:
+            inner: Optional[List[object]] = None
+            for outer_item in outer:
+                if inner is None:
+                    inner = self._materialise_source(self._eval(expr.inner, env))
+                for inner_item in inner:
+                    self._emit_join_pair(expr, outer_item, inner_item, env, elements)
+            return elements
         for start in range(0, len(outer), block_size):
             block = outer[start:start + block_size]
             inner = self._materialise_source(self._eval(expr.inner, env))
-            for inner_item in inner:
-                for outer_item in block:
-                    pair_env = env.extended({expr.outer_var: outer_item,
-                                             expr.inner_var: inner_item})
-                    if expr.condition is not None:
-                        keep = self._eval(expr.condition, pair_env)
-                        if not isinstance(keep, bool):
-                            raise EvaluationError("join condition must be boolean")
-                        if not keep:
-                            continue
-                    body_value = self._eval(expr.body, pair_env)
-                    elements.extend(iter_collection(self._materialise(body_value)))
+            for outer_item in block:
+                for inner_item in inner:
+                    self._emit_join_pair(expr, outer_item, inner_item, env, elements)
         return elements
+
+    def _emit_join_pair(self, expr: A.Join, outer_item: object, inner_item: object,
+                        env: Environment, elements: List[object]) -> None:
+        """Condition-check and evaluate the join body for one matched pair."""
+        pair_env = env.extended({expr.outer_var: outer_item,
+                                 expr.inner_var: inner_item})
+        if expr.condition is not None:
+            if not require_join_condition(self._eval(expr.condition, pair_env)):
+                return
+        body_value = self._eval(expr.body, pair_env)
+        elements.extend(iter_collection(self._materialise(body_value)))
 
     def _indexed_join(self, expr: A.Join, outer: List[object], env: Environment) -> List[object]:
         """Indexed blocked nested-loop join: build a hash index on the inner key on the fly."""
@@ -509,14 +549,7 @@ class Evaluator:
         for outer_item in outer:
             key = self._eval(expr.outer_key, env.child(expr.outer_var, outer_item))
             for inner_item in index.get(key, ()):
-                pair_env = env.extended({expr.outer_var: outer_item,
-                                         expr.inner_var: inner_item})
-                if expr.condition is not None:
-                    keep = self._eval(expr.condition, pair_env)
-                    if not keep:
-                        continue
-                body_value = self._eval(expr.body, pair_env)
-                elements.extend(iter_collection(self._materialise(body_value)))
+                self._emit_join_pair(expr, outer_item, inner_item, env, elements)
         return elements
 
     def _eval_cached(self, expr: A.Cached, env: Environment) -> object:

@@ -22,15 +22,21 @@ This module supplies the pieces of that paradigm the reproduction exposes:
   comprehensions, used e.g. to chase chains of homology or containment links.
 * :func:`group_by` / :func:`nest` / :func:`unnest` — the value-level
   restructuring operations behind the keyword-inversion example of Section 2.
+* :func:`proven_collection_kind` — the static *kind proof* over (optimized)
+  NRC terms: which collection class a term's value is guaranteed to have,
+  decided from the term structure alone.  The streaming backend uses it to
+  lower ``Union`` as a chained pipeline (skipping ``union_like``'s run-time
+  operand class check only where the proof makes it redundant).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from ..errors import EvaluationError
 from ..records import Record
 from ..values import CBag, CList, CSet, iter_collection
+from . import ast as A
 
 __all__ = [
     "fold_value",
@@ -41,6 +47,8 @@ __all__ = [
     "group_by",
     "nest",
     "unnest",
+    "proven_collection_kind",
+    "register_kind_prover",
 ]
 
 
@@ -238,3 +246,93 @@ def unnest(collection: object, group_label: str) -> CSet:
             else:
                 result.append(outer.with_fields(**{group_label: inner}))
     return CSet(result)
+
+
+# ---------------------------------------------------------------------------
+# Static collection-kind inference (the kind proof)
+# ---------------------------------------------------------------------------
+#
+# ``proven_collection_kind(term)`` returns "set" | "bag" | "list" when the
+# term's value is *guaranteed* (whenever evaluation succeeds) to be the
+# corresponding collection class, and ``None`` when no such guarantee exists.
+# The proof is purely structural:
+#
+# * constructors and loop operators (``Empty``, ``Singleton``, ``Ext`` and
+#   registered subclasses, ``Join``) build their result with
+#   ``make_collection(kind, ...)``, so their declared kind IS the run-time
+#   class;
+# * the transparent spine (``Let`` bodies, ``IfThenElse`` with agreeing
+#   branches) propagates the proof;
+# * ``Union`` is proven only when both operands are, with the same kind
+#   (a proven *mismatch* is deliberately unproven: the eager path raises at
+#   run time, and a fallback keeps that behavior);
+# * everything whose value is supplied from outside the term — ``Var``,
+#   ``Const``, ``Scan`` (a driver may answer with any class, or a lazy
+#   cursor), ``Cached`` (the shared subquery cache is not under this term's
+#   control), function application, primitives — is unproven.
+#
+# Soundness matters more than completeness here: a false "proven" would let
+# the streaming backend chain a union without ``union_like``'s operand class
+# check and silently accept terms ``execute`` rejects; a false "unproven"
+# merely costs an eager section.
+
+_KIND_PROVERS: Dict[Type[A.Expr], Callable[[A.Expr], Optional[str]]] = {}
+
+
+def register_kind_prover(node_type: Type[A.Expr]):
+    """Register a static kind prover for an AST node type (extension hook).
+
+    Same exact-type dispatch discipline as the compiler registries in
+    :mod:`repro.core.nrc.compile`: a subclass (e.g. ``ParallelExt``) is not
+    silently proven as its base class — it registers its own prover or stays
+    unproven.  The registered function maps the node to a collection kind
+    (``"set"``/``"bag"``/``"list"``) or ``None``.
+    """
+
+    def decorator(function):
+        _KIND_PROVERS[node_type] = function
+        return function
+
+    return decorator
+
+
+def proven_collection_kind(expr: A.Expr) -> Optional[str]:
+    """The statically proven collection kind of ``expr``, or ``None``.
+
+    ``k`` (not ``None``) means: if evaluating ``expr`` returns at all, the
+    value is an instance of the kind-``k`` collection class.  ``None`` means
+    no guarantee — not that the value is *not* a collection.
+    """
+    prover = _KIND_PROVERS.get(type(expr))
+    if prover is None:
+        return None
+    return prover(expr)
+
+
+@register_kind_prover(A.Empty)
+@register_kind_prover(A.Singleton)
+@register_kind_prover(A.Ext)
+@register_kind_prover(A.Join)
+def _prove_declared_kind(expr) -> Optional[str]:
+    return expr.kind
+
+
+@register_kind_prover(A.Union)
+def _prove_union(expr: A.Union) -> Optional[str]:
+    if (proven_collection_kind(expr.left) == expr.kind
+            and proven_collection_kind(expr.right) == expr.kind):
+        return expr.kind
+    return None
+
+
+@register_kind_prover(A.Let)
+def _prove_let(expr: A.Let) -> Optional[str]:
+    return proven_collection_kind(expr.body)
+
+
+@register_kind_prover(A.IfThenElse)
+def _prove_if(expr: A.IfThenElse) -> Optional[str]:
+    kind = proven_collection_kind(expr.then_branch)
+    if kind is not None and proven_collection_kind(expr.else_branch) == kind:
+        return kind
+    return None

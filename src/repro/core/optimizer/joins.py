@@ -30,13 +30,24 @@ __all__ = ["make_join_rule_set"]
 
 def make_join_rule_set(cardinality_of: Optional[Callable[[A.Expr], int]] = None,
                        minimum_inner_size: int = 8,
-                       block_size: int = 256) -> RuleSet:
+                       block_size: int = 256,
+                       streaming: bool = False) -> RuleSet:
     """Build the join rule set.
 
     ``cardinality_of`` maps a source expression to an estimated size (the
     engine wires this to the statically registered statistics); when it is
     missing every candidate is rewritten.
+
+    ``streaming`` is the pipelined-execution hint: blocked joins are emitted
+    with a block size of 1, so the streamed lowering materializes the inner
+    side once and probes (and yields) per outer *element* instead of per
+    block — the indexed join already probes per element, so under the hint
+    every join shape keeps time-to-first-result at one outer element plus
+    the build side.  Eager execution is indifferent to the choice (the
+    per-element probe evaluates the inner side once, never more than the
+    per-block rescan does).
     """
+    blocked_block_size = 1 if streaming else block_size
 
     def estimate(source: A.Expr) -> int:
         if cardinality_of is None:
@@ -71,7 +82,8 @@ def make_join_rule_set(cardinality_of: Optional[Callable[[A.Expr], int]] = None,
                           residual_condition, body, outer_key, inner_key, expr.kind,
                           block_size)
         return A.Join("blocked", expr.var, expr.source, inner_ext.var, inner_ext.source,
-                      residual_condition, body, None, None, expr.kind, block_size)
+                      residual_condition, body, None, None, expr.kind,
+                      blocked_block_size)
 
     rule = Rule("local-join", introduce_join,
                 "replace an uncorrelated nested loop with a blocked or indexed join operator")

@@ -26,6 +26,7 @@ from ..nrc.eval import Environment, Evaluator
 from ..nrc.eval import iterate_source as iter_source
 from ..nrc.eval import materialise
 from ..nrc.rewrite import Rule, RuleSet
+from ..nrc.structural import register_kind_prover
 from ..values import iter_collection, make_collection
 
 __all__ = ["ParallelExt", "make_parallel_rule_set"]
@@ -59,6 +60,13 @@ class ParallelExt(A.Ext):
         """Parameters the compiled loop bakes in beyond the Ext structure
         (consulted by :func:`repro.core.nrc.compile.term_fingerprint`)."""
         return (self.max_workers, self.adaptive)
+
+
+# The kind proof dispatches on exact type, so ParallelExt must register its
+# own prover (both its lowerings build the result with the declared kind,
+# exactly like Ext) — without this, a Union over a parallelised operand
+# would lose its streaming lowering.
+register_kind_prover(ParallelExt)(lambda expr: expr.kind)
 
 
 def _make_scheduler(max_workers: int, adaptive: bool):

@@ -11,7 +11,7 @@ so the ablation benchmarks can turn individual optimizations off.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..nrc import ast as A
@@ -43,12 +43,20 @@ class OptimizerConfig:
     adaptive_concurrency: bool = False
     join_minimum_inner_size: int = 8
     join_block_size: int = 256
+    #: Plan for pipelined (``stream``) execution: blocked joins are emitted
+    #: with block size 1 so the streamed probe side yields per outer element
+    #: (see :func:`~repro.core.optimizer.joins.make_join_rule_set`).
+    streaming: bool = False
 
     @classmethod
     def disabled(cls) -> "OptimizerConfig":
         """A configuration with every optimization off (the unoptimized baseline)."""
         return cls(monadic=False, sql_pushdown=False, path_pushdown=False,
                    local_joins=False, caching=False, parallelism=False)
+
+    def for_streaming(self) -> "OptimizerConfig":
+        """A copy of this configuration with the streaming hint set."""
+        return replace(self, streaming=True)
 
 
 class OptimizerPipeline:
@@ -83,7 +91,8 @@ class OptimizerPipeline:
         if config.local_joins:
             rule_sets.append(make_join_rule_set(self.cardinality_of,
                                                 config.join_minimum_inner_size,
-                                                config.join_block_size))
+                                                config.join_block_size,
+                                                streaming=config.streaming))
         if config.caching:
             rule_sets.append(make_caching_rule_set())
         if config.parallelism:

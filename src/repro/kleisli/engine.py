@@ -17,6 +17,7 @@ remote and local data sources."  The engine is that middle layer:
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -110,6 +111,11 @@ class KleisliEngine:
         self.cache = SubqueryCache()
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.optimizer = self._build_optimizer()
+        #: The pipelined-execution planner: same rule sets, but with the
+        #: streaming hint set (blocked joins get block size 1 so the
+        #: streamed probe side yields per outer element).  ``stream`` uses
+        #: this; ``execute`` keeps the eager plan.
+        self.stream_optimizer = self._build_optimizer(streaming=True)
         self.execution_mode = ExecutionMode.coerce(execution_mode)
         self.last_eval_statistics: Optional[EvalStatistics] = None
         self.last_rewrite_stats: Optional[RewriteStats] = None
@@ -135,7 +141,7 @@ class KleisliEngine:
             self.statistics_registry.register_latency(driver.name, latency)
         elif getattr(driver, "remote", None) is not None:
             self.statistics_registry.register_latency(driver.name, driver.remote.latency)
-        self.optimizer = self._build_optimizer()
+        self._rebuild_optimizers()
         return driver
 
     def unregister_driver(self, name: str) -> None:
@@ -147,7 +153,7 @@ class KleisliEngine:
             fname: (drv, fn) for fname, (drv, fn) in self.driver_functions.items()
             if drv.name != name
         }
-        self.optimizer = self._build_optimizer()
+        self._rebuild_optimizers()
 
     def driver(self, name: str) -> Driver:
         try:
@@ -157,7 +163,7 @@ class KleisliEngine:
 
     # -- optimizer wiring ---------------------------------------------------------------
 
-    def _build_optimizer(self) -> OptimizerPipeline:
+    def _build_optimizer(self, streaming: bool = False) -> OptimizerPipeline:
         registry = {
             fname: ScanSpec(driver.name, function.request_template,
                             function.argument_key, function.argument_is_record,
@@ -165,13 +171,21 @@ class KleisliEngine:
             for fname, (driver, function) in self.driver_functions.items()
         }
         capabilities = {name: driver.capabilities for name, driver in self.drivers.items()}
+        config = self.optimizer_config
+        if streaming:
+            config = config.for_streaming()
         return OptimizerPipeline(
             function_registry=registry,
             capabilities=capabilities,
             cardinality_of=self._estimate_cardinality,
             is_remote_driver=self.statistics_registry.is_remote,
-            config=self.optimizer_config,
+            config=config,
         )
+
+    def _rebuild_optimizers(self) -> None:
+        """Re-derive both planners after driver registration changed."""
+        self.optimizer = self._build_optimizer()
+        self.stream_optimizer = self._build_optimizer(streaming=True)
 
     def _estimate_cardinality(self, source: A.Expr) -> int:
         """Estimate the size of a generator source for the join rule set."""
@@ -199,9 +213,37 @@ class KleisliEngine:
         self.last_rewrite_stats = stats
         return optimized
 
+    def compile_for_stream(self, expr: A.Expr, collect_stats: bool = True) -> A.Expr:
+        """Optimize for pipelined execution: the streaming-hinted planner.
+
+        Same rule sets as :meth:`compile`, but blocked joins are emitted with
+        block size 1 so the streamed lowering probes — and yields — per outer
+        element (``stream`` routes through this; result values are identical
+        either way).
+        """
+        stats = RewriteStats() if collect_stats else None
+        optimized = self.stream_optimizer.optimize(expr, stats)
+        self.last_rewrite_stats = stats
+        return optimized
+
     def driver_executor(self, driver_name: str, request: Mapping[str, object]):
-        """The Scan callback: route a request to the named driver."""
-        return self.driver(driver_name).execute(request)
+        """The Scan callback: route a request to the named driver.
+
+        Every *successful* request's round-trip is folded into the
+        statistics registry's observed-latency EMA, so a driver nobody
+        declared remote but whose requests are measured slow is treated as
+        remote by the parallelism rules on later compilations (lazy cursors
+        dispatch in ~0s and stay local; their per-element latency is paid
+        during consumption).  Failures are excluded: an overloaded remote
+        server rejecting in ~1 ms would otherwise drag the EMA *down* and
+        demote exactly the driver that most needs request overlap.
+        """
+        driver = self.driver(driver_name)
+        started = time.perf_counter()
+        result = driver.execute(request)
+        self.statistics_registry.record_latency_sample(
+            driver_name, time.perf_counter() - started)
+        return result
 
     def _make_context(self) -> EvalContext:
         statistics = EvalStatistics()
@@ -302,7 +344,7 @@ class KleisliEngine:
         """
         mode = self._resolve_mode(mode)
         if optimize:
-            expr = self.compile(expr)
+            expr = self.compile_for_stream(expr)
         # Resolution and context creation run eagerly (a bad mode raises at
         # the call site, and last_eval_statistics refers to *this* run as
         # soon as stream() returns); evaluation starts on the first next().

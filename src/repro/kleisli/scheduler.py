@@ -13,7 +13,11 @@ servers and on resource availability are being developed."*
 :class:`AdaptiveScheduler` implements that extension: it probes the server
 with an additive-increase / multiplicative-decrease policy, ramping the number
 of in-flight requests up while responses stay fast and backing off when the
-server rejects requests or its per-request latency degrades.
+server rejects requests or its per-request latency degrades.  One policy —
+:class:`_WindowController` — serves both call styles: ``map`` feeds it a
+throughput sample per *batch*, ``prefetch`` a throughput *and mean per-item
+latency* sample per completed window of results, so the batch and the
+sliding-window paths cannot drift apart.
 """
 
 from __future__ import annotations
@@ -170,6 +174,141 @@ class BoundedScheduler(_ExecutorMixin):
         return results
 
 
+class _WindowController:
+    """The shared concurrency-window policy: AIMD plus throughput/latency sampling.
+
+    One implementation serves both granularities of :class:`AdaptiveScheduler`:
+    ``map`` feeds it one sample per *batch* (throughput only — its
+    historical thresholds), ``prefetch`` one sample per completed *window*
+    of results (throughput and mean per-item latency, both derived from
+    timing inside the worker so consumer-side waiting never pollutes
+    either).  Decisions:
+
+    * a server **rejection** halves the level and pins a ceiling at the
+      rejected level, which is never offered again;
+    * a sample that **improves** best throughput by ``IMPROVEMENT_FACTOR``
+      adds a worker;
+    * a sample whose throughput **collapsed** by more than
+      ``degradation_threshold`` — or (when latency is measured) whose
+      per-item latency rose by that factor while throughput did not improve,
+      i.e. extra requests are only queueing at the server — removes one;
+    * anything else is a **plateau**: hold the level, probing one step up
+      every ``PROBE_INTERVAL`` samples.
+
+    Sub-millisecond samples (``LATENCY_FLOOR``) carry no congestion signal
+    above Python's timer noise; such windows only ramp — with nothing to
+    overlap, a too-large window costs nothing, and decreases then come from
+    explicit rejections only.
+    """
+
+    #: Relative throughput improvement that justifies adding a worker.
+    IMPROVEMENT_FACTOR = 1.05
+    #: On a plateau, probe one level up every this many samples.
+    PROBE_INTERVAL = 4
+    #: Below this per-item latency (seconds) a sample is treated as noise.
+    LATENCY_FLOOR = 0.001
+
+    __slots__ = ("max_workers", "level", "degradation_threshold",
+                 "best_throughput", "best_latency", "plateau", "rejection_ceiling")
+
+    def __init__(self, max_workers: int, initial: int, degradation_threshold: float):
+        self.max_workers = max_workers
+        self.level = initial
+        self.degradation_threshold = degradation_threshold
+        self.best_throughput: Optional[float] = None
+        self.best_latency: Optional[float] = None
+        self.plateau = 0
+        self.rejection_ceiling: Optional[int] = None
+
+    def on_rejection(self, level: int) -> None:
+        """AIMD decrease after a server rejection at ``level``.
+
+        The server pushed back: never offer it that many again (the
+        rejection ceiling), halve the level, and re-baseline both samples at
+        the reduced level.
+        """
+        ceiling = max(1, level - 1)
+        if self.rejection_ceiling is not None:
+            ceiling = min(ceiling, self.rejection_ceiling)
+        self.rejection_ceiling = ceiling
+        self.best_throughput = None
+        self.best_latency = None
+        self.plateau = 0
+        self.level = max(1, level // 2)
+
+    def on_sample(self, level: int, throughput: float,
+                  latency: Optional[float] = None) -> None:
+        """Feed one completed batch/window sample; adjusts ``level``."""
+        if latency is not None and latency < self.LATENCY_FLOOR:
+            # Too fast to measure: ramp freely, and leave the baselines
+            # UNTOUCHED — recording a noise-era throughput (~level/µs, e.g.
+            # while items hit a local cache) as "best" would misread every
+            # later healthy real-latency window as a collapse and serialize
+            # a perfectly fine stream.  The first measurable window
+            # establishes the baseline instead.
+            self.plateau = 0
+            self.level = self.raised(level)
+            return
+        if self.best_throughput is None:
+            # The first measurable sample (or the first after a rejection)
+            # only establishes the baseline.
+            self.best_throughput = throughput
+            self.best_latency = latency
+            self.level = self.raised(level)
+            return
+        if throughput >= self.best_throughput * self.IMPROVEMENT_FACTOR:
+            # More workers genuinely helped: keep ramping up.
+            self.best_throughput = throughput
+            if latency is not None and (self.best_latency is None
+                                        or latency < self.best_latency):
+                self.best_latency = latency
+            self.plateau = 0
+            self.level = self.raised(level)
+            return
+        if (throughput < self.best_throughput / self.degradation_threshold
+                or self._latency_degraded(latency)):
+            # Throughput collapsed, or each request got slower without any
+            # throughput gain — the server is degrading under our load.
+            # DECAY the stale bests toward what was just observed: keeping
+            # them unchanged lets one lucky sample drive a decrease spiral
+            # all the way to 1, while erasing them entirely would read
+            # *sustained* degradation as a fresh healthy baseline and ramp
+            # straight back up.  Decayed, sustained degradation keeps
+            # walking the level down (a few steps, then plateau) and a
+            # genuine recovery soon registers as improvement again.
+            self.best_throughput = max(
+                throughput, self.best_throughput / self.degradation_threshold)
+            if self.best_latency is not None and latency is not None:
+                self.best_latency = min(
+                    latency, self.best_latency * self.degradation_threshold)
+            self.plateau = 0
+            self.level = max(1, level - 1)
+            return
+        # Plateau: the server absorbed the extra requests without speeding
+        # up.  Hold the level, but probe upwards occasionally so a slow
+        # first sample cannot pin the level forever.
+        self.plateau += 1
+        if self.plateau >= self.PROBE_INTERVAL:
+            self.plateau = 0
+            self.level = self.raised(level)
+        else:
+            self.level = level
+
+    def _latency_degraded(self, latency: Optional[float]) -> bool:
+        if latency is None or self.best_latency is None:
+            return False
+        if latency < self.LATENCY_FLOOR or self.best_latency < self.LATENCY_FLOOR:
+            return False
+        return latency > self.best_latency * self.degradation_threshold
+
+    def raised(self, level: int) -> int:
+        """One more worker, never past the pool cap or a rejected level."""
+        ceiling = self.max_workers
+        if self.rejection_ceiling is not None:
+            ceiling = min(ceiling, self.rejection_ceiling)
+        return min(ceiling, level + 1)
+
+
 class AdaptiveScheduler(_ExecutorMixin):
     """Adjusts the level of concurrency to the capability of the server.
 
@@ -187,15 +326,14 @@ class AdaptiveScheduler(_ExecutorMixin):
       plateau hold the level, probing one step up every few batches so a slow
       first batch cannot pin the level at 1 forever.
 
+    ``prefetch`` runs the *same* policy (one :class:`_WindowController` per
+    scheduler serves both call styles) at window granularity, with per-item
+    latency as an extra degradation signal; see :meth:`prefetch`.
+
     ``level_history`` records the level used for every batch and
     ``overload_events`` counts rejections, which the tests and the adaptive
     concurrency benchmark assert on.
     """
-
-    #: Relative throughput improvement that justifies adding a worker.
-    IMPROVEMENT_FACTOR = 1.05
-    #: On a plateau, probe one level up every this many batches.
-    PROBE_INTERVAL = 4
 
     def __init__(self, max_workers: int = 5, initial_workers: int = 1,
                  degradation_threshold: float = 1.5, max_retries: int = 3,
@@ -207,7 +345,6 @@ class AdaptiveScheduler(_ExecutorMixin):
         if degradation_threshold <= 1.0:
             raise ValueError("degradation_threshold must be greater than 1.0")
         self.max_workers = max_workers
-        self.level = initial_workers
         self.degradation_threshold = degradation_threshold
         self.max_retries = max_retries
         self.overload_errors = overload_errors
@@ -216,10 +353,24 @@ class AdaptiveScheduler(_ExecutorMixin):
         self.retries = 0
         self.overload_events = 0
         self.level_history: List[int] = []
-        self._best_throughput: Optional[float] = None
-        self._plateau_batches = 0
-        self._rejection_ceiling: Optional[int] = None
+        #: The single policy instance behind BOTH map and prefetch: a
+        #: rejection ceiling learned in one call style binds the other.
+        self._controller = _WindowController(max_workers, initial_workers,
+                                             degradation_threshold)
         self._lock = threading.Lock()
+
+    @property
+    def level(self) -> int:
+        """The current concurrency level (owned by the window controller)."""
+        return self._controller.level
+
+    @level.setter
+    def level(self, value: int) -> None:
+        self._controller.level = value
+
+    @property
+    def _rejection_ceiling(self) -> Optional[int]:
+        return self._controller.rejection_ceiling
 
     def map(self, function: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``function`` to every item, preserving order, adapting the level.
@@ -247,10 +398,20 @@ class AdaptiveScheduler(_ExecutorMixin):
             if failed:
                 self.overload_events += 1
                 self.retries += len(failed)
-                self._note_rejection(level)
+                self._controller.on_rejection(level)
                 pending = failed + pending
                 continue
-            self._adjust_level(level, throughput=len(batch) / max(elapsed, 1e-9))
+            # One sample per batch.  The batch wall clock IS the per-item
+            # latency under full concurrency (every item in the batch ran
+            # at once), so it is passed as the latency sample too — which
+            # routes sub-millisecond local batches into the controller's
+            # noise guard instead of letting them poison the throughput
+            # baseline a later prefetch on the same scheduler compares
+            # against.  Thresholds are map's historical policy; the deltas
+            # (noise guard, latency corroboration, decay-on-degradation)
+            # are the controller's documented refinements.
+            self._controller.on_sample(level, len(batch) / max(elapsed, 1e-9),
+                                       latency=elapsed)
         return [results[index] for index in range(len(items))]
 
     def _run_batch(self, function, batch, results, attempts, level):
@@ -279,75 +440,36 @@ class AdaptiveScheduler(_ExecutorMixin):
                 failed.append((outcome[0], outcome[1]))
         return failed
 
-    def _note_rejection(self, level: int) -> None:
-        """AIMD decrease after a server rejection (shared by map/prefetch).
-
-        The server pushed back at ``level``: never offer it that many again
-        (the rejection ceiling), halve the level, and re-baseline throughput
-        at the reduced level.
-        """
-        ceiling = max(1, level - 1)
-        if self._rejection_ceiling is not None:
-            ceiling = min(ceiling, self._rejection_ceiling)
-        self._rejection_ceiling = ceiling
-        self._best_throughput = None
-        self._plateau_batches = 0
-        self.level = max(1, level // 2)
-
-    def _adjust_level(self, level: int, throughput: float) -> None:
-        if self._best_throughput is None:
-            # The first batch (or the first after a rejection) only
-            # establishes the baseline.
-            self._best_throughput = throughput
-            self.level = self._raised(level)
-            return
-        if throughput >= self._best_throughput * self.IMPROVEMENT_FACTOR:
-            # More workers genuinely helped: keep ramping up.
-            self._best_throughput = throughput
-            self._plateau_batches = 0
-            self.level = self._raised(level)
-        elif throughput < self._best_throughput / self.degradation_threshold:
-            # Throughput collapsed — the server is degrading under load.
-            self._plateau_batches = 0
-            self.level = max(1, level - 1)
-        else:
-            # Plateau: the server absorbed the extra requests without speeding
-            # up.  Hold the level, but probe upwards occasionally.
-            self._plateau_batches += 1
-            if self._plateau_batches >= self.PROBE_INTERVAL:
-                self._plateau_batches = 0
-                self.level = self._raised(level)
-            else:
-                self.level = level
-
-    def _raised(self, level: int) -> int:
-        """One more worker, never past the pool cap or a level the server rejected."""
-        ceiling = self.max_workers
-        if self._rejection_ceiling is not None:
-            ceiling = min(ceiling, self._rejection_ceiling)
-        return min(ceiling, level + 1)
-
     def prefetch(self, function: Callable[[T], R], items: Iterable[T],
                  window: Optional[int] = None) -> Iterator[R]:
         """Sliding-window prefetch whose window follows the adaptive level.
 
-        The AIMD policy carries over from ``map`` in per-item form: the
-        window starts at the current ``level``, grows by one after every
-        ``level`` consecutive successes (additive increase, bounded by
-        ``max_workers`` and any rejection ceiling), and halves when the
-        server rejects a request (multiplicative decrease); rejected items
-        are re-issued up to ``max_retries`` times, preserving result order.
+        The window is governed by the same :class:`_WindowController` as
+        ``map``'s batches: every completed window of ``level`` results
+        contributes one sample — throughput over the window, plus the mean
+        per-item latency measured *inside* the worker (so a slow consumer
+        never reads as a slow server) — and the controller ramps, holds, or
+        shrinks the window accordingly.  A server rejection halves the
+        window and pins the rejection ceiling (multiplicative decrease);
+        rejected items are re-issued up to ``max_retries`` times, preserving
+        result order.
         """
         iterator = iter(items)
         in_flight: deque = deque()  # entries: [item, future, attempts, level]
-        successes = 0
+        window_completed = 0
+        window_latency = 0.0
+
+        def timed(item):
+            started = time.perf_counter()
+            value = function(item)
+            return value, time.perf_counter() - started
 
         def submit(item, attempts):
             # The submission level rides along so a whole burst rejected at
             # one level counts as ONE rejection event, like map's per-batch
             # policy — reacting once per failed future would compound the
             # halving and pin the rejection ceiling at 1.
-            return [item, self._executor().submit(function, item), attempts,
+            return [item, self._executor().submit(timed, item), attempts,
                     self.level]
 
         try:
@@ -365,7 +487,7 @@ class AdaptiveScheduler(_ExecutorMixin):
                     return
                 item, future, attempts, submitted_at = in_flight.popleft()
                 try:
-                    result = future.result()
+                    result, latency = future.result()
                 except self.overload_errors:
                     attempts += 1
                     if attempts > self.max_retries:
@@ -376,9 +498,11 @@ class AdaptiveScheduler(_ExecutorMixin):
                         # level; later failures from the same burst skip the
                         # decrease (the level is already below theirs).
                         self.overload_events += 1
-                        self._note_rejection(submitted_at)
+                        self._controller.on_rejection(submitted_at)
                         self.level_history.append(self.level)
-                    successes = 0
+                    # A rejection restarts the sample window at the new level.
+                    window_completed = 0
+                    window_latency = 0.0
                     # Let the burst that overloaded the server settle before
                     # re-issuing, or the retry lands on the same congestion
                     # (their results/errors stay stored in the futures and
@@ -386,13 +510,33 @@ class AdaptiveScheduler(_ExecutorMixin):
                     _wait_futures([entry[1] for entry in in_flight])
                     in_flight.appendleft(submit(item, attempts))
                     continue
-                successes += 1
-                if successes >= self.level:
-                    successes = 0
-                    raised = self._raised(self.level)
-                    if raised != self.level:
-                        self.level = raised
-                        self.level_history.append(raised)
+                window_completed += 1
+                window_latency += latency
+                if window_completed >= cap:
+                    # Sample only when the window actually exercised the
+                    # current level (cap == level; an explicit ``window``
+                    # argument below it caps real concurrency, so a
+                    # level/latency estimate would fabricate improvements
+                    # and ramp the shared level on zero evidence — such
+                    # capped runs leave the level to rejections alone).
+                    if cap == self.level:
+                        before = self.level
+                        mean_latency = window_latency / window_completed
+                        # Little's-law throughput estimate: ``level``
+                        # requests in flight, each taking ``mean_latency``
+                        # (measured inside the worker), complete at
+                        # level/latency per second — derived purely from
+                        # worker-side timing, so a consumer that pauses
+                        # between next() calls can never read as a server
+                        # throughput collapse (a wall-clock window would).
+                        self._controller.on_sample(
+                            before,
+                            throughput=before / max(mean_latency, 1e-9),
+                            latency=mean_latency)
+                        if self.level != before:
+                            self.level_history.append(self.level)
+                    window_completed = 0
+                    window_latency = 0.0
                 yield result
         finally:
             _drain_futures(entry[1] for entry in in_flight)

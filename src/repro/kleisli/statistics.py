@@ -6,10 +6,19 @@ from remote sites, and are currently extending the system to use statically
 stored statistics from commonly used data sources."  This registry is that
 extension: per-driver (and per-table / per-division) cardinalities the join and
 caching rule sets consult at compile time.
+
+Latency statistics come in two flavours: **registered** (the static
+declaration the paper favours — an operator saying "this driver is remote,
+expect ~80 ms per request") and **observed** (an exponential moving average
+of actual request round-trips, fed by the engine's driver executor).  The
+registered value always wins where both exist; observation fills the gap for
+drivers nobody declared, so a measurably slow driver becomes remote for the
+parallelism rules on later compilations without any configuration.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 __all__ = ["SourceStatisticsRegistry"]
@@ -19,10 +28,30 @@ class SourceStatisticsRegistry:
     """Cardinality estimates keyed by (driver name, collection name)."""
 
     DEFAULT_CARDINALITY = 1000
+    #: EMA weight of one new latency sample (higher = reacts faster).
+    LATENCY_SAMPLE_WEIGHT = 0.2
+    #: Samples below this (seconds) are discarded: a near-zero "round-trip"
+    #: means the driver answered with a lazy cursor (the work — and the
+    #: latency — is deferred to consumption), so the sample says nothing
+    #: about the driver's real cost.  Folding such samples in would let a
+    #: mixed eager/lazy driver's cursor dispatches decay a legitimately
+    #: slow EMA below the remote threshold and demote exactly the driver
+    #: whose eager requests need parallelism.
+    LATENCY_SAMPLE_FLOOR = 0.001
+    #: Observed per-request latency (seconds) above which an *undeclared*
+    #: driver is treated as remote by the parallelism rules.  Deliberately
+    #: far above a local in-process driver's dispatch cost, so only genuine
+    #: network-ish round-trips flip a driver's classification.
+    REMOTE_LATENCY_THRESHOLD = 0.05
 
     def __init__(self) -> None:
         self._cardinalities: Dict[Tuple[str, str], int] = {}
         self._remote_latency: Dict[str, float] = {}
+        self._observed_latency: Dict[str, float] = {}
+        # Samples arrive from scheduler worker threads (a ParallelExt body's
+        # scans all route through the engine's driver executor), so the
+        # EMA's read-modify-write must be serialized.
+        self._latency_lock = threading.Lock()
 
     def register_cardinality(self, driver: str, collection: str, rows: int) -> None:
         self._cardinalities[(driver, collection)] = rows
@@ -41,8 +70,45 @@ class SourceStatisticsRegistry:
         self._remote_latency[driver] = seconds
 
     def latency(self, driver: str) -> float:
-        return self._remote_latency.get(driver, 0.0)
+        """Best latency estimate: the registered value, else the observed EMA."""
+        registered = self._remote_latency.get(driver)
+        if registered is not None:
+            return registered
+        return self._observed_latency.get(driver, 0.0)
+
+    def record_latency_sample(self, driver: str, seconds: float) -> None:
+        """Fold one observed request round-trip into the driver's latency EMA.
+
+        The engine's driver executor calls this for every successful request
+        it routes, so the estimate tracks the driver's actual behaviour with
+        no per-driver configuration.  Sub-floor samples (lazy-cursor
+        dispatches, see :data:`LATENCY_SAMPLE_FLOOR`) are discarded.
+        """
+        if seconds < self.LATENCY_SAMPLE_FLOOR:
+            return
+        with self._latency_lock:
+            previous = self._observed_latency.get(driver)
+            if previous is None:
+                self._observed_latency[driver] = seconds
+            else:
+                weight = self.LATENCY_SAMPLE_WEIGHT
+                self._observed_latency[driver] = (
+                    previous * (1.0 - weight) + seconds * weight)
+
+    def observed_latency(self, driver: str) -> float:
+        """The EMA of observed request round-trips (0.0 before any sample)."""
+        return self._observed_latency.get(driver, 0.0)
 
     def is_remote(self, driver: str) -> bool:
-        """A driver with registered latency is treated as remote by the parallel rules."""
-        return self._remote_latency.get(driver, 0.0) > 0.0
+        """Is this driver remote, for the parallelism rules?
+
+        A registered latency is an explicit declaration and always wins —
+        including ``0.0``, which pins a driver local no matter how slow it
+        is measured.  Without a declaration, a driver whose observed
+        round-trip EMA exceeds :data:`REMOTE_LATENCY_THRESHOLD` is promoted
+        to remote, so its inner loops get parallelised on later queries.
+        """
+        registered = self._remote_latency.get(driver)
+        if registered is not None:
+            return registered > 0.0
+        return self._observed_latency.get(driver, 0.0) >= self.REMOTE_LATENCY_THRESHOLD

@@ -164,3 +164,91 @@ class TestRemoteSource:
         log.record(2.0, 3.0)
         assert log.max_concurrency() == 2
         assert log.wall_clock() == 3.0
+
+
+class TestObservedLatency:
+    """The statistics registry's observed-latency EMA: a driver nobody
+    declared remote but whose requests are measured slow becomes remote for
+    the parallelism rules; explicit declarations always win."""
+
+    def test_ema_tracks_samples(self):
+        from repro.kleisli.statistics import SourceStatisticsRegistry
+
+        registry = SourceStatisticsRegistry()
+        assert registry.observed_latency("d") == 0.0
+        registry.record_latency_sample("d", 0.1)
+        assert registry.observed_latency("d") == pytest.approx(0.1)
+        registry.record_latency_sample("d", 0.2)
+        # EMA with weight 0.2: 0.1 * 0.8 + 0.2 * 0.2
+        assert registry.observed_latency("d") == pytest.approx(0.12)
+
+    def test_slow_undeclared_driver_is_promoted_to_remote(self):
+        from repro.kleisli.statistics import SourceStatisticsRegistry
+
+        registry = SourceStatisticsRegistry()
+        assert not registry.is_remote("d")
+        registry.record_latency_sample("d", 0.2)
+        assert registry.is_remote("d")
+        assert registry.latency("d") == pytest.approx(0.2)
+
+    def test_fast_undeclared_driver_stays_local(self):
+        from repro.kleisli.statistics import SourceStatisticsRegistry
+
+        registry = SourceStatisticsRegistry()
+        for _ in range(10):
+            registry.record_latency_sample("d", 0.001)
+        assert not registry.is_remote("d")
+
+    def test_explicit_declaration_beats_observation(self):
+        from repro.kleisli.statistics import SourceStatisticsRegistry
+
+        registry = SourceStatisticsRegistry()
+        # Declared local (0.0): stays local no matter what is measured.
+        registry.register_latency("pinned_local", 0.0)
+        registry.record_latency_sample("pinned_local", 5.0)
+        assert not registry.is_remote("pinned_local")
+        assert registry.latency("pinned_local") == 0.0
+        # Declared remote: stays remote even when dispatch is instant.
+        registry.register_latency("declared_remote", 0.08)
+        registry.record_latency_sample("declared_remote", 0.0)
+        assert registry.is_remote("declared_remote")
+        assert registry.latency("declared_remote") == pytest.approx(0.08)
+
+    def test_engine_records_samples_through_the_driver_executor(self):
+        import time as _time
+
+        from repro.core.values import CList
+        from repro.kleisli.drivers.base import Driver
+        from repro.kleisli.engine import KleisliEngine
+
+        class SlowDispatchDriver(Driver):
+            def __init__(self):
+                super().__init__("slowish")
+
+            def _execute(self, request):
+                _time.sleep(0.06)
+                return CList([1, 2, 3])
+
+        engine = KleisliEngine()
+        engine.register_driver(SlowDispatchDriver())
+        assert not engine.statistics_registry.is_remote("slowish")
+        engine.driver_executor("slowish", {"table": "t"})
+        assert engine.statistics_registry.observed_latency("slowish") >= 0.05
+        # Promoted: the parallel rules will now treat it as remote.
+        assert engine.statistics_registry.is_remote("slowish")
+
+    def test_lazy_cursor_dispatches_do_not_erode_a_promotion(self):
+        """A mixed driver: eager requests at ~200ms promoted it to remote;
+        its lazy-cursor requests dispatch in ~0s.  Those sub-floor samples
+        carry no round-trip information and must not decay the EMA below
+        the remote threshold (regression)."""
+        from repro.kleisli.statistics import SourceStatisticsRegistry
+
+        registry = SourceStatisticsRegistry()
+        registry.record_latency_sample("mixed", 0.2)
+        assert registry.is_remote("mixed")
+        for _ in range(50):
+            registry.record_latency_sample("mixed", 0.00001)
+        assert registry.observed_latency("mixed") == pytest.approx(0.2)
+        assert registry.is_remote("mixed"), \
+            "cursor dispatches demoted a slow remote driver"

@@ -174,3 +174,169 @@ class TestAdaptivePrefetch:
         with AdaptiveScheduler(max_workers=2, max_retries=1) as scheduler:
             with pytest.raises(RemoteSourceError):
                 list(scheduler.prefetch(always_reject, range(4)))
+
+
+class TestLatencyAwareWindow:
+    """The window controller shared by map and prefetch: throughput AND
+    per-item latency drive the prefetch window (map keeps its historical
+    throughput-only batch policy through the same implementation)."""
+
+    def test_throughput_policy_keeps_maps_thresholds(self):
+        from repro.kleisli.scheduler import _WindowController
+
+        controller = _WindowController(8, 1, 1.5)
+        controller.on_sample(1, 100.0)      # baseline established → raise
+        assert controller.level == 2
+        controller.on_sample(2, 150.0)      # genuine improvement → raise
+        assert controller.level == 3
+        controller.on_sample(3, 50.0)       # collapse → back off one
+        assert controller.level == 2
+        # The best decays on a collapse (150 → 100): sustained low
+        # throughput keeps walking the level down …
+        controller.on_sample(2, 50.0)       # 50 < 100/1.5 → still degraded
+        assert controller.level == 1
+        # … but a recovery soon registers as improvement against the
+        # decayed best (66.7) instead of being dwarfed by the stale 150.
+        controller.on_sample(1, 80.0)
+        assert controller.level == 2
+        # Plateau holds, probing up periodically.
+        for _ in range(controller.PROBE_INTERVAL - 1):
+            controller.on_sample(2, 80.0)
+            assert controller.level == 2
+        controller.on_sample(2, 80.0)       # plateau probe
+        assert controller.level == 3
+
+    def test_sustained_degradation_keeps_backing_off(self):
+        """A server that permanently degrades (no rejections) must pull the
+        level down and keep it there — decaying the remembered best must
+        not read sustained degradation as a fresh healthy baseline and
+        ramp back up (regression)."""
+        from repro.kleisli.scheduler import _WindowController
+
+        controller = _WindowController(8, 3, 1.5)
+        controller.on_sample(3, 100.0)      # baseline → 4
+        controller.on_sample(4, 160.0)      # improvement → 5
+        for _ in range(8):
+            controller.on_sample(controller.level, 40.0)
+        assert controller.level <= 3, \
+            f"level ramped to {controller.level} under sustained degradation"
+
+    def test_latency_degradation_shrinks_without_throughput_collapse(self):
+        from repro.kleisli.scheduler import _WindowController
+
+        controller = _WindowController(8, 2, 1.5)
+        controller.on_sample(2, 100.0, latency=0.010)   # baseline → 3
+        assert controller.level == 3
+        # Throughput flat, but every request now takes 2x as long: the
+        # extra requests are queueing at the server — shrink.
+        controller.on_sample(3, 101.0, latency=0.022)
+        assert controller.level == 2
+
+    def test_sub_millisecond_samples_only_ramp(self):
+        """Timer noise on instant functions must never shrink the window;
+        with nothing to overlap, decreases come from rejections only."""
+        from repro.kleisli.scheduler import _WindowController
+
+        controller = _WindowController(6, 1, 1.5)
+        controller.on_sample(1, 1e6, latency=1e-5)
+        for throughput in [1e6, 1e3, 5e5, 2e2, 1e6, 1e4, 1e6, 1e5]:
+            controller.on_sample(controller.level, throughput, latency=1e-5)
+        assert controller.level == 6
+
+    def test_noise_era_samples_do_not_poison_the_baseline(self):
+        """Sub-millisecond windows (e.g. items served from a local cache)
+        must not set best_throughput: when later items reach the real
+        ~2ms server, its healthy windows would read as a collapse against
+        the ~1e6/s noise baseline and serialize the stream (regression)."""
+        from repro.kleisli.scheduler import _WindowController
+
+        controller = _WindowController(8, 2, 1.5)
+        for _ in range(6):                      # cache era: ~10us per item
+            controller.on_sample(controller.level, 1e6, latency=1e-5)
+        assert controller.level == 8
+        assert controller.best_throughput is None, \
+            "noise-era sample recorded as the throughput baseline"
+        level_before = controller.level
+        for _ in range(6):                      # real server: 2ms per item
+            controller.on_sample(controller.level, 2500.0, latency=0.002)
+        assert controller.level >= level_before - 1, \
+            f"healthy real-latency windows collapsed the level to {controller.level}"
+
+    def test_rejection_ceiling_binds_across_call_styles(self):
+        """One controller per scheduler: a ceiling learned during prefetch
+        keeps map from re-probing the rejected level (and vice versa)."""
+        server = RemoteSource("S", lambda x: x, latency=0.002,
+                              max_concurrent_requests=2)
+        with AdaptiveScheduler(max_workers=8, initial_workers=8) as scheduler:
+            assert list(scheduler.prefetch(server.call, range(12))) == list(range(12))
+            ceiling = scheduler._rejection_ceiling
+            assert ceiling is not None and ceiling < 8
+            before = len(scheduler.level_history)
+            assert scheduler.map(server.call, list(range(12))) == list(range(12))
+            assert all(level <= ceiling
+                       for level in scheduler.level_history[before:]), \
+                "map re-probed a level prefetch learned was rejected"
+
+    def test_queueing_server_caps_the_prefetch_window(self):
+        """End-to-end: a server whose per-request latency grows linearly
+        with concurrency (throughput flat) must keep the window far below
+        the pool maximum — the signal per-item AIMD never saw."""
+        lock = threading.Lock()
+        in_flight = [0]
+
+        def queueing(x):
+            with lock:
+                in_flight[0] += 1
+                load = in_flight[0]
+            time.sleep(0.004 * load)
+            with lock:
+                in_flight[0] -= 1
+            return x
+
+        with AdaptiveScheduler(max_workers=12, initial_workers=1,
+                               degradation_threshold=1.3) as scheduler:
+            results = list(scheduler.prefetch(queueing, range(50)))
+        assert results == list(range(50))
+        assert max(scheduler.level_history, default=1) < 12, \
+            f"window ramped to {max(scheduler.level_history)} despite queueing"
+        assert scheduler.level <= 6
+
+    def test_fast_map_batches_do_not_poison_a_later_prefetch(self):
+        """map passes its batch wall clock as the latency sample, so sub-ms
+        local batches hit the noise guard instead of recording a ~1e5/s
+        baseline that a later prefetch's healthy ~2ms windows would read
+        as a collapse and serialize against (regression)."""
+        with AdaptiveScheduler(max_workers=6, initial_workers=2) as scheduler:
+            scheduler.map(lambda x: x, list(range(30)))   # instant, local
+            assert scheduler._controller.best_throughput is None, \
+                "sub-ms map batch recorded as the throughput baseline"
+
+            def remote(x):
+                time.sleep(0.002)
+                return x
+
+            results = list(scheduler.prefetch(remote, range(36)))
+        assert results == list(range(36))
+        # The poisoned-baseline failure mode drives the window all the way
+        # to 1 and keeps it there; a healthy run hovers at 2+ (sleep jitter
+        # makes the exact level timing-sensitive, so only serialization is
+        # asserted).
+        assert scheduler.level > 1, \
+            f"healthy prefetch serialized at level {scheduler.level}"
+
+    def test_externally_capped_window_does_not_inflate_the_level(self):
+        """prefetch(window=2) caps real concurrency below the level, so its
+        samples carry no evidence about higher levels — they must be
+        discarded, not fed to the controller as level/latency 'improvements'
+        that ramp the shared level to max on a server never actually probed
+        (regression)."""
+
+        def remote(x):
+            time.sleep(0.002)
+            return x
+
+        with AdaptiveScheduler(max_workers=16, initial_workers=3) as scheduler:
+            results = list(scheduler.prefetch(remote, range(40), window=2))
+        assert results == list(range(40))
+        assert scheduler.level == 3, \
+            f"capped prefetch moved the level to {scheduler.level}"

@@ -149,6 +149,71 @@ def _shapes():
     shapes.append(("blocked join (streamed per outer block)", blocked,
                    {"OUTER": records, "INNER": refs}))
 
+    unit_blocked = A.Join("blocked", "o", B.var("OUTER"), "i", B.var("INNER"),
+                          condition, B.singleton(head), None, None,
+                          "set", 1)
+    shapes.append(("blocked join with block size 1 (per-element probe)",
+                   unit_blocked, {"OUTER": records, "INNER": refs}))
+
+    shapes.append((
+        "typed union of two scan chains (streams both operands)",
+        A.Union(
+            B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=4), kind="list"),
+            B.ext("x", B.singleton(B.prim("add", B.var("x"), B.const(50)), "list"),
+                  _scan(count=4), kind="list"),
+            "list"),
+        {},
+    ))
+
+    shapes.append((
+        "typed set union with cross-operand duplicates (shared seen-filter)",
+        A.Union(
+            B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.const(3))),
+                  A.Const(CSet(range(5)))),
+            B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.const(4))),
+                  A.Const(CSet(range(6)))),
+            "set"),
+        {},
+    ))
+
+    shapes.append((
+        "nested typed SET unions (one shared seen-filter, dupes everywhere)",
+        A.Union(
+            A.Union(
+                B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.const(3))),
+                      A.Const(CSet(range(7)))),
+                B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.const(4))),
+                      A.Const(CSet(range(6)))),
+                "set"),
+            B.ext("x", B.singleton(B.prim("mod", B.var("x"), B.const(5))),
+                  A.Const(CSet(range(9)))),
+            "set"),
+        {},
+    ))
+
+    shapes.append((
+        "nested typed unions (three-way chain)",
+        A.Union(
+            A.Union(
+                B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=2),
+                      kind="list"),
+                B.singleton(B.const(99), "list"),
+                "list"),
+            B.ext("x", B.singleton(B.prim("mul", B.var("x"), B.const(7)), "list"),
+                  _scan(count=2), kind="list"),
+            "list"),
+        {},
+    ))
+
+    shapes.append((
+        "union with an unproven operand (eager fallback stays correct)",
+        A.Union(
+            B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=3), kind="list"),
+            B.var("XS_LIST"),
+            "list"),
+        {"XS_LIST": CList([7, 8])},
+    ))
+
     shapes.append((
         "scalar query (single-element stream)",
         B.prim("add", B.const(40), B.const(2)),
@@ -366,3 +431,249 @@ def test_eager_sections_are_surfaced_in_statistics():
     query = engine.compiled_stream(expr)
     assert "Union" in query.eager_nodes
     assert query.fully_compiled  # eager section != interpreter fallback
+
+
+def test_typed_union_pipelines_without_fallback():
+    """A union whose operand kinds are statically proven streams end-to-end:
+    no eager section, and the first element is produced before the right
+    operand's scan is even requested."""
+    engine = _engine()
+    expr = A.Union(
+        B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=5), kind="list"),
+        B.ext("x", B.singleton(B.prim("add", B.var("x"), B.const(50)), "list"),
+              _scan(count=5), kind="list"),
+        "list")
+    query = engine.compiled_stream(expr)
+    assert query.fully_streamed, query.eager_nodes
+    stream = engine.stream(expr, optimize=False, mode="compiled")
+    assert next(stream) == 0
+    stats = engine.last_eval_statistics
+    assert stats.stream_fallbacks == 0
+    assert stats.scan_requests == 1, "right operand requested before needed"
+    stream.close()
+
+
+def test_unproven_union_still_reports_an_eager_section():
+    """Only PROVEN unions stream; a bound-variable operand keeps the eager
+    union_like section (and its statistics surfacing)."""
+    engine = _engine()
+    expr = A.Union(
+        B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=3), kind="list"),
+        B.var("XS"), "list")
+    query = engine.compiled_stream(expr)
+    assert not query.fully_streamed
+    assert "Union" in query.eager_nodes
+    streamed = list(engine.stream(expr, {"XS": CList([7])},
+                                  optimize=False, mode="compiled"))
+    assert streamed == [0, 1, 2, 7]
+    assert engine.last_eval_statistics.stream_fallbacks >= 1
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_union_with_provenly_mismatched_operands_raises_in_stream_too(mode):
+    """A Union whose operand kinds provably disagree with its own falls back
+    to the eager union_like — which must keep raising exactly where
+    execute raises, in both modes."""
+    from repro.core.errors import EvaluationError
+
+    engine = _engine()
+    expr = A.Union(
+        B.ext("x", B.singleton(B.var("x"), "bag"), B.var("XS"), kind="bag"),
+        B.ext("x", B.singleton(B.var("x"), "list"), B.var("XS"), kind="list"),
+        "list")
+    bindings = {"XS": CList([1, 2])}
+    with pytest.raises(EvaluationError):
+        engine.execute(expr, bindings, optimize=False, mode=mode)
+    with pytest.raises(EvaluationError):
+        list(engine.stream(expr, bindings, optimize=False, mode=mode))
+
+
+class TestJoinConditionPolicy:
+    """The pinned join-condition behavior (ROADMAP): a non-boolean condition
+    value raises for BOTH join methods in all three backends — interpreter,
+    eager closures, and the streamed lowering.  (Indexed joins used to
+    filter by truthiness, so a query's strictness depended on the
+    optimizer's join-method choice.)"""
+
+    @staticmethod
+    def _join(method):
+        condition = B.const(1)  # truthy, but not a boolean
+        if method == "indexed":
+            return A.Join("indexed", "o", B.var("OUTER"), "i", B.var("INNER"),
+                          condition, B.singleton(B.var("o"), "list"),
+                          B.var("o"), B.var("i"), "list", 4)
+        return A.Join("blocked", "o", B.var("OUTER"), "i", B.var("INNER"),
+                      condition, B.singleton(B.var("o"), "list"),
+                      None, None, "list", 4)
+
+    BINDINGS = {"OUTER": CList([1, 2]), "INNER": CList([1, 3])}
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    @pytest.mark.parametrize("method", ["blocked", "indexed"])
+    def test_non_boolean_condition_raises_everywhere(self, mode, method):
+        from repro.core.errors import EvaluationError
+
+        engine = _engine()
+        expr = self._join(method)
+        with pytest.raises(EvaluationError, match="join condition must be boolean"):
+            engine.execute(expr, self.BINDINGS, optimize=False, mode=mode)
+        with pytest.raises(EvaluationError, match="join condition must be boolean"):
+            list(engine.stream(expr, self.BINDINGS, optimize=False, mode=mode))
+
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    @pytest.mark.parametrize("method", ["blocked", "indexed"])
+    def test_boolean_conditions_still_filter(self, mode, method):
+        engine = _engine()
+        expr = self._join(method)
+        expr = A.Join(expr.method, expr.outer_var, expr.outer, expr.inner_var,
+                      expr.inner, B.eq(B.var("o"), B.var("i")),
+                      expr.body, expr.outer_key, expr.inner_key,
+                      expr.kind, expr.block_size)
+        assert list(engine.stream(expr, self.BINDINGS,
+                                  optimize=False, mode=mode)) == [1]
+
+
+def test_unit_block_join_probes_per_outer_element():
+    """A block-size-1 blocked join yields each outer element's matches
+    before the next outer element is pulled, and fetches the inner side
+    exactly once (like the indexed join's build side)."""
+
+    class CountingDriver(Driver):
+        def __init__(self):
+            super().__init__("counting")
+            self.produced = 0
+
+        def _execute(self, request):
+            def cursor():
+                for i in range(100):
+                    self.produced += 1
+                    yield i
+
+            return cursor()
+
+    engine = KleisliEngine()
+    driver = engine.register_driver(CountingDriver())
+    expr = A.Join("blocked", "o",
+                  A.Scan("counting", {"table": "t"}, kind="list"),
+                  "i", B.var("INNER"),
+                  B.eq(B.prim("mod", B.var("o"), B.const(2)), B.var("i")),
+                  B.singleton(B.var("o"), "list"), None, None, "list", 1)
+    stream = engine.stream(expr, {"INNER": CList([0, 1])},
+                           optimize=False, mode="compiled")
+    assert next(stream) == 0
+    assert driver.produced <= 2, \
+        f"unit-block join drained {driver.produced} outer elements eagerly"
+    stream.close()
+
+
+def test_engine_stream_plans_unit_block_joins():
+    """engine.stream optimizes with the streaming hint: the same query plans
+    a block-256 blocked join for execute and a block-1 join for stream, and
+    both produce the same value."""
+    engine = _engine()
+    condition = B.prim("lt", B.project(B.var("o"), "id"),
+                       B.project(B.var("i"), "ref"))
+    head = B.record(o=B.project(B.var("o"), "id"), r=B.project(B.var("i"), "ref"))
+    inner = B.ext("i", B.if_then_else(condition, B.singleton(head), B.empty()),
+                  B.var("INNER"))
+    expr = B.ext("o", inner, B.var("OUTER"))
+
+    def find_join(term):
+        if isinstance(term, A.Join):
+            return term
+        for child in term.children():
+            found = find_join(child)
+            if found is not None:
+                return found
+        return None
+
+    eager_join = find_join(engine.compile(expr))
+    stream_join = find_join(engine.compile_for_stream(expr))
+    assert eager_join is not None and stream_join is not None
+    assert eager_join.method == stream_join.method == "blocked"
+    assert eager_join.block_size == 256
+    assert stream_join.block_size == 1
+
+    bindings = {
+        "OUTER": CSet([Record({"id": i, "name": f"n{i}"}) for i in range(12)]),
+        "INNER": CSet([Record({"ref": i, "data": f"d{i}"}) for i in range(12)]),
+    }
+    streamed = CSet(engine.stream(expr, bindings, optimize=True, mode="compiled"))
+    executed = engine.execute(expr, bindings, optimize=True, mode="compiled")
+    assert streamed == executed
+
+
+def test_optimized_stream_matches_optimized_execute_when_set_order_is_visible():
+    """stream() plans block-1 blocked joins while execute() plans block 256;
+    blocked-join emission is outer-major at EVERY block size, so the two
+    plans must return the same value even when the set-kind join's
+    first-occurrence order becomes value-visible downstream (a list
+    comprehension over the join result) — regression for the one shape
+    where block-size-dependent ordering would have diverged."""
+    engine = _engine()
+    condition = B.prim("lt", B.project(B.var("o"), "id"),
+                       B.project(B.var("i"), "ref"))
+    head = B.record(o=B.project(B.var("o"), "id"), r=B.project(B.var("i"), "ref"))
+    inner = B.ext("i", B.if_then_else(condition, B.singleton(head), B.empty()),
+                  B.var("INNER"))
+    set_join = B.ext("o", inner, B.var("OUTER"))
+    # The set's iteration order becomes a CList: order is now part of the value.
+    expr = B.ext("p", B.singleton(B.project(B.var("p"), "r"), "list"),
+                 set_join, kind="list")
+    bindings = {
+        "OUTER": CSet([Record({"id": i, "name": f"n{i}"}) for i in range(9)]),
+        "INNER": CSet([Record({"ref": i, "data": f"d{i}"}) for i in range(12)]),
+    }
+    streamed = list(engine.stream(expr, bindings, optimize=True, mode="compiled"))
+    executed = list(iter_collection(
+        engine.execute(expr, bindings, optimize=True, mode="compiled")))
+    assert streamed == executed
+
+
+def test_blocked_join_element_sequence_is_block_size_independent():
+    """Outer-major emission: for each outer element in order, all its inner
+    matches — at every block size, in every backend."""
+    engine = _engine()
+    bindings = {"OUTER": CList([1, 2, 3]), "INNER": CList([10, 20])}
+
+    def join(block_size):
+        return A.Join("blocked", "o", B.var("OUTER"), "i", B.var("INNER"),
+                      None, B.singleton(B.record(o=B.var("o"), i=B.var("i")),
+                                        "list"),
+                      None, None, "list", block_size)
+
+    sequences = []
+    for block_size in (1, 2, 256):
+        for mode in MODES:
+            sequences.append(list(iter_collection(
+                engine.execute(join(block_size), bindings,
+                               optimize=False, mode=mode))))
+            sequences.append(list(engine.stream(join(block_size), bindings,
+                                                optimize=False, mode=mode)))
+    expected = [Record({"o": o, "i": i}) for o in [1, 2, 3] for i in [10, 20]]
+    assert all(sequence == expected for sequence in sequences), sequences
+
+
+def test_failed_requests_do_not_pollute_the_latency_ema():
+    """A driver raising quickly (overloaded remote) must not drag the
+    observed-latency EMA down and demote the driver from remote."""
+
+    class FailingDriver(Driver):
+        def __init__(self):
+            super().__init__("flaky")
+
+        def _execute(self, request):
+            raise RuntimeError("overloaded")
+
+    engine = KleisliEngine()
+    engine.register_driver(FailingDriver())
+    engine.statistics_registry.record_latency_sample("flaky", 0.2)
+    assert engine.statistics_registry.is_remote("flaky")
+    for _ in range(20):
+        try:
+            engine.driver_executor("flaky", {"table": "t"})
+        except RuntimeError:
+            pass
+    assert engine.statistics_registry.observed_latency("flaky") == 0.2
+    assert engine.statistics_registry.is_remote("flaky"), \
+        "fast failures demoted a slow remote driver"

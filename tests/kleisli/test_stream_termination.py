@@ -330,3 +330,75 @@ class TestSchedulerWorkerCleanup:
             next(stream)
         stream.close()
         assert threading.active_count() == baseline, "scheduler workers leaked"
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+class TestExceptionMidStream:
+    """A pipeline stage *raising* mid-stream must release every cursor via
+    the evaluation scope — the exception path, not just exhaustion or an
+    early close — in both execution modes."""
+
+    def test_failing_body_closes_the_source_cursor(self, mode):
+        from repro.core.errors import EvaluationError
+
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        # The body succeeds for x < 3, then projects a field off an int.
+        expr = B.ext(
+            "x",
+            B.if_then_else(B.prim("lt", B.var("x"), B.const(3)),
+                           B.singleton(B.var("x")),
+                           B.singleton(B.project(B.var("x"), "boom"))),
+            A.Scan("cursors", {"table": "t"}))
+        stream = engine.stream(expr, optimize=False, mode=mode)
+        assert [next(stream) for _ in range(3)] == [0, 1, 2]
+        assert driver.open_cursors == 1
+        with pytest.raises(EvaluationError):
+            next(stream)
+        assert driver.open_cursors == 0, \
+            "source cursor left open after a failing pipeline stage"
+
+    def test_failing_body_closes_body_level_cursors(self, mode):
+        """The failure happens while a *body-level* scan is mid-consumption:
+        the scope must reach that cursor too, not only the source's."""
+        from repro.core.errors import EvaluationError
+
+        engine = KleisliEngine()
+        driver = engine.register_driver(BiDriver())
+        inner = B.ext(
+            "y",
+            B.if_then_else(B.prim("lt", B.var("y"), B.const(2)),
+                           B.singleton(B.var("y"), "list"),
+                           B.singleton(B.project(B.var("y"), "boom"), "list")),
+            A.Scan("bi", {"table": "inner"}, args={"base": B.var("x")},
+                   kind="list"),
+            kind="list")
+        expr = B.ext("x", inner, A.Scan("bi", {"table": "outer"}, kind="list"),
+                     kind="list")
+        stream = engine.stream(expr, optimize=False, mode=mode)
+        with pytest.raises(EvaluationError):
+            # Compiled mode pipelines the body, so the elements before the
+            # failure arrive first; interpreted mode materializes the body
+            # per outer element and fails on the first next() instead.
+            assert next(stream) == 0
+            list(stream)
+        assert driver.open_cursors == {"outer": 0, "inner": 0}, \
+            "cursors left open after a failing body stage"
+
+    def test_failing_join_condition_closes_the_probe_cursor(self, mode):
+        """The pinned join-condition error (non-boolean) must also release
+        the streamed probe side's cursor."""
+        from repro.core.errors import EvaluationError
+        from repro.core.values import CList
+
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        expr = A.Join("blocked", "o",
+                      A.Scan("cursors", {"table": "t"}, kind="list"),
+                      "i", B.var("INNER"),
+                      B.const(1),  # truthy non-boolean: raises on first pair
+                      B.singleton(B.var("o"), "list"), None, None, "list", 1)
+        with pytest.raises(EvaluationError, match="join condition"):
+            list(engine.stream(expr, {"INNER": CList([1])},
+                               optimize=False, mode=mode))
+        assert driver.open_cursors == 0

@@ -338,3 +338,89 @@ class TestStructuralProperties:
         session.bind("Xs", numbers, list_as="list")
         folded = session.run(r"fold(\a => \x => a + x, 0, Xs)")
         assert folded == sum(numbers)
+
+
+class TestKindProof:
+    """The static collection-kind inference the typed streaming union rests on.
+
+    ``proven_collection_kind(term) == k`` must mean: whenever the term
+    evaluates successfully, its value is the kind-``k`` collection class.
+    A wrong "proven" would let the streaming backend skip ``union_like``'s
+    run-time operand class check unsoundly, so these tests err strict.
+    """
+
+    def test_constructors_and_loops_prove_their_declared_kind(self):
+        from repro.core.nrc.structural import proven_collection_kind
+
+        cases = [
+            (A.Empty("bag"), "bag"),
+            (B.singleton(B.const(1), "list"), "list"),
+            (B.ext("x", B.singleton(B.var("x")), B.var("S")), "set"),
+            (A.Join("blocked", "o", B.var("O"), "i", B.var("I"), None,
+                    B.singleton(B.var("o"), "list"), None, None, "list", 4),
+             "list"),
+        ]
+        for expr, expected in cases:
+            assert proven_collection_kind(expr) == expected, expr
+
+    def test_externally_supplied_values_are_unproven(self):
+        from repro.core.nrc.structural import proven_collection_kind
+
+        unproven = [
+            B.var("S"),                       # whatever is bound
+            A.Const(CList([1, 2])),           # even a literal collection: the
+                                              # prover dispatches on structure
+            A.Scan("d", {"table": "t"}, kind="list"),  # driver controls class
+            A.Cached(A.Empty("set"), key="k"),  # shared cache, not this term
+            B.prim("count", B.var("S")),
+            B.fold(B.var("f"), B.const(0), B.var("S")),
+        ]
+        for expr in unproven:
+            assert proven_collection_kind(expr) is None, expr
+
+    def test_union_is_proven_only_when_both_operands_agree(self):
+        from repro.core.nrc.structural import proven_collection_kind
+
+        proven = A.Union(A.Empty("list"), B.singleton(B.const(1), "list"), "list")
+        assert proven_collection_kind(proven) == "list"
+        half = A.Union(A.Empty("list"), B.var("S"), "list")
+        assert proven_collection_kind(half) is None
+        # A provable MISMATCH is unproven, not an error here: the streaming
+        # lowering falls back to the eager union, which raises at run time
+        # exactly like execute.
+        mismatch = A.Union(A.Empty("bag"), A.Empty("list"), "list")
+        assert proven_collection_kind(mismatch) is None
+
+    def test_transparent_spine_propagates_the_proof(self):
+        from repro.core.nrc.structural import proven_collection_kind
+
+        let = A.Let("x", B.const(1), A.Empty("set"))
+        assert proven_collection_kind(let) == "set"
+        agreeing = B.if_then_else(B.var("c"), A.Empty("bag"), A.Empty("bag"))
+        assert proven_collection_kind(agreeing) == "bag"
+        disagreeing = B.if_then_else(B.var("c"), A.Empty("bag"), A.Empty("list"))
+        assert proven_collection_kind(disagreeing) is None
+
+    def test_ext_subclasses_need_their_own_prover(self):
+        from repro.core.nrc.structural import proven_collection_kind
+        from repro.core.optimizer.parallel import ParallelExt
+
+        # ParallelExt registered one (parallel.py); an unregistered subclass
+        # must stay unproven — exact-type dispatch, like the compilers.
+        parallel = ParallelExt("x", B.singleton(B.var("x")), B.var("S"))
+        assert proven_collection_kind(parallel) == "set"
+
+        class UnregisteredExt(A.Ext):
+            pass
+
+        unknown = UnregisteredExt("x", B.singleton(B.var("x")), B.var("S"))
+        assert proven_collection_kind(unknown) is None
+
+    def test_nested_unions_prove_through(self):
+        from repro.core.nrc.structural import proven_collection_kind
+
+        nested = A.Union(
+            A.Union(A.Empty("list"), B.singleton(B.const(1), "list"), "list"),
+            B.ext("x", B.singleton(B.var("x"), "list"), B.var("S"), kind="list"),
+            "list")
+        assert proven_collection_kind(nested) == "list"

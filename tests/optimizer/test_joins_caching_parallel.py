@@ -226,3 +226,78 @@ class TestParallelRuleSet:
         Evaluator(EvalContext(driver_executor=executor)).evaluate(parallel, _env(data))
         assert server.log.max_concurrency() <= 3
         assert server.request_count == 12
+
+
+class TestStreamingJoinHint:
+    """The pipelined-execution hint: blocked joins get block size 1 so the
+    streamed probe side yields per outer element (indexed joins already
+    probe per element and are unaffected)."""
+
+    def test_streaming_hint_emits_unit_block_blocked_joins(self):
+        condition = B.prim("lt", B.project(B.var("o"), "id"),
+                           B.project(B.var("i"), "ref"))
+        inner = B.ext("i", B.if_then_else(condition, B.singleton(B.const(1)),
+                                          B.empty()), B.var("INNER"))
+        expr = B.ext("o", inner, B.var("OUTER"))
+        plain = make_join_rule_set(minimum_inner_size=0).apply(expr)
+        hinted = make_join_rule_set(minimum_inner_size=0,
+                                    streaming=True).apply(expr)
+        assert isinstance(plain, A.Join) and plain.method == "blocked"
+        assert isinstance(hinted, A.Join) and hinted.method == "blocked"
+        assert plain.block_size == 256
+        assert hinted.block_size == 1
+
+    def test_streaming_hint_keeps_the_indexed_method(self):
+        hinted = make_join_rule_set(minimum_inner_size=0,
+                                    streaming=True).apply(nested_loop_join_expr())
+        assert isinstance(hinted, A.Join)
+        assert hinted.method == "indexed"
+
+    def test_streaming_hint_preserves_semantics(self):
+        condition = B.prim("lt", B.project(B.var("o"), "id"),
+                           B.project(B.var("i"), "ref"))
+        head = B.record(n=B.project(B.var("o"), "name"),
+                        d=B.project(B.var("i"), "data"))
+        inner = B.ext("i", B.if_then_else(condition, B.singleton(head),
+                                          B.empty()), B.var("INNER"))
+        expr = B.ext("o", inner, B.var("OUTER"))
+        hinted = make_join_rule_set(minimum_inner_size=0,
+                                    streaming=True).apply(expr)
+        data = join_data()
+        assert evaluate(expr, data) == evaluate(hinted, data)
+
+    def test_unit_block_join_fetches_the_inner_side_once(self):
+        """Block size 1 is the per-element probe: the inner side is
+        materialised once (like the indexed build side), not re-evaluated
+        per one-element block — in all three backends."""
+        from repro.core.values import CList
+        from repro.kleisli.drivers.base import Driver
+        from repro.kleisli.engine import KleisliEngine
+
+        class InnerDriver(Driver):
+            def __init__(self):
+                super().__init__("inner")
+
+            def _execute(self, request):
+                return CList(range(5))
+
+        def unit_join():
+            return A.Join("blocked", "o", B.var("OUTER"), "i",
+                          A.Scan("inner", {"table": "t"}, kind="list"),
+                          B.prim("lt", B.var("o"), B.var("i")),
+                          B.singleton(B.var("o"), "list"),
+                          None, None, "list", 1)
+
+        outer = CList(range(10))
+        for mode in ("interpret", "compiled"):
+            engine = KleisliEngine()
+            engine.register_driver(InnerDriver())
+            engine.execute(unit_join(), {"OUTER": outer},
+                           optimize=False, mode=mode)
+            assert engine.last_eval_statistics.scan_requests == 1, mode
+            engine = KleisliEngine()
+            engine.register_driver(InnerDriver())
+            list(engine.stream(unit_join(), {"OUTER": outer},
+                               optimize=False, mode=mode))
+            assert engine.last_eval_statistics.scan_requests == 1, \
+                f"stream/{mode}"
