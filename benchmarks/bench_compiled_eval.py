@@ -13,6 +13,10 @@ Each workload is evaluated with the same optimized NRC term under both
 execution modes (best of three runs), values are asserted equal, and the
 report prints the speed-up.  The acceptance bar is >= 2x on both headline
 workloads.
+
+A ``BENCH_compiled.json`` summary is written next to this file in the same
+sectioned format as ``BENCH_streaming.json``; CI uploads both as workflow
+artifacts so speed-ups can be diffed across runs.
 """
 
 import os
@@ -29,7 +33,7 @@ from repro.core.nrc.rules_monadic import monadic_rule_set
 from repro.core.optimizer.joins import make_join_rule_set
 from repro.core.values import CSet, Record
 
-from conftest import report
+from conftest import report, update_summary
 
 PRODUCER_CONSUMER = (
     r"{x.title | \x <- {[title = p.title, authors = p.authors, abstract = p.abstract,"
@@ -79,6 +83,7 @@ def _join_workloads(outer_size, inner_size):
 def test_e9_report():
     rows = []
     speedups = {}
+    timings = {}
 
     # Workload 1: local joins (interpreter-bound inner loops).
     bindings, nested, indexed = _join_workloads(600, 600)
@@ -86,6 +91,7 @@ def test_e9_report():
                         ("indexed join 600x600", indexed)]:
         interp_time, compiled_time = _timed_pair(expr, bindings)
         speedups[label] = interp_time / compiled_time
+        timings[label] = (interp_time, compiled_time)
         rows.append([label, f"{interp_time * 1000:.1f} ms",
                      f"{compiled_time * 1000:.1f} ms",
                      f"{speedups[label]:.2f}x"])
@@ -98,12 +104,27 @@ def test_e9_report():
                         ("producer/consumer fused", fused)]:
         interp_time, compiled_time = _timed_pair(expr, {"DB": db})
         speedups[label] = interp_time / compiled_time
+        timings[label] = (interp_time, compiled_time)
         rows.append([label, f"{interp_time * 1000:.1f} ms",
                      f"{compiled_time * 1000:.1f} ms",
                      f"{speedups[label]:.2f}x"])
 
     report("E9: closure compiler vs interpreter (same optimized NRC term)",
            rows, ["workload", "interpreted", "compiled", "speed-up"])
+
+    def section(*labels):
+        return {
+            label: {
+                "interpreted_s": timings[label][0],
+                "compiled_s": timings[label][1],
+                "speedup": speedups[label],
+            } for label in labels
+        }
+
+    update_summary("BENCH_compiled.json", "local_joins",
+                   section("nested-loop join 600x600", "indexed join 600x600"))
+    update_summary("BENCH_compiled.json", "producer_consumer",
+                   section("producer/consumer raw", "producer/consumer fused"))
 
     # Acceptance: >= 2x (locally) on both interpreter-bound workload families.
     assert speedups["nested-loop join 600x600"] >= MIN_SPEEDUP, speedups
@@ -123,4 +144,10 @@ def test_compile_time_is_amortised():
     Evaluator(EvalContext()).evaluate(expr, environment)
     interp_time = time.perf_counter() - started
     compiled(environment, EvalContext())
+    update_summary("BENCH_compiled.json", "compile_amortisation", {
+        "compile_time_s": compile_time,
+        "one_interpreted_run_s": interp_time,
+        "amortised_after_runs": compile_time / interp_time
+        if interp_time > 0 else 0.0,
+    })
     assert compile_time < interp_time, (compile_time, interp_time)

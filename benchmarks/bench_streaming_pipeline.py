@@ -30,7 +30,6 @@ experiment log; CI uploads it as a workflow artifact and gates on the
 union-chain/join TTFR factors below.
 """
 
-import json
 import os
 import time
 
@@ -40,7 +39,9 @@ from repro.kleisli.drivers.base import Driver
 from repro.kleisli.engine import KleisliEngine
 from repro.core.values import CList, iter_collection
 
-from conftest import report
+from repro.core.values import Record
+
+from conftest import report, update_summary
 
 #: Elements produced by the simulated remote scan, and per-element latency.
 ELEMENTS = 150
@@ -57,6 +58,13 @@ PARITY_TOLERANCE = float(os.environ.get("BENCH_STREAMING_PARITY", "0.10"))
 #: (the acceptance bar is 5x; CI can widen it for shared-runner jitter).
 UNION_TTFR_FACTOR = float(os.environ.get("BENCH_STREAMING_UNION_FACTOR", "5.0"))
 JOIN_TTFR_FACTOR = float(os.environ.get("BENCH_STREAMING_JOIN_FACTOR", "5.0"))
+#: Local-throughput gate: the chunked lowering must finish the local
+#: ext-chain workload at least this many times faster than the per-element
+#: stream (the acceptance bar is 2x; CI relaxes it for shared runners).
+CHUNK_FACTOR = float(os.environ.get("BENCH_STREAMING_CHUNK_FACTOR", "2.0"))
+#: TTFR guard for the ramp: the chunked remote chain's first result must
+#: arrive within this factor of the per-element stream's TTFR.
+CHUNK_TTFR_FACTOR = float(os.environ.get("BENCH_STREAMING_CHUNK_TTFR", "1.5"))
 
 REPS = 3
 
@@ -139,19 +147,7 @@ def _stream_first(engine, expr):
 
 def _update_summary(section, data):
     """Merge one benchmark's numbers into BENCH_streaming.json."""
-    out_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                            "BENCH_streaming.json")
-    summary = {}
-    if os.path.exists(out_path):
-        try:
-            with open(out_path) as handle:
-                summary = json.load(handle)
-        except ValueError:
-            summary = {}
-    summary[section] = data
-    with open(out_path, "w") as handle:
-        json.dump(summary, handle, indent=2)
-        handle.write("\n")
+    update_summary("BENCH_streaming.json", section, data)
 
 
 def _measure_streaming(engine, expr):
@@ -347,6 +343,129 @@ def test_blocked_join_probe_ttfr():
 
     # The TTFR regression gate CI enforces (BENCH_STREAMING_JOIN_FACTOR).
     assert ratio <= JOIN_TTFR_FACTOR, summary
+
+
+#: Size of the in-memory source for the local-throughput comparison.
+LOCAL_ELEMENTS = 40_000
+#: Elements surviving the chain's filter (values 0..9 of each %1000 cycle drop).
+LOCAL_EXPECTED = LOCAL_ELEMENTS - (LOCAL_ELEMENTS // 1000) * 10
+
+
+def _local_chain():
+    """The local ext-chain workload: project -> filter -> add -> mul.
+
+    The shape every CPL shaping query takes (project fields out of records,
+    filter, compute) over an in-memory collection — the regime where PR 2/3's
+    per-element generator pipeline only *matched* eager total time and the
+    chunked lowering is supposed to win outright.
+    """
+    proj = B.ext("r", B.singleton(B.project(B.var("r"), "value"), "list"),
+                 B.var("RS"), kind="list")
+    filt = B.ext("v", B.if_then_else(B.prim("ge", B.var("v"), B.const(10)),
+                                     B.singleton(B.var("v"), "list"),
+                                     B.empty("list")),
+                 proj, kind="list")
+    scaled = B.ext("w", B.singleton(B.prim("add", B.var("w"), B.const(1000)),
+                                    "list"),
+                   filt, kind="list")
+    return B.ext("u", B.singleton(B.prim("mul", B.var("u"), B.const(3)),
+                                  "list"),
+                 scaled, kind="list")
+
+
+def _local_bindings():
+    return {"RS": CList(Record({"id": i, "value": i % 1000})
+                        for i in range(LOCAL_ELEMENTS))}
+
+
+def test_local_throughput():
+    """E10d — the tentpole gate: on a local in-memory ext chain the chunked
+    lowering beats the per-element stream by >= CHUNK_FACTOR in total drain
+    time (fused per-chunk stages vs one generator frame per stage per
+    element), while on the remote chain its ramping first chunk keeps TTFR
+    within CHUNK_TTFR_FACTOR of the per-element stream's."""
+    expr = _local_chain()
+    bindings = _local_bindings()
+    engine = KleisliEngine()
+
+    def drain(chunked):
+        started = time.perf_counter()
+        count = sum(1 for _ in engine.stream(expr, bindings, optimize=False,
+                                             chunked=chunked))
+        return count, time.perf_counter() - started
+
+    eager_total = element_total = chunked_total = float("inf")
+    counts = set()
+    for _ in range(max(REPS, 5)):
+        count, elapsed = drain(chunked=False)
+        counts.add(count)
+        element_total = min(element_total, elapsed)
+        count, elapsed = drain(chunked=True)
+        counts.add(count)
+        chunked_total = min(chunked_total, elapsed)
+        started = time.perf_counter()
+        result = engine.execute(expr, bindings, optimize=False)
+        eager_total = min(eager_total, time.perf_counter() - started)
+        counts.add(len(list(iter_collection(result))))
+    assert counts == {LOCAL_EXPECTED}, counts  # values agree across paths
+
+    # Re-drain chunked once for its statistics (fallback-free, no scalars).
+    assert sum(1 for _ in engine.stream(expr, bindings, optimize=False,
+                                        chunked=True)) == LOCAL_EXPECTED
+    chunk_stats = engine.last_eval_statistics
+    assert chunk_stats.stream_fallbacks == 0, chunk_stats.as_dict()
+    assert chunk_stats.scalar_stages == 0, chunk_stats.as_dict()
+
+    # The ramp guard: chunked TTFR on the REMOTE chain (per-element latency)
+    # stays within CHUNK_TTFR_FACTOR of the per-element backend's.
+    remote_expr = _chain()
+    element_ttfr = chunked_ttfr = float("inf")
+    for _ in range(REPS):
+        remote_engine = _engine()
+        started = time.perf_counter()
+        stream = remote_engine.stream(remote_expr, optimize=False,
+                                      chunked=False)
+        next(stream)
+        element_ttfr = min(element_ttfr, time.perf_counter() - started)
+        stream.close()
+
+        remote_engine = _engine()
+        started = time.perf_counter()
+        stream = remote_engine.stream(remote_expr, optimize=False,
+                                      chunked=True)
+        next(stream)
+        chunked_ttfr = min(chunked_ttfr, time.perf_counter() - started)
+        stream.close()
+
+    speedup = element_total / chunked_total
+    ttfr_factor = chunked_ttfr / element_ttfr
+    report(f"E10d: local throughput, {LOCAL_ELEMENTS} in-memory records "
+           f"(project/filter/add/mul chain)",
+           [["eager compiled", f"{eager_total * 1000:.1f} ms", ""],
+            ["per-element stream", f"{element_total * 1000:.1f} ms", ""],
+            ["chunked stream", f"{chunked_total * 1000:.1f} ms",
+             f"{speedup:.2f}x the per-element stream"],
+            ["chunked TTFR (remote chain)", f"{chunked_ttfr * 1000:.2f} ms",
+             f"{ttfr_factor:.2f}x the per-element TTFR"]],
+           ["backend", "time", "notes"])
+
+    summary = {
+        "local_elements": LOCAL_ELEMENTS,
+        "total_eager_s": eager_total,
+        "total_element_stream_s": element_total,
+        "total_chunked_stream_s": chunked_total,
+        "chunked_vs_element_speedup": speedup,
+        "element_ttfr_remote_s": element_ttfr,
+        "chunked_ttfr_remote_s": chunked_ttfr,
+        "chunked_vs_element_ttfr_factor": ttfr_factor,
+        "stream_fallbacks": chunk_stats.stream_fallbacks,
+        "scalar_stages": chunk_stats.scalar_stages,
+    }
+    _update_summary("local_throughput", summary)
+
+    # The acceptance gates (env-tunable for shared-runner noise).
+    assert speedup >= CHUNK_FACTOR, summary
+    assert ttfr_factor <= CHUNK_TTFR_FACTOR, summary
 
 
 def test_first_result_consumes_o1_source_elements():

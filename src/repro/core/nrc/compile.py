@@ -51,10 +51,10 @@ often the handoff happened at run time.  Both execution modes share the same
 statistics), so compiled and interpreted fragments interoperate freely —
 including closures crossing the boundary in either direction.
 
-Eager vs streaming lowering
----------------------------
+Eager vs streaming vs chunked lowering
+--------------------------------------
 
-The module offers **two lowering targets** over the same node registry
+The module offers **three lowering targets** over the same node registry
 discipline:
 
 * :func:`compile_term` — the eager backend: every closure returns a fully
@@ -64,10 +64,17 @@ discipline:
   collections, never half-consumed cursors).
 * :func:`compile_stream` — the pull-based backend: nodes with a registered
   stream compiler (see :func:`register_stream_compiler`) become generator
-  pipeline stages that yield elements as they are produced.  This is what
-  ``KleisliEngine.stream`` uses: it minimizes time-to-first-result and peak
-  intermediate memory by overlapping remote I/O with downstream consumption
-  (Section 4's "laziness in strategic places").
+  pipeline stages that yield elements as they are produced.  It minimizes
+  time-to-first-result and peak intermediate memory by overlapping remote
+  I/O with downstream consumption (Section 4's "laziness in strategic
+  places").
+* :func:`compile_chunked` — the morsel-at-a-time backend: stages exchange
+  *lists* of at most K elements instead of single elements, and adjacent
+  map/filter stages fuse into tight per-chunk loops.  This is what
+  ``KleisliEngine.stream`` uses by default in compiled mode: it keeps the
+  per-element backend's asymptotics (laziness, bounded buffering, scope-
+  managed cursors) while removing the per-element generator-frame overhead
+  that dominates local in-memory pipelines.  See "Chunked semantics" below.
 
 Selection is per *call site* (``execute`` vs ``stream``), then per *node*
 within a streamed pipeline: ``Ext`` chains, filters, ``Let``/``IfThenElse``,
@@ -114,6 +121,48 @@ of joins (the hash index / rescan source), unproven ``Union`` operands (the
 run-time class check needs the values), ``Cached`` (a deliberate
 materialization point), and scalar operators reached through a collection
 position.
+
+Chunked semantics
+-----------------
+
+The chunked lowering (:func:`compile_chunked`, registry
+:func:`register_chunk_compiler`) obeys three rules of its own on top of the
+streaming rules above:
+
+* **Parity** — a drained chunked run yields exactly the element sequence of
+  ``execute``'s result (and of the per-element stream), and agrees on
+  ``EvalStatistics.elements_fetched``.  Chunk sizes are value-invisible:
+  dedup-as-you-go carries its seen-set *across* chunk boundaries, the typed
+  union's shared seen-filter and the join probes have chunk-wise forms, and
+  fused map/filter stages preserve per-stage ``ext_iterations`` accounting.
+  Partial-progress counters on a *failing* run may differ from the
+  per-element stream's (a chunk stage processes its chunk through one stage
+  before the next), just as the eager backend's already do.
+* **The ramp** — chunk sizes start at 1 and double per chunk up to the
+  :class:`ChunkPolicy` maximum (read from ``EvalContext.chunk_policy`` at
+  run time, so compiled pipelines stay cacheable by term fingerprint).
+  The first chunk therefore costs one source element: time-to-first-result
+  matches the per-element stream, while steady-state throughput gets full-
+  size chunks.  Remote drivers (``ChunkPolicy.sizes_for``) keep a smaller
+  maximum so a chunk never buffers more than a bounded slice of a slow
+  cursor; abandoning a pipeline mid-chunk still releases every cursor —
+  including those behind buffered-but-unconsumed chunk elements — through
+  the same :class:`~repro.core.nrc.eval.EvalScope` as the per-element
+  stream.
+* **The fallback surface** — node types without a chunk compiler run at
+  per-element granularity inside the chunked pipeline (the existing stream
+  lowering, re-chunked for downstream stages): correct, just not
+  vectorized.  Those stages are named in
+  ``CompiledChunkedStream.scalar_stages`` and counted at run time by
+  ``EvalStatistics.scalar_stages``; nodes with no stream lowering either
+  keep falling through to eager sections (``stream_fallbacks``), exactly as
+  in the per-element backend.
+
+An ``Ext`` whose body is a ``Scan`` depending on the loop variable
+additionally batches its driver fetches: one
+``EvalContext.driver_executor_batch`` call (``Driver.execute_batch``) per
+batch — the source chunk, capped at the *scan* driver's policy maximum —
+instead of one request per element.
 """
 
 from __future__ import annotations
@@ -151,14 +200,19 @@ from .eval import (
     require_join_condition,
     scan_stream,
 )
-from .prims import lookup_primitive
+from .prims import (
+    fused_primitive_with_const,
+    lookup_primitive,
+    lookup_primitive_raw,
+)
 from .structural import proven_collection_kind
 
 __all__ = [
     "ExecutionMode", "CompiledQuery", "CompiledClosure", "CompiledStream",
-    "compile_term", "compile_stream", "register_compiler",
-    "register_stream_compiler", "supported_node_types",
-    "streamable_node_types", "term_fingerprint",
+    "CompiledChunkedStream", "ChunkPolicy", "compile_term", "compile_stream",
+    "compile_chunked", "register_compiler", "register_stream_compiler",
+    "register_chunk_compiler", "supported_node_types",
+    "streamable_node_types", "chunkable_node_types", "term_fingerprint",
 ]
 
 _COLLECTIONS = (CSet, CBag, CList)
@@ -246,15 +300,18 @@ class _CompileState:
 
     ``fallbacks`` names subtrees delegated to the tree-walking interpreter
     (no eager compiler); ``eager`` names subtrees of a *streaming* lowering
-    that had no pull-based form and were lowered eagerly instead.
+    that had no pull-based form and were lowered eagerly instead; ``scalar``
+    names subtrees of a *chunked* lowering that had no chunk-wise form and
+    run at per-element granularity inside the chunked pipeline.
     """
 
-    __slots__ = ("n_free", "fallbacks", "eager")
+    __slots__ = ("n_free", "fallbacks", "eager", "scalar")
 
     def __init__(self, n_free: int):
         self.n_free = n_free
         self.fallbacks: List[str] = []
         self.eager: List[str] = []
+        self.scalar: List[str] = []
 
 
 _Scope = Tuple[str, ...]
@@ -1515,6 +1572,1047 @@ def compile_stream(term: A.Expr) -> CompiledStream:
     :class:`~repro.core.nrc.eval.EvalContext` to get the element iterator.
     """
     return CompiledStream(term)
+
+
+# ---------------------------------------------------------------------------
+# Chunked (morsel-at-a-time) lowering
+# ---------------------------------------------------------------------------
+#
+# The third lowering target: stages exchange *lists* of at most K elements
+# instead of single elements, so the per-element cost of a pipeline stage is
+# one tight-loop iteration rather than a generator-frame suspend/resume.
+# Adjacent Ext stages with map/filter bodies fuse into ONE chunk stage that
+# runs each stage as a tight loop over the chunk; set-kind dedup, the typed
+# union's shared seen-filter and both join probes have chunk-wise forms that
+# preserve exact element-sequence parity with execute (see the module
+# docstring's "Chunked semantics").  Chunk sizes ramp from 1 (first chunk =
+# first element: TTFR parity with the per-element stream) doubling up to the
+# ChunkPolicy maximum, read from the EvalContext at run time.
+
+
+class ChunkPolicy:
+    """Chunk-size policy for the chunked lowering (a run-time parameter).
+
+    ``sizes_for(driver)`` returns the ``(initial, maximum)`` ramp bounds for
+    a source: chunks start at ``initial`` (1 by default, protecting
+    time-to-first-result) and double per chunk up to ``maximum``.  Remote
+    drivers — decided by the ``is_remote`` callable, which
+    ``KleisliEngine.stream`` wires to its
+    :class:`~repro.kleisli.statistics.SourceStatisticsRegistry` — keep the
+    smaller ``remote_max_chunk`` so one chunk never buffers more than a
+    bounded slice of a slow cursor; local sources ramp to ``max_chunk``.
+
+    ``parallel_chunk`` selects the granularity of a streamed
+    ``ParallelExt``'s prefetcher: 1 (the default) keeps one in-flight task
+    per source *element* — the right shape for overlapping remote latency,
+    and exactly the per-element backend's bounding behavior — while a larger
+    value submits one task per ``parallel_chunk`` source elements
+    (``AdaptiveScheduler.prefetch``'s chunk-granular mode), amortizing task
+    overhead when the body is cheap.
+    """
+
+    DEFAULT_MAX_CHUNK = 1024
+    REMOTE_MAX_CHUNK = 32
+
+    __slots__ = ("max_chunk", "remote_max_chunk", "initial_chunk",
+                 "parallel_chunk", "is_remote")
+
+    def __init__(self, max_chunk: int = DEFAULT_MAX_CHUNK,
+                 remote_max_chunk: int = REMOTE_MAX_CHUNK,
+                 initial_chunk: int = 1, parallel_chunk: int = 1,
+                 is_remote: Optional[Callable[[str], bool]] = None):
+        if max_chunk < 1 or remote_max_chunk < 1 or initial_chunk < 1 \
+                or parallel_chunk < 1:
+            raise ValueError("chunk sizes must be at least 1")
+        self.max_chunk = max_chunk
+        self.remote_max_chunk = remote_max_chunk
+        self.initial_chunk = initial_chunk
+        self.parallel_chunk = parallel_chunk
+        self.is_remote = is_remote
+
+    def sizes_for(self, driver: Optional[str] = None) -> Tuple[int, int]:
+        """The ``(initial, maximum)`` chunk-size ramp bounds for a source."""
+        maximum = self.max_chunk
+        if driver is not None and self.is_remote is not None \
+                and self.is_remote(driver):
+            maximum = self.remote_max_chunk
+        return self.initial_chunk, max(self.initial_chunk, maximum)
+
+
+#: The policy used when a context carries none (local ramp to 1024).
+DEFAULT_CHUNK_POLICY = ChunkPolicy()
+
+
+def _active_policy(context: EvalContext) -> ChunkPolicy:
+    policy = getattr(context, "chunk_policy", None)
+    return DEFAULT_CHUNK_POLICY if policy is None else policy
+
+
+def _ramped_chunks(iterator, initial: int, maximum: int):
+    """Group an element iterator into ramping chunks: 1, 2, 4, ... maximum.
+
+    Pulls exactly ``size`` elements before yielding a chunk — no lookahead
+    beyond the chunk boundary, so a consumer that stops early never caused
+    more source consumption than the chunk it is reading (the same bounding
+    the per-element stream gives, at chunk granularity).
+    """
+    size = max(1, initial)
+    maximum = max(size, maximum)
+    chunk: list = []
+    append = chunk.append
+    for item in iterator:
+        append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+            append = chunk.append
+            if size < maximum:
+                size = min(maximum, size * 2)
+    if chunk:
+        yield chunk
+
+
+class _ChunkRamp:
+    """A chunk-size ramp shared across several emission sites.
+
+    The batched-scan stage emits one result's elements after another; a
+    ramp that restarted at 1 for every result would re-pay tiny-chunk
+    dispatch overhead per result.  This object carries the size across
+    them: it still starts at ``initial`` (protecting the pipeline's very
+    first chunk — TTFR) and doubles per emitted chunk to ``maximum``.
+    """
+
+    __slots__ = ("size", "maximum")
+
+    def __init__(self, initial: int, maximum: int):
+        self.size = max(1, initial)
+        self.maximum = max(self.size, maximum)
+
+    def emit_sliced(self, elements):
+        """Ramped chunks of an indexable sequence, by C-level slicing."""
+        start = 0
+        total = len(elements)
+        while start < total:
+            yield list(elements[start:start + self.size])
+            start += self.size
+            self._grow()
+
+    def emit_pulled(self, iterator):
+        """Ramped chunks of a lazy cursor (no lookahead past the chunk)."""
+        chunk: list = []
+        append = chunk.append
+        for item in iterator:
+            append(item)
+            if len(chunk) >= self.size:
+                yield chunk
+                chunk = []
+                append = chunk.append
+                self._grow()
+        if chunk:
+            yield chunk
+
+    def _grow(self):
+        if self.size < self.maximum:
+            self.size = min(self.maximum, self.size * 2)
+
+
+def _sliced_chunks(elements, initial: int, maximum: int):
+    """Ramped chunks of an indexable sequence, cut by slicing.
+
+    The fast path for *materialized* sources: a chunk is one C-level slice
+    of the backing tuple/list, so chunking a local collection costs no
+    per-element Python work at all (contrast :func:`_ramped_chunks`, which
+    must pull cursor elements one by one).
+    """
+    size = max(1, initial)
+    maximum = max(size, maximum)
+    total = len(elements)
+    start = 0
+    while start < total:
+        end = start + size
+        yield list(elements[start:end])
+        start = end
+        if size < maximum:
+            size = min(maximum, size * 2)
+
+
+def _chunk_elements(value: object, context: EvalContext,
+                    initial: int, maximum: int):
+    """Ramped chunks of an evaluated value: sliced when materialized,
+    pulled element-wise when lazy (cursors stay scope-registered)."""
+    if isinstance(value, _COLLECTIONS):
+        return _sliced_chunks(value._elements, initial, maximum)
+    return _ramped_chunks(_iterate_streamed(value, context), initial, maximum)
+
+
+_ChunkFn = Callable[[list, EvalContext], object]
+_CHUNK_COMPILERS: Dict[Type[A.Expr], Callable[[A.Expr, _Scope, _CompileState], _ChunkFn]] = {}
+
+
+def register_chunk_compiler(node_type: Type[A.Expr]):
+    """Register a chunk-wise lowering for an AST node type.
+
+    Same exact-type dispatch contract as :func:`register_stream_compiler`.
+    The registered function compiles ``expr`` to a generator function
+    ``chunks(frame, context)`` whose iterator yields non-empty **lists** of
+    elements; the concatenation of the lists must equal the node's element
+    sequence, and no work (including driver requests) may happen before the
+    first ``next()``.
+    """
+
+    def decorator(function):
+        _CHUNK_COMPILERS[node_type] = function
+        return function
+
+    return decorator
+
+
+def chunkable_node_types() -> Tuple[str, ...]:
+    """Names of node types with a native chunk-wise lowering."""
+    return tuple(sorted(cls.__name__ for cls in _CHUNK_COMPILERS))
+
+
+def _compile_chunk(expr: A.Expr, scope: _Scope, state: _CompileState) -> _ChunkFn:
+    compiler = _CHUNK_COMPILERS.get(type(expr))
+    if compiler is None:
+        return _chunk_via_stream(expr, scope, state)
+    return compiler(expr, scope, state)
+
+
+def _scan_drivers(expr: A.Expr) -> Tuple[str, ...]:
+    """Every driver name scanned anywhere in ``expr`` (for chunk sizing)."""
+    names = set()
+    if type(expr) is A.Scan:
+        names.add(expr.driver)
+    for child in expr.children():
+        names.update(_scan_drivers(child))
+    return tuple(sorted(names))
+
+
+def _subtree_sizes(policy: ChunkPolicy, drivers: Tuple[str, ...]) -> Tuple[int, int]:
+    """The most conservative ramp bounds over a subtree's scan drivers.
+
+    A re-chunk point (scalar stage, eager section) sits downstream of
+    whatever cursors its subtree opens; pulling a chunk pulls through them.
+    Taking the minimum maximum over every driver the subtree can scan keeps
+    the remote buffering bound ("one chunk never buffers more than a
+    bounded slice of a slow cursor") intact across those points — a
+    driver-free subtree gets the local sizes.
+    """
+    initial, maximum = policy.sizes_for()
+    for driver in drivers:
+        driver_initial, driver_maximum = policy.sizes_for(driver)
+        initial = min(initial, driver_initial)
+        maximum = min(maximum, driver_maximum)
+    return initial, maximum
+
+
+def _chunk_via_stream(expr: A.Expr, scope: _Scope, state: _CompileState) -> _ChunkFn:
+    """Run a node with no chunk lowering at per-element granularity.
+
+    The existing stream lowering produces the elements; they are re-chunked
+    for the downstream (chunk-consuming) stages.  Correct for any node the
+    per-element backend handles, just not vectorized — surfaced via
+    ``CompiledChunkedStream.scalar_stages`` / ``EvalStatistics.scalar_stages``.
+    """
+    state.scalar.append(type(expr).__name__)
+    stream_fn = _compile_stream(expr, scope, state)
+    drivers = _scan_drivers(expr)
+
+    def chunks(frame, context):
+        context.statistics.scalar_stages += 1
+        initial, maximum = _subtree_sizes(_active_policy(context), drivers)
+        yield from _ramped_chunks(stream_fn(frame, context), initial, maximum)
+
+    return chunks
+
+
+def _chunk_via_eager(expr: A.Expr, scope: _Scope, state: _CompileState) -> _ChunkFn:
+    """Evaluate a non-streamable subtree eagerly, then yield its chunks.
+
+    The chunked counterpart of :func:`_stream_via_eager`: same accounting
+    (``eager_nodes`` / ``stream_fallbacks``), same error behavior — the
+    whole value is produced before the first chunk, so a term ``execute``
+    rejects raises here exactly where it raises there.  The eager value can
+    still be a lazy cursor (an eagerly compiled ``Scan``), so the ramp uses
+    the subtree's conservative driver sizes like any re-chunk point.
+    """
+    state.eager.append(type(expr).__name__)
+    fn = _compile(expr, scope, state)
+    drivers = _scan_drivers(expr)
+
+    def chunks(frame, context):
+        context.statistics.stream_fallbacks += 1
+        initial, maximum = _subtree_sizes(_active_policy(context), drivers)
+        yield from _chunk_elements(fn(frame, context), context,
+                                   initial, maximum)
+
+    return chunks
+
+
+def _chunk_leaf(expr: A.Expr, scope: _Scope, state: _CompileState) -> _ChunkFn:
+    """A leaf in source position: evaluate (cheap), chunk lazily.
+
+    Like :func:`_stream_leaf`, not a fallback — not counted anywhere.
+    """
+    fn = _compile(expr, scope, state)
+
+    def chunks(frame, context):
+        initial, maximum = _active_policy(context).sizes_for()
+        yield from _chunk_elements(fn(frame, context), context,
+                                   initial, maximum)
+
+    return chunks
+
+
+register_chunk_compiler(A.Var)(_chunk_leaf)
+register_chunk_compiler(A.Const)(_chunk_leaf)
+# Cached: a deliberate materialization point, chunked like a leaf (see the
+# per-element lowering's treatment).
+register_chunk_compiler(A.Cached)(_chunk_leaf)
+
+
+@register_chunk_compiler(A.Empty)
+def _chunk_empty(expr: A.Empty, scope, state):
+    def chunks(frame, context):
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    return chunks
+
+
+@register_chunk_compiler(A.Singleton)
+def _chunk_singleton(expr: A.Singleton, scope, state):
+    value_fn = _compile(expr.expr, scope, state)
+
+    def chunks(frame, context):
+        yield [value_fn(frame, context)]
+
+    return chunks
+
+
+def _dedup_set_chunks(chunk_fn: _ChunkFn) -> _ChunkFn:
+    """Chunk-wise dedup-as-you-go for set-kind pipelines.
+
+    The seen-set is carried *across* chunk boundaries, so the concatenated
+    output equals :func:`_dedup_set_stream`'s element sequence exactly —
+    chunk sizes stay value-invisible.  Like the per-element wrapper, the raw
+    stage is remembered (``undeduped``) so an enclosing set-kind union can
+    chain operands under one shared seen-filter.
+    """
+
+    def chunks(frame, context):
+        seen: set = set()
+        add = seen.add
+        for chunk in chunk_fn(frame, context):
+            out = []
+            append = out.append
+            for element in chunk:
+                if element not in seen:
+                    add(element)
+                    append(element)
+            if out:
+                yield out
+
+    chunks.undeduped = chunk_fn
+    return chunks
+
+
+@register_chunk_compiler(A.Union)
+def _chunk_union(expr: A.Union, scope, state):
+    """The typed streaming union at chunk granularity (same kind proof)."""
+    kind = expr.kind
+    if (proven_collection_kind(expr.left) != kind
+            or proven_collection_kind(expr.right) != kind):
+        return _chunk_via_eager(expr, scope, state)
+    left_fn = _compile_chunk(expr.left, scope, state)
+    right_fn = _compile_chunk(expr.right, scope, state)
+    if kind == "set":
+        # One seen-set for the whole union chain (see _stream_union).
+        left_fn = getattr(left_fn, "undeduped", left_fn)
+        right_fn = getattr(right_fn, "undeduped", right_fn)
+
+    def chunks(frame, context):
+        yield from left_fn(frame, context)
+        yield from right_fn(frame, context)
+
+    if kind == "set":
+        return _dedup_set_chunks(chunks)
+    return chunks
+
+
+@register_chunk_compiler(A.IfThenElse)
+def _chunk_if(expr: A.IfThenElse, scope, state):
+    cond_fn = _compile(expr.cond, scope, state)
+    then_fn = _compile_chunk(expr.then_branch, scope, state)
+    else_fn = _compile_chunk(expr.else_branch, scope, state)
+
+    def chunks(frame, context):
+        if _require_bool(cond_fn(frame, context)):
+            yield from then_fn(frame, context)
+        else:
+            yield from else_fn(frame, context)
+
+    return chunks
+
+
+@register_chunk_compiler(A.Let)
+def _chunk_let(expr: A.Let, scope, state):
+    value_fn = _compile(expr.value, scope, state)
+    body_fn = _compile_chunk(expr.body, scope + (expr.var,), state)
+
+    def chunks(frame, context):
+        yield from body_fn(_extended(frame, value_fn(frame, context)), context)
+
+    return chunks
+
+
+@register_chunk_compiler(A.Scan)
+def _chunk_scan(expr: A.Scan, scope, state):
+    run = _compile_scan(expr, scope, state)
+    driver = expr.driver
+
+    def chunks(frame, context):
+        # The request fires on first next(); lazy cursors are registered
+        # with the evaluation scope inside the eager scan closure.  Remote
+        # drivers get the policy's smaller maximum chunk.
+        initial, maximum = _active_policy(context).sizes_for(driver)
+        yield from _chunk_elements(run(frame, context), context,
+                                   initial, maximum)
+
+    return chunks
+
+
+def _execute_scan_batch(driver: str, requests: List[dict],
+                        context: EvalContext) -> list:
+    """Issue a chunk's worth of scan requests, batched where possible.
+
+    Routes through ``EvalContext.driver_executor_batch`` (one
+    ``Driver.execute_batch`` call for the whole chunk) when the engine
+    provides it, else loops over the per-request executor.  Lazy results are
+    scope-registered immediately — not on first consumption — so abandoning
+    the pipeline mid-chunk releases cursors the batch opened but downstream
+    never reached; eager collections are counted here like a single scan's.
+    """
+    executor = context.driver_executor
+    batch_executor = context.driver_executor_batch
+    if executor is None and batch_executor is None:
+        raise EvaluationError(
+            f"no driver executor available to satisfy scan of driver {driver!r}"
+        )
+    stats = context.statistics
+    stats.scan_requests += len(requests)
+    if batch_executor is not None:
+        results = list(batch_executor(driver, requests))
+    else:
+        results = [executor(driver, request) for request in requests]
+    prepared = []
+    for result in results:
+        if isinstance(result, _COLLECTIONS):
+            stats.scan_elements += len(result)
+            prepared.append(result)
+        else:
+            prepared.append(scan_stream(result, context))
+    return prepared
+
+
+def _chunk_ext_scan_batch(expr: A.Ext, scope: _Scope, state: _CompileState) -> _ChunkFn:
+    """``Ext`` whose body is a ``Scan``: batch the chunk's driver fetches.
+
+    The per-element stream issues one request per source element; here a
+    whole batch of requests is built first and dispatched in one
+    ``execute_batch`` call, then each result's elements are yielded in
+    request order — the same element sequence and the same drained-run
+    statistics, at one driver round-trip per batch.
+
+    The batch size is bounded by the *scan driver's* policy maximum (not
+    just the source's chunk size): a remote scan driver keeps small batches,
+    so one ``execute_batch`` call never blocks on — or buffers the results
+    of — more than ``remote_max_chunk`` round-trips, however large the
+    (possibly local, fully ramped) source's chunks grow.
+    """
+    source_fn = _compile_chunk(expr.source, scope, state)
+    scan = expr.body
+    body_scope = scope + (expr.var,)
+    driver = scan.driver
+    base_request = dict(scan.request)
+    arg_fns = tuple((key, _compile(arg, body_scope, state))
+                    for key, arg in scan.args.items())
+    slot = len(scope)
+
+    def chunks(frame, context):
+        stats = context.statistics
+        loop_frame = _extended(frame, None)
+        initial, maximum = _active_policy(context).sizes_for(driver)
+        # ONE ramp for the whole stage: it starts at 1 for the first chunk
+        # (TTFR) and keeps its reached size across results, instead of
+        # re-paying the tiny-chunk dispatch overhead per scan result.
+        ramp = _ChunkRamp(initial, maximum)
+        for chunk in source_fn(frame, context):
+            stats.ext_iterations += len(chunk)
+            for start in range(0, len(chunk), maximum):
+                requests = []
+                for item in chunk[start:start + maximum]:
+                    loop_frame[slot] = item
+                    request = dict(base_request)
+                    for key, fn in arg_fns:
+                        request[key] = fn(loop_frame, context)
+                    requests.append(request)
+                for result in _execute_scan_batch(driver, requests, context):
+                    if isinstance(result, _COLLECTIONS):
+                        yield from ramp.emit_sliced(result._elements)
+                    else:
+                        yield from ramp.emit_pulled(iter(result))
+
+    if expr.kind == "set":
+        return _dedup_set_chunks(chunks)
+    return chunks
+
+
+def _ident(item):
+    """The identity item-function (also a marker enabling specializations)."""
+    return item
+
+
+def _item_plan(expr: A.Expr, scope: _Scope, state: _CompileState,
+               slot: int) -> Optional[tuple]:
+    """Compile a fused-stage body into an *item-plan*, or ``None``.
+
+    An item-plan realizes (per pipeline activation, via :func:`_realize`)
+    into a single ``fn(item)`` callable, so a fused chunk stage can run as
+    one ``list(map(fn, chunk))`` / one list comprehension — no loop-frame
+    store and no nested argument-closure calls per element.  Covered: the
+    loop variable, literals, bound/free variable reads (free top-level names
+    keep raising per element when unbound, like the frame form), 1- and
+    2-ary primitives known at compile time, and ``Project`` with the inline
+    Remy directory cache.  Anything else returns ``None`` and the stage
+    falls back to the general loop-frame form — same values either way.
+
+    Enclosing-binder reads are realized once per activation: sound because
+    a fused stage's enclosing frame slots cannot change while the stage's
+    generator is live (a body pipeline is drained before the next outer
+    element is bound).
+    """
+    node_type = type(expr)
+    if node_type is A.Var:
+        var_slot = _slot_of(scope, expr.name)
+        if var_slot is None:
+            return None
+        if var_slot == slot:
+            return ("item",)
+        if var_slot < state.n_free:
+            name = expr.name
+
+            def build_checked(frame, context, _slot=var_slot, _name=name):
+                value = frame[_slot]
+                if type(value) is _Unbound:
+                    def raising(item):
+                        raise UnboundVariableError(_name)
+                    return raising
+                return lambda item, _value=value: _value
+
+            return ("call", build_checked)
+
+        def build_read(frame, context, _slot=var_slot):
+            value = frame[_slot]
+            return lambda item, _value=value: _value
+
+        return ("call", build_read)
+    if node_type is A.Const:
+        return ("const", UNIT_VALUE if expr.value is None else expr.value)
+    if node_type is A.PrimCall:
+        try:
+            # The call-site arity is static here, so the checked wrapper's
+            # per-call arity test is elided (lookup_primitive_raw).
+            function = lookup_primitive_raw(expr.name, len(expr.args))
+        except EvaluationError:
+            return None
+        if len(expr.args) not in (1, 2):
+            return None
+        plans = [_item_plan(arg, scope, state, slot) for arg in expr.args]
+        if any(plan is None for plan in plans):
+            return None
+        if len(plans) == 1:
+            plan, = plans
+            if plan == ("item",):
+                # fn(item) == function(item): apply the primitive directly.
+                return ("call", lambda frame, context, _f=function: _f)
+
+            def build1(frame, context, _plan=plan, _f=function):
+                arg_fn = _realize(_plan, frame, context)
+                return lambda item: _f(arg_fn(item))
+
+            return ("call", build1)
+        first, second = plans
+        if first == ("item",) and second[0] == "const":
+            # Constant operand: its value checks run HERE, at compile time
+            # (fused_primitive_with_const), leaving one call per element.
+            fused = fused_primitive_with_const(expr.name, second[1],
+                                               const_is_second=True)
+            if fused is not None:
+                return ("call", lambda frame, context, _fn=fused: _fn)
+            value = second[1]
+            return ("call", lambda frame, context, _f=function, _v=value:
+                    (lambda item: _f(item, _v)))
+        if first[0] == "const" and second == ("item",):
+            fused = fused_primitive_with_const(expr.name, first[1],
+                                               const_is_second=False)
+            if fused is not None:
+                return ("call", lambda frame, context, _fn=fused: _fn)
+            value = first[1]
+            return ("call", lambda frame, context, _f=function, _v=value:
+                    (lambda item: _f(_v, item)))
+
+        def build2(frame, context, _first=first, _second=second, _f=function):
+            first_fn = _realize(_first, frame, context)
+            second_fn = _realize(_second, frame, context)
+            return lambda item: _f(first_fn(item), second_fn(item))
+
+        return ("call", build2)
+    if node_type is A.Project:
+        subject_plan = _item_plan(expr.expr, scope, state, slot)
+        if subject_plan is None:
+            return None
+        label = expr.label
+
+        def build_project(frame, context, _plan=subject_plan, _label=label):
+            subject_fn = _realize(_plan, frame, context)
+            direct = subject_fn is _ident
+            cache: List[Optional[tuple]] = [None]
+
+            def project(item):
+                subject = item if direct else subject_fn(item)
+                if isinstance(subject, Record):
+                    cached = cache[0]
+                    directory = subject.directory
+                    if cached is not None and cached[0] is directory:
+                        return subject.values[cached[1]]
+                    value_slot = directory.slot_of(_label)
+                    cache[0] = (directory, value_slot)
+                    return subject.values[value_slot]
+                if isinstance(subject, Ref):
+                    target = subject.deref()
+                    if isinstance(target, Record):
+                        return target.project(_label)
+                    raise EvaluationError(
+                        f"dereferenced value of {subject!r} is not a record; "
+                        f"cannot project {_label!r}")
+                raise EvaluationError(
+                    f"cannot project field {_label!r} from {type(subject).__name__}")
+
+            return project
+
+        return ("call", build_project)
+    return None
+
+
+def _realize(plan: tuple, frame: list, context: EvalContext):
+    """Turn an item-plan into its per-activation ``fn(item)`` callable."""
+    tag = plan[0]
+    if tag == "item":
+        return _ident
+    if tag == "const":
+        value = plan[1]
+        return lambda item: value
+    return plan[1](frame, context)
+
+
+
+
+@register_chunk_compiler(A.Ext)
+def _chunk_ext(expr: A.Ext, scope, state):
+    """Chunked ``Ext``: fuse adjacent map/filter stages into one chunk stage.
+
+    Walking down through directly nested ``Ext`` nodes whose bodies are the
+    desugarer's ``Singleton``/filter shapes collects an op list (innermost
+    first); every stage binds its loop variable at the *same* frame slot
+    (each source is compiled in the enclosing scope), so one reused loop
+    frame serves the whole fused segment.  At run time each chunk flows
+    through the ops as tight loops — no generator frame per stage — with
+    per-stage ``ext_iterations`` batched per chunk and set-kind stages
+    deduping through a seen-set that persists across chunks.
+    """
+    slot = len(scope)
+    stages = []  # outermost-first: (op, dedup_after)
+    node = expr
+    top = True
+    while type(node) is A.Ext:  # exact type: ParallelExt has its own lowering
+        body = node.body
+        body_scope = scope + (node.var,)
+        if type(body) is A.Singleton:
+            plan = _item_plan(body.expr, body_scope, state, slot)
+            if plan == ("item",):
+                # Identity map: no transformation, only loop accounting.
+                op = ("count",)
+            elif plan is not None:
+                op = ("vmap", plan)
+            else:
+                op = ("map", _compile(body.expr, body_scope, state))
+        else:
+            filter_shape = _filter_shape(body)
+            if filter_shape is None:
+                break
+            emit_when, value_expr = filter_shape
+            cond_plan = _item_plan(body.cond, body_scope, state, slot)
+            value_plan = _item_plan(value_expr, body_scope, state, slot)
+            if cond_plan is not None and value_plan is not None:
+                op = ("vfilter", cond_plan, value_plan, emit_when)
+            else:
+                op = ("filter", _compile(body.cond, body_scope, state),
+                      _compile(value_expr, body_scope, state), emit_when)
+        # The top stage's set dedup is the wrapper below; an absorbed inner
+        # stage's dedup becomes an op between it and the enclosing stage.
+        stages.append((op, node.kind == "set" and not top))
+        top = False
+        node = node.source
+
+    if not stages:
+        if type(expr.body) is A.Scan:
+            return _chunk_ext_scan_batch(expr, scope, state)
+        return _chunk_ext_generic(expr, scope, state)
+
+    source_fn = _compile_chunk(node, scope, state)
+    op_list: List[tuple] = []
+    for op, dedup_after in reversed(stages):  # innermost first
+        op_list.append(op)
+        if dedup_after:
+            op_list.append(("dedup",))
+    ops = tuple(op_list)
+
+    def chunks(frame, context):
+        stats = context.statistics
+        loop_frame = _extended(frame, None)
+        require_bool = _require_bool  # closure-local for the hot comprehensions
+        # Realize the vectorized ops' item-functions once per activation
+        # (enclosing-binder reads bind here; see _item_plan), so each hot
+        # pass below is one list comprehension / one C-level map per chunk.
+        realized = []
+        for op in ops:
+            tag = op[0]
+            if tag == "vmap":
+                realized.append((tag, _realize(op[1], frame, context)))
+            elif tag == "vfilter":
+                realized.append((tag, _realize(op[1], frame, context),
+                                 _realize(op[2], frame, context), op[3]))
+            elif tag == "dedup":
+                realized.append((tag, set()))
+            else:
+                realized.append(op)
+        for out in source_fn(frame, context):
+            for op in realized:
+                tag = op[0]
+                if tag == "vmap":
+                    stats.ext_iterations += len(out)
+                    out = list(map(op[1], out))
+                elif tag == "vfilter":
+                    _, cond_fn, value_fn, emit_when = op
+                    stats.ext_iterations += len(out)
+                    if value_fn is _ident:
+                        out = [item for item in out
+                               if require_bool(cond_fn(item)) is emit_when]
+                    else:
+                        out = [value_fn(item) for item in out
+                               if require_bool(cond_fn(item)) is emit_when]
+                elif tag == "count":
+                    stats.ext_iterations += len(out)
+                elif tag == "map":
+                    value_fn = op[1]
+                    stats.ext_iterations += len(out)
+                    nxt = []
+                    append = nxt.append
+                    for item in out:
+                        loop_frame[slot] = item
+                        append(value_fn(loop_frame, context))
+                    out = nxt
+                elif tag == "filter":
+                    _, cond_fn, value_fn, emit_when = op
+                    stats.ext_iterations += len(out)
+                    nxt = []
+                    append = nxt.append
+                    for item in out:
+                        loop_frame[slot] = item
+                        if _require_bool(cond_fn(loop_frame, context)) is emit_when:
+                            append(value_fn(loop_frame, context))
+                    out = nxt
+                else:  # dedup (an absorbed set-kind stage)
+                    seen = op[1]
+                    add = seen.add
+                    nxt = []
+                    append = nxt.append
+                    for element in out:
+                        if element not in seen:
+                            add(element)
+                            append(element)
+                    out = nxt
+                if not out:
+                    break
+            if out:
+                yield out
+
+    if expr.kind == "set":
+        return _dedup_set_chunks(chunks)
+    return chunks
+
+
+def _chunk_ext_generic(expr: A.Ext, scope: _Scope, state: _CompileState) -> _ChunkFn:
+    """Chunked ``Ext`` with an arbitrary (collection-producing) body.
+
+    The body's own chunk stream passes through: its chunks become output
+    chunks, consumed fully per source element before the next is bound (the
+    loop-frame reuse argument of the per-element lowering applies verbatim).
+    """
+    source_fn = _compile_chunk(expr.source, scope, state)
+    body_fn = _compile_chunk(expr.body, scope + (expr.var,), state)
+    slot = len(scope)
+
+    def chunks(frame, context):
+        stats = context.statistics
+        loop_frame = _extended(frame, None)
+        for chunk in source_fn(frame, context):
+            stats.ext_iterations += len(chunk)
+            for item in chunk:
+                loop_frame[slot] = item
+                yield from body_fn(loop_frame, context)
+
+    if expr.kind == "set":
+        return _dedup_set_chunks(chunks)
+    return chunks
+
+
+@register_chunk_compiler(A.Join)
+def _chunk_join(expr: A.Join, scope, state):
+    """Chunk-wise join probing: per outer *chunk*, build side unchanged.
+
+    The indexed join builds its hash index before the first outer pull and
+    probes it per outer element within each chunk; a block-size-1 blocked
+    join materializes the inner once on first need — both exactly the
+    per-element lowering's build policy, emitting one output chunk per
+    probed outer chunk.  Blocked joins with a larger block size keep the
+    per-element lowering (their inner-rescan-per-block protocol is already
+    block-granular; the optimizer's streaming plans emit block size 1).
+    """
+    if expr.method != "indexed" and max(1, expr.block_size) != 1:
+        return _chunk_via_stream(expr, scope, state)
+    outer_fn = _compile_chunk(expr.outer, scope, state)
+    inner_fn = _compile(expr.inner, scope, state)
+    pair_scope = scope + (expr.outer_var, expr.inner_var)
+    mode, body = _compile_stream_body(expr.body, pair_scope, state)
+    cond_fn = None
+    if expr.condition is not None:
+        cond_fn = _compile(expr.condition, pair_scope, state)
+    outer_slot = len(scope)
+    inner_slot = outer_slot + 1
+
+    if expr.method == "indexed":
+        if expr.outer_key is None or expr.inner_key is None:
+            def broken(frame, context):
+                raise EvaluationError(
+                    "indexed join requires outer and inner key expressions")
+                yield  # pragma: no cover
+            return broken
+        outer_key_fn = _compile(expr.outer_key, scope + (expr.outer_var,), state)
+        inner_key_fn = _compile(expr.inner_key, scope + (expr.inner_var,), state)
+
+        def chunks_indexed(frame, context):
+            context.statistics.joins_indexed += 1
+            # Build side first, like stream_indexed: the index exists before
+            # the first outer element is pulled.
+            inner = materialise_source(inner_fn(frame, context))
+            key_frame, index = _build_join_index(
+                inner, inner_key_fn, frame, outer_slot, context)
+            pair_frame = _extended(_extended(frame, None), None)
+            for chunk in outer_fn(frame, context):
+                out: list = []
+                for outer_item in chunk:
+                    key_frame[outer_slot] = outer_item
+                    matches = index.get(outer_key_fn(key_frame, context))
+                    if not matches:
+                        continue
+                    pair_frame[outer_slot] = outer_item
+                    for inner_item in matches:
+                        pair_frame[inner_slot] = inner_item
+                        if cond_fn is not None and \
+                                not require_join_condition(cond_fn(pair_frame, context)):
+                            continue
+                        out.extend(_stream_join_emit(mode, body, pair_frame, context))
+                if out:
+                    yield out
+
+        if expr.kind == "set":
+            return _dedup_set_chunks(chunks_indexed)
+        return chunks_indexed
+
+    def chunks_unit_blocked(frame, context):
+        context.statistics.joins_blocked += 1
+        pair_frame = _extended(_extended(frame, None), None)
+        inner = None
+        for chunk in outer_fn(frame, context):
+            out: list = []
+            for outer_item in chunk:
+                if inner is None:
+                    inner = materialise_source(inner_fn(frame, context))
+                pair_frame[outer_slot] = outer_item
+                for inner_item in inner:
+                    pair_frame[inner_slot] = inner_item
+                    if cond_fn is not None and \
+                            not require_join_condition(cond_fn(pair_frame, context)):
+                        continue
+                    out.extend(_stream_join_emit(mode, body, pair_frame, context))
+            if out:
+                yield out
+
+    if expr.kind == "set":
+        return _dedup_set_chunks(chunks_unit_blocked)
+    return chunks_unit_blocked
+
+
+class CompiledChunkedStream:
+    """An NRC term lowered to a chunk-at-a-time generator pipeline.
+
+    Calling it returns an *iterator over elements* (chunks are an internal
+    exchange format; the engine's ``stream`` contract is element-wise) —
+    use :meth:`chunks` to observe the chunk boundaries.  Like
+    :class:`CompiledStream`, the whole run happens inside a fresh
+    :class:`~repro.core.nrc.eval.EvalScope` on the supplied context, so
+    exhaustion, abandonment or failure releases every cursor — including
+    those behind buffered-but-unconsumed chunk elements.
+
+    ``scalar_stages`` names node types with no chunk-wise lowering that run
+    at per-element granularity inside the pipeline; ``eager_nodes`` and
+    ``fallback_nodes`` keep their :class:`CompiledStream` meanings.
+    """
+
+    __slots__ = ("expr", "free_names", "fallback_nodes", "eager_nodes",
+                 "scalar_stages", "_fn")
+
+    def __init__(self, expr: A.Expr):
+        self.expr = expr
+        self.free_names: Tuple[str, ...] = tuple(sorted(free_variables(expr)))
+        state = _CompileState(n_free=len(self.free_names))
+        self._fn = self._lower_toplevel(expr, self.free_names, state)
+        self.fallback_nodes: Tuple[str, ...] = tuple(sorted(set(state.fallbacks)))
+        self.eager_nodes: Tuple[str, ...] = tuple(sorted(set(state.eager)))
+        self.scalar_stages: Tuple[str, ...] = tuple(sorted(set(state.scalar)))
+
+    @classmethod
+    def _lower_toplevel(cls, expr: A.Expr, scope: _Scope,
+                        state: _CompileState) -> _ChunkFn:
+        """Top-level lowering: the same transparent spine and scalar
+        tolerance as :meth:`CompiledStream._lower_toplevel`."""
+        node_type = type(expr)
+        if node_type is A.Let:
+            value_fn = _compile(expr.value, scope, state)
+            body_fn = cls._lower_toplevel(expr.body, scope + (expr.var,), state)
+
+            def chunk_let(frame, context):
+                yield from body_fn(_extended(frame, value_fn(frame, context)),
+                                   context)
+
+            return chunk_let
+        if node_type is A.IfThenElse:
+            cond_fn = _compile(expr.cond, scope, state)
+            then_fn = cls._lower_toplevel(expr.then_branch, scope, state)
+            else_fn = cls._lower_toplevel(expr.else_branch, scope, state)
+
+            def chunk_if(frame, context):
+                if _require_bool(cond_fn(frame, context)):
+                    yield from then_fn(frame, context)
+                else:
+                    yield from else_fn(frame, context)
+
+            return chunk_if
+        if node_type in (A.Var, A.Const, A.Cached):
+            return cls._tolerant_chunks(_compile(expr, scope, state),
+                                        count_fallback=False)
+        if node_type in _CHUNK_COMPILERS:
+            return _compile_chunk(expr, scope, state)
+        if node_type in _STREAM_COMPILERS:
+            # A collection producer with a pull-based form but no chunk-wise
+            # one: run it per-element, re-chunked (a scalar stage).
+            return _chunk_via_stream(expr, scope, state)
+        state.eager.append(node_type.__name__)
+        return cls._tolerant_chunks(_compile(expr, scope, state),
+                                    count_fallback=True)
+
+    @staticmethod
+    def _tolerant_chunks(fn: _CompiledFn, count_fallback: bool) -> _ChunkFn:
+        """Chunk a value's elements if it is a CPL collection, else yield the
+        value as a one-element chunk (same strictness as
+        :meth:`CompiledStream._tolerant_stream`)."""
+
+        def chunks(frame, context):
+            if count_fallback:
+                context.statistics.stream_fallbacks += 1
+            value = fn(frame, context)
+            if isinstance(value, _COLLECTIONS):
+                initial, maximum = _active_policy(context).sizes_for()
+                yield from _sliced_chunks(value._elements, initial, maximum)
+            else:
+                yield [value]
+
+        return chunks
+
+    @property
+    def fully_compiled(self) -> bool:
+        """No interpreter fallback anywhere in the pipeline."""
+        return not self.fallback_nodes
+
+    @property
+    def fully_streamed(self) -> bool:
+        """Every node lowered pull-based (no eager sections)."""
+        return not self.eager_nodes
+
+    @property
+    def fully_chunked(self) -> bool:
+        """Every node lowered chunk-wise (no eager or per-element sections)."""
+        return not self.eager_nodes and not self.scalar_stages
+
+    def __call__(self, env: Optional[Environment] = None,
+                 context: Optional[EvalContext] = None):
+        context = context if context is not None else EvalContext()
+        return self._pump(_build_frame(self.free_names, env), context)
+
+    def chunks(self, env: Optional[Environment] = None,
+               context: Optional[EvalContext] = None):
+        """Iterate the pipeline's chunks (lists) instead of its elements."""
+        context = context if context is not None else EvalContext()
+        return self._pump_chunks(_build_frame(self.free_names, env), context)
+
+    def _pump_chunks(self, frame, context):
+        with context.evaluation_scope():
+            yield from self._fn(frame, context)
+
+    def _pump(self, frame, context):
+        # The scope spans the whole iteration, exactly like CompiledStream:
+        # activated on first next(), closed when the pipeline is exhausted,
+        # abandoned (GeneratorExit) or fails — releasing cursors even when
+        # chunk elements were buffered but never consumed.
+        with context.evaluation_scope():
+            for chunk in self._fn(frame, context):
+                yield from chunk
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        if self.fully_chunked:
+            detail = "fully chunked"
+        else:
+            parts = []
+            if self.scalar_stages:
+                parts.append("scalar: " + ", ".join(self.scalar_stages))
+            if self.eager_nodes:
+                parts.append("eager: " + ", ".join(self.eager_nodes))
+            detail = "; ".join(parts) or "fully chunked"
+        return f"<CompiledChunkedStream ({detail})>"
+
+
+def compile_chunked(term: A.Expr) -> CompiledChunkedStream:
+    """Lower an (optimized) NRC term into a chunk-at-a-time pipeline.
+
+    Returns a :class:`CompiledChunkedStream`; call it with an
+    :class:`~repro.core.nrc.eval.Environment` and an
+    :class:`~repro.core.nrc.eval.EvalContext` (whose ``chunk_policy``
+    governs the chunk-size ramp) to get the element iterator.
+    """
+    return CompiledChunkedStream(term)
 
 
 # ---------------------------------------------------------------------------

@@ -158,6 +158,10 @@ class EvalStatistics:
         #: Run-time count of pipeline sections that had no streaming lowering
         #: and were evaluated eagerly inside a streaming run (streamed mode).
         self.stream_fallbacks = 0
+        #: Run-time count of chunked-pipeline sections that had no chunk
+        #: lowering and ran at per-element granularity instead (chunked mode;
+        #: compile-time names in ``CompiledChunkedStream.scalar_stages``).
+        self.scalar_stages = 0
         #: Engine compile-cache (LRU) accounting for this query's lowering.
         self.compile_cache_hits = 0
         self.compile_cache_misses = 0
@@ -267,10 +271,21 @@ class EvalContext:
 
     def __init__(self, driver_executor: Optional[Callable] = None,
                  statistics: Optional[EvalStatistics] = None,
-                 cache: Optional[Dict[str, object]] = None):
+                 cache: Optional[Dict[str, object]] = None,
+                 driver_executor_batch: Optional[Callable] = None):
         self.driver_executor = driver_executor
+        #: Optional batched Scan callback: ``(driver, [request, ...]) ->
+        #: [result, ...]`` (the engine routes it to ``Driver.execute_batch``).
+        #: The chunked lowering uses it to satisfy a whole chunk's body scans
+        #: in one driver call; absent, scans fall back to per-request calls.
+        self.driver_executor_batch = driver_executor_batch
         self.statistics = statistics or EvalStatistics()
         self.cache = cache if cache is not None else {}
+        #: The :class:`~repro.core.nrc.compile.ChunkPolicy` governing chunk
+        #: sizes for a chunked-pipeline run, or ``None`` for the default
+        #: policy.  Set by ``KleisliEngine.stream`` (a run-time parameter, so
+        #: compiled chunk pipelines stay cacheable by term fingerprint alone).
+        self.chunk_policy = None
         #: The active :class:`EvalScope`, or ``None`` outside a scoped run.
         #: Eager ``execute`` leaves it ``None`` (returned lazy values stay
         #: usable); pipelined ``stream`` runs inside one so abandoning the

@@ -19,14 +19,21 @@ Primitives are plain Python callables over CPL values.  They are grouped into:
 from __future__ import annotations
 
 import functools
+import operator as _operator
 from typing import Callable, Dict, Iterable, List
 
 from ..errors import EvaluationError
 from ..values import CBag, CList, CSet, Record, UNIT_VALUE, Variant, iter_collection, make_collection
 
-__all__ = ["PRIMITIVES", "register_primitive", "lookup_primitive", "primitive_names"]
+__all__ = ["PRIMITIVES", "register_primitive", "lookup_primitive",
+           "lookup_primitive_raw", "fused_primitive_with_const",
+           "primitive_names"]
 
 PRIMITIVES: Dict[str, Callable] = {}
+
+#: The unwrapped implementations and their declared arities, for compilers
+#: that verify the call-site arity statically (see lookup_primitive_raw).
+_RAW_PRIMITIVES: Dict[str, tuple] = {}
 
 
 def register_primitive(name: str, arity: int = None):
@@ -41,6 +48,7 @@ def register_primitive(name: str, arity: int = None):
             return function(*args)
 
         PRIMITIVES[name] = checked
+        _RAW_PRIMITIVES[name] = (function, arity)
         return function
     return decorator
 
@@ -50,6 +58,106 @@ def lookup_primitive(name: str) -> Callable:
         return PRIMITIVES[name]
     except KeyError:
         raise EvaluationError(f"unknown primitive {name!r}")
+
+
+def lookup_primitive_raw(name: str, arity: int) -> Callable:
+    """The unwrapped primitive, for call sites of statically known arity.
+
+    A compiler that sees ``PrimCall(name, args)`` knows ``len(args)`` at
+    compile time; when it matches the declared arity, the per-call arity
+    recheck in the ``checked`` wrapper is provably redundant, so fused hot
+    loops may burn the raw function in (value-type checks and all other
+    semantics live in the function itself and are untouched).  Unknown
+    names, declaration-free primitives and mismatched arities return the
+    checked wrapper — the dynamic path, raising exactly as before.
+    """
+    entry = _RAW_PRIMITIVES.get(name)
+    if entry is not None and entry[1] == arity:
+        return entry[0]
+    return lookup_primitive(name)
+
+
+def fused_primitive_with_const(name: str, const: object,
+                               const_is_second: bool) -> "Callable | None":
+    """A one-argument form of ``primitive(item, const)`` (or the mirror),
+    specialized at compile time — or ``None`` when no *sound* specialization
+    exists.
+
+    The compile-to-closures philosophy applied to primitive operands: when
+    one operand is a literal, its value checks run once at compile time and
+    only the varying operand is checked per element.  Error behavior is
+    bit-identical to the generic path — same exceptions, same messages, same
+    operand order in messages — because a constant that would fail (or
+    complicate) the generic checks simply declines specialization and the
+    call site keeps the generic two-argument form.
+    """
+    if name in ("add", "sub", "mul", "mod"):
+        if isinstance(const, bool) or not isinstance(const, (int, float)):
+            return None
+        if name == "add":
+            if const_is_second:
+                return lambda item: _require_number(item, "add") + const
+            return lambda item: const + _require_number(item, "add")
+        if name == "sub":
+            if const_is_second:
+                return lambda item: _require_number(item, "sub") - const
+            return lambda item: const - _require_number(item, "sub")
+        if name == "mul":
+            if const_is_second:
+                return lambda item: _require_number(item, "mul") * const
+            return lambda item: const * _require_number(item, "mul")
+        # mod: the denominator's zero check stays wherever the item is.
+        if const_is_second:
+            if const == 0:
+                return None  # keep the generic per-element raise
+            return lambda item: _require_number(item, "mod") % const
+
+        def mod_by_item(item):
+            divisor = _require_number(item, "mod")
+            if divisor == 0:
+                raise EvaluationError("modulo by zero")
+            return const % divisor
+
+        return mod_by_item
+    if name in ("eq", "neq"):
+        if name == "eq":
+            if const_is_second:
+                return lambda item: item == const
+            return lambda item: const == item
+        if const_is_second:
+            return lambda item: item != const
+        return lambda item: const != item
+    if name in ("lt", "le", "gt", "ge"):
+        if isinstance(const, bool) or not isinstance(const, (int, float)):
+            return None  # string/mixed comparisons keep the generic checks
+        compare = {"lt": _operator.lt, "le": _operator.le,
+                   "gt": _operator.gt, "ge": _operator.ge}[name]
+        if const_is_second:
+            def fused_compare(item):
+                if isinstance(item, bool) or not isinstance(item, (int, float)):
+                    _raise_comparable(name, item, const, True)
+                return compare(item, const)
+        else:
+            def fused_compare(item):
+                if isinstance(item, bool) or not isinstance(item, (int, float)):
+                    _raise_comparable(name, item, const, False)
+                return compare(const, item)
+        return fused_compare
+    return None
+
+
+def _raise_comparable(op: str, item: object, const: object,
+                      const_is_second: bool):
+    """The generic _comparable error, reproduced for fused comparisons."""
+    if isinstance(item, bool):
+        raise EvaluationError(f"{op} is not defined on booleans")
+    if const_is_second:
+        first_type, second_type = type(item).__name__, type(const).__name__
+    else:
+        first_type, second_type = type(const).__name__, type(item).__name__
+    raise EvaluationError(
+        f"{op} expects two numbers or two strings, "
+        f"got {first_type} and {second_type}")
 
 
 def primitive_names() -> List[str]:

@@ -169,6 +169,16 @@ def _stream_parallel_ext(expr: ParallelExt, scope, state):
     """
     source_fn = C._compile_stream(expr.source, scope, state)
     body_fn = C._compile(expr.body, scope + (expr.var,), state)
+    return _parallel_element_lowering(expr, source_fn, body_fn)
+
+
+def _parallel_element_lowering(expr: ParallelExt, source_fn, body_fn):
+    """The element-granular prefetch stage, from already-compiled pieces.
+
+    Factored out so the chunked lowering can reuse ONE compiled body (and
+    this exact prefetch discipline) instead of recompiling the body under a
+    second registrant.
+    """
     kind = expr.kind
     max_workers = expr.max_workers
     adaptive = expr.adaptive
@@ -209,6 +219,86 @@ def _stream_parallel_ext(expr: ParallelExt, scope, state):
         # order), matching the eagerly built CSet element-for-element.
         return C._dedup_set_stream(stream)
     return stream
+
+
+@C.register_chunk_compiler(ParallelExt)
+def _chunk_parallel_ext(expr: ParallelExt, scope, state):
+    """Chunked ParallelExt: prefetch granularity follows the ChunkPolicy.
+
+    With ``parallel_chunk == 1`` (the default) the prefetcher stays
+    element-granular — one in-flight body evaluation per source element,
+    exactly the per-element lowering's bounding behavior, which is the
+    right shape for overlapping *remote* latency — and the results are
+    re-chunked for the downstream (chunk-consuming) stages.  A larger
+    ``parallel_chunk`` switches to the scheduler's chunk-granular prefetch:
+    one task per ``parallel_chunk`` source elements, windows counted in
+    chunks, the window controller sampling per-chunk latency — amortizing
+    task and ordering overhead when the body is cheap.
+    """
+    body_fn = C._compile(expr.body, scope + (expr.var,), state)
+    # The source is compiled under BOTH registries (the policy picks a path
+    # at run time), but the body — the expensive half — is compiled once
+    # and shared by the element and chunk-granular paths.
+    element_fn = _parallel_element_lowering(
+        expr, C._compile_stream(expr.source, scope, state), body_fn)
+    # The outer set-dedup wrapper below provides all dedup the chunked form
+    # needs; use the raw element stage so one seen-set serves the pipeline.
+    element_raw = getattr(element_fn, "undeduped", element_fn)
+    source_chunk_fn = C._compile_chunk(expr.source, scope, state)
+    # A ParallelExt typically exists BECAUSE its body scans a remote driver:
+    # the re-chunk of its output must respect that driver's buffering bound
+    # (one chunk never accumulates more than remote_max_chunk completed
+    # remote replies), like every other re-chunk point.
+    scan_driver_names = C._scan_drivers(expr)
+    kind = expr.kind
+    max_workers = expr.max_workers
+    adaptive = expr.adaptive
+
+    def chunks(frame, context):
+        policy = C._active_policy(context)
+        parallel_chunk = policy.parallel_chunk
+        if parallel_chunk <= 1:
+            initial, maximum = C._subtree_sizes(policy, scan_driver_names)
+            yield from C._ramped_chunks(element_raw(frame, context),
+                                        initial, maximum)
+            return
+        scheduler = _make_scheduler(max_workers, adaptive)
+        scope_obj = context.scope
+        if scope_obj is not None:
+            scope_obj.register(scheduler)
+        stats = context.statistics
+
+        def run_chunk(chunk):
+            out = []
+            for item in chunk:
+                item_frame = list(frame)
+                item_frame.append(item)
+                out.extend(iter_collection(materialise(body_fn(item_frame,
+                                                               context))))
+            return len(chunk), out
+
+        def rechunked_source():
+            # Re-cut whatever the source's own chunking produced into
+            # fixed parallel_chunk task payloads.
+            for chunk in source_chunk_fn(frame, context):
+                for start in range(0, len(chunk), parallel_chunk):
+                    yield chunk[start:start + parallel_chunk]
+
+        try:
+            for consumed, out in scheduler.prefetch(run_chunk,
+                                                    rechunked_source(),
+                                                    chunked=True):
+                stats.ext_iterations += consumed
+                if out:
+                    yield out
+        finally:
+            scheduler.close()
+            if scope_obj is not None:
+                scope_obj.unregister(scheduler)
+
+    if kind == "set":
+        return C._dedup_set_chunks(chunks)
+    return chunks
 
 
 def make_parallel_rule_set(is_remote_driver: Callable[[str], bool],

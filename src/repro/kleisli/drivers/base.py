@@ -18,7 +18,7 @@ A driver has:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from ...core.errors import DriverError
 from ...core.values import Record, to_python
@@ -68,6 +68,16 @@ class Driver:
     #: Capability tags the optimizer's pushdown rules look at.
     capabilities: FrozenSet[str] = frozenset()
 
+    #: Set by drivers whose native :meth:`execute_batch` performs ONE wire
+    #: round-trip for the whole batch (e.g. the relational driver's
+    #: ``call_batch``).  The engine then records no per-request latency
+    #: sample for batched dispatch — the batch elapsed time has no sound
+    #: per-request decomposition.  Drivers whose native batch still performs
+    #: per-request work (the flat-file driver's cached reads) leave this
+    #: False: the mean per-request elapsed IS their true per-request cost,
+    #: and feeds the observed-latency EMA like individual requests would.
+    batch_single_round_trip: bool = False
+
     def __init__(self, name: str):
         self.name = name
         self.request_count = 0
@@ -87,6 +97,21 @@ class Driver:
         """Satisfy a request; subclasses implement :meth:`_execute`."""
         self.request_count += 1
         return self._execute(dict(request))
+
+    def execute_batch(self, requests: Sequence[Mapping[str, object]]) -> List[object]:
+        """Satisfy several requests in one call (the chunked pipeline's
+        batched fetch extension point).
+
+        The engine's ``driver_executor_batch`` routes a whole chunk's worth
+        of Scan requests here.  The contract: result ``i`` corresponds to
+        request ``i``, exactly as ``len(requests)`` separate
+        :meth:`execute` calls would produce — which is also the default
+        implementation, so drivers need not opt in.  Drivers with a cheaper
+        native form override this: the relational driver ships the batch
+        over one remote round-trip, the flat-file driver reads each distinct
+        file once per batch.
+        """
+        return [self.execute(request) for request in requests]
 
     def _execute(self, request: Dict[str, object]):
         raise NotImplementedError

@@ -32,6 +32,28 @@ class FlatFileDriver(Driver):
         super().__init__(name)
         self.root = root
 
+    def execute_batch(self, requests):
+        """Native batched fetch: each distinct file is read once per batch.
+
+        A chunk of Scan requests frequently targets the same flat file with
+        different parse parameters; caching the raw text for the duration of
+        the batch turns K reads of one file into one, while results keep
+        request order and per-request shape (``Driver.execute_batch``'s
+        contract).
+        """
+        text_cache: Dict[str, str] = {}
+        results = []
+        for request in requests:
+            self.request_count += 1
+            request = dict(request)
+            if "text" not in request and "file" in request:
+                path = str(request["file"])
+                if path not in text_cache:
+                    text_cache[path] = self._load_text(request)
+                request["text"] = text_cache[path]
+            results.append(self._execute(request))
+        return results
+
     def _execute(self, request: Dict[str, object]):
         text = self._load_text(request)
         format_name = str(request.get("format", "fasta")).lower()

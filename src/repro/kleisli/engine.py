@@ -17,16 +17,20 @@ remote and local data sources."  The engine is that middle layer:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.errors import DriverNotRegisteredError
 from ..core.nrc import ast as A
 from ..core.nrc.compile import (
+    ChunkPolicy,
+    CompiledChunkedStream,
     CompiledQuery,
     CompiledStream,
     ExecutionMode,
+    compile_chunked,
     compile_stream,
     compile_term,
     term_fingerprint,
@@ -59,13 +63,21 @@ class _CompileCache:
 
     Keys are ``(target, term_fingerprint(expr))`` where ``target`` is
     ``"eager"`` (:class:`CompiledQuery`) or ``"stream"``
-    (:class:`CompiledStream`), so the two lowerings of one term coexist
-    without conflation.  A hit moves the entry to the most-recently-used
-    position; insertion past ``limit`` evicts only the least recently used
-    entry — not the whole cache, as the pre-LRU memo did.
+    (:class:`CompiledStream`) or ``"chunked"`` (:class:`CompiledChunkedStream`),
+    so the lowerings of one term coexist without conflation.  A hit moves
+    the entry to the most-recently-used position; insertion past ``limit``
+    evicts only the least recently used entry — not the whole cache, as the
+    pre-LRU memo did.
+
+    All operations hold a lock: scheduler worker threads compile through
+    the one engine (a ``ParallelExt`` body's subqueries, cross-session
+    reuse), and an unlocked ``OrderedDict`` being reordered by ``get`` while
+    another thread inserts can corrupt the linked list — and the hit/miss
+    counters' read-modify-writes would under-count (``SubqueryCache`` has
+    locked for the same reason all along).
     """
 
-    __slots__ = ("limit", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("limit", "hits", "misses", "evictions", "_entries", "_lock")
 
     def __init__(self, limit: int = _COMPILED_CACHE_LIMIT):
         self.limit = limit
@@ -73,38 +85,45 @@ class _CompileCache:
         self.misses = 0
         self.evictions = 0
         self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: Tuple) -> Optional[object]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Tuple, value: object) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.limit:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.limit:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class KleisliEngine:
     """Driver registry, optimizer and evaluator in one object."""
 
     def __init__(self, optimizer_config: Optional[OptimizerConfig] = None,
-                 execution_mode: object = ExecutionMode.COMPILED):
+                 execution_mode: object = ExecutionMode.COMPILED,
+                 stream_chunking: bool = True):
         self.drivers: Dict[str, Driver] = {}
         self.driver_functions: Dict[str, Tuple[Driver, DriverFunction]] = {}
         self.statistics_registry = SourceStatisticsRegistry()
@@ -117,6 +136,10 @@ class KleisliEngine:
         #: this; ``execute`` keeps the eager plan.
         self.stream_optimizer = self._build_optimizer(streaming=True)
         self.execution_mode = ExecutionMode.coerce(execution_mode)
+        #: Whether compiled-mode ``stream`` uses the chunked (morsel-at-a-
+        #: time) lowering by default; per-call override via
+        #: ``stream(..., chunked=...)``.
+        self.stream_chunking = stream_chunking
         self.last_eval_statistics: Optional[EvalStatistics] = None
         self.last_rewrite_stats: Optional[RewriteStats] = None
         self._compiled_queries = _CompileCache(_COMPILED_CACHE_LIMIT)
@@ -245,11 +268,55 @@ class KleisliEngine:
             driver_name, time.perf_counter() - started)
         return result
 
+    def driver_executor_batch(self, driver_name: str,
+                              requests: Sequence[Mapping[str, object]]) -> List[object]:
+        """The batched Scan callback: a whole chunk's requests in one call.
+
+        A driver that left :meth:`~repro.kleisli.drivers.base.Driver.execute_batch`
+        at its default (loop over ``execute``) is dispatched per request
+        through :meth:`driver_executor` — identical behavior, but every
+        round-trip feeds the observed-latency EMA, so a slow undeclared
+        driver reached only through batched body scans is still promoted to
+        remote (and its later batches capped at ``remote_max_chunk``)
+        exactly as under per-element dispatch.  A driver with a *native*
+        ``execute_batch`` gets the one call; whether it yields a latency
+        sample depends on the driver's declared batch economics
+        (``batch_single_round_trip``): one-wire-call batches record nothing
+        — a batch elapsed time has no sound per-request decomposition, and
+        a mean-per-request sample would decay a genuinely remote driver's
+        EMA below the promotion threshold as batches grow — while native
+        batches that still do per-request work (the flat-file driver's
+        cached reads) record the mean, which IS their true per-request cost.
+        """
+        driver = self.driver(driver_name)
+        if not requests:
+            return []
+        if type(driver).execute_batch is Driver.execute_batch:
+            return [self.driver_executor(driver_name, request)
+                    for request in requests]
+        started = time.perf_counter()
+        results = list(driver.execute_batch(requests))
+        if not driver.batch_single_round_trip:
+            self.statistics_registry.record_latency_sample(
+                driver_name, (time.perf_counter() - started) / len(requests))
+        return results
+
+    def chunk_policy(self) -> ChunkPolicy:
+        """The chunk-size policy for a streamed run, from observed statistics.
+
+        Remote drivers (declared or observed through the registry's latency
+        EMA) keep small chunks so one chunk never buffers more than a
+        bounded slice of a slow cursor; local sources ramp to the full
+        maximum.
+        """
+        return ChunkPolicy(is_remote=self.statistics_registry.is_remote)
+
     def _make_context(self) -> EvalContext:
         statistics = EvalStatistics()
         self.last_eval_statistics = statistics
         return EvalContext(driver_executor=self.driver_executor,
-                           statistics=statistics, cache=self.cache)
+                           statistics=statistics, cache=self.cache,
+                           driver_executor_batch=self.driver_executor_batch)
 
     def _resolve_mode(self, mode: Optional[object]) -> ExecutionMode:
         return self.execution_mode if mode is None else ExecutionMode.coerce(mode)
@@ -295,6 +362,16 @@ class KleisliEngine:
         """
         return self._lowered("stream", expr, compile_stream, statistics)
 
+    def compiled_chunked(self, expr: A.Expr,
+                         statistics: Optional[EvalStatistics] = None) -> CompiledChunkedStream:
+        """Return (and LRU-cache) the chunked (morsel-at-a-time) lowering.
+
+        Third target tag in the shared LRU.  Chunk sizes are *not* baked in
+        — they are read from ``EvalContext.chunk_policy`` at run time — so
+        one cached pipeline serves every policy.
+        """
+        return self._lowered("chunked", expr, compile_chunked, statistics)
+
     def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
                 optimize: bool = True, mode: Optional[object] = None):
         """Optimize (optionally) and evaluate an NRC expression.
@@ -325,22 +402,33 @@ class KleisliEngine:
         return Evaluator(context).evaluate(expr, environment)
 
     def stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
-               optimize: bool = True, mode: Optional[object] = None) -> Iterator[object]:
+               optimize: bool = True, mode: Optional[object] = None,
+               chunked: Optional[bool] = None,
+               chunk_policy: Optional[ChunkPolicy] = None) -> Iterator[object]:
         """Pipelined evaluation: yield elements as the pipeline produces them.
 
-        In compiled mode the (optimized) term is lowered to a pull-based
-        generator pipeline (:meth:`compiled_stream`) — *any* shape pipelines:
-        nested ``Ext`` chains, filters, ``ParallelExt`` (with prefetch
-        overlapping remote latency), the probe side of hash joins.  Sections
-        with no streaming lowering run eagerly inside the pipeline and are
-        surfaced via ``EvalStatistics.stream_fallbacks``.  This is the
-        "laziness in strategic places" of Section 4, used to get initial
-        output to the user quickly.
+        In compiled mode the (optimized) term is lowered by default to a
+        *chunked* pipeline (:meth:`compiled_chunked`): stages exchange
+        ramping chunks — the first chunk is one element, so time-to-first-
+        result matches the per-element backend — and fused per-chunk loops
+        replace per-element generator frames on the hot path.  ``chunked``
+        overrides the engine's ``stream_chunking`` default per call
+        (``False`` forces the per-element generator pipeline of
+        :meth:`compiled_stream`); ``chunk_policy`` overrides the chunk-size
+        policy, which otherwise comes from :meth:`chunk_policy` (remote
+        sources keep small chunks, local sources ramp to the full maximum).
+        Sections with no streaming lowering run eagerly inside the pipeline
+        (``EvalStatistics.stream_fallbacks``); sections with a streaming but
+        no chunk-wise lowering run per-element inside a chunked run
+        (``EvalStatistics.scalar_stages``).  This is the "laziness in
+        strategic places" of Section 4, used to get initial output to the
+        user quickly.
 
         The whole run happens inside a context-managed evaluation scope:
         closing the returned iterator early closes every cursor the pipeline
         opened — the source's *and* any body-level scans' — so an abandoned
-        stream holds no driver resources.  Both execution modes stream.
+        stream holds no driver resources, even behind buffered-but-
+        unconsumed chunk elements.  Both execution modes stream.
         """
         mode = self._resolve_mode(mode)
         if optimize:
@@ -349,7 +437,22 @@ class KleisliEngine:
         # the call site, and last_eval_statistics refers to *this* run as
         # soon as stream() returns); evaluation starts on the first next().
         context = self._make_context()
+        if chunked is None:
+            chunked = self.stream_chunking
+        if mode is ExecutionMode.COMPILED and chunked:
+            context.chunk_policy = chunk_policy if chunk_policy is not None \
+                else self.chunk_policy()
+            return self._stream_chunked(expr, bindings, context)
         return self._stream(expr, bindings, mode, context)
+
+    def _stream_chunked(self, expr: A.Expr,
+                        bindings: Optional[Dict[str, object]],
+                        context: EvalContext) -> Iterator[object]:
+        environment = Environment(dict(bindings or {}))
+        query = self.compiled_chunked(expr, context.statistics)
+        context.statistics.execution_mode = (
+            "compiled" if query.fully_compiled else "compiled+fallback")
+        yield from query(environment, context)
 
     def _stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]],
                 mode: ExecutionMode, context: EvalContext) -> Iterator[object]:

@@ -95,7 +95,8 @@ class _ExecutorMixin:
             pool.shutdown(wait=False)
 
     def prefetch(self, function: Callable[[T], R], items: Iterable[T],
-                 window: Optional[int] = None) -> Iterator[R]:
+                 window: Optional[int] = None,
+                 chunked: bool = False) -> Iterator[R]:
         """Apply ``function`` with a bounded sliding window, yielding in order.
 
         The pipelined counterpart of ``map``: a window of at most
@@ -106,6 +107,14 @@ class _ExecutorMixin:
         pulled lazily, the source itself is only consumed ``window`` elements
         ahead of the consumer (bounding unconsumed replies, the paper's
         resource-control concern).
+
+        With ``chunked`` set, each item is a *chunk* (a list of work units)
+        and one task — one window slot — covers the whole chunk: the window
+        is counted in chunks.  For the bounded scheduler the flag only
+        changes the granularity of what a slot holds (items are opaque
+        either way); the adaptive scheduler additionally feeds its window
+        controller per-chunk samples, see
+        :meth:`AdaptiveScheduler.prefetch`.
 
         Abandoning the iterator (``close()``) stops issuing new requests;
         already in-flight ones are drained so the pool is left quiescent.
@@ -441,7 +450,8 @@ class AdaptiveScheduler(_ExecutorMixin):
         return failed
 
     def prefetch(self, function: Callable[[T], R], items: Iterable[T],
-                 window: Optional[int] = None) -> Iterator[R]:
+                 window: Optional[int] = None,
+                 chunked: bool = False) -> Iterator[R]:
         """Sliding-window prefetch whose window follows the adaptive level.
 
         The window is governed by the same :class:`_WindowController` as
@@ -453,11 +463,22 @@ class AdaptiveScheduler(_ExecutorMixin):
         window and pins the rejection ceiling (multiplicative decrease);
         rejected items are re-issued up to ``max_retries`` times, preserving
         result order.
+
+        The **chunk-granular mode** (``chunked=True``, used by the chunked
+        ``ParallelExt`` lowering): each item is a chunk (list) of work
+        units, one task covers the chunk, and the window is counted in
+        *chunks*.  The controller then samples per-chunk latency — a chunk
+        amortizes enough work to sit above the sub-millisecond noise floor
+        where individual local items would not — and throughput in work
+        units per second (chunk sizes are weighed in), so its decisions
+        stay comparable across granularities.  A rejected chunk is retried
+        whole, preserving order.
         """
         iterator = iter(items)
         in_flight: deque = deque()  # entries: [item, future, attempts, level]
         window_completed = 0
         window_latency = 0.0
+        window_units = 0
 
         def timed(item):
             started = time.perf_counter()
@@ -503,6 +524,7 @@ class AdaptiveScheduler(_ExecutorMixin):
                     # A rejection restarts the sample window at the new level.
                     window_completed = 0
                     window_latency = 0.0
+                    window_units = 0
                     # Let the burst that overloaded the server settle before
                     # re-issuing, or the retry lands on the same congestion
                     # (their results/errors stay stored in the futures and
@@ -512,6 +534,7 @@ class AdaptiveScheduler(_ExecutorMixin):
                     continue
                 window_completed += 1
                 window_latency += latency
+                window_units += len(item) if chunked else 1
                 if window_completed >= cap:
                     # Sample only when the window actually exercised the
                     # current level (cap == level; an explicit ``window``
@@ -529,14 +552,20 @@ class AdaptiveScheduler(_ExecutorMixin):
                         # worker-side timing, so a consumer that pauses
                         # between next() calls can never read as a server
                         # throughput collapse (a wall-clock window would).
+                        # In chunked mode a "request" is a chunk, so the
+                        # estimate is weighted by mean units per chunk to
+                        # stay in work units per second.
+                        mean_units = window_units / window_completed
                         self._controller.on_sample(
                             before,
-                            throughput=before / max(mean_latency, 1e-9),
+                            throughput=before * mean_units
+                            / max(mean_latency, 1e-9),
                             latency=mean_latency)
                         if self.level != before:
                             self.level_history.append(self.level)
                     window_completed = 0
                     window_latency = 0.0
+                    window_units = 0
                 yield result
         finally:
             _drain_futures(entry[1] for entry in in_flight)

@@ -97,6 +97,35 @@ class RemoteSource:
 
     __call__ = call
 
+    def call_batch(self, payloads: List[object]) -> List[object]:
+        """Issue several requests as ONE wire round-trip.
+
+        Models a batched protocol: admission (one concurrency slot), the
+        network latency and the call-log entry are paid once for the whole
+        batch, then the handler runs per payload.  This is what makes a
+        driver's native ``execute_batch`` cheaper than looping ``call`` —
+        a chunk of K requests costs one latency instead of K.
+        """
+        if not payloads:
+            return []
+        with self._lock:
+            if self._in_flight >= self.max_concurrent_requests:
+                raise RemoteSourceError(
+                    f"server {self.name!r} rejected the batch: already handling "
+                    f"{self._in_flight} concurrent requests (cap {self.max_concurrent_requests})"
+                )
+            self._in_flight += 1
+        started = time.monotonic()
+        try:
+            if self.latency > 0:
+                time.sleep(self.latency)
+            return [self.handler(payload) for payload in payloads]
+        finally:
+            finished = time.monotonic()
+            self.log.record(started, finished)
+            with self._lock:
+                self._in_flight -= 1
+
     @property
     def request_count(self) -> int:
         return len(self.log)

@@ -93,3 +93,65 @@ class TestStatisticsCounters:
         assert "compile_cache_hits" in payload
         assert "compile_cache_misses" in payload
         assert "stream_fallbacks" in payload
+
+
+class TestThreadSafety:
+    def test_concurrent_get_put_is_consistent(self):
+        """Scheduler worker threads compile through one engine: concurrent
+        get/put on the LRU must neither corrupt the OrderedDict nor lose
+        counter increments (regression: the cache had no lock, unlike
+        SubqueryCache)."""
+        import threading
+
+        from repro.kleisli.engine import _CompileCache
+
+        cache = _CompileCache(limit=16)
+        rounds = 400
+        workers = 8
+        errors = []
+        barrier = threading.Barrier(workers)
+
+        def worker(seed):
+            try:
+                barrier.wait()
+                for i in range(rounds):
+                    key = ("eager", (seed * 31 + i) % 64)
+                    if cache.get(key) is None:
+                        cache.put(key, object())
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors, errors
+        assert len(cache) <= 16
+        # Locked counters: every get incremented exactly one of hits/misses.
+        assert cache.hits + cache.misses == workers * rounds
+
+    def test_concurrent_streams_share_the_cache(self):
+        """End-to-end: many threads lowering the same term through one
+        engine agree on the (single) compiled object."""
+        import threading
+
+        engine = KleisliEngine()
+        term = B.ext("x", B.singleton(B.var("x"), "list"), B.var("XS"),
+                     kind="list")
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            query = engine.compiled_stream(term)
+            with lock:
+                seen.append(query)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(id(query) for query in seen)) == 1

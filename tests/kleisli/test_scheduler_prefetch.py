@@ -340,3 +340,76 @@ class TestLatencyAwareWindow:
         assert results == list(range(40))
         assert scheduler.level == 3, \
             f"capped prefetch moved the level to {scheduler.level}"
+
+
+class TestChunkGranularPrefetch:
+    """prefetch(chunked=True): items are chunks (lists), one task — one
+    window slot — per chunk, and the adaptive controller samples per-chunk
+    latency (a chunk amortizes enough work to clear the noise floor)."""
+
+    @staticmethod
+    def _chunks(total, size):
+        return [list(range(start, min(start + size, total)))
+                for start in range(0, total, size)]
+
+    def test_preserves_chunk_order_and_contents(self):
+        with BoundedScheduler(max_workers=4) as scheduler:
+            results = list(scheduler.prefetch(
+                lambda chunk: [x * x for x in chunk],
+                self._chunks(50, 7), chunked=True))
+        assert [x for chunk in results for x in chunk] == \
+            [x * x for x in range(50)]
+
+    def test_window_is_counted_in_chunks(self):
+        """At most `level` chunk-tasks in flight: the source is consumed
+        only one window of CHUNKS ahead, however many elements each holds."""
+        pulled = []
+
+        def chunk_source():
+            for chunk in self._chunks(60, 5):
+                pulled.append(chunk)
+                yield chunk
+
+        with BoundedScheduler(max_workers=3) as scheduler:
+            iterator = scheduler.prefetch(
+                lambda chunk: chunk, chunk_source(), chunked=True)
+            next(iterator)
+            # window (3) + the one being yielded + at most one refill
+            assert len(pulled) <= 5, f"pulled {len(pulled)} chunks ahead"
+            iterator.close()
+
+    def test_adaptive_controller_samples_per_chunk_latency(self):
+        """Chunks slow enough to clear the controller's noise floor feed it
+        real samples: the level moves off its initial value (ramp), which
+        per-item sub-millisecond latencies would not do reliably."""
+        scheduler = AdaptiveScheduler(max_workers=4, initial_workers=1)
+        try:
+            def slow_chunk(chunk):
+                time.sleep(0.003)
+                return chunk
+            results = list(scheduler.prefetch(
+                slow_chunk, self._chunks(120, 6), chunked=True))
+            assert [x for chunk in results for x in chunk] == list(range(120))
+            assert scheduler.level > 1, scheduler.level_history
+        finally:
+            scheduler.close()
+
+    def test_rejected_chunks_are_retried_whole_in_order(self):
+        attempts = {}
+
+        def flaky(chunk):
+            key = chunk[0]
+            attempts[key] = attempts.get(key, 0) + 1
+            if key == 12 and attempts[key] == 1:
+                raise RemoteSourceError("chunk rejected")
+            return chunk
+
+        scheduler = AdaptiveScheduler(max_workers=3, initial_workers=3)
+        try:
+            results = list(scheduler.prefetch(
+                flaky, self._chunks(30, 6), chunked=True))
+        finally:
+            scheduler.close()
+        assert [x for chunk in results for x in chunk] == list(range(30))
+        assert attempts[12] == 2
+        assert scheduler.overload_events == 1

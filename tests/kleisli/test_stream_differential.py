@@ -272,6 +272,80 @@ def test_stream_matches_execute(mode, label, expr, bindings):
     assert stream_stats.elements_fetched == execute_stats.elements_fetched, label
 
 
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("label,expr,bindings",
+                         _shapes(), ids=lambda v: v if isinstance(v, str) else "")
+def test_chunked_stream_matches_execute(mode, label, expr, bindings):
+    """The chunked lowering against ``execute`` in BOTH execution modes:
+    exact element sequence, and (against compiled execute, the matching
+    backend) exact ``elements_fetched`` once drained — chunk sizes must be
+    value- and accounting-invisible."""
+    engine = _engine()
+    chunked = list(engine.stream(expr, bindings, optimize=False,
+                                 mode="compiled", chunked=True))
+    chunked_stats = engine.last_eval_statistics
+
+    engine2 = _engine()
+    result = engine2.execute(expr, bindings, optimize=False, mode=mode)
+    execute_stats = engine2.last_eval_statistics
+    try:
+        executed = list(iter_collection(result))
+    except Exception:
+        executed = [result]
+
+    assert chunked == executed, label
+    assert chunked_stats.elements_fetched == execute_stats.elements_fetched, label
+
+
+@pytest.mark.parametrize("label,expr,bindings",
+                         _shapes(), ids=lambda v: v if isinstance(v, str) else "")
+def test_chunked_stream_matches_per_element_stream(label, expr, bindings):
+    """Chunked and per-element compiled streams: one element sequence and
+    one drained-run accounting."""
+    engine = _engine()
+    chunked = list(engine.stream(expr, bindings, optimize=False,
+                                 mode="compiled", chunked=True))
+    chunked_stats = engine.last_eval_statistics
+    engine2 = _engine()
+    element = list(engine2.stream(expr, bindings, optimize=False,
+                                  mode="compiled", chunked=False))
+    element_stats = engine2.last_eval_statistics
+    assert chunked == element, label
+    assert chunked_stats.elements_fetched == element_stats.elements_fetched, label
+
+
+def test_chunked_pipelines_without_scalar_stages_on_optimizer_shapes():
+    """Every optimizer-producible pipelined shape has a native chunk-wise
+    lowering: no eager sections (stream_fallbacks) and no per-element
+    sections (scalar_stages) inside a chunked run."""
+    records = CList([Record({"id": i, "tag": f"r{i}"}) for i in range(6)])
+    refs = CList([Record({"ref": i % 3, "weight": i * 10}) for i in range(9)])
+    condition = B.eq(B.project(B.var("o"), "id"), B.project(B.var("i"), "ref"))
+    shapes = [
+        B.ext("x", B.singleton(B.prim("mul", B.var("x"), B.const(3)), "list"),
+              _scan(count=6), kind="list"),
+        A.Union(
+            B.ext("x", B.singleton(B.var("x"), "list"), _scan(count=3), kind="list"),
+            B.ext("x", B.singleton(B.prim("add", B.var("x"), B.const(50)), "list"),
+                  _scan(count=3), kind="list"),
+            "list"),
+        A.Join("blocked", "o", B.var("OUTER"), "i", B.var("INNER"),
+               condition, B.singleton(B.project(B.var("o"), "tag"), "list"),
+               None, None, "list", 1),
+        ParallelExt("x", B.singleton(B.prim("mul", B.var("x"), B.const(2)), "list"),
+                    _scan(count=7), kind="list", max_workers=3),
+    ]
+    bindings = {"OUTER": records, "INNER": refs}
+    for expr in shapes:
+        engine = _engine()
+        query = engine.compiled_chunked(expr)
+        assert query.fully_chunked, (query.scalar_stages, query.eager_nodes)
+        list(engine.stream(expr, bindings, optimize=False, chunked=True))
+        stats = engine.last_eval_statistics
+        assert stats.stream_fallbacks == 0, stats.as_dict()
+        assert stats.scalar_stages == 0, stats.as_dict()
+
+
 @pytest.mark.parametrize("label,expr,bindings",
                          _shapes(), ids=lambda v: v if isinstance(v, str) else "")
 def test_stream_agrees_across_modes(label, expr, bindings):

@@ -313,6 +313,77 @@ class TestCompiledPipelining:
         assert driver.open_cursors == 0
 
 
+class TestChunkedEarlyClose:
+    """The chunked lowering buffers elements (ramping chunks: 1, 2, 4, ...);
+    abandoning the stream mid-chunk must still release every cursor through
+    the EvalScope — including cursors whose elements sit buffered but
+    unconsumed in the current chunk — and must never have pulled the source
+    beyond the chunk being read."""
+
+    def test_ramping_chunk_early_close_releases_the_source_cursor(self):
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        stream = engine.stream(_scan_comprehension(), optimize=False,
+                               mode="compiled", chunked=True)
+        # Consume 2 elements: the ramp has pulled chunks [0] and [1, 2], so
+        # element 2 is buffered in the current chunk but not yet consumed.
+        assert next(stream) == 0
+        assert next(stream) == 1
+        assert driver.open_cursors == 1
+        assert driver.produced <= 3, \
+            f"ramp pulled {driver.produced} elements for 2 consumed"
+        stream.close()
+        assert driver.open_cursors == 0, \
+            "cursor left open behind a buffered-but-unconsumed chunk element"
+
+    def test_ramping_chunk_early_close_releases_body_cursors(self):
+        """Same guarantee for *body-level* cursors: the batched body fetch
+        registers every chunk result with the scope up front, so closing
+        mid-chunk reaches cursors downstream never even started."""
+        engine = KleisliEngine()
+        driver = engine.register_driver(BiDriver(outer_total=50, inner_total=50))
+        stream = engine.stream(_nested_scan_comprehension(), optimize=False,
+                               mode="compiled", chunked=True)
+        for _ in range(3):
+            next(stream)
+        assert driver.open_cursors["inner"] == 1
+        stream.close()
+        assert driver.open_cursors == {"outer": 0, "inner": 0}, \
+            "body-level cursor left open after closing a chunked stream"
+
+    def test_chunked_stream_does_not_outrun_the_ramp(self):
+        """No lookahead beyond the chunk boundary: closing after 3 elements
+        has pulled at most the chunks containing them (1 + 2 + started 4)."""
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        stream = engine.stream(_scan_comprehension(), optimize=False,
+                               mode="compiled", chunked=True)
+        for _ in range(3):
+            next(stream)
+        stream.close()
+        assert driver.produced <= 1 + 2 + 4, \
+            f"chunked stream drained {driver.produced} elements eagerly"
+
+    def test_exception_mid_chunk_releases_cursors(self):
+        from repro.core.errors import EvaluationError
+
+        engine = KleisliEngine()
+        driver = engine.register_driver(CursorDriver(total=100))
+        expr = B.ext(
+            "x",
+            B.if_then_else(B.prim("lt", B.var("x"), B.const(3)),
+                           B.singleton(B.var("x")),
+                           B.singleton(B.project(B.var("x"), "boom"))),
+            A.Scan("cursors", {"table": "t"}))
+        stream = engine.stream(expr, optimize=False, mode="compiled",
+                               chunked=True)
+        with pytest.raises(EvaluationError):
+            for _ in range(10):
+                next(stream)
+        assert driver.open_cursors == 0, \
+            "cursor left open after a failing chunked pipeline stage"
+
+
 @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
 class TestSchedulerWorkerCleanup:
     def test_no_scheduler_threads_survive_early_close(self, mode):
