@@ -163,11 +163,49 @@ additionally batches its driver fetches: one
 ``EvalContext.driver_executor_batch`` call (``Driver.execute_batch``) per
 batch — the source chunk, capped at the *scan* driver's policy maximum —
 instead of one request per element.
+
+Cost-based planning
+-------------------
+
+The chunk knobs are not constants any more: ``KleisliEngine.stream`` asks
+its :class:`~repro.core.planner.plan.QueryPlanner` for a per-query
+:class:`~repro.core.planner.plan.PhysicalPlan` whose **inputs** are the
+statistics registry (registered/observed cardinalities and driver
+latencies) and the :class:`~repro.core.planner.feedback.PlanFeedback`
+ledger of earlier runs.  The plan's knobs reach this module two ways:
+
+* its :meth:`~repro.core.planner.plan.PhysicalPlan.chunk_policy` becomes
+  ``EvalContext.chunk_policy`` (ramp bounds, ``parallel_chunk``,
+  ``adaptive_ramp``) — still a *run-time* parameter, so the compile-cache
+  key stays the bare term fingerprint and one cached pipeline serves every
+  plan;
+* ``ChunkPolicy.adaptive_ramp`` switches the ramp from blind geometric
+  doubling to a **cost-adaptive** ramp (:class:`_ChunkRamp`): each chunk's
+  production cost is measured, and doubling stops as soon as the marginal
+  per-element cost stops improving (a latency-bound source plateaus
+  immediately and keeps small chunks; a CPU-bound local stage keeps
+  doubling while amortisation still pays).  Sub-millisecond chunks carry
+  no measurable signal and ramp exactly like the non-adaptive policy, so
+  uninformed plans are bit-for-bit today's behaviour.
+
+**Feedback keys**: when the engine attaches a
+:class:`~repro.core.planner.feedback.PlanProbe` to the context
+(``EvalContext.plan_probe``), the chunked pump records each chunk's
+production cost under stage ``"pipeline"`` and batched scans record theirs
+under ``"scan:<driver>"``; a pipeline that drains normally commits its true
+output cardinality.  The probe is keyed by the same
+:func:`term_fingerprint` as the engine's compile cache, with a
+constant-blind shape index for structurally-similar queries.
+**Re-planning triggers** on the next ``stream`` of the same (or
+similarly-shaped) term: the planner reads the ledger before choosing
+knobs, so observed numbers replace estimates without recompiling — the
+pipeline is policy-agnostic by construction.
 """
 
 from __future__ import annotations
 
 import enum
+import time
 from typing import Callable, Dict, List, Optional, Tuple, Type, Union
 
 from ..errors import EvaluationError, UnboundVariableError
@@ -1615,20 +1653,33 @@ class ChunkPolicy:
     REMOTE_MAX_CHUNK = 32
 
     __slots__ = ("max_chunk", "remote_max_chunk", "initial_chunk",
-                 "parallel_chunk", "is_remote")
+                 "parallel_chunk", "is_remote", "adaptive_ramp")
 
     def __init__(self, max_chunk: int = DEFAULT_MAX_CHUNK,
                  remote_max_chunk: int = REMOTE_MAX_CHUNK,
                  initial_chunk: int = 1, parallel_chunk: int = 1,
-                 is_remote: Optional[Callable[[str], bool]] = None):
-        if max_chunk < 1 or remote_max_chunk < 1 or initial_chunk < 1 \
-                or parallel_chunk < 1:
-            raise ValueError("chunk sizes must be at least 1")
+                 is_remote: Optional[Callable[[str], bool]] = None,
+                 adaptive_ramp: bool = False):
+        for name, value in (("max_chunk", max_chunk),
+                            ("remote_max_chunk", remote_max_chunk),
+                            ("initial_chunk", initial_chunk),
+                            ("parallel_chunk", parallel_chunk)):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}")
+        if initial_chunk > max_chunk:
+            raise ValueError(
+                f"initial_chunk ({initial_chunk}) must not exceed "
+                f"max_chunk ({max_chunk}): the ramp only ever grows")
         self.max_chunk = max_chunk
         self.remote_max_chunk = remote_max_chunk
         self.initial_chunk = initial_chunk
         self.parallel_chunk = parallel_chunk
         self.is_remote = is_remote
+        #: With the planner's cost-adaptive ramp, chunk sizes stop doubling
+        #: when the marginal per-chunk cost stops improving (see _ChunkRamp).
+        self.adaptive_ramp = adaptive_ramp
 
     def sizes_for(self, driver: Optional[str] = None) -> Tuple[int, int]:
         """The ``(initial, maximum)`` chunk-size ramp bounds for a source."""
@@ -1648,14 +1699,21 @@ def _active_policy(context: EvalContext) -> ChunkPolicy:
     return DEFAULT_CHUNK_POLICY if policy is None else policy
 
 
-def _ramped_chunks(iterator, initial: int, maximum: int):
+def _ramped_chunks(iterator, initial: int, maximum: int,
+                   adaptive: bool = False):
     """Group an element iterator into ramping chunks: 1, 2, 4, ... maximum.
 
     Pulls exactly ``size`` elements before yielding a chunk — no lookahead
     beyond the chunk boundary, so a consumer that stops early never caused
     more source consumption than the chunk it is reading (the same bounding
-    the per-element stream gives, at chunk granularity).
+    the per-element stream gives, at chunk granularity).  With ``adaptive``
+    (the planner's cost-adaptive ramp) the doubling stops when the marginal
+    per-chunk cost stops improving — see :class:`_ChunkRamp`.
     """
+    if adaptive:
+        yield from _ChunkRamp(initial, maximum, adaptive=True) \
+            .emit_pulled(iterator)
+        return
     size = max(1, initial)
     maximum = max(size, maximum)
     chunk: list = []
@@ -1680,16 +1738,40 @@ class _ChunkRamp:
     dispatch overhead per result.  This object carries the size across
     them: it still starts at ``initial`` (protecting the pipeline's very
     first chunk — TTFR) and doubles per emitted chunk to ``maximum``.
+
+    With ``adaptive`` set (``ChunkPolicy.adaptive_ramp``, chosen by the
+    planner) each chunk's *production* cost is measured — the time from
+    resuming the producer to the chunk being ready, which excludes the
+    consumer's own work between pulls.  Doubling amortizes per-chunk
+    dispatch overhead; once a doubling fails to cut the per-element cost
+    (``RAMP_IMPROVEMENT``), growing further only adds buffering and
+    latency, so the ramp freezes at the current size.  Chunks cheaper than
+    ``RAMP_COST_FLOOR`` carry no signal above timer noise and ramp exactly
+    like the non-adaptive policy — with nothing measurable to amortize, a
+    bigger chunk costs nothing — so an adaptive ramp over a fast local
+    source is behaviourally identical to the geometric one.
     """
 
-    __slots__ = ("size", "maximum")
+    #: A doubling must cut per-element production cost to below this
+    #: fraction of the previous chunk's, or the ramp freezes.
+    RAMP_IMPROVEMENT = 0.9
+    #: Per-chunk production cost (seconds) below which there is no signal.
+    RAMP_COST_FLOOR = 0.001
 
-    def __init__(self, initial: int, maximum: int):
+    __slots__ = ("size", "maximum", "adaptive", "_unit_cost", "_frozen")
+
+    def __init__(self, initial: int, maximum: int, adaptive: bool = False):
         self.size = max(1, initial)
         self.maximum = max(self.size, maximum)
+        self.adaptive = adaptive
+        self._unit_cost: Optional[float] = None
+        self._frozen = False
 
     def emit_sliced(self, elements):
         """Ramped chunks of an indexable sequence, by C-level slicing."""
+        if self.adaptive:
+            yield from self._emit_timed(iter(elements), sliced=elements)
+            return
         start = 0
         total = len(elements)
         while start < total:
@@ -1699,6 +1781,9 @@ class _ChunkRamp:
 
     def emit_pulled(self, iterator):
         """Ramped chunks of a lazy cursor (no lookahead past the chunk)."""
+        if self.adaptive:
+            yield from self._emit_timed(iterator)
+            return
         chunk: list = []
         append = chunk.append
         for item in iterator:
@@ -1711,12 +1796,65 @@ class _ChunkRamp:
         if chunk:
             yield chunk
 
+    def _emit_timed(self, iterator, sliced=None):
+        """The adaptive paths: per-chunk production timing feeds the ramp.
+
+        ``sliced`` keeps the C-level slice cut for materialized sources
+        (timing a slice is near-free, and near-free chunks keep doubling,
+        so the fast path's behaviour is preserved).
+        """
+        if sliced is not None:
+            start = 0
+            total = len(sliced)
+            while start < total:
+                began = time.perf_counter()
+                chunk = list(sliced[start:start + self.size])
+                start += self.size
+                self._note(len(chunk), time.perf_counter() - began)
+                yield chunk
+                self._grow()
+            return
+        chunk: list = []
+        append = chunk.append
+        began = time.perf_counter()
+        for item in iterator:
+            append(item)
+            if len(chunk) >= self.size:
+                self._note(len(chunk), time.perf_counter() - began)
+                yield chunk
+                chunk = []
+                append = chunk.append
+                self._grow()
+                began = time.perf_counter()
+        if chunk:
+            yield chunk
+
+    def _note(self, produced: int, elapsed: float) -> None:
+        """Feed one chunk's production cost into the ramp decision."""
+        if self._frozen or produced <= 0:
+            return
+        if elapsed < self.RAMP_COST_FLOOR:
+            # Too cheap to measure: keep doubling (matches the blind ramp),
+            # and leave the baseline untouched — a noise-era unit cost would
+            # misread the first real chunk as a catastrophic regression.
+            self._unit_cost = None
+            return
+        unit = elapsed / produced
+        if self._unit_cost is not None \
+                and unit > self._unit_cost * self.RAMP_IMPROVEMENT:
+            # The last doubling did not improve marginal per-element cost:
+            # the source is latency- or work-bound per element, and larger
+            # chunks only buy buffering.  Stop here.
+            self._frozen = True
+        self._unit_cost = unit
+
     def _grow(self):
-        if self.size < self.maximum:
+        if not self._frozen and self.size < self.maximum:
             self.size = min(self.maximum, self.size * 2)
 
 
-def _sliced_chunks(elements, initial: int, maximum: int):
+def _sliced_chunks(elements, initial: int, maximum: int,
+                   adaptive: bool = False):
     """Ramped chunks of an indexable sequence, cut by slicing.
 
     The fast path for *materialized* sources: a chunk is one C-level slice
@@ -1724,6 +1862,10 @@ def _sliced_chunks(elements, initial: int, maximum: int):
     per-element Python work at all (contrast :func:`_ramped_chunks`, which
     must pull cursor elements one by one).
     """
+    if adaptive:
+        yield from _ChunkRamp(initial, maximum, adaptive=True) \
+            .emit_sliced(elements)
+        return
     size = max(1, initial)
     maximum = max(size, maximum)
     total = len(elements)
@@ -1737,12 +1879,13 @@ def _sliced_chunks(elements, initial: int, maximum: int):
 
 
 def _chunk_elements(value: object, context: EvalContext,
-                    initial: int, maximum: int):
+                    initial: int, maximum: int, adaptive: bool = False):
     """Ramped chunks of an evaluated value: sliced when materialized,
     pulled element-wise when lazy (cursors stay scope-registered)."""
     if isinstance(value, _COLLECTIONS):
-        return _sliced_chunks(value._elements, initial, maximum)
-    return _ramped_chunks(_iterate_streamed(value, context), initial, maximum)
+        return _sliced_chunks(value._elements, initial, maximum, adaptive)
+    return _ramped_chunks(_iterate_streamed(value, context), initial, maximum,
+                          adaptive)
 
 
 _ChunkFn = Callable[[list, EvalContext], object]
@@ -1821,8 +1964,10 @@ def _chunk_via_stream(expr: A.Expr, scope: _Scope, state: _CompileState) -> _Chu
 
     def chunks(frame, context):
         context.statistics.scalar_stages += 1
-        initial, maximum = _subtree_sizes(_active_policy(context), drivers)
-        yield from _ramped_chunks(stream_fn(frame, context), initial, maximum)
+        policy = _active_policy(context)
+        initial, maximum = _subtree_sizes(policy, drivers)
+        yield from _ramped_chunks(stream_fn(frame, context), initial, maximum,
+                                  policy.adaptive_ramp)
 
     return chunks
 
@@ -1843,9 +1988,10 @@ def _chunk_via_eager(expr: A.Expr, scope: _Scope, state: _CompileState) -> _Chun
 
     def chunks(frame, context):
         context.statistics.stream_fallbacks += 1
-        initial, maximum = _subtree_sizes(_active_policy(context), drivers)
+        policy = _active_policy(context)
+        initial, maximum = _subtree_sizes(policy, drivers)
         yield from _chunk_elements(fn(frame, context), context,
-                                   initial, maximum)
+                                   initial, maximum, policy.adaptive_ramp)
 
     return chunks
 
@@ -1858,9 +2004,10 @@ def _chunk_leaf(expr: A.Expr, scope: _Scope, state: _CompileState) -> _ChunkFn:
     fn = _compile(expr, scope, state)
 
     def chunks(frame, context):
-        initial, maximum = _active_policy(context).sizes_for()
+        policy = _active_policy(context)
+        initial, maximum = policy.sizes_for()
         yield from _chunk_elements(fn(frame, context), context,
-                                   initial, maximum)
+                                   initial, maximum, policy.adaptive_ramp)
 
     return chunks
 
@@ -1976,9 +2123,10 @@ def _chunk_scan(expr: A.Scan, scope, state):
         # The request fires on first next(); lazy cursors are registered
         # with the evaluation scope inside the eager scan closure.  Remote
         # drivers get the policy's smaller maximum chunk.
-        initial, maximum = _active_policy(context).sizes_for(driver)
+        policy = _active_policy(context)
+        initial, maximum = policy.sizes_for(driver)
         yield from _chunk_elements(run(frame, context), context,
-                                   initial, maximum)
+                                   initial, maximum, policy.adaptive_ramp)
 
     return chunks
 
@@ -2043,11 +2191,14 @@ def _chunk_ext_scan_batch(expr: A.Ext, scope: _Scope, state: _CompileState) -> _
     def chunks(frame, context):
         stats = context.statistics
         loop_frame = _extended(frame, None)
-        initial, maximum = _active_policy(context).sizes_for(driver)
+        policy = _active_policy(context)
+        initial, maximum = policy.sizes_for(driver)
+        probe = context.plan_probe
+        stage = "scan:" + driver
         # ONE ramp for the whole stage: it starts at 1 for the first chunk
         # (TTFR) and keeps its reached size across results, instead of
         # re-paying the tiny-chunk dispatch overhead per scan result.
-        ramp = _ChunkRamp(initial, maximum)
+        ramp = _ChunkRamp(initial, maximum, policy.adaptive_ramp)
         for chunk in source_fn(frame, context):
             stats.ext_iterations += len(chunk)
             for start in range(0, len(chunk), maximum):
@@ -2058,7 +2209,14 @@ def _chunk_ext_scan_batch(expr: A.Ext, scope: _Scope, state: _CompileState) -> _
                     for key, fn in arg_fns:
                         request[key] = fn(loop_frame, context)
                     requests.append(request)
-                for result in _execute_scan_batch(driver, requests, context):
+                if probe is None:
+                    results = _execute_scan_batch(driver, requests, context)
+                else:
+                    began = time.perf_counter()
+                    results = _execute_scan_batch(driver, requests, context)
+                    probe.note_chunk(stage, len(requests),
+                                     time.perf_counter() - began)
+                for result in results:
                     if isinstance(result, _COLLECTIONS):
                         yield from ramp.emit_sliced(result._elements)
                     else:
@@ -2545,8 +2703,10 @@ class CompiledChunkedStream:
                 context.statistics.stream_fallbacks += 1
             value = fn(frame, context)
             if isinstance(value, _COLLECTIONS):
-                initial, maximum = _active_policy(context).sizes_for()
-                yield from _sliced_chunks(value._elements, initial, maximum)
+                policy = _active_policy(context)
+                initial, maximum = policy.sizes_for()
+                yield from _sliced_chunks(value._elements, initial, maximum,
+                                          policy.adaptive_ramp)
             else:
                 yield [value]
 
@@ -2587,9 +2747,31 @@ class CompiledChunkedStream:
         # activated on first next(), closed when the pipeline is exhausted,
         # abandoned (GeneratorExit) or fails — releasing cursors even when
         # chunk elements were buffered but never consumed.
+        probe = context.plan_probe
         with context.evaluation_scope():
-            for chunk in self._fn(frame, context):
+            if probe is None:
+                for chunk in self._fn(frame, context):
+                    yield from chunk
+                return
+            # Feedback probing: time each chunk's *production* (the stretch
+            # from resuming the pipeline to the chunk being ready — consumer
+            # time between pulls is excluded) under the "pipeline" stage,
+            # and commit the true output cardinality only when the run
+            # drains normally, so an abandoned stream never records a
+            # partial count as the query's cardinality.
+            iterator = self._fn(frame, context)
+            total = 0
+            while True:
+                began = time.perf_counter()
+                try:
+                    chunk = next(iterator)
+                except StopIteration:
+                    break
+                probe.note_chunk("pipeline", len(chunk),
+                                 time.perf_counter() - began)
+                total += len(chunk)
                 yield from chunk
+            probe.complete(total)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         if self.fully_chunked:

@@ -286,6 +286,15 @@ class EvalContext:
         #: policy.  Set by ``KleisliEngine.stream`` (a run-time parameter, so
         #: compiled chunk pipelines stay cacheable by term fingerprint alone).
         self.chunk_policy = None
+        #: The :class:`~repro.core.planner.plan.PhysicalPlan` the engine's
+        #: planner chose for this run, or ``None`` (uninformed/defaults).
+        #: Lowerings with scheduler knobs (ParallelExt prefetch) read their
+        #: hints from it; like ``chunk_policy`` it is a run-time parameter.
+        self.physical_plan = None
+        #: The :class:`~repro.core.planner.feedback.PlanProbe` collecting
+        #: per-stage per-chunk costs for the feedback ledger, or ``None``
+        #: (no recording).  Set by ``KleisliEngine.stream`` per chunked run.
+        self.plan_probe = None
         #: The active :class:`EvalScope`, or ``None`` outside a scoped run.
         #: Eager ``execute`` leaves it ``None`` (returned lazy values stay
         #: usable); pipelined ``stream`` runs inside one so abandoning the

@@ -31,7 +31,10 @@ __all__ = ["make_join_rule_set"]
 def make_join_rule_set(cardinality_of: Optional[Callable[[A.Expr], int]] = None,
                        minimum_inner_size: int = 8,
                        block_size: int = 256,
-                       streaming: bool = False) -> RuleSet:
+                       streaming: bool = False,
+                       block_size_for: Optional[
+                           Callable[[A.Expr, A.Expr], Optional[int]]] = None
+                       ) -> RuleSet:
     """Build the join rule set.
 
     ``cardinality_of`` maps a source expression to an estimated size (the
@@ -46,8 +49,22 @@ def make_join_rule_set(cardinality_of: Optional[Callable[[A.Expr], int]] = None,
     the build side.  Eager execution is indifferent to the choice (the
     per-element probe evaluates the inner side once, never more than the
     per-block rescan does).
+
+    ``block_size_for`` makes the blocked block size *cost-gated* instead of
+    constant: called with the (outer, inner) source expressions, it returns
+    a block size chosen from registered cardinalities and latencies (the
+    planner's :meth:`~repro.core.planner.plan.QueryPlanner.join_block_size`)
+    or ``None`` to keep ``block_size``.  The ``streaming`` hint *overrides*
+    it — a pipelined plan needs per-element probing whatever the cost model
+    says about rescans, so streamed joins stay at block 1.
     """
     blocked_block_size = 1 if streaming else block_size
+
+    def choose_block(outer: A.Expr, inner: A.Expr) -> int:
+        if streaming or block_size_for is None:
+            return blocked_block_size
+        chosen = block_size_for(outer, inner)
+        return blocked_block_size if chosen is None else max(1, chosen)
 
     def estimate(source: A.Expr) -> int:
         if cardinality_of is None:
@@ -83,7 +100,7 @@ def make_join_rule_set(cardinality_of: Optional[Callable[[A.Expr], int]] = None,
                           block_size)
         return A.Join("blocked", expr.var, expr.source, inner_ext.var, inner_ext.source,
                       residual_condition, body, None, None, expr.kind,
-                      blocked_block_size)
+                      choose_block(expr.source, inner_ext.source))
 
     rule = Rule("local-join", introduce_join,
                 "replace an uncorrelated nested loop with a blocked or indexed join operator")

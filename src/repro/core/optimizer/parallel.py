@@ -69,12 +69,25 @@ class ParallelExt(A.Ext):
 register_kind_prover(ParallelExt)(lambda expr: expr.kind)
 
 
-def _make_scheduler(max_workers: int, adaptive: bool):
+def _make_scheduler(max_workers: int, adaptive: bool,
+                    initial_window: Optional[int] = None):
     from ...kleisli.scheduler import AdaptiveScheduler, BoundedScheduler  # avoids a cycle
 
     if adaptive:
-        return AdaptiveScheduler(max_workers=max_workers)
+        scheduler = AdaptiveScheduler(max_workers=max_workers)
+        if initial_window is not None:
+            # The planner's prefetch-window hint: start the adaptive window
+            # at the plan's level (a known-slow server's bandwidth-delay
+            # product) instead of probing up from one worker.
+            scheduler.apply_plan_hint(initial_window)
+        return scheduler
     return BoundedScheduler(max_workers=max_workers)
+
+
+def _plan_window(context) -> Optional[int]:
+    """The prefetch-window hint of the run's physical plan, if any."""
+    plan = getattr(context, "physical_plan", None)
+    return None if plan is None else plan.prefetch_window
 
 
 def _run_parallel_loop(items: List[object], run_body, kind: str,
@@ -184,7 +197,8 @@ def _parallel_element_lowering(expr: ParallelExt, source_fn, body_fn):
     adaptive = expr.adaptive
 
     def stream(frame, context):
-        scheduler = _make_scheduler(max_workers, adaptive)
+        scheduler = _make_scheduler(max_workers, adaptive,
+                                    _plan_window(context))
         scope_obj = context.scope
         if scope_obj is not None:
             # Backstop: if this generator is abandoned without close()
@@ -260,9 +274,11 @@ def _chunk_parallel_ext(expr: ParallelExt, scope, state):
         if parallel_chunk <= 1:
             initial, maximum = C._subtree_sizes(policy, scan_driver_names)
             yield from C._ramped_chunks(element_raw(frame, context),
-                                        initial, maximum)
+                                        initial, maximum,
+                                        policy.adaptive_ramp)
             return
-        scheduler = _make_scheduler(max_workers, adaptive)
+        scheduler = _make_scheduler(max_workers, adaptive,
+                                    _plan_window(context))
         scope_obj = context.scope
         if scope_obj is not None:
             scope_obj.register(scheduler)
@@ -302,11 +318,23 @@ def _chunk_parallel_ext(expr: ParallelExt, scope, state):
 
 
 def make_parallel_rule_set(is_remote_driver: Callable[[str], bool],
-                           max_workers: int = 5, adaptive: bool = False) -> RuleSet:
+                           max_workers: int = 5, adaptive: bool = False,
+                           workers_for: Optional[
+                               Callable[[A.Expr], Optional[int]]] = None
+                           ) -> RuleSet:
     """Build the rule set that parallelises remote inner loops.
 
     ``adaptive`` selects the self-adjusting scheduler instead of the fixed
     worker count (see :class:`ParallelExt`).
+
+    ``workers_for`` makes the introduction *cost-gated* instead of purely
+    pattern-gated: called with the candidate ``Ext``, it returns ``0`` to
+    veto the rewrite (a source known to be too small to benefit from
+    request overlap), a positive worker count to size the loop, or ``None``
+    to keep ``max_workers`` — the planner's
+    :meth:`~repro.core.planner.plan.QueryPlanner.parallel_workers` is the
+    intended callback, and returns ``None`` whenever it has no statistics,
+    so the uninformed behaviour is unchanged.
     """
 
     def parallelise(expr: A.Expr) -> Optional[A.Expr]:
@@ -314,7 +342,14 @@ def make_parallel_rule_set(is_remote_driver: Callable[[str], bool],
             return None
         if not _body_calls_remote(expr.body, expr.var, is_remote_driver):
             return None
-        return ParallelExt(expr.var, expr.body, expr.source, expr.kind, max_workers, adaptive)
+        workers = max_workers
+        if workers_for is not None:
+            chosen = workers_for(expr)
+            if chosen is not None:
+                if chosen < 1:
+                    return None  # cost gate: overlap cannot pay here
+                workers = chosen
+        return ParallelExt(expr.var, expr.body, expr.source, expr.kind, workers, adaptive)
 
     rule = Rule("parallel-remote-loop", parallelise,
                 "issue remote requests of an inner loop concurrently, bounded by the server cap")

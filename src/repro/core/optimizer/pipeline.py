@@ -47,6 +47,13 @@ class OptimizerConfig:
     #: with block size 1 so the streamed probe side yields per outer element
     #: (see :func:`~repro.core.optimizer.joins.make_join_rule_set`).
     streaming: bool = False
+    #: Consult the cost-based planner (when one is wired) for physical
+    #: knobs — join block sizes, parallel introduction, chunk policy.  Off,
+    #: every knob is the fixed historical constant (the ablation baseline).
+    #: Note the planner is *conservative by construction*: with zero
+    #: registered/observed statistics it reproduces the constants exactly,
+    #: so this switch only matters for informed workloads.
+    planning: bool = True
 
     @classmethod
     def disabled(cls) -> "OptimizerConfig":
@@ -68,13 +75,19 @@ class OptimizerPipeline:
                  cardinality_of: Optional[Callable[[A.Expr], int]] = None,
                  is_remote_driver: Optional[Callable[[str], bool]] = None,
                  config: Optional[OptimizerConfig] = None,
-                 extra_rule_sets: Tuple[RuleSet, ...] = ()):
+                 extra_rule_sets: Tuple[RuleSet, ...] = (),
+                 planner=None):
         self.function_registry = dict(function_registry or {})
         self.capabilities = dict(capabilities or {})
         self.cardinality_of = cardinality_of
         self.is_remote_driver = is_remote_driver or (lambda driver: False)
         self.config = config or OptimizerConfig()
         self.extra_rule_sets = tuple(extra_rule_sets)
+        #: The cost-based planner whose compile-time hooks gate the join
+        #: block size and the parallel introduction (duck-typed: anything
+        #: with ``join_block_size(outer, inner)`` and
+        #: ``parallel_workers(expr)``).  ``None`` keeps every knob constant.
+        self.planner = planner if self.config.planning else None
         self.engine = self._build_engine()
 
     def _build_engine(self) -> RewriteEngine:
@@ -88,17 +101,24 @@ class OptimizerPipeline:
             rule_sets.append(make_sql_pushdown_rule_set(self.capabilities))
         if config.path_pushdown and self.capabilities:
             rule_sets.append(make_path_pushdown_rule_set(self.capabilities))
+        planner = self.planner
         if config.local_joins:
-            rule_sets.append(make_join_rule_set(self.cardinality_of,
-                                                config.join_minimum_inner_size,
-                                                config.join_block_size,
-                                                streaming=config.streaming))
+            rule_sets.append(make_join_rule_set(
+                self.cardinality_of,
+                config.join_minimum_inner_size,
+                config.join_block_size,
+                streaming=config.streaming,
+                block_size_for=None if planner is None
+                else planner.join_block_size))
         if config.caching:
             rule_sets.append(make_caching_rule_set())
         if config.parallelism:
-            rule_sets.append(make_parallel_rule_set(self.is_remote_driver,
-                                                    config.parallel_max_workers,
-                                                    config.adaptive_concurrency))
+            rule_sets.append(make_parallel_rule_set(
+                self.is_remote_driver,
+                config.parallel_max_workers,
+                config.adaptive_concurrency,
+                workers_for=None if planner is None
+                else planner.parallel_workers))
         rule_sets.extend(self.extra_rule_sets)
         return RewriteEngine(rule_sets)
 

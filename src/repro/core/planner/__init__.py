@@ -1,0 +1,29 @@
+"""Cost-based adaptive planning for the Kleisli reproduction.
+
+The paper's optimizer "chooses among physical strategies using knowledge
+about the sources"; this package is that chooser for the reproduction's
+three lowering targets:
+
+* :mod:`~repro.core.planner.cardinality` — structural row-count estimates
+  over optimized NRC terms, seeded by the statistics registry;
+* :mod:`~repro.core.planner.cost` — the cost model (estimated rows x
+  per-driver latency x observed per-item costs);
+* :mod:`~repro.core.planner.feedback` — the run-time feedback ledger
+  (per-stage per-chunk costs and true cardinalities, keyed by term
+  fingerprint, with a constant-blind similarity index);
+* :mod:`~repro.core.planner.plan` — :class:`PhysicalPlan` (the per-query
+  knob set) and :class:`QueryPlanner` (the chooser the engine and the
+  optimizer rule sets consult).
+"""
+
+from .cardinality import CardinalityEstimator, collect_scans, scan_collection
+from .cost import CostModel, pow2ceil
+from .feedback import PlanFeedback, PlanObservation, PlanProbe, shape_fingerprint
+from .plan import PhysicalPlan, QueryPlanner
+
+__all__ = [
+    "CardinalityEstimator", "collect_scans", "scan_collection",
+    "CostModel", "pow2ceil",
+    "PlanFeedback", "PlanObservation", "PlanProbe", "shape_fingerprint",
+    "PhysicalPlan", "QueryPlanner",
+]

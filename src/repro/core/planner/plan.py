@@ -1,0 +1,364 @@
+"""The physical-plan chooser: per-query knobs from statistics and feedback.
+
+"The optimizer chooses among physical strategies using knowledge about the
+sources."  Before this module every physical knob of the reproduction — the
+blocked-join block size, the chunk ramp bounds, the ParallelExt prefetch
+granularity — was a hand-set constant.  :class:`QueryPlanner` replaces the
+constants with per-query choices:
+
+* **compile-time knobs** (join block size, whether/ how wide to introduce
+  ``ParallelExt``) are wired into the optimizer rule sets as cost-gate
+  callbacks (``make_join_rule_set(block_size_for=...)``,
+  ``make_parallel_rule_set(workers_for=...)``);
+* **run-time knobs** (the :class:`~repro.core.nrc.compile.ChunkPolicy` ramp
+  bounds, ``parallel_chunk`` granularity, the prefetch window hint, the
+  cost-adaptive ramp switch) travel on a :class:`PhysicalPlan` the engine
+  attaches to the evaluation context per streamed run.
+
+The contract the differential tests pin: with **zero statistics** (nothing
+registered, nothing observed, no feedback) every choice reproduces the
+historical defaults bit-for-bit — the planner only ever *adds* knowledge,
+never changes the uninformed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..nrc import ast as A
+from ..nrc.compile import ChunkPolicy, term_fingerprint
+from ..values import iter_collection
+from .cardinality import CardinalityEstimator, collect_scans, scan_collection
+from .cost import CostModel, pow2ceil
+from .feedback import PlanFeedback, PlanObservation
+
+__all__ = ["PhysicalPlan", "QueryPlanner"]
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """One query's physical knobs (immutable; defaults == the constants
+    every run used before the planner existed)."""
+
+    join_block_size: int = 256
+    initial_chunk: int = 1
+    max_chunk: int = ChunkPolicy.DEFAULT_MAX_CHUNK
+    remote_max_chunk: int = ChunkPolicy.REMOTE_MAX_CHUNK
+    parallel_chunk: int = 1
+    #: ``None`` leaves the parallel rule set's configured worker count.
+    parallel_workers: Optional[int] = None
+    #: Initial prefetch window for adaptive schedulers (``None`` = probe
+    #: up from one worker, the uninformed default).
+    prefetch_window: Optional[int] = None
+    #: Whether the chunk ramp adapts to observed per-chunk cost.
+    adaptive_ramp: bool = False
+    #: Where the knobs came from: ``default`` | ``statistics`` | ``feedback``.
+    source: str = "default"
+    estimated_rows: Optional[float] = None
+
+    @classmethod
+    def default(cls, join_block_size: int = 256) -> "PhysicalPlan":
+        """The uninformed plan: today's constants, exactly."""
+        return cls(join_block_size=join_block_size)
+
+    @property
+    def is_default(self) -> bool:
+        return self.source == "default"
+
+    def chunk_policy(self, is_remote: Optional[Callable[[str], bool]] = None
+                     ) -> ChunkPolicy:
+        """The plan's knobs as a run-time :class:`ChunkPolicy`."""
+        return ChunkPolicy(max_chunk=self.max_chunk,
+                           remote_max_chunk=self.remote_max_chunk,
+                           initial_chunk=self.initial_chunk,
+                           parallel_chunk=self.parallel_chunk,
+                           is_remote=is_remote,
+                           adaptive_ramp=self.adaptive_ramp)
+
+    def describe(self) -> Dict[str, object]:
+        """A plain-dict view for benchmarks and the experiment log."""
+        return {
+            "source": self.source,
+            "join_block_size": self.join_block_size,
+            "initial_chunk": self.initial_chunk,
+            "max_chunk": self.max_chunk,
+            "remote_max_chunk": self.remote_max_chunk,
+            "parallel_chunk": self.parallel_chunk,
+            "parallel_workers": self.parallel_workers,
+            "prefetch_window": self.prefetch_window,
+            "adaptive_ramp": self.adaptive_ramp,
+            "estimated_rows": self.estimated_rows,
+        }
+
+
+class QueryPlanner:
+    """Chooses a :class:`PhysicalPlan` per query from statistics + feedback.
+
+    ``statistics`` is the engine's
+    :class:`~repro.kleisli.statistics.SourceStatisticsRegistry`;
+    ``feedback`` the shared :class:`PlanFeedback` ledger;
+    ``batches_natively`` an optional callable saying whether a driver's
+    ``execute_batch`` is one wire round-trip (what makes raising
+    ``remote_max_chunk`` pay — without it a bigger batch is the same number
+    of round-trips).
+    """
+
+    #: Largest block the blocked-join chooser will buffer on the outer side.
+    MAX_JOIN_BLOCK = 4096
+    #: Outer cardinality below which the join block is left at the default
+    #: (rescans are already few; re-planning would churn plans for nothing).
+    JOIN_REPLAN_FLOOR = 2048
+    #: Modeled seconds of rescan cost a bigger block must save to justify
+    #: deviating from the default — a cheap-to-rescan inner (a local
+    #: constant, a fast cursor) never clears it, however large the outer.
+    JOIN_REPLAN_SAVING = 0.05
+    #: Largest local chunk the planner will ramp to.
+    MAX_LOCAL_CHUNK = 4096
+    #: Candidate remote batch caps (bounded: one batch must never buffer an
+    #: unbounded slice of a slow source, however good the latency math).
+    REMOTE_CHUNK_CANDIDATES = (32, 64, 128, 256)
+    #: Candidate-walk tie-breaker shared by the block-size and remote-cap
+    #: choosers: take the SMALLEST candidate whose modeled cost is within
+    #: this factor of the cheapest — savings justify buffering, buffering
+    #: alone justifies nothing.
+    REPLAN_SLACK = 1.05
+    #: Sources with fewer estimated elements than this gain nothing from a
+    #: parallel loop (the pool costs more than the overlap).
+    MIN_PARALLEL_SOURCE = 2
+
+    def __init__(self, statistics, feedback: Optional[PlanFeedback] = None,
+                 default_block_size: int = 256,
+                 parallel_max_workers: int = 5,
+                 batches_natively: Optional[Callable[[str], bool]] = None):
+        self.statistics = statistics
+        self.feedback = feedback
+        self.default_block_size = default_block_size
+        self.parallel_max_workers = parallel_max_workers
+        self.batches_natively = batches_natively or (lambda driver: False)
+        self.cardinality = CardinalityEstimator(statistics)
+        self.cost = CostModel(statistics, feedback)
+        #: How many plans were chosen, and how many left the defaults.
+        self.plans_chosen = 0
+        self.plans_default = 0
+
+    # -- knowledge tests -----------------------------------------------------
+
+    def _lookup(self, fingerprint: Tuple) -> Optional[PlanObservation]:
+        if self.feedback is None:
+            return None
+        return self.feedback.lookup(fingerprint)
+
+    def _has_source_statistics(self, scans) -> bool:
+        for driver, collection in scans:
+            if self.statistics.has_cardinality(driver, collection):
+                return True
+            if self.statistics.has_latency(driver):
+                return True
+        return False
+
+    def _exact_rows(self, expr: A.Expr) -> Optional[float]:
+        """A cardinality the planner *trusts* (registered or literal), or
+        ``None``.  Compile-time gates key on this rather than the structural
+        estimate so an uninformed query can never flip a compile-time knob."""
+        node_type = type(expr)
+        if node_type is A.Const:
+            try:
+                return float(len(list(iter_collection(expr.value))))
+            except Exception:
+                return None
+        if node_type is A.Cached:
+            return self._exact_rows(expr.expr)
+        if node_type is A.Scan:
+            collection = scan_collection(expr.request)
+            if self.statistics.has_cardinality(expr.driver, collection):
+                return float(self.statistics.cardinality(expr.driver, collection))
+            return None
+        return None
+
+    # -- compile-time hooks (wired into the optimizer rule sets) -------------
+
+    def join_block_size(self, outer: A.Expr, inner: A.Expr) -> Optional[int]:
+        """Cost-gated blocked-join block size; ``None`` keeps the default.
+
+        Only fires with *trusted* cardinalities on BOTH sides — a
+        registered/literal outer past the re-plan floor, and an inner
+        whose rescan cost the model can actually price (registered rows,
+        or a registered/observed driver latency).  An uninformed side can
+        never flip a compile-time knob; guessing the inner at the registry
+        default would let pure ignorance change the emitted plan.
+
+        Among bounded power-of-two candidates the chooser takes the
+        SMALLEST block whose modeled cost sits within
+        :data:`REPLAN_SLACK` of the cheapest — rescan savings justify
+        outer-side buffering, buffering alone justifies nothing — and
+        deviates only when the saving over the default block is *material*
+        (:data:`JOIN_REPLAN_SAVING`): a huge outer over a cheap-to-rescan
+        inner keeps the default, because the model says there is nothing
+        worth saving.
+        """
+        outer_rows = self._exact_rows(outer)
+        if outer_rows is None or outer_rows < self.JOIN_REPLAN_FLOOR:
+            return None
+        inner_rows = self._exact_rows(inner)
+        inner_latent = any(self.statistics.has_latency(driver)
+                           for driver, _collection in collect_scans(inner))
+        if inner_rows is None and not inner_latent:
+            return None  # nothing trustworthy about the inner's rescan cost
+        if inner_rows is None:
+            inner_rows = self.cardinality.estimate(inner)
+        inner_pull = self.cost.PER_ITEM_CPU
+        for driver, _collection in collect_scans(inner):
+            inner_pull = max(inner_pull, self.cost.driver_latency(driver))
+        costs = {}
+        block = self.default_block_size
+        costs[block] = self.cost.blocked_join_cost(outer_rows, inner_rows,
+                                                   block, inner_pull)
+        while block < self.MAX_JOIN_BLOCK:
+            block *= 2
+            costs[block] = self.cost.blocked_join_cost(
+                outer_rows, inner_rows, block, inner_pull)
+        floor = min(costs.values())
+        best = min(size for size, cost in costs.items()
+                   if cost <= floor * self.REPLAN_SLACK)
+        if best == self.default_block_size \
+                or costs[self.default_block_size] - costs[best] \
+                < self.JOIN_REPLAN_SAVING:
+            return None
+        return best
+
+    def _batched_scan_requests(self, expr: A.Expr, drivers) -> float:
+        """Estimated requests the batched-scan stages will issue.
+
+        The remote cap governs the ``Ext``-over-``Scan`` batching stage,
+        whose request count is the *source* cardinality of each such site
+        — NOT the query's output estimate (a selective downstream filter
+        shrinks the output without removing a single scan request).
+        Returns the largest such source estimate, 0.0 when no batching
+        site exists.
+        """
+        requests = 0.0
+
+        def walk(node: A.Expr) -> None:
+            nonlocal requests
+            if isinstance(node, A.Ext) and type(node.body) is A.Scan \
+                    and node.body.driver in drivers:
+                requests = max(requests, self.cardinality.estimate(node.source))
+            for child in node.children():
+                walk(child)
+
+        walk(expr)
+        return requests
+
+    def parallel_workers(self, expr: A.Expr) -> Optional[int]:
+        """Cost gate for introducing ``ParallelExt`` around ``expr``.
+
+        ``0`` vetoes the rewrite (a source known to hold fewer than
+        :data:`MIN_PARALLEL_SOURCE` elements cannot benefit from request
+        overlap); ``None`` keeps the rule set's configured worker count.
+        """
+        rows = self._exact_rows(expr.source)
+        if rows is not None and rows < self.MIN_PARALLEL_SOURCE:
+            return 0
+        return None
+
+    # -- the per-query run-time plan -----------------------------------------
+
+    def plan_for(self, expr: A.Expr,
+                 fingerprint: Optional[Tuple] = None) -> PhysicalPlan:
+        """Choose run-time knobs for one (optimized) query.
+
+        With no applicable knowledge the historical defaults come back
+        unchanged (``plan.is_default``); with knowledge, every deviation is
+        a cost-model choice — see the field-by-field notes inline.
+        ``fingerprint`` lets a caller that already fingerprinted the term
+        (the engine shares one with its feedback probe) skip the walk.
+        """
+        self.plans_chosen += 1
+        if fingerprint is None:
+            fingerprint = term_fingerprint(expr)
+        observation = self._lookup(fingerprint)
+        scans = collect_scans(expr)
+        if observation is None and not self._has_source_statistics(scans):
+            self.plans_default += 1
+            return PhysicalPlan.default(self.default_block_size)
+
+        rows = (observation.cardinality if observation is not None
+                and observation.cardinality > 0
+                else self.cardinality.estimate(expr))
+        latency = 0.0
+        batching_drivers = set()
+        for driver, _collection in scans:
+            driver_latency = self.cost.driver_latency(driver)
+            latency = max(latency, driver_latency)
+            if (driver_latency >= self.cost.BATCH_LATENCY_THRESHOLD
+                    and self.batches_natively(driver)):
+                batching_drivers.add(driver)
+
+        # Local ramp bound: raised past the old constant for known-huge
+        # pipelines (up to MAX_LOCAL_CHUNK), never *lowered* — ``rows`` is
+        # the OUTPUT estimate, but the bound governs every stage including
+        # the source scan, and a selective query's small output says
+        # nothing about how many source rows its scan must chunk through
+        # (a lowered cap would self-throttle exactly such queries through
+        # the feedback loop).  Small outputs simply never reach the cap.
+        max_chunk = ChunkPolicy.DEFAULT_MAX_CHUNK
+        if rows > 0:
+            max_chunk = max(max_chunk,
+                            min(self.MAX_LOCAL_CHUNK, pow2ceil(rows)))
+
+        # Remote batch cap: when the slow driver ships a batch in ONE wire
+        # round-trip, round-trip count dominates — take the SMALLEST
+        # candidate whose modeled fetch cost sits within REPLAN_SLACK of
+        # the cheapest (a fetch whose requests already fit a small batch
+        # keeps the small, buffering-friendly cap; a big one earns the big
+        # cap).  The request count is the batching stage's SOURCE estimate
+        # (_batched_scan_requests) — the output estimate would undersize
+        # the cap for selective queries.  A default-looping driver keeps
+        # the bounded default: bigger batches would be the same round-trips.
+        remote_max_chunk = ChunkPolicy.REMOTE_MAX_CHUNK
+        if batching_drivers:
+            requests = self._batched_scan_requests(expr, batching_drivers)
+            if requests <= 0.0:
+                # No Ext-over-Scan batching site: the cap would govern only
+                # plain scan-cursor chunking, where batching never fires.
+                requests = rows
+            costs = {size: self.cost.batched_scan_cost(requests, size, latency)
+                     for size in self.REMOTE_CHUNK_CANDIDATES}
+            floor = min(costs.values())
+            remote_max_chunk = min(
+                size for size, cost in costs.items()
+                if cost <= floor * self.REPLAN_SLACK)
+
+        # ParallelExt task granularity: latency-bound bodies keep
+        # element-granular prefetch (overlap is the point); a measured cheap
+        # body gets chunk-granular tasks sized to amortize task overhead.
+        parallel_chunk = 1
+        unit_cost = self.cost.unit_cost(observation)
+        if latency < self.cost.REMOTE_PARALLEL_LATENCY:
+            parallel_chunk = self.cost.parallel_chunk_for(unit_cost)
+
+        # Prefetch window hint: with a known-slow source, start the adaptive
+        # window at the server cap instead of probing up from one — the
+        # bandwidth-delay product at these latencies always exceeds the cap.
+        prefetch_window = None
+        if latency >= self.cost.REMOTE_PARALLEL_LATENCY:
+            prefetch_window = self.parallel_max_workers
+
+        # join_block_size stays the default here deliberately: block sizes
+        # are a COMPILE-time knob, applied through the optimizer hook
+        # (:meth:`join_block_size`) and baked into the Join node — a
+        # run-time plan reporting a different number would describe a knob
+        # execution never reads.
+        return PhysicalPlan(
+            join_block_size=self.default_block_size,
+            initial_chunk=1,
+            max_chunk=max_chunk,
+            remote_max_chunk=remote_max_chunk,
+            parallel_chunk=parallel_chunk,
+            parallel_workers=None,
+            prefetch_window=prefetch_window,
+            adaptive_ramp=True,
+            source="feedback" if observation is not None else "statistics",
+            estimated_rows=rows,
+        )

@@ -9,6 +9,11 @@ remote and local data sources."  The engine is that middle layer:
   :meth:`driver_executor`, the callback every :class:`~repro.core.nrc.ast.Scan`
   node evaluates through;
 * the **optimizer pipeline** (rebuilt whenever registration changes);
+* the **cost-based planner** — per-query physical knobs (join block size,
+  chunk ramp bounds, prefetch granularity) chosen from registered/observed
+  source statistics and the run-time feedback ledger, instead of constants
+  (:meth:`KleisliEngine.plan_for`; zero knowledge reproduces the historical
+  defaults exactly);
 * the **evaluator context** — subquery cache, execution statistics;
 * ``execute`` / ``stream`` — eager evaluation and the pipelined variant that
   yields results as the outermost generator produces them (fast first
@@ -46,6 +51,12 @@ from ..core.nrc.eval import (
 )
 from ..core.nrc.rewrite import RewriteStats
 from ..core.optimizer import OptimizerConfig, OptimizerPipeline, ScanSpec
+from ..core.planner import (
+    PhysicalPlan,
+    PlanFeedback,
+    QueryPlanner,
+    scan_collection,
+)
 from ..core.values import iter_collection
 from .cache import SubqueryCache
 from .drivers.base import Driver, DriverFunction
@@ -129,6 +140,20 @@ class KleisliEngine:
         self.statistics_registry = SourceStatisticsRegistry()
         self.cache = SubqueryCache()
         self.optimizer_config = optimizer_config or OptimizerConfig()
+        #: The run-time feedback ledger: per-stage per-chunk costs and true
+        #: cardinalities of drained chunked runs, keyed by term fingerprint.
+        self.plan_feedback = PlanFeedback()
+        #: The cost-based planner.  Its compile-time hooks gate the join
+        #: block size and parallel introduction inside both optimizers;
+        #: :meth:`plan_for` asks it for the run-time knobs per query.  With
+        #: zero statistics and no feedback it reproduces the historical
+        #: constants exactly.
+        self.planner = QueryPlanner(
+            self.statistics_registry, self.plan_feedback,
+            default_block_size=self.optimizer_config.join_block_size,
+            parallel_max_workers=self.optimizer_config.parallel_max_workers,
+            batches_natively=self._driver_batches_natively)
+        self.last_plan: Optional[PhysicalPlan] = None
         self.optimizer = self._build_optimizer()
         #: The pipelined-execution planner: same rule sets, but with the
         #: streaming hint set (blocked joins get block size 1 so the
@@ -184,6 +209,19 @@ class KleisliEngine:
         except KeyError:
             raise DriverNotRegisteredError(name)
 
+    def _driver_batches_natively(self, name: str) -> bool:
+        """Does this driver ship a whole ``execute_batch`` in one round-trip?
+
+        What makes raising the remote batch cap pay for the planner: a
+        default-looping driver performs the same round-trips however the
+        requests are batched, so only a native single-round-trip batch
+        changes the cost model.
+        """
+        driver = self.drivers.get(name)
+        return (driver is not None
+                and type(driver).execute_batch is not Driver.execute_batch
+                and driver.batch_single_round_trip)
+
     # -- optimizer wiring ---------------------------------------------------------------
 
     def _build_optimizer(self, streaming: bool = False) -> OptimizerPipeline:
@@ -203,6 +241,7 @@ class KleisliEngine:
             cardinality_of=self._estimate_cardinality,
             is_remote_driver=self.statistics_registry.is_remote,
             config=config,
+            planner=self.planner,
         )
 
     def _rebuild_optimizers(self) -> None:
@@ -215,10 +254,11 @@ class KleisliEngine:
         if isinstance(source, A.Cached):
             return self._estimate_cardinality(source.expr)
         if isinstance(source, A.Scan):
-            collection = str(source.request.get("table")
-                             or source.request.get("class")
-                             or source.request.get("db")
-                             or "")
+            # One collection-key probing order for the whole system: the
+            # planner's estimator uses the same helper, so the join rule
+            # and the plan chooser can never disagree about which
+            # cardinality a scan reads.
+            collection = scan_collection(source.request)
             return self.statistics_registry.cardinality(source.driver, collection)
         if isinstance(source, A.Const):
             try:
@@ -302,14 +342,33 @@ class KleisliEngine:
         return results
 
     def chunk_policy(self) -> ChunkPolicy:
-        """The chunk-size policy for a streamed run, from observed statistics.
+        """The *uninformed* chunk-size policy (historical default knobs).
 
         Remote drivers (declared or observed through the registry's latency
         EMA) keep small chunks so one chunk never buffers more than a
         bounded slice of a slow cursor; local sources ramp to the full
-        maximum.
+        maximum.  ``stream`` prefers :meth:`plan_for`'s per-query policy;
+        this is what the planner also returns when it knows nothing.
         """
         return ChunkPolicy(is_remote=self.statistics_registry.is_remote)
+
+    def plan_for(self, expr: A.Expr,
+                 fingerprint: Optional[Tuple] = None) -> PhysicalPlan:
+        """The cost-based physical plan for one (optimized) query.
+
+        Consults registered/observed source statistics and the feedback
+        ledger of earlier runs; with ``OptimizerConfig.planning`` off — or
+        nothing known — the historical default knobs come back unchanged.
+        The chosen plan is recorded on ``last_plan`` for inspection.
+        ``fingerprint`` (when the caller already computed the term's
+        fingerprint) skips the planner's own walk.
+        """
+        if self.optimizer_config.planning:
+            plan = self.planner.plan_for(expr, fingerprint)
+        else:
+            plan = PhysicalPlan.default(self.optimizer_config.join_block_size)
+        self.last_plan = plan
+        return plan
 
     def _make_context(self) -> EvalContext:
         statistics = EvalStatistics()
@@ -322,10 +381,17 @@ class KleisliEngine:
         return self.execution_mode if mode is None else ExecutionMode.coerce(mode)
 
     def _lowered(self, target: str, expr: A.Expr, lower: Callable,
-                 statistics: Optional[EvalStatistics]) -> object:
-        """LRU lookup-or-compile for one lowering target; updates counters."""
+                 statistics: Optional[EvalStatistics],
+                 fingerprint: Optional[Tuple] = None) -> object:
+        """LRU lookup-or-compile for one lowering target; updates counters.
+
+        ``fingerprint`` reuses a walk the caller already did (``stream``
+        fingerprints every planned run for the planner and feedback probe).
+        """
         cache = self._compiled_queries
-        memo_key = (target, term_fingerprint(expr))
+        if fingerprint is None:
+            fingerprint = term_fingerprint(expr)
+        memo_key = (target, fingerprint)
         query = cache.get(memo_key)
         if query is None:
             query = lower(expr)
@@ -363,14 +429,16 @@ class KleisliEngine:
         return self._lowered("stream", expr, compile_stream, statistics)
 
     def compiled_chunked(self, expr: A.Expr,
-                         statistics: Optional[EvalStatistics] = None) -> CompiledChunkedStream:
+                         statistics: Optional[EvalStatistics] = None,
+                         fingerprint: Optional[Tuple] = None) -> CompiledChunkedStream:
         """Return (and LRU-cache) the chunked (morsel-at-a-time) lowering.
 
         Third target tag in the shared LRU.  Chunk sizes are *not* baked in
         — they are read from ``EvalContext.chunk_policy`` at run time — so
-        one cached pipeline serves every policy.
+        one cached pipeline serves every policy (and every plan).
         """
-        return self._lowered("chunked", expr, compile_chunked, statistics)
+        return self._lowered("chunked", expr, compile_chunked, statistics,
+                             fingerprint)
 
     def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
                 optimize: bool = True, mode: Optional[object] = None):
@@ -433,23 +501,46 @@ class KleisliEngine:
         mode = self._resolve_mode(mode)
         if optimize:
             expr = self.compile_for_stream(expr)
-        # Resolution and context creation run eagerly (a bad mode raises at
-        # the call site, and last_eval_statistics refers to *this* run as
-        # soon as stream() returns); evaluation starts on the first next().
+        # Resolution, planning and context creation run eagerly (a bad mode
+        # raises at the call site, and last_eval_statistics / last_plan
+        # refer to *this* run as soon as stream() returns); evaluation
+        # starts on the first next().
         context = self._make_context()
         if chunked is None:
             chunked = self.stream_chunking
+        if mode is ExecutionMode.COMPILED:
+            # The per-query physical plan: chunk knobs, prefetch hints.  An
+            # uninformed planner returns the historical defaults, so this
+            # changes nothing until statistics or feedback exist.  One
+            # fingerprint walk serves both the planner and the feedback
+            # probe below (they share the compile cache's keying).
+            fingerprint = term_fingerprint(expr) \
+                if self.optimizer_config.planning else None
+            context.physical_plan = self.plan_for(expr, fingerprint)
         if mode is ExecutionMode.COMPILED and chunked:
-            context.chunk_policy = chunk_policy if chunk_policy is not None \
-                else self.chunk_policy()
-            return self._stream_chunked(expr, bindings, context)
+            if chunk_policy is not None:
+                context.chunk_policy = chunk_policy
+            else:
+                context.chunk_policy = context.physical_plan.chunk_policy(
+                    is_remote=self.statistics_registry.is_remote)
+                if self.optimizer_config.planning:
+                    # Close the loop: a drained run feeds the ledger the
+                    # next compilation of this (or a similarly-shaped) term
+                    # re-plans from — keyed exactly like the compile cache.
+                    # Runs under an EXPLICIT policy override record
+                    # nothing: their per-chunk costs reflect the caller's
+                    # forced knobs, and folding them in would contaminate
+                    # the observations future planned runs are chosen from.
+                    context.plan_probe = self.plan_feedback.probe(fingerprint)
+            return self._stream_chunked(expr, bindings, context, fingerprint)
         return self._stream(expr, bindings, mode, context)
 
     def _stream_chunked(self, expr: A.Expr,
                         bindings: Optional[Dict[str, object]],
-                        context: EvalContext) -> Iterator[object]:
+                        context: EvalContext,
+                        fingerprint: Optional[Tuple] = None) -> Iterator[object]:
         environment = Environment(dict(bindings or {}))
-        query = self.compiled_chunked(expr, context.statistics)
+        query = self.compiled_chunked(expr, context.statistics, fingerprint)
         context.statistics.execution_mode = (
             "compiled" if query.fully_compiled else "compiled+fallback")
         yield from query(environment, context)

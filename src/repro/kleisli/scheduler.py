@@ -377,6 +377,24 @@ class AdaptiveScheduler(_ExecutorMixin):
     def level(self, value: int) -> None:
         self._controller.level = value
 
+    def apply_plan_hint(self, level: int) -> None:
+        """Start the window at a planner-suggested level.
+
+        The cost-based planner knows (from registered/observed latency)
+        that a source is slow before the first request goes out; probing up
+        from one worker would waste the first few windows rediscovering
+        that.  The hint only sets the *starting* level — clamped to
+        ``[1, max_workers]`` and any learned rejection ceiling — and every
+        later sample/rejection adapts it exactly as before, so a wrong plan
+        costs at most the adjustment the probe would have paid anyway.
+        """
+        target = max(1, min(int(level), self.max_workers))
+        ceiling = self._controller.rejection_ceiling
+        if ceiling is not None:
+            target = min(target, ceiling)
+        self._controller.level = target
+        self.level_history.append(target)
+
     @property
     def _rejection_ceiling(self) -> Optional[int]:
         return self._controller.rejection_ceiling

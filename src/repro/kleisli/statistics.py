@@ -48,33 +48,51 @@ class SourceStatisticsRegistry:
         self._cardinalities: Dict[Tuple[str, str], int] = {}
         self._remote_latency: Dict[str, float] = {}
         self._observed_latency: Dict[str, float] = {}
-        # Samples arrive from scheduler worker threads (a ParallelExt body's
-        # scans all route through the engine's driver executor), so the
-        # EMA's read-modify-write must be serialized.
-        self._latency_lock = threading.Lock()
+        # One lock guards EVERY mutable map (the _CompileCache discipline):
+        # latency samples arrive from scheduler worker threads (a
+        # ParallelExt body's scans all route through the engine's driver
+        # executor) while the consumer thread registers drivers or the
+        # planner reads — an unguarded dict being resized under a concurrent
+        # read can raise, and the EMA's read-modify-write would lose samples.
+        self._lock = threading.Lock()
 
     def register_cardinality(self, driver: str, collection: str, rows: int) -> None:
-        self._cardinalities[(driver, collection)] = rows
+        with self._lock:
+            self._cardinalities[(driver, collection)] = rows
 
     def cardinality(self, driver: str, collection: str = "") -> int:
-        if (driver, collection) in self._cardinalities:
-            return self._cardinalities[(driver, collection)]
-        if (driver, "") in self._cardinalities:
-            return self._cardinalities[(driver, "")]
-        return self.DEFAULT_CARDINALITY
+        with self._lock:
+            if (driver, collection) in self._cardinalities:
+                return self._cardinalities[(driver, collection)]
+            if (driver, "") in self._cardinalities:
+                return self._cardinalities[(driver, "")]
+            return self.DEFAULT_CARDINALITY
 
     def has_cardinality(self, driver: str, collection: str = "") -> bool:
-        return (driver, collection) in self._cardinalities or (driver, "") in self._cardinalities
+        with self._lock:
+            return (driver, collection) in self._cardinalities \
+                or (driver, "") in self._cardinalities
 
     def register_latency(self, driver: str, seconds: float) -> None:
-        self._remote_latency[driver] = seconds
+        with self._lock:
+            self._remote_latency[driver] = seconds
 
     def latency(self, driver: str) -> float:
         """Best latency estimate: the registered value, else the observed EMA."""
-        registered = self._remote_latency.get(driver)
-        if registered is not None:
-            return registered
-        return self._observed_latency.get(driver, 0.0)
+        with self._lock:
+            registered = self._remote_latency.get(driver)
+            if registered is not None:
+                return registered
+            return self._observed_latency.get(driver, 0.0)
+
+    def has_latency(self, driver: str) -> bool:
+        """Is anything known about this driver's latency (declared or
+        observed)?  The planner treats either as source knowledge —
+        including an explicit ``0.0`` declaration, which is the operator
+        *pinning* the driver local, not an absence of information."""
+        with self._lock:
+            return driver in self._remote_latency \
+                or driver in self._observed_latency
 
     def record_latency_sample(self, driver: str, seconds: float) -> None:
         """Fold one observed request round-trip into the driver's latency EMA.
@@ -86,7 +104,7 @@ class SourceStatisticsRegistry:
         """
         if seconds < self.LATENCY_SAMPLE_FLOOR:
             return
-        with self._latency_lock:
+        with self._lock:
             previous = self._observed_latency.get(driver)
             if previous is None:
                 self._observed_latency[driver] = seconds
@@ -97,7 +115,8 @@ class SourceStatisticsRegistry:
 
     def observed_latency(self, driver: str) -> float:
         """The EMA of observed request round-trips (0.0 before any sample)."""
-        return self._observed_latency.get(driver, 0.0)
+        with self._lock:
+            return self._observed_latency.get(driver, 0.0)
 
     def is_remote(self, driver: str) -> bool:
         """Is this driver remote, for the parallelism rules?
@@ -108,7 +127,8 @@ class SourceStatisticsRegistry:
         round-trip EMA exceeds :data:`REMOTE_LATENCY_THRESHOLD` is promoted
         to remote, so its inner loops get parallelised on later queries.
         """
-        registered = self._remote_latency.get(driver)
-        if registered is not None:
-            return registered > 0.0
-        return self._observed_latency.get(driver, 0.0) >= self.REMOTE_LATENCY_THRESHOLD
+        with self._lock:
+            registered = self._remote_latency.get(driver)
+            if registered is not None:
+                return registered > 0.0
+            return self._observed_latency.get(driver, 0.0) >= self.REMOTE_LATENCY_THRESHOLD
