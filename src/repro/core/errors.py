@@ -72,6 +72,34 @@ class RemoteSourceError(DriverError):
     """Raised when a (simulated) remote source rejects or drops a request."""
 
 
+class QueryServiceError(ReproError):
+    """Base error for the multi-session query service (:mod:`repro.server`)."""
+
+
+class ServerOverloadedError(QueryServiceError):
+    """Raised when admission control rejects a request: the server is at its
+    bounded in-flight query capacity and the admission policy chose (or was
+    forced, after a queue timeout) to reject rather than queue.  The client
+    may retry; the server remains fully operational."""
+
+
+class RemoteQueryError(QueryServiceError):
+    """A query failed on the *server* side; raised by the client.
+
+    Carries the server-reported error class name so callers can distinguish
+    a CPL syntax error from a driver failure without the server shipping
+    exception objects over the wire.
+    """
+
+    def __init__(self, message: str, error_type: str = "ReproError"):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class WireProtocolError(QueryServiceError):
+    """Raised when a wire frame is malformed, oversized, or truncated."""
+
+
 class SQLSyntaxError(ReproError):
     """Raised by the relational substrate when SQL text cannot be parsed."""
 

@@ -200,6 +200,19 @@ constant-blind shape index for structurally-similar queries.
 similarly-shaped) term: the planner reads the ledger before choosing
 knobs, so observed numbers replace estimates without recompiling — the
 pipeline is policy-agnostic by construction.
+
+Thread-safety
+-------------
+
+Compiled artifacts are **immutable once built** and safe to share across
+threads: closures carry no mutable compile-time state (the one exception,
+``Project``'s inline Remy cache, stores its ``(directory, slot)`` pair as a
+single atomically-swapped tuple), while all *run-time* mutability lives in
+the per-run frame and :class:`~repro.core.nrc.eval.EvalContext`.  This is
+what lets one engine's compile-cache entry serve scheduler worker threads
+and — since the query service (:mod:`repro.server`) multiplexes many
+concurrent client sessions onto a single shared engine — every session of a
+multi-user deployment at once.
 """
 
 from __future__ import annotations

@@ -199,14 +199,28 @@ class EvalScope:
     Registration is thread-safe: ``ParallelExt`` bodies open cursors from
     scheduler worker threads while the consumer thread may be closing the
     scope.
+
+    Scopes are *accounted*: :meth:`live_count` reports how many are open
+    process-wide (created but not yet closed).  Because every pipelined run
+    holds exactly one scope — and closing it releases every cursor the run
+    opened — a multi-session workload (the :mod:`repro.server` soak tests)
+    can assert cursor-leak-freedom by checking the count returns to its
+    baseline once all sessions are done.
     """
 
     __slots__ = ("_resources", "_lock", "_closed")
+
+    _accounting_lock = threading.Lock()
+    _live = 0
+    _opened_total = 0
 
     def __init__(self) -> None:
         self._resources: List[object] = []
         self._lock = threading.Lock()
         self._closed = False
+        with EvalScope._accounting_lock:
+            EvalScope._live += 1
+            EvalScope._opened_total += 1
 
     def register(self, resource: object) -> object:
         """Track ``resource`` (anything with a ``close()``); returns it.
@@ -247,6 +261,8 @@ class EvalScope:
                 return
             self._closed = True
             resources, self._resources = self._resources, []
+        with EvalScope._accounting_lock:
+            EvalScope._live -= 1
         for resource in reversed(resources):
             close = getattr(resource, "close", None)
             if close is not None:
@@ -258,6 +274,18 @@ class EvalScope:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @classmethod
+    def live_count(cls) -> int:
+        """How many scopes are currently open, process-wide."""
+        with cls._accounting_lock:
+            return cls._live
+
+    @classmethod
+    def opened_total(cls) -> int:
+        """How many scopes have ever been opened, process-wide."""
+        with cls._accounting_lock:
+            return cls._opened_total
 
     def __enter__(self) -> "EvalScope":
         return self

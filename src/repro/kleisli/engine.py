@@ -341,6 +341,43 @@ class KleisliEngine:
                 driver_name, (time.perf_counter() - started) / len(requests))
         return results
 
+    def health(self) -> Dict[str, object]:
+        """A consistent snapshot of the engine's *shared* structures.
+
+        This is what the query service's ``stats`` op reports, and what the
+        multi-session soak tests assert consistency on: every counter here
+        belongs to state that concurrent sessions share (the compile-cache
+        LRU, the subquery cache, the plan-feedback ledger, per-driver
+        request counts) or to process-wide resource accounting
+        (:meth:`~repro.core.nrc.eval.EvalScope.live_count` — open pipelined
+        runs; zero when every cursor has been released).  Per-session state
+        (CPL definitions, type environments, ``EvalScope`` contents) never
+        appears here — it dies with the session.
+        """
+        from ..core.nrc.eval import EvalScope
+
+        cache = self._compiled_queries
+        return {
+            "compile_cache": {
+                "hits": cache.hits, "misses": cache.misses,
+                "evictions": cache.evictions, "size": len(cache),
+                "limit": cache.limit,
+            },
+            "subquery_cache": {
+                "hits": self.cache.hits, "misses": self.cache.misses,
+                "size": len(self.cache),
+            },
+            "plan_feedback": {
+                "entries": len(self.plan_feedback),
+                "recordings": self.plan_feedback.recordings,
+                "lookups": self.plan_feedback.lookups,
+                "hits": self.plan_feedback.hits,
+            },
+            "drivers": {name: driver.request_count
+                        for name, driver in self.drivers.items()},
+            "live_scopes": EvalScope.live_count(),
+        }
+
     def chunk_policy(self) -> ChunkPolicy:
         """The *uninformed* chunk-size policy (historical default knobs).
 

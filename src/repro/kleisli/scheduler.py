@@ -346,13 +346,20 @@ class AdaptiveScheduler(_ExecutorMixin):
 
     def __init__(self, max_workers: int = 5, initial_workers: int = 1,
                  degradation_threshold: float = 1.5, max_retries: int = 3,
-                 overload_errors: Tuple[Type[BaseException], ...] = (RemoteSourceError,)):
+                 overload_errors: Tuple[Type[BaseException], ...] = (RemoteSourceError,),
+                 clock: Optional[Callable[[], float]] = None):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if initial_workers < 1 or initial_workers > max_workers:
             raise ValueError("initial_workers must be between 1 and max_workers")
         if degradation_threshold <= 1.0:
             raise ValueError("degradation_threshold must be greater than 1.0")
+        #: The time source behind every `_WindowController` sample.  Tests
+        #: inject a counter-based fake so batch/window latency samples — and
+        #: therefore the controller's ramp/hold/shrink decisions — are exact
+        #: and deterministic instead of riding the wall clock's jitter
+        #: (which made sleep-calibrated assertions flake under load).
+        self._clock = time.perf_counter if clock is None else clock
         self.max_workers = max_workers
         self.degradation_threshold = degradation_threshold
         self.max_retries = max_retries
@@ -419,9 +426,9 @@ class AdaptiveScheduler(_ExecutorMixin):
             batch, pending = pending[:level], pending[level:]
             self.batches += 1
             self.level_history.append(level)
-            started = time.perf_counter()
+            started = self._clock()
             failed = self._run_batch(function, batch, results, attempts, level)
-            elapsed = time.perf_counter() - started
+            elapsed = self._clock() - started
             if failed:
                 self.overload_events += 1
                 self.retries += len(failed)
@@ -499,9 +506,9 @@ class AdaptiveScheduler(_ExecutorMixin):
         window_units = 0
 
         def timed(item):
-            started = time.perf_counter()
+            started = self._clock()
             value = function(item)
-            return value, time.perf_counter() - started
+            return value, self._clock() - started
 
         def submit(item, attempts):
             # The submission level rides along so a whole burst rejected at

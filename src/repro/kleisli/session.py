@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..core import types as T
@@ -33,6 +34,57 @@ from .drivers.base import Driver
 from .engine import ExecutionMode, KleisliEngine
 
 __all__ = ["Session", "QueryResult"]
+
+
+class _TrackedStream:
+    """A session-registered wrapper around a streamed query's iterator.
+
+    The session keeps every live stream it handed out in a registry so that
+    :meth:`Session.close` (what the query service calls when a client
+    disconnects mid-stream) can release *this* session's cursors — and only
+    this session's: the underlying cursors belong to the run's own
+    ``EvalScope``, so closing one session never touches another's pipelines
+    even though both run on the same shared engine.  A drained or closed
+    stream unregisters itself, so the registry holds only live streams.
+    """
+
+    __slots__ = ("_session", "_iterator", "_done")
+
+    def __init__(self, session: "Session", iterator: Iterator[object]):
+        self._session = session
+        self._iterator = iterator
+        self._done = False
+
+    def __iter__(self) -> "_TrackedStream":
+        return self
+
+    def __next__(self) -> object:
+        try:
+            return next(self._iterator)
+        except BaseException:
+            # Exhaustion and mid-stream failure both end the stream: the
+            # engine's evaluation scope has already released the cursors.
+            self._untrack()
+            raise
+
+    def close(self) -> None:
+        """Close the underlying pipeline (releases its cursors) and
+        unregister; closing twice, or after draining, is a no-op."""
+        self._untrack()
+        close = getattr(self._iterator, "close", None)
+        if close is not None:
+            close()
+
+    def _untrack(self) -> None:
+        if not self._done:
+            self._done = True
+            self._session._forget_stream(self)
+
+    def __enter__(self) -> "_TrackedStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class QueryResult:
@@ -74,6 +126,12 @@ class Session:
         # Loci22 / ASN-IDs in the DOE query and push work to the drivers.
         self.definitions: Dict[str, A.Expr] = {}
         self.type_checker = TypeChecker()
+        # Live streamed queries handed out by this session.  Guarded by a
+        # lock: the query service closes a disconnecting client's session
+        # from the serving thread while a stream wrapper may be
+        # unregistering itself.
+        self._streams_lock = threading.Lock()
+        self._open_streams: List[_TrackedStream] = []
         self._register_existing_driver_functions()
 
     # -- registration ------------------------------------------------------------
@@ -175,7 +233,41 @@ class Session:
         expression = parse_expression(source)
         self._infer(expression)
         nrc = self._expand(desugar_expression(expression))
-        return self.engine.stream(nrc, self.values, optimize=optimize, mode=mode)
+        stream = _TrackedStream(
+            self, self.engine.stream(nrc, self.values, optimize=optimize,
+                                     mode=mode))
+        with self._streams_lock:
+            self._open_streams.append(stream)
+        return stream
+
+    def _forget_stream(self, stream: "_TrackedStream") -> None:
+        with self._streams_lock:
+            try:
+                self._open_streams.remove(stream)
+            except ValueError:
+                pass
+
+    @property
+    def open_stream_count(self) -> int:
+        """How many streamed queries from this session are still live."""
+        with self._streams_lock:
+            return len(self._open_streams)
+
+    def close(self) -> None:
+        """End the session: close every live stream this session handed out.
+
+        Only *this* session's cursors are released (each stream's cursors
+        live in its own run's ``EvalScope``); the engine — and every other
+        session multiplexed onto it — is untouched.  The query service
+        calls this when a client disconnects, cleanly or not.
+        """
+        with self._streams_lock:
+            streams = list(self._open_streams)
+        for stream in streams:
+            try:
+                stream.close()
+            except Exception:  # pragma: no cover - best-effort release
+                pass
 
     @property
     def last_eval_statistics(self):

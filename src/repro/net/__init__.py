@@ -1,5 +1,7 @@
-"""Simulated remote access: latency and concurrency caps around data sources."""
+"""Remote access: simulated latency/concurrency caps and real wire framing."""
 
+from .framing import MAX_FRAME_BYTES, encode_frame, recv_message, send_message
 from .remote import RemoteSource, RemoteCallLog
 
-__all__ = ["RemoteSource", "RemoteCallLog"]
+__all__ = ["RemoteSource", "RemoteCallLog", "MAX_FRAME_BYTES",
+           "encode_frame", "recv_message", "send_message"]

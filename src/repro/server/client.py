@@ -1,0 +1,147 @@
+"""A blocking client for the Kleisli query service.
+
+:class:`KleisliClient` speaks the framed-JSON protocol documented in the
+package docstring and lifts wire payloads back into CPL values, so client
+code sees the same values a local :class:`~repro.kleisli.session.Session`
+would return.  Typed errors travel: an overloaded server raises
+:class:`~repro.core.errors.ServerOverloadedError` client-side; any other
+server-side failure raises :class:`~repro.core.errors.RemoteQueryError`
+carrying the original ``error_type``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.errors import (
+    RemoteQueryError,
+    ServerOverloadedError,
+    WireProtocolError,
+)
+from ..net.framing import recv_message, send_message
+from .wire import decode_value
+
+__all__ = ["KleisliClient"]
+
+
+class KleisliClient:
+    """One client session against a :class:`~repro.server.KleisliServer`."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 30.0):
+        self._sock = socket.create_connection(address, timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+        #: The ``admission`` field of the last admitted request
+        #: (``"immediate"`` or ``"queued"``) — how much pressure we saw.
+        self.last_admission: Optional[str] = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, message: dict) -> dict:
+        """Send one op and return its ``ok: true`` response payload.
+
+        Raises the typed counterpart of an ``ok: false`` response, and
+        :class:`WireProtocolError` if the server hangs up mid-exchange.
+        """
+        if self._closed:
+            raise WireProtocolError("client is closed")
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise WireProtocolError("server closed the connection")
+        if response.get("ok"):
+            if "admission" in response:
+                self.last_admission = response["admission"]
+            return response
+        error = response.get("error", "unspecified server error")
+        error_type = response.get("error_type", "ReproError")
+        if error_type == "ServerOverloadedError":
+            raise ServerOverloadedError(error)
+        raise RemoteQueryError(error, error_type=error_type)
+
+    # -- the protocol ops ----------------------------------------------------
+
+    def hello(self) -> dict:
+        return self.request({"op": "hello"})
+
+    def run(self, source: str) -> object:
+        """Run a CPL program (defines allowed); return the last query's value."""
+        return decode_value(self.request({"op": "run", "source": source})["value"])
+
+    def query(self, source: str) -> object:
+        """Run one CPL expression; return its value."""
+        return decode_value(
+            self.request({"op": "query", "source": source})["value"])
+
+    def stream(self, source: str, batch: int = 16) -> Iterator[object]:
+        """Run a streamed query, yielding elements as fetch batches arrive.
+
+        Closing the generator early (or abandoning it) sends a ``close`` op,
+        releasing the server-side cursor and its admission slot.
+        """
+        cursor = self.request({"op": "open", "source": source})["cursor"]
+        done = False
+        try:
+            while not done:
+                reply = self.request({"op": "fetch", "cursor": cursor,
+                                      "n": batch})
+                done = reply["done"]
+                for payload in reply["values"]:
+                    yield decode_value(payload)
+        finally:
+            if not done and not self._closed:
+                try:
+                    self.request({"op": "close", "cursor": cursor})
+                except (WireProtocolError, OSError):
+                    pass
+
+    def view(self, path: str, form: Optional[Dict[str, object]] = None) -> dict:
+        """Dispatch a view path + form; returns the payload with ``value``
+        (when the view produced one) decoded to a CPL value."""
+        response = self.request({"op": "view", "path": path, "form": form})
+        if "value" in response:
+            response["value"] = decode_value(response["value"])
+        return response
+
+    def server_stats(self) -> dict:
+        """Service counters, engine health, and admission configuration."""
+        return self.request({"op": "stats"})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Say goodbye (best-effort) and close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            send_message(self._sock, {"op": "bye"})
+            recv_message(self._sock)
+        except (WireProtocolError, OSError):
+            pass
+        finally:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+
+    def kill(self) -> None:
+        """Drop the connection without a goodbye — simulates a client crash.
+
+        The harness uses this to prove a dirty disconnect still releases the
+        session's server-side cursors.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown race
+            pass
+
+    def __enter__(self) -> "KleisliClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,504 @@
+"""The concurrent multi-session Kleisli query server.
+
+See the package docstring (:mod:`repro.server`) for the wire protocol,
+session lifecycle, backpressure policy, and the shared-vs-per-session state
+map.  This module implements it:
+
+* :class:`KleisliServer` — a TCP front-end (thread per connection, capped at
+  ``max_sessions``) multiplexing CPL sessions onto **one** shared
+  :class:`~repro.kleisli.engine.KleisliEngine`;
+* :class:`ServerStats` — lock-guarded service counters (sessions, queries,
+  cursors, rejections) the soak tests assert consistency on;
+* admission control — a bounded-semaphore pool of in-flight query slots with
+  a queue-or-reject policy, surfaced in every response's ``admission`` field
+  and, on rejection, as a typed
+  :class:`~repro.core.errors.ServerOverloadedError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.errors import (
+    QueryServiceError,
+    ReproError,
+    ServerOverloadedError,
+    WireProtocolError,
+)
+from ..kleisli.engine import KleisliEngine
+from ..kleisli.session import Session
+from ..net.framing import recv_message, send_message
+from ..views.gateway import ViewGateway
+from ..views.registry import ViewRegistry
+from .wire import encode_value
+
+__all__ = ["KleisliServer", "ServerStats", "PROTOCOL_VERSION"]
+
+PROTOCOL_VERSION = 1
+
+#: Most elements one ``fetch`` reply may carry (keeps frames bounded).
+MAX_FETCH_BATCH = 1024
+
+
+class ServerStats:
+    """Lock-guarded counters for the whole service.
+
+    Invariants the concurrency tests assert: once every client has
+    disconnected, ``sessions_opened == sessions_closed`` and
+    ``cursors_opened == cursors_closed`` — a difference is a leaked session
+    thread or a cursor whose admission slot was never returned.
+    """
+
+    FIELDS = ("sessions_opened", "sessions_closed", "sessions_refused",
+              "queries", "rejections", "queued", "failures",
+              "cursors_opened", "cursors_closed")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = {field: 0 for field in self.FIELDS}
+
+    def increment(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[field] += amount
+
+    def __getattr__(self, field: str) -> int:
+        if field in ServerStats.FIELDS:
+            with self._lock:
+                return self._counts[field]
+        raise AttributeError(field)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+
+class _AdmissionSlot:
+    """One held in-flight-query slot; release is idempotent."""
+
+    __slots__ = ("_semaphore", "_released", "_lock")
+
+    def __init__(self, semaphore: threading.Semaphore):
+        self._semaphore = semaphore
+        self._released = False
+        self._lock = threading.Lock()
+
+    def release(self) -> None:
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self._semaphore.release()
+
+
+class _Cursor:
+    """A server-side streamed query: the session's tracked stream plus the
+    admission slot it holds for its whole lifetime (open cursors *are* the
+    in-flight queries backpressure counts)."""
+
+    __slots__ = ("stream", "_slot", "_stats", "_closed")
+
+    def __init__(self, stream, slot: _AdmissionSlot, stats: ServerStats):
+        self.stream = stream
+        self._slot = slot
+        self._stats = stats
+        self._closed = False
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.stream.close()
+        finally:
+            self._slot.release()
+            self._stats.increment("cursors_closed")
+
+
+class _Connection:
+    """Per-connection state: the CPL session, its open cursors, the lazily
+    built view gateway.  Owned by exactly one serving thread."""
+
+    __slots__ = ("session", "cursors", "gateway")
+
+    def __init__(self, session: Session, gateway: Optional[ViewGateway]):
+        self.session = session
+        self.cursors: Dict[str, _Cursor] = {}
+        self.gateway = gateway
+
+    def close(self) -> None:
+        for cursor in list(self.cursors.values()):
+            try:
+                cursor.close()
+            except Exception:  # pragma: no cover - best-effort release
+                pass
+        self.cursors.clear()
+        self.session.close()
+
+
+class KleisliServer:
+    """Serve concurrent CPL sessions over one shared engine.
+
+    ``session_setup`` (when given) runs once per new connection's
+    :class:`~repro.kleisli.session.Session` — the hook tests and
+    deployments use to bind per-session values or definitions.  Drivers
+    registered on the shared ``engine`` are bound into every session
+    automatically.
+
+    ``admission`` is ``"queue"`` (wait up to ``queue_timeout`` seconds for
+    a free in-flight-query slot, then reject) or ``"reject"`` (reject
+    immediately when saturated).  Rejections are typed
+    (``error_type: "ServerOverloadedError"``) and leave the server — and
+    the session that was rejected — fully usable.
+    """
+
+    def __init__(self, engine: Optional[KleisliEngine] = None,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 max_sessions: int = 64,
+                 max_concurrent_queries: int = 8,
+                 admission: str = "queue",
+                 queue_timeout: float = 5.0,
+                 view_registry: Optional[ViewRegistry] = None,
+                 session_setup: Optional[Callable[[Session], None]] = None):
+        if admission not in ("queue", "reject"):
+            raise ValueError("admission must be 'queue' or 'reject'")
+        if max_concurrent_queries < 1:
+            raise ValueError("max_concurrent_queries must be at least 1")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self.engine = engine if engine is not None else KleisliEngine()
+        self.host = host
+        self.port = port
+        self.max_sessions = max_sessions
+        self.max_concurrent_queries = max_concurrent_queries
+        self.admission = admission
+        self.queue_timeout = queue_timeout
+        self.view_registry = view_registry
+        self.session_setup = session_setup
+        self.stats = ServerStats()
+        self.address: Optional[Tuple[str, int]] = None
+        self._slots = threading.BoundedSemaphore(max_concurrent_queries)
+        self._closing = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._connections: set = set()
+        self._threads: List[threading.Thread] = []
+        self._active_sessions = 0
+        self._cursor_counter = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "KleisliServer":
+        """Bind, listen, and start accepting connections in the background."""
+        if self._listener is not None:
+            raise QueryServiceError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self.address = listener.getsockname()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="kleisli-server-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, disconnect every client, and join the threads."""
+        self._closing.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                # shutdown() wakes a thread blocked in accept(); close()
+                # alone leaves it stuck until a connection happens by.
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        self._closing.clear()
+        self.address = None
+
+    def __enter__(self) -> "KleisliServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def active_sessions(self) -> int:
+        with self._lock:
+            return self._active_sessions
+
+    # -- accept / serve loops ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                if self._closing.is_set():
+                    conn.close()
+                    return
+                if self._active_sessions >= self.max_sessions:
+                    admit = False
+                else:
+                    admit = True
+                    self._active_sessions += 1
+                    self._connections.add(conn)
+            if not admit:
+                self.stats.increment("sessions_refused")
+                try:
+                    send_message(conn, {
+                        "ok": False,
+                        "error_type": "ServerOverloadedError",
+                        "error": f"server at its {self.max_sessions}-session "
+                                 f"capacity; retry later"})
+                except OSError:
+                    pass
+                conn.close()
+                continue
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            with self._lock:
+                self._threads.append(thread)
+                self._threads = [t for t in self._threads if t.is_alive()]
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        self.stats.increment("sessions_opened")
+        session = Session(engine=self.engine)
+        gateway = ViewGateway(session, self.view_registry) \
+            if self.view_registry is not None else None
+        state = _Connection(session, gateway)
+        try:
+            if self.session_setup is not None:
+                self.session_setup(session)
+            while not self._closing.is_set():
+                try:
+                    message = recv_message(conn)
+                except (WireProtocolError, OSError):
+                    break
+                if message is None:
+                    break
+                if message.get("op") == "bye":
+                    try:
+                        send_message(conn, {"ok": True, "op": "bye"})
+                    except OSError:
+                        pass
+                    break
+                response = self._handle(state, message)
+                try:
+                    send_message(conn, response)
+                except (WireProtocolError, OSError):
+                    break
+        finally:
+            # One client's exit — clean, mid-stream, or mid-query — releases
+            # exactly its own resources: its cursors' EvalScopes and
+            # admission slots.  Nothing here touches shared engine state.
+            state.close()
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown race
+                pass
+            with self._lock:
+                self._connections.discard(conn)
+                self._active_sessions -= 1
+            self.stats.increment("sessions_closed")
+
+    # -- admission control ---------------------------------------------------
+
+    def _admit(self) -> Tuple[str, _AdmissionSlot]:
+        """Acquire one in-flight-query slot, honouring the policy.
+
+        Returns ``(how, slot)`` where ``how`` is ``"immediate"`` or
+        ``"queued"`` (the response surfaces it, so clients can observe
+        backpressure building before rejections start).  Raises
+        :class:`ServerOverloadedError` when the policy rejects.
+        """
+        if self._slots.acquire(blocking=False):
+            return "immediate", _AdmissionSlot(self._slots)
+        if self.admission == "reject":
+            self.stats.increment("rejections")
+            raise ServerOverloadedError(
+                f"server at its {self.max_concurrent_queries} in-flight "
+                f"query cap (policy: reject)")
+        self.stats.increment("queued")
+        if self._slots.acquire(timeout=self.queue_timeout):
+            return "queued", _AdmissionSlot(self._slots)
+        self.stats.increment("rejections")
+        raise ServerOverloadedError(
+            f"no in-flight query slot freed within {self.queue_timeout}s "
+            f"(cap {self.max_concurrent_queries}, policy: queue)")
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _handle(self, state: _Connection, message: dict) -> dict:
+        op = message.get("op")
+        handler = self._OPS.get(op)
+        if handler is None:
+            return {"ok": False, "error_type": "WireProtocolError",
+                    "error": f"unknown op {op!r}"}
+        try:
+            return handler(self, state, message)
+        except ServerOverloadedError as error:
+            # Not a failure: the request was *never admitted*; the session
+            # stays healthy and may retry.
+            return {"ok": False, "error_type": "ServerOverloadedError",
+                    "error": str(error), "admission": "rejected"}
+        except ReproError as error:
+            self.stats.increment("failures")
+            return {"ok": False, "error_type": type(error).__name__,
+                    "error": str(error)}
+        except Exception as error:  # noqa: BLE001 - the server must survive
+            self.stats.increment("failures")
+            return {"ok": False, "error_type": "InternalError",
+                    "error": f"{type(error).__name__}: {error}"}
+
+    @staticmethod
+    def _required_str(message: dict, key: str) -> str:
+        value = message.get(key)
+        if not isinstance(value, str):
+            raise WireProtocolError(f"op requires a string {key!r} field")
+        return value
+
+    def _op_hello(self, state: _Connection, message: dict) -> dict:
+        return {"ok": True, "server": "kleisli-query-service",
+                "protocol": PROTOCOL_VERSION,
+                "ops": sorted([*self._OPS, "bye"])}
+
+    def _op_run(self, state: _Connection, message: dict) -> dict:
+        source = self._required_str(message, "source")
+        how, slot = self._admit()
+        try:
+            value = state.session.run(source)
+        finally:
+            slot.release()
+        self.stats.increment("queries")
+        return {"ok": True, "value": encode_value(value), "admission": how}
+
+    def _op_query(self, state: _Connection, message: dict) -> dict:
+        source = self._required_str(message, "source")
+        how, slot = self._admit()
+        try:
+            result = state.session.query(source)
+        finally:
+            slot.release()
+        self.stats.increment("queries")
+        return {"ok": True, "value": encode_value(result.value),
+                "admission": how}
+
+    def _op_open(self, state: _Connection, message: dict) -> dict:
+        source = self._required_str(message, "source")
+        how, slot = self._admit()
+        try:
+            stream = state.session.stream(source)
+        except BaseException:
+            slot.release()
+            raise
+        with self._lock:
+            self._cursor_counter += 1
+            cursor_id = f"c{self._cursor_counter}"
+        state.cursors[cursor_id] = _Cursor(stream, slot, self.stats)
+        self.stats.increment("cursors_opened")
+        self.stats.increment("queries")
+        return {"ok": True, "cursor": cursor_id, "admission": how}
+
+    def _op_fetch(self, state: _Connection, message: dict) -> dict:
+        cursor_id = message.get("cursor")
+        cursor = state.cursors.get(cursor_id)
+        if cursor is None:
+            raise QueryServiceError(f"unknown cursor {cursor_id!r}")
+        count = message.get("n", 32)
+        if not isinstance(count, int) or count < 1:
+            raise WireProtocolError("fetch requires a positive integer 'n'")
+        count = min(count, MAX_FETCH_BATCH)
+        values: List[object] = []
+        done = False
+        try:
+            for _ in range(count):
+                try:
+                    values.append(encode_value(next(cursor.stream)))
+                except StopIteration:
+                    done = True
+                    break
+        except Exception:
+            # A mid-stream failure ends the cursor: its EvalScope has
+            # already released the run's cursors; drop the partial batch
+            # and surface the error (the session itself stays usable).
+            state.cursors.pop(cursor_id, None)
+            cursor.close()
+            raise
+        if done:
+            state.cursors.pop(cursor_id, None)
+            cursor.close()
+        return {"ok": True, "values": values, "done": done}
+
+    def _op_close(self, state: _Connection, message: dict) -> dict:
+        cursor_id = message.get("cursor")
+        cursor = state.cursors.pop(cursor_id, None)
+        if cursor is not None:
+            cursor.close()
+        return {"ok": True, "closed": cursor is not None}
+
+    def _op_view(self, state: _Connection, message: dict) -> dict:
+        if state.gateway is None:
+            raise QueryServiceError("this server exposes no views")
+        path = self._required_str(message, "path")
+        form = message.get("form")
+        if form is not None and not isinstance(form, dict):
+            raise WireProtocolError("view 'form' must be an object")
+        how, slot = self._admit()
+        try:
+            response = state.gateway.handle(path, form)
+        finally:
+            slot.release()
+        self.stats.increment("queries")
+        payload = response.as_payload()
+        payload["ok"] = True
+        payload["admission"] = how
+        if response.value is not None:
+            payload["value"] = encode_value(response.value)
+        return payload
+
+    def _op_stats(self, state: _Connection, message: dict) -> dict:
+        return {"ok": True,
+                "server": self.stats.snapshot(),
+                "engine": self.engine.health(),
+                "sessions": self.active_sessions,
+                "admission": {"policy": self.admission,
+                              "max_concurrent_queries":
+                                  self.max_concurrent_queries,
+                              "queue_timeout": self.queue_timeout}}
+
+    _OPS = {
+        "hello": _op_hello,
+        "run": _op_run,
+        "query": _op_query,
+        "open": _op_open,
+        "fetch": _op_fetch,
+        "close": _op_close,
+        "view": _op_view,
+        "stats": _op_stats,
+    }

@@ -1,0 +1,87 @@
+"""JSON-safe encoding of CPL values for the query-service wire protocol.
+
+The encoding is *lossless over the CPL data model* and order-preserving:
+``decode_value(encode_value(v)) == v`` for every value the evaluator can
+produce (records, sets/bags/lists, variants, unit, scalars), and a
+collection's element order survives the round trip — which is what lets the
+soak tests assert **bit-identical** parity between a result fetched over the
+wire and the same query's single-user ``execute`` value.
+
+Scalars travel as themselves; structured values as a tagged object
+``{"%": <tag>, ...}`` (the ``%`` key cannot collide with record labels,
+which are plain strings in the ``v`` sub-object).  ``bytes`` are latin-1
+strings under their own tag, since JSON has no byte type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from ..core.errors import WireProtocolError
+from ..core.values import (
+    CBag,
+    CList,
+    CSet,
+    Record,
+    Unit,
+    UNIT_VALUE,
+    Variant,
+)
+
+__all__ = ["encode_value", "decode_value"]
+
+_COLLECTION_TAGS = {CSet: "set", CBag: "bag", CList: "list"}
+_COLLECTION_TYPES = {"set": CSet, "bag": CBag, "list": CList}
+
+
+def encode_value(value: object) -> object:
+    """Lower one CPL value into JSON-serializable data."""
+    if isinstance(value, Record):
+        return {"%": "record",
+                "v": {label: encode_value(field)
+                      for label, field in value.items()}}
+    for cls, tag in _COLLECTION_TAGS.items():
+        if isinstance(value, cls):
+            return {"%": tag, "v": [encode_value(element) for element in value]}
+    if isinstance(value, Variant):
+        return {"%": "variant", "tag": value.tag, "v": encode_value(value.value)}
+    if isinstance(value, Unit):
+        return {"%": "unit"}
+    if isinstance(value, bytes):
+        return {"%": "bytes", "v": value.decode("latin-1")}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise WireProtocolError(
+        f"cannot encode {type(value).__name__} for the wire")
+
+
+def decode_value(payload: object) -> object:
+    """Rebuild a CPL value from its wire encoding."""
+    if isinstance(payload, dict):
+        tag = payload.get("%")
+        if tag == "record":
+            fields = payload.get("v")
+            if not isinstance(fields, dict):
+                raise WireProtocolError("malformed record payload")
+            return Record({label: decode_value(field)
+                           for label, field in fields.items()})
+        if tag in _COLLECTION_TYPES:
+            elements = payload.get("v")
+            if not isinstance(elements, list):
+                raise WireProtocolError(f"malformed {tag} payload")
+            return _COLLECTION_TYPES[tag](decode_value(element)
+                                          for element in elements)
+        if tag == "variant":
+            return Variant(payload.get("tag", ""), decode_value(payload.get("v")))
+        if tag == "unit":
+            return UNIT_VALUE
+        if tag == "bytes":
+            raw = payload.get("v")
+            if not isinstance(raw, str):
+                raise WireProtocolError("malformed bytes payload")
+            return raw.encode("latin-1")
+        raise WireProtocolError(f"unknown wire tag {tag!r}")
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return payload
+    raise WireProtocolError(
+        f"cannot decode {type(payload).__name__} from the wire")

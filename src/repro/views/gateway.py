@@ -37,6 +37,16 @@ class ViewResponse:
     def ok(self) -> bool:
         return 200 <= self.status < 300
 
+    def as_payload(self) -> dict:
+        """The JSON-safe shape of this response (status, content type, body).
+
+        The query service (:mod:`repro.server`) sends this over the wire for
+        ``view`` ops; the CPL ``value`` is *not* included — callers that want
+        it must encode it themselves (the server uses its wire codec).
+        """
+        return {"status": self.status, "content_type": self.content_type,
+                "body": self.body, "view_ok": self.ok}
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ViewResponse({self.status}, {len(self.body)} bytes)"
 

@@ -1,0 +1,137 @@
+"""Fault-injecting driver fixtures shared across the Kleisli test harness.
+
+:class:`FaultInjectingDriver` is the one fault model used by the stream
+termination tests, the engine concurrency tests, and the query-service soak
+harness: a scan source that can be told, per request ordinal, to fail
+outright, to fail *mid-stream* after producing a few elements, or to stall
+for a scheduled latency before answering.  All bookkeeping is thread-safe so
+many sessions can hammer one instance concurrently.
+
+Request ordinals are **1-based** and counted per driver instance across all
+threads: ``fail_on={3}`` means the third ``_execute`` call this driver ever
+serves raises, whichever session issues it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.errors import DriverError
+from repro.kleisli.drivers.base import Driver, DriverFunction
+
+__all__ = ["FaultInjectingDriver"]
+
+LatencySchedule = Union[None, float, Sequence[float], Dict[int, float],
+                        Callable[[int], float]]
+
+
+class FaultInjectingDriver(Driver):
+    """A scan driver with programmable faults.
+
+    ``fail_on``            request ordinals that raise ``DriverError`` before
+                           any element is produced (a dead source).
+    ``midstream_fail_on``  request ordinals whose cursor yields
+                           ``midstream_after`` elements and *then* raises —
+                           the failure arrives while the pipeline is
+                           mid-consumption, the hardest release path.
+    ``latency``            per-request stall before answering: a constant,
+                           a ``{ordinal: seconds}`` map (missing ordinals
+                           don't stall), a sequence cycled by ordinal, or a
+                           ``callable(ordinal) -> seconds``.  The stall runs
+                           through ``sleeper`` (default ``time.sleep``) so
+                           deterministic tests can inject a fake.
+
+    A scan request is ``{"table": "t", "count": n}`` and yields
+    ``0 .. n-1``; the bound CPL function makes that ``Faulty(6)`` in query
+    text.  ``open_cursors`` / ``produced`` / ``requests_served`` mirror the
+    plain ``CursorDriver`` counters, under a lock.
+    """
+
+    def __init__(self, name: str = "Faulty", total: int = 10,
+                 fail_on: Iterable[int] = (),
+                 midstream_fail_on: Iterable[int] = (),
+                 midstream_after: int = 3,
+                 latency: LatencySchedule = None,
+                 sleeper: Callable[[float], None] = time.sleep):
+        super().__init__(name)
+        self.total = total
+        self.fail_on = frozenset(fail_on)
+        self.midstream_fail_on = frozenset(midstream_fail_on)
+        self.midstream_after = midstream_after
+        self.latency = latency
+        self.sleeper = sleeper
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.open_cursors = 0
+        self.produced = 0
+        self.faults_raised = 0
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def _next_ordinal(self) -> int:
+        with self._lock:
+            self.requests_served += 1
+            return self.requests_served
+
+    def _stall(self, ordinal: int) -> None:
+        schedule = self.latency
+        if schedule is None:
+            return
+        if callable(schedule):
+            seconds = schedule(ordinal)
+        elif isinstance(schedule, dict):
+            seconds = schedule.get(ordinal, 0.0)
+        elif isinstance(schedule, (int, float)):
+            seconds = float(schedule)
+        else:  # a sequence, cycled by ordinal
+            seconds = schedule[(ordinal - 1) % len(schedule)]
+        if seconds > 0:
+            self.sleeper(seconds)
+
+    def _count_fault(self) -> None:
+        with self._lock:
+            self.faults_raised += 1
+
+    # -- the driver protocol -------------------------------------------------
+
+    def _execute(self, request):
+        ordinal = self._next_ordinal()
+        self._stall(ordinal)
+        if ordinal in self.fail_on:
+            self._count_fault()
+            raise DriverError(
+                f"{self.name}: injected failure on request #{ordinal}")
+        count = request.get("count", self.total)
+        fail_midstream = ordinal in self.midstream_fail_on
+
+        def cursor():
+            with self._lock:
+                self.open_cursors += 1
+            try:
+                for i in range(count):
+                    if fail_midstream and i >= self.midstream_after:
+                        self._count_fault()
+                        raise DriverError(
+                            f"{self.name}: injected mid-stream failure on "
+                            f"request #{ordinal} after {i} elements")
+                    with self._lock:
+                        self.produced += 1
+                    yield i
+            finally:
+                with self._lock:
+                    self.open_cursors -= 1
+
+        return cursor()
+
+    def cpl_functions(self) -> List[DriverFunction]:
+        return [DriverFunction(self.name, {"table": "t"},
+                               argument_key="count",
+                               doc=f"{self.name}(n): 0..n-1, with faults")]
+
+    def collection_names(self) -> List[str]:
+        return ["t"]
+
+    def cardinality(self, collection: str) -> Optional[int]:
+        return self.total

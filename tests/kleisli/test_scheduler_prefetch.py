@@ -20,6 +20,24 @@ from repro.kleisli.scheduler import AdaptiveScheduler, BoundedScheduler
 from repro.net.remote import RemoteSource
 
 
+class ThreadLocalClock:
+    """A counter-based ``perf_counter`` stand-in for deterministic timing
+    tests: each thread has its own timeline, advanced only by its *own*
+    :meth:`advance` calls.  A worker's measured latency is then exactly the
+    simulated service time — independent of scheduler jitter, GIL handoffs,
+    and wall time — so window-controller assertions stop being flaky.
+    (``AdaptiveScheduler(clock=...)`` injects it.)"""
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def __call__(self):
+        return getattr(self._local, "now", 0.0)
+
+    def advance(self, seconds):
+        self._local.now = self() + seconds
+
+
 class TestExecutorReuse:
     def test_map_reuses_one_pool_across_calls(self):
         scheduler = BoundedScheduler(max_workers=4)
@@ -280,21 +298,18 @@ class TestLatencyAwareWindow:
     def test_queueing_server_caps_the_prefetch_window(self):
         """End-to-end: a server whose per-request latency grows linearly
         with concurrency (throughput flat) must keep the window far below
-        the pool maximum — the signal per-item AIMD never saw."""
-        lock = threading.Lock()
-        in_flight = [0]
+        the pool maximum — the signal per-item AIMD never saw.  The fake
+        clock makes the latency-vs-level relation exact instead of
+        sleep-jitter-approximate."""
+        clock = ThreadLocalClock()
+        scheduler = AdaptiveScheduler(max_workers=12, initial_workers=1,
+                                      degradation_threshold=1.3, clock=clock)
 
         def queueing(x):
-            with lock:
-                in_flight[0] += 1
-                load = in_flight[0]
-            time.sleep(0.004 * load)
-            with lock:
-                in_flight[0] -= 1
+            clock.advance(0.004 * scheduler.level)
             return x
 
-        with AdaptiveScheduler(max_workers=12, initial_workers=1,
-                               degradation_threshold=1.3) as scheduler:
+        with scheduler:
             results = list(scheduler.prefetch(queueing, range(50)))
         assert results == list(range(50))
         assert max(scheduler.level_history, default=1) < 12, \
@@ -306,21 +321,22 @@ class TestLatencyAwareWindow:
         local batches hit the noise guard instead of recording a ~1e5/s
         baseline that a later prefetch's healthy ~2ms windows would read
         as a collapse and serialize against (regression)."""
-        with AdaptiveScheduler(max_workers=6, initial_workers=2) as scheduler:
-            scheduler.map(lambda x: x, list(range(30)))   # instant, local
+        clock = ThreadLocalClock()
+        with AdaptiveScheduler(max_workers=6, initial_workers=2,
+                               clock=clock) as scheduler:
+            scheduler.map(lambda x: x, list(range(30)))   # zero fake time
             assert scheduler._controller.best_throughput is None, \
                 "sub-ms map batch recorded as the throughput baseline"
 
             def remote(x):
-                time.sleep(0.002)
+                clock.advance(0.002)
                 return x
 
             results = list(scheduler.prefetch(remote, range(36)))
         assert results == list(range(36))
         # The poisoned-baseline failure mode drives the window all the way
-        # to 1 and keeps it there; a healthy run hovers at 2+ (sleep jitter
-        # makes the exact level timing-sensitive, so only serialization is
-        # asserted).
+        # to 1 and keeps it there; with exact 2ms worker latencies a healthy
+        # run ramps deterministically.
         assert scheduler.level > 1, \
             f"healthy prefetch serialized at level {scheduler.level}"
 
@@ -330,12 +346,14 @@ class TestLatencyAwareWindow:
         discarded, not fed to the controller as level/latency 'improvements'
         that ramp the shared level to max on a server never actually probed
         (regression)."""
+        clock = ThreadLocalClock()
 
         def remote(x):
-            time.sleep(0.002)
+            clock.advance(0.002)
             return x
 
-        with AdaptiveScheduler(max_workers=16, initial_workers=3) as scheduler:
+        with AdaptiveScheduler(max_workers=16, initial_workers=3,
+                               clock=clock) as scheduler:
             results = list(scheduler.prefetch(remote, range(40), window=2))
         assert results == list(range(40))
         assert scheduler.level == 3, \
@@ -382,10 +400,12 @@ class TestChunkGranularPrefetch:
         """Chunks slow enough to clear the controller's noise floor feed it
         real samples: the level moves off its initial value (ramp), which
         per-item sub-millisecond latencies would not do reliably."""
-        scheduler = AdaptiveScheduler(max_workers=4, initial_workers=1)
+        clock = ThreadLocalClock()
+        scheduler = AdaptiveScheduler(max_workers=4, initial_workers=1,
+                                      clock=clock)
         try:
             def slow_chunk(chunk):
-                time.sleep(0.003)
+                clock.advance(0.003)
                 return chunk
             results = list(scheduler.prefetch(
                 slow_chunk, self._chunks(120, 6), chunked=True))

@@ -456,6 +456,45 @@ class TestExceptionMidStream:
         assert driver.open_cursors == {"outer": 0, "inner": 0}, \
             "cursors left open after a failing body stage"
 
+    def test_injected_driver_fault_midstream_releases_cursors(self, mode):
+        """The shared fault harness (``fault_drivers``): a driver whose
+        cursor *itself* raises mid-production must still end with zero open
+        cursors — the scope releases what the failure interrupted."""
+        from repro.core.errors import DriverError
+        from fault_drivers import FaultInjectingDriver
+
+        engine = KleisliEngine()
+        driver = engine.register_driver(
+            FaultInjectingDriver(total=50, midstream_fail_on={1},
+                                 midstream_after=3))
+        expr = B.ext("x", B.singleton(B.var("x")),
+                     A.Scan("Faulty", {"table": "t", "count": 50}))
+        stream = engine.stream(expr, optimize=False, mode=mode)
+        with pytest.raises(DriverError, match="mid-stream"):
+            for _ in range(10):
+                next(stream)
+        assert driver.open_cursors == 0, \
+            "cursor left open after an injected mid-stream driver fault"
+        assert driver.faults_raised == 1
+
+    def test_injected_dead_source_fails_cleanly(self, mode):
+        """A request that dies before producing anything (``fail_on``) must
+        surface the DriverError without leaking scheduler state; the next
+        request on the same engine succeeds."""
+        from repro.core.errors import DriverError
+        from fault_drivers import FaultInjectingDriver
+
+        engine = KleisliEngine()
+        driver = engine.register_driver(FaultInjectingDriver(fail_on={1}))
+        expr = B.ext("x", B.singleton(B.var("x")),
+                     A.Scan("Faulty", {"table": "t", "count": 5}))
+        with pytest.raises(DriverError, match="injected failure"):
+            list(engine.stream(expr, optimize=False, mode=mode))
+        assert driver.open_cursors == 0
+        # The fault poisons nothing: the very next run drains fine.
+        assert list(engine.stream(expr, optimize=False, mode=mode)) == \
+            list(range(5))
+
     def test_failing_join_condition_closes_the_probe_cursor(self, mode):
         """The pinned join-condition error (non-boolean) must also release
         the streamed probe side's cursor."""

@@ -1,0 +1,28 @@
+"""Fixtures/plumbing for the query-service tests.
+
+The shared fault-injection fixtures live in ``tests/kleisli/fault_drivers.py``
+(they are also used by the engine-level stream tests); test directories are
+not packages, so make that directory importable from here.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_KLEISLI_TESTS = str(Path(__file__).resolve().parent.parent / "kleisli")
+if _KLEISLI_TESTS not in sys.path:
+    sys.path.insert(0, _KLEISLI_TESTS)
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.005) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses (asynchronous
+    server-side effects — disconnect cleanup, queued admissions — land on
+    other threads)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
