@@ -4,6 +4,40 @@ Every error raised by the library derives from :class:`ReproError`, so callers
 can catch the whole family with one clause.  The sub-classes mirror the stages
 of the system: lexing/parsing of CPL, type inference, NRC rewriting and
 evaluation, driver interaction, and the external-format substrates.
+
+Fault taxonomy (driver faults, as the resilience layer classifies them)
+-----------------------------------------------------------------------
+
+The paper's headline scenario federates flaky wide-area sources ("the server S
+may only be able to handle a limited number of requests at a time"), so the
+engine's resilience layer (:mod:`repro.kleisli.resilience`) needs a principled
+split between faults worth retrying and faults that can only get worse:
+
+========================== ============ ==============================================
+error                      class        why
+========================== ============ ==============================================
+``RemoteSourceError``      retryable    cap rejection / transient server overload —
+                                        the paper's "limited number of requests";
+                                        backing off and retrying is the fix
+``TransientDriverError``   retryable    a driver explicitly marking a fault as
+                                        transient (connection reset, injected chaos)
+``DriverTimeoutError``     retryable    a request exceeded its per-request budget;
+                                        the server may simply have been slow once
+``ConnectionError``/       retryable    the wire flaked, not the request
+``TimeoutError`` (stdlib)
+``DriverNotRegisteredError`` terminal   no retry conjures up a missing driver
+``DeadlineExceededError``  terminal     the *query's* time budget is spent; retrying
+                                        any single request cannot un-spend it
+``CircuitOpenError``       terminal*    the breaker already proved the source down;
+                                        fail fast (``*`` degradable: a federated
+                                        union may drop the source instead, see
+                                        :class:`SourceDegradedWarning`)
+``DriverError`` (other)    terminal     malformed request / semantic failure — the
+                                        same request will fail the same way again
+========================== ============ ==============================================
+
+:func:`is_retryable_fault` implements the table; anything not listed (type
+errors, evaluation errors, arbitrary exceptions) is terminal.
 """
 
 from __future__ import annotations
@@ -69,7 +103,124 @@ class DriverNotRegisteredError(DriverError):
 
 
 class RemoteSourceError(DriverError):
-    """Raised when a (simulated) remote source rejects or drops a request."""
+    """Raised when a (simulated) remote source rejects or drops a request.
+
+    Classified **retryable**: the paper's cap rejection ("may only be able to
+    handle a limited number of requests at a time") is exactly the fault
+    backoff-and-retry exists for.
+    """
+
+
+class TransientDriverError(DriverError):
+    """A driver fault explicitly marked transient (retryable).
+
+    Drivers raise this — instead of the terminal :class:`DriverError` — for
+    faults where re-issuing the same request can plausibly succeed: dropped
+    connections, mid-transfer resets, injected chaos faults.
+    """
+
+
+class DriverTimeoutError(TransientDriverError):
+    """A driver request exceeded its per-request time budget.
+
+    Raised by the resilience layer (not by drivers) when a request's
+    round-trip overran :attr:`~repro.kleisli.resilience.RetryPolicy.request_timeout`;
+    retryable — one slow answer does not prove the source down.
+    """
+
+    def __init__(self, driver: str, elapsed: float, budget: float):
+        super().__init__(
+            f"driver {driver!r} request took {elapsed:.3f}s "
+            f"(budget {budget:.3f}s)")
+        self.driver = driver
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class DeadlineExceededError(DriverError):
+    """The *query-level* deadline budget is spent (terminal).
+
+    Unlike a per-request timeout, a deadline bounds the whole evaluation:
+    once it passes, no retry of any individual request can bring the query
+    home in time, so the resilience layer stops retrying and surfaces this.
+    """
+
+    def __init__(self, driver: str, overrun: float = 0.0):
+        super().__init__(
+            f"query deadline exceeded while requesting from driver {driver!r}")
+        self.driver = driver
+        self.overrun = overrun
+
+
+class CircuitOpenError(DriverError):
+    """The driver's circuit breaker is open: the source is presumed down.
+
+    Terminal for the individual call — the breaker exists precisely to stop
+    hammering a failing source — but *degradable*: under
+    ``on_source_failure="degrade"`` a federated union drops the source's
+    contribution and records a :class:`SourceDegradedWarning` instead of
+    failing the query.
+    """
+
+    def __init__(self, driver: str, retry_after: float = 0.0):
+        super().__init__(
+            f"circuit breaker for driver {driver!r} is open"
+            + (f"; next probe in ~{retry_after:.2f}s" if retry_after > 0 else ""))
+        self.driver = driver
+        self.retry_after = retry_after
+
+
+#: Exception classes the resilience layer may retry with backoff.
+RETRYABLE_FAULTS = (RemoteSourceError, TransientDriverError,
+                    ConnectionError, TimeoutError)
+#: Exception classes that are never retried, even though they subclass a
+#: retryable base (checked first).
+TERMINAL_FAULTS = (DriverNotRegisteredError, DeadlineExceededError,
+                   CircuitOpenError)
+
+
+def is_retryable_fault(error: BaseException) -> bool:
+    """The one classification every resilience decision routes through.
+
+    Implements the fault-taxonomy table in the module docstring: cap
+    rejections, explicitly-transient driver faults, per-request timeouts and
+    stdlib connection/timeout errors are retryable; missing drivers, spent
+    deadlines, open breakers, and every other fault are terminal.
+    """
+    if isinstance(error, TERMINAL_FAULTS):
+        return False
+    return isinstance(error, RETRYABLE_FAULTS)
+
+
+class SourceDegradedWarning:
+    """A typed record of one source dropped from a degraded federated run.
+
+    NOT an exception: degradation is the *absence* of a failure.  When a
+    query runs with ``on_source_failure="degrade"`` and a source stays down
+    after retries (or its breaker is open), the run completes with partial
+    results and one of these per dropped source in
+    ``EvalStatistics.warnings`` — and, over the query service's wire
+    protocol, in the response's ``warnings`` field — so partial results are
+    always *announced*, never silent truncation.
+    """
+
+    __slots__ = ("driver", "error_type", "reason", "requests_dropped")
+
+    def __init__(self, driver: str, error: BaseException,
+                 requests_dropped: int = 1):
+        self.driver = driver
+        self.error_type = type(error).__name__
+        self.reason = str(error)
+        self.requests_dropped = requests_dropped
+
+    def as_dict(self) -> dict:
+        return {"driver": self.driver, "error_type": self.error_type,
+                "reason": self.reason,
+                "requests_dropped": self.requests_dropped}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"SourceDegradedWarning(driver={self.driver!r}, "
+                f"error_type={self.error_type!r})")
 
 
 class QueryServiceError(ReproError):

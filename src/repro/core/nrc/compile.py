@@ -213,6 +213,46 @@ what lets one engine's compile-cache entry serve scheduler worker threads
 and — since the query service (:mod:`repro.server`) multiplexes many
 concurrent client sessions onto a single shared engine — every session of a
 multi-user deployment at once.
+
+Failure semantics
+-----------------
+
+Compiled code contains **no fault handling**: every scan site — the eager
+closure, the per-element stream, and the chunked batch fetch — routes
+through ``EvalContext.driver_executor`` / ``driver_executor_batch``, and
+the resilience layer (:mod:`repro.kleisli.resilience`) lives behind that
+one choke point, so the three lowerings inherit identical failure
+behavior without any lowering-specific code:
+
+* **Pre-open faults** (the request itself fails): retried per the
+  driver's :class:`~repro.kleisli.resilience.RetryPolicy` with
+  exponential backoff, classified by
+  :func:`repro.core.errors.is_retryable_fault`; terminal faults (a
+  malformed request, a missing driver, a spent deadline) propagate
+  unretried.  A failed native ``execute_batch`` is decomposed and
+  re-dispatched per request, so one poisoned request no longer fails its
+  chunk siblings.
+* **Mid-stream faults** (a lazy cursor dies after yielding elements): the
+  scan is re-issued and resumed through a seen-prefix filter *below* the
+  scan-accounting wrapper (``scan_stream`` asks the resilience layer's
+  cursor for a merged wrapper), so a drained recovered run is
+  bit-identical to a fault-free run in values AND ``elements_fetched`` —
+  under every lowering.  A re-issue that ends inside the already-delivered
+  prefix is a terminal error, never a silent short stream.
+* **Deadlines** (``EvalContext.deadline``, set via
+  ``engine.execute/stream(deadline=...)``): checked before every attempt
+  and before every backoff sleep; always terminal.
+* **Degradation** (``EvalContext.on_source_failure == "degrade"``): a
+  source still down after retries — or behind an open circuit breaker —
+  contributes an empty result (eager) or ends its stream at the delivered
+  prefix (lazy), recorded as a typed
+  :class:`~repro.core.errors.SourceDegradedWarning` in
+  ``EvalStatistics.warnings``; partial results are always announced,
+  never silent.  Under the default ``"fail"`` policy the classified fault
+  propagates to the caller unchanged.
+
+A driver with no configured policy bypasses all of the above: zero-fault
+runs are bit-for-bit unchanged with the layer installed.
 """
 
 from __future__ import annotations
@@ -1111,7 +1151,7 @@ def _iterate_streamed(value: object, context: EvalContext):
     if isinstance(value, _COLLECTIONS):
         return iter(value)
     if hasattr(value, "__iter__"):
-        if type(value) is not _CountingStream:
+        if not isinstance(value, _CountingStream):
             scope = context.scope
             if scope is not None and hasattr(value, "close"):
                 scope.register(value)

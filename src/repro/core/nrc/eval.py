@@ -165,6 +165,15 @@ class EvalStatistics:
         #: Engine compile-cache (LRU) accounting for this query's lowering.
         self.compile_cache_hits = 0
         self.compile_cache_misses = 0
+        #: Resilience accounting: driver-request retries served for this run
+        #: and mid-stream faults recovered to a resumed cursor.
+        self.retries = 0
+        self.recovered_faults = 0
+        #: Typed :class:`~repro.core.errors.SourceDegradedWarning` records —
+        #: one per source dropped from a degraded (``on_source_failure=
+        #: "degrade"``) run.  Empty means the result is complete; non-empty
+        #: means *announced* partial results, never silent truncation.
+        self.warnings: List[object] = []
 
     @property
     def elements_fetched(self) -> int:
@@ -183,6 +192,8 @@ class EvalStatistics:
     def as_dict(self) -> Dict[str, object]:
         result: Dict[str, object] = dict(self.__dict__)
         result["elements_fetched"] = self.elements_fetched
+        # Warnings are typed records; the dict form is wire-encodable.
+        result["warnings"] = [warning.as_dict() for warning in self.warnings]
         return result
 
 
@@ -323,6 +334,18 @@ class EvalContext:
         #: per-stage per-chunk costs for the feedback ledger, or ``None``
         #: (no recording).  Set by ``KleisliEngine.stream`` per chunked run.
         self.plan_probe = None
+        #: Absolute deadline for the whole run (on the resilience layer's
+        #: clock), or ``None`` for no budget.  The resilience layer checks it
+        #: before every driver attempt and before every backoff sleep; a
+        #: spent deadline raises :class:`~repro.core.errors.DeadlineExceededError`
+        #: (terminal — retrying a request cannot un-spend the query budget).
+        self.deadline = None
+        #: What a federated run does when one source stays down after
+        #: retries (or its breaker is open): ``"fail"`` (default) propagates
+        #: the error; ``"degrade"`` completes with partial results and a
+        #: typed :class:`~repro.core.errors.SourceDegradedWarning` appended
+        #: to ``statistics.warnings``.
+        self.on_source_failure = "fail"
         #: The active :class:`EvalScope`, or ``None`` outside a scoped run.
         #: Eager ``execute`` leaves it ``None`` (returned lazy values stay
         #: usable); pipelined ``stream`` runs inside one so abandoning the
@@ -720,8 +743,16 @@ def scan_stream(result: object, context: "EvalContext") -> "_CountingStream":
     waiting for GC — and unregisters itself once drained, so the scope
     does not pin exhausted cursors (or their buffers) for the life of a
     long stream.
+
+    A result may supply its own counting wrapper via a
+    ``make_counting_stream(statistics)`` hook (the resilience layer's
+    recovering cursors do, merging recovery and accounting into one
+    per-element frame); anything else gets the plain
+    :class:`_CountingStream`.
     """
-    stream = _CountingStream(result, context.statistics)
+    make = getattr(result, "make_counting_stream", None)
+    stream = _CountingStream(result, context.statistics) if make is None \
+        else make(context.statistics)
     scope = context.scope
     if scope is not None:
         stream._scope = scope

@@ -288,11 +288,17 @@ class QueryPlanner:
                 else self.cardinality.estimate(expr))
         latency = 0.0
         batching_drivers = set()
+        available = getattr(self.statistics, "is_available", None)
         for driver, _collection in scans:
             driver_latency = self.cost.driver_latency(driver)
             latency = max(latency, driver_latency)
             if (driver_latency >= self.cost.BATCH_LATENCY_THRESHOLD
-                    and self.batches_natively(driver)):
+                    and self.batches_natively(driver)
+                    # A tripped breaker (registry availability) vetoes the
+                    # batching-aggressive cap: routing bigger batches at a
+                    # source the breaker proved down just buffers more
+                    # elements behind the next rejection.
+                    and (available is None or available(driver))):
                 batching_drivers.add(driver)
 
         # Local ramp bound: raised past the old constant for known-huge

@@ -60,6 +60,7 @@ from ..core.planner import (
 from ..core.values import iter_collection
 from .cache import SubqueryCache
 from .drivers.base import Driver, DriverFunction
+from .resilience import CircuitBreaker, CircuitBreakerPolicy, ResilienceLayer, RetryPolicy
 from .statistics import SourceStatisticsRegistry
 
 __all__ = ["KleisliEngine", "ExecutionMode"]
@@ -165,8 +166,23 @@ class KleisliEngine:
         #: time) lowering by default; per-call override via
         #: ``stream(..., chunked=...)``.
         self.stream_chunking = stream_chunking
+        #: The driver resilience layer (retries, breakers, deadlines,
+        #: mid-stream recovery).  Default-off: a driver with no configured
+        #: policy dispatches exactly as before, so zero-fault runs are
+        #: bit-for-bit unchanged.  Configure via :meth:`configure_resilience`.
+        self.resilience = ResilienceLayer()
+        self.resilience.on_breaker_event = self._note_breaker_event
+        #: Engine-wide default for ``on_source_failure`` when a run does not
+        #: choose: ``"fail"`` propagates source failures, ``"degrade"``
+        #: completes federated runs with typed partial-result warnings.
+        self.on_source_failure = "fail"
         self.last_eval_statistics: Optional[EvalStatistics] = None
         self.last_rewrite_stats: Optional[RewriteStats] = None
+        # Thread-local mirror of last_eval_statistics: on a shared engine,
+        # concurrent sessions overwrite the engine-wide attribute, so a
+        # server thread that needs ITS run's statistics (degradation
+        # warnings on the wire) reads thread_eval_statistics() instead.
+        self._thread_statistics = threading.local()
         self._compiled_queries = _CompileCache(_COMPILED_CACHE_LIMIT)
 
     # -- driver registration ---------------------------------------------------------
@@ -289,8 +305,42 @@ class KleisliEngine:
         self.last_rewrite_stats = stats
         return optimized
 
-    def driver_executor(self, driver_name: str, request: Mapping[str, object]):
+    def configure_resilience(self, driver_name: str,
+                             retry: Optional[RetryPolicy] = None,
+                             breaker: Optional[CircuitBreakerPolicy] = None) -> None:
+        """Install a retry policy and/or circuit breaker for one driver.
+
+        Passing neither removes the configuration: the driver returns to
+        raw pass-through dispatch (the default for every driver).
+        """
+        self.resilience.set_policy(driver_name, retry, breaker)
+
+    def _note_breaker_event(self, driver_name: str, state: str) -> None:
+        """Breaker state changes feed the planner's availability view.
+
+        An open (or half-open, still-probing) breaker marks the source
+        unavailable in the statistics registry, so :meth:`plan_for` stops
+        routing batched scans at it; re-closing restores availability.
+        """
+        self.statistics_registry.set_available(
+            driver_name, state == CircuitBreaker.CLOSED)
+
+    def driver_executor(self, driver_name: str, request: Mapping[str, object],
+                        context: Optional[EvalContext] = None):
         """The Scan callback: route a request to the named driver.
+
+        Dispatch runs through the resilience layer — retries, per-request
+        timeouts, the per-query deadline on ``context``, circuit breaking,
+        mid-stream recovery wrapping, degradation — which is pure
+        pass-through for drivers with no configured policy.  ``context``
+        (bound per run by :meth:`_make_context`) carries the deadline and
+        failure policy; direct callers may omit it.
+        """
+        return self.resilience.execute(driver_name, request,
+                                       self._raw_execute, context)
+
+    def _raw_execute(self, driver_name: str, request: Mapping[str, object]):
+        """One raw driver round-trip (what the resilience layer retries).
 
         Every *successful* request's round-trip is folded into the
         statistics registry's observed-latency EMA, so a driver nobody
@@ -299,7 +349,9 @@ class KleisliEngine:
         dispatch in ~0s and stay local; their per-element latency is paid
         during consumption).  Failures are excluded: an overloaded remote
         server rejecting in ~1 ms would otherwise drag the EMA *down* and
-        demote exactly the driver that most needs request overlap.
+        demote exactly the driver that most needs request overlap — for the
+        same reason, a retried request contributes one sample per
+        *successful* attempt, never its failed tries.
         """
         driver = self.driver(driver_name)
         started = time.perf_counter()
@@ -309,7 +361,8 @@ class KleisliEngine:
         return result
 
     def driver_executor_batch(self, driver_name: str,
-                              requests: Sequence[Mapping[str, object]]) -> List[object]:
+                              requests: Sequence[Mapping[str, object]],
+                              context: Optional[EvalContext] = None) -> List[object]:
         """The batched Scan callback: a whole chunk's requests in one call.
 
         A driver that left :meth:`~repro.kleisli.drivers.base.Driver.execute_batch`
@@ -327,15 +380,27 @@ class KleisliEngine:
         EMA below the promotion threshold as batches grow — while native
         batches that still do per-request work (the flat-file driver's
         cached reads) record the mean, which IS their true per-request cost.
+
+        A *failed* native batch no longer poisons its siblings: the batch is
+        decomposed and re-dispatched per request through
+        :meth:`driver_executor`, so only the genuinely bad request fails
+        (and, with a retry policy or degradation configured, may not fail at
+        all — a whole-batch cap rejection retries per request).  The
+        re-dispatched requests are real per-request round-trips, so their
+        EMA samples follow the per-request rule above.
         """
         driver = self.driver(driver_name)
         if not requests:
             return []
         if type(driver).execute_batch is Driver.execute_batch:
-            return [self.driver_executor(driver_name, request)
+            return [self.driver_executor(driver_name, request, context)
                     for request in requests]
         started = time.perf_counter()
-        results = list(driver.execute_batch(requests))
+        try:
+            results = list(driver.execute_batch(requests))
+        except Exception:
+            return [self.driver_executor(driver_name, request, context)
+                    for request in requests]
         if not driver.batch_single_round_trip:
             self.statistics_registry.record_latency_sample(
                 driver_name, (time.perf_counter() - started) / len(requests))
@@ -376,6 +441,11 @@ class KleisliEngine:
             "drivers": {name: driver.request_count
                         for name, driver in self.drivers.items()},
             "live_scopes": EvalScope.live_count(),
+            # Per-driver resilience books: retry/timeout/recovery counters
+            # and breaker state (``None`` breaker = no breaker configured).
+            # Only drivers with a policy, breaker, or recorded activity
+            # appear; an unconfigured engine reports {}.
+            "resilience": self.resilience.snapshot(),
         }
 
     def chunk_policy(self) -> ChunkPolicy:
@@ -407,12 +477,44 @@ class KleisliEngine:
         self.last_plan = plan
         return plan
 
-    def _make_context(self) -> EvalContext:
+    def _make_context(self, deadline: Optional[float] = None,
+                      on_source_failure: Optional[str] = None) -> EvalContext:
+        """One run's ambient context, with its resilience parameters bound.
+
+        ``deadline`` is a *relative* budget in seconds, converted to an
+        absolute deadline on the resilience layer's clock here, when the
+        run starts.  The Scan callbacks are bound as closures over this
+        context so the resilience layer sees the run's deadline and
+        failure policy at every dispatch — while the engine methods keep
+        their context-free signatures for direct callers.
+        """
         statistics = EvalStatistics()
         self.last_eval_statistics = statistics
-        return EvalContext(driver_executor=self.driver_executor,
-                           statistics=statistics, cache=self.cache,
-                           driver_executor_batch=self.driver_executor_batch)
+        self._thread_statistics.value = statistics
+        context = EvalContext(statistics=statistics, cache=self.cache)
+        policy = (on_source_failure if on_source_failure is not None
+                  else self.on_source_failure)
+        if policy not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_source_failure must be 'fail' or 'degrade', got {policy!r}")
+        context.on_source_failure = policy
+        if deadline is not None:
+            context.deadline = self.resilience.clock() + deadline
+        context.driver_executor = (
+            lambda name, request: self.driver_executor(name, request, context))
+        context.driver_executor_batch = (
+            lambda name, requests: self.driver_executor_batch(
+                name, requests, context))
+        return context
+
+    def thread_eval_statistics(self) -> Optional[EvalStatistics]:
+        """The statistics of the last run *started on this thread*.
+
+        Unlike ``last_eval_statistics`` this cannot be clobbered by another
+        session's concurrent run; a streamed run's object keeps accumulating
+        (warnings included) as the stream drains.
+        """
+        return getattr(self._thread_statistics, "value", None)
 
     def _resolve_mode(self, mode: Optional[object]) -> ExecutionMode:
         return self.execution_mode if mode is None else ExecutionMode.coerce(mode)
@@ -478,15 +580,19 @@ class KleisliEngine:
                              fingerprint)
 
     def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
-                optimize: bool = True, mode: Optional[object] = None):
+                optimize: bool = True, mode: Optional[object] = None,
+                deadline: Optional[float] = None,
+                on_source_failure: Optional[str] = None):
         """Optimize (optionally) and evaluate an NRC expression.
 
         ``mode`` overrides the engine's default :class:`ExecutionMode` for
         this call (``"compiled"`` lowers the term to closures first;
-        ``"interpret"`` tree-walks it).
+        ``"interpret"`` tree-walks it).  ``deadline`` (seconds) bounds the
+        whole run's driver work; ``on_source_failure`` overrides the
+        engine's failure policy (``"fail"`` | ``"degrade"``) for this call.
         """
         mode = self._resolve_mode(mode)
-        context = self._make_context()
+        context = self._make_context(deadline, on_source_failure)
         environment = Environment(dict(bindings or {}))
         if mode is ExecutionMode.COMPILED:
             lower = lambda term: self.compiled_query(term, context.statistics)
@@ -509,7 +615,9 @@ class KleisliEngine:
     def stream(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
                optimize: bool = True, mode: Optional[object] = None,
                chunked: Optional[bool] = None,
-               chunk_policy: Optional[ChunkPolicy] = None) -> Iterator[object]:
+               chunk_policy: Optional[ChunkPolicy] = None,
+               deadline: Optional[float] = None,
+               on_source_failure: Optional[str] = None) -> Iterator[object]:
         """Pipelined evaluation: yield elements as the pipeline produces them.
 
         In compiled mode the (optimized) term is lowered by default to a
@@ -542,7 +650,7 @@ class KleisliEngine:
         # raises at the call site, and last_eval_statistics / last_plan
         # refer to *this* run as soon as stream() returns); evaluation
         # starts on the first next().
-        context = self._make_context()
+        context = self._make_context(deadline, on_source_failure)
         if chunked is None:
             chunked = self.stream_chunking
         if mode is ExecutionMode.COMPILED:

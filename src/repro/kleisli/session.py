@@ -107,7 +107,8 @@ class Session:
     def __init__(self, engine: Optional[KleisliEngine] = None,
                  optimizer_config: Optional[OptimizerConfig] = None,
                  typecheck: bool = True,
-                 execution_mode: Optional[object] = None):
+                 execution_mode: Optional[object] = None,
+                 on_source_failure: Optional[str] = None):
         if engine is None:
             engine = KleisliEngine(
                 optimizer_config,
@@ -119,6 +120,11 @@ class Session:
             engine.execution_mode = ExecutionMode.coerce(execution_mode)
         self.engine = engine
         self.typecheck = typecheck
+        #: Session default for what a federated run does when a source stays
+        #: down after retries: ``None`` defers to the engine's policy,
+        #: ``"fail"`` propagates, ``"degrade"`` completes with typed
+        #: partial-result warnings.  Per-call overrides win.
+        self.on_source_failure = on_source_failure
         self.values: Dict[str, object] = {}
         # ``define f == e`` makes f a *synonym* for e (the paper's wording), so
         # definitions are stored as NRC expressions and expanded into queries
@@ -195,30 +201,50 @@ class Session:
 
     # -- running CPL ----------------------------------------------------------------
 
-    def run(self, source: str, optimize: bool = True):
-        """Run a CPL program (one or more statements); return the last query's value."""
+    def run(self, source: str, optimize: bool = True,
+            deadline: Optional[float] = None,
+            on_source_failure: Optional[str] = None):
+        """Run a CPL program (one or more statements); return the last query's value.
+
+        ``deadline`` (seconds) bounds each statement's driver work;
+        ``on_source_failure`` overrides the session/engine failure policy
+        (``"fail"`` | ``"degrade"``) for this call.
+        """
         program = parse(source)
         result = None
         for statement in program.statements:
-            result = self._run_statement(statement, optimize)
+            result = self._run_statement(statement, optimize, deadline,
+                                         self._failure_policy(on_source_failure))
         return result
 
     def query(self, source: str, optimize: bool = True,
-              mode: Optional[object] = None) -> QueryResult:
+              mode: Optional[object] = None,
+              deadline: Optional[float] = None,
+              on_source_failure: Optional[str] = None) -> QueryResult:
         """Run a single CPL expression and return the full :class:`QueryResult`.
 
         ``mode`` overrides the engine's execution mode for this query
-        (``"compiled"`` | ``"interpret"``).
+        (``"compiled"`` | ``"interpret"``); ``deadline`` and
+        ``on_source_failure`` as in :meth:`run`.
         """
         expression = parse_expression(source)
         inferred = self._infer(expression)
         nrc = self._expand(desugar_expression(expression))
         optimized = self.engine.compile(nrc) if optimize else nrc
-        value = self.engine.execute(optimized, self.values, optimize=False, mode=mode)
+        value = self.engine.execute(
+            optimized, self.values, optimize=False, mode=mode,
+            deadline=deadline,
+            on_source_failure=self._failure_policy(on_source_failure))
         return QueryResult(value, nrc, optimized, inferred)
 
+    def _failure_policy(self, override: Optional[str]) -> Optional[str]:
+        """Per-call override, else the session default, else the engine's."""
+        return override if override is not None else self.on_source_failure
+
     def stream(self, source: str, optimize: bool = True,
-               mode: Optional[object] = None) -> Iterator[object]:
+               mode: Optional[object] = None,
+               deadline: Optional[float] = None,
+               on_source_failure: Optional[str] = None) -> Iterator[object]:
         """Run a query with pipelined (lazy) result delivery.
 
         In compiled mode the optimized term is lowered to a pull-based
@@ -234,8 +260,10 @@ class Session:
         self._infer(expression)
         nrc = self._expand(desugar_expression(expression))
         stream = _TrackedStream(
-            self, self.engine.stream(nrc, self.values, optimize=optimize,
-                                     mode=mode))
+            self, self.engine.stream(
+                nrc, self.values, optimize=optimize, mode=mode,
+                deadline=deadline,
+                on_source_failure=self._failure_policy(on_source_failure)))
         with self._streams_lock:
             self._open_streams.append(stream)
         return stream
@@ -274,6 +302,17 @@ class Session:
         """The :class:`~repro.core.nrc.eval.EvalStatistics` of the last run."""
         return self.engine.last_eval_statistics
 
+    @property
+    def last_warnings(self) -> List[object]:
+        """Typed :class:`~repro.core.errors.SourceDegradedWarning` records of
+        the last run started on this thread (empty = complete results).
+
+        Reads the engine's *thread-local* statistics, so on a shared engine
+        another session's concurrent run cannot clobber the answer.
+        """
+        statistics = self.engine.thread_eval_statistics()
+        return list(statistics.warnings) if statistics is not None else []
+
     def explain(self, source: str) -> Tuple[A.Expr, List[Tuple[str, str]]]:
         """Return the optimized NRC form of a query and per-stage rewrite traces."""
         expression = parse_expression(source)
@@ -281,7 +320,9 @@ class Session:
         optimized, _, traces = self.engine.optimizer.explain(nrc)
         return optimized, traces
 
-    def _run_statement(self, statement: S.Statement, optimize: bool):
+    def _run_statement(self, statement: S.Statement, optimize: bool,
+                       deadline: Optional[float] = None,
+                       on_source_failure: Optional[str] = None):
         if isinstance(statement, S.Define):
             if self.typecheck:
                 try:
@@ -296,7 +337,9 @@ class Session:
         if self.typecheck and isinstance(statement, S.ExprStatement):
             self._infer(statement.expr)
         _, _, nrc = desugar_statement(statement)
-        return self.engine.execute(self._expand(nrc), self.values, optimize=optimize)
+        return self.engine.execute(self._expand(nrc), self.values,
+                                   optimize=optimize, deadline=deadline,
+                                   on_source_failure=on_source_failure)
 
     def _expand(self, nrc: A.Expr, depth: int = 20) -> A.Expr:
         """Substitute defined synonyms into ``nrc`` (non-recursive definitions only)."""

@@ -48,6 +48,11 @@ class SourceStatisticsRegistry:
         self._cardinalities: Dict[Tuple[str, str], int] = {}
         self._remote_latency: Dict[str, float] = {}
         self._observed_latency: Dict[str, float] = {}
+        # Drivers currently marked UNavailable (circuit breaker open or
+        # half-open).  Fed by the engine's breaker-event hook; consulted by
+        # the planner so batched scans stop being routed at tripped sources.
+        # Absence means available — the common case stays allocation-free.
+        self._unavailable: set = set()
         # One lock guards EVERY mutable map (the _CompileCache discipline):
         # latency samples arrive from scheduler worker threads (a
         # ParallelExt body's scans all route through the engine's driver
@@ -117,6 +122,25 @@ class SourceStatisticsRegistry:
         """The EMA of observed request round-trips (0.0 before any sample)."""
         with self._lock:
             return self._observed_latency.get(driver, 0.0)
+
+    def set_available(self, driver: str, available: bool) -> None:
+        """Mark a driver (un)available — the breaker's trip/close events.
+
+        Availability is *advisory* planner knowledge, not an admission
+        gate: requests still dispatch (and the breaker itself rejects
+        them); the planner merely stops choosing batching-aggressive plans
+        for a source the breaker has proved down.
+        """
+        with self._lock:
+            if available:
+                self._unavailable.discard(driver)
+            else:
+                self._unavailable.add(driver)
+
+    def is_available(self, driver: str) -> bool:
+        """Is the driver's circuit closed (or breaker-less)?  Default True."""
+        with self._lock:
+            return driver not in self._unavailable
 
     def is_remote(self, driver: str) -> bool:
         """Is this driver remote, for the parallelism rules?

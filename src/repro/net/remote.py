@@ -63,34 +63,83 @@ class RemoteCallLog:
 
 
 class RemoteSource:
-    """Wrap a callable server with latency and a concurrency cap."""
+    """Wrap a callable server with latency, a concurrency cap, and faults.
+
+    Beyond the cap rejection (retryable :class:`RemoteSourceError`, see the
+    fault taxonomy in :mod:`repro.core.errors`), two configurable failure
+    modes make the source a deterministic chaos fixture for resilience
+    tests:
+
+    * ``failure_rate`` — every Nth admitted request fails (``0.1`` = every
+      10th; deterministic by request ordinal, not random, so runs repeat);
+    * ``fail_after`` — requests succeed until N have been served, then every
+      request fails (a server going down mid-query; re-arm by resetting
+      :attr:`requests_admitted` or constructing afresh).
+
+    Both raise :class:`RemoteSourceError` (retryable) *after* admission, so
+    breaker/retry accounting sees them as server faults, not cap pressure.
+    ``clock`` and ``sleeper`` are injectable so resilience tests wire a fake
+    clock and never sleep through the simulated latency.
+    """
 
     def __init__(self, name: str, handler: Callable[..., object],
-                 latency: float = 0.02, max_concurrent_requests: int = 5):
+                 latency: float = 0.02, max_concurrent_requests: int = 5,
+                 failure_rate: float = 0.0,
+                 fail_after: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleeper: Callable[[float], None] = time.sleep):
         self.name = name
         self.handler = handler
         self.latency = latency
         self.max_concurrent_requests = max_concurrent_requests
+        self.failure_rate = failure_rate
+        self.fail_after = fail_after
+        self.clock = clock
+        self.sleeper = sleeper
         self.log = RemoteCallLog()
         self._lock = threading.Lock()
         self._in_flight = 0
+        #: Requests (and batches) that passed admission, ever — the ordinal
+        #: the deterministic failure modes key on.
+        self.requests_admitted = 0
+        #: Requests deliberately failed by a configured failure mode.
+        self.faults_injected = 0
 
-    def call(self, *args, **kwargs) -> object:
-        """Issue one request: admission check, latency, then the wrapped handler."""
+    def _admit(self, what: str) -> None:
+        """Take one concurrency slot and apply the configured failure modes."""
         with self._lock:
             if self._in_flight >= self.max_concurrent_requests:
                 raise RemoteSourceError(
-                    f"server {self.name!r} rejected the request: already handling "
+                    f"server {self.name!r} rejected the {what}: already handling "
                     f"{self._in_flight} concurrent requests (cap {self.max_concurrent_requests})"
                 )
             self._in_flight += 1
-        started = time.monotonic()
+            self.requests_admitted += 1
+            ordinal = self.requests_admitted
+            fail = False
+            if self.fail_after is not None and ordinal > self.fail_after:
+                fail = True
+            elif self.failure_rate > 0:
+                # Every round(1/rate)th request, deterministically.
+                period = max(1, round(1.0 / self.failure_rate))
+                fail = ordinal % period == 0
+            if fail:
+                self.faults_injected += 1
+                self._in_flight -= 1
+                raise RemoteSourceError(
+                    f"server {self.name!r} dropped the {what} "
+                    f"(injected fault, request #{ordinal})")
+
+    def call(self, *args, **kwargs) -> object:
+        """Issue one request: admission check, latency, then the wrapped handler."""
+        self._admit("request")
+        started = self.clock()
         try:
             if self.latency > 0:
-                time.sleep(self.latency)
+                self.sleeper(self.latency)
             return self.handler(*args, **kwargs)
         finally:
-            finished = time.monotonic()
+            finished = self.clock()
             self.log.record(started, finished)
             with self._lock:
                 self._in_flight -= 1
@@ -104,24 +153,21 @@ class RemoteSource:
         network latency and the call-log entry are paid once for the whole
         batch, then the handler runs per payload.  This is what makes a
         driver's native ``execute_batch`` cheaper than looping ``call`` —
-        a chunk of K requests costs one latency instead of K.
+        a chunk of K requests costs one latency instead of K.  A configured
+        failure mode fails the whole batch (one wire message, one drop) —
+        which is exactly what the engine's per-request batch decomposition
+        exists to recover from.
         """
         if not payloads:
             return []
-        with self._lock:
-            if self._in_flight >= self.max_concurrent_requests:
-                raise RemoteSourceError(
-                    f"server {self.name!r} rejected the batch: already handling "
-                    f"{self._in_flight} concurrent requests (cap {self.max_concurrent_requests})"
-                )
-            self._in_flight += 1
-        started = time.monotonic()
+        self._admit("batch")
+        started = self.clock()
         try:
             if self.latency > 0:
-                time.sleep(self.latency)
+                self.sleeper(self.latency)
             return [self.handler(payload) for payload in payloads]
         finally:
-            finished = time.monotonic()
+            finished = self.clock()
             self.log.record(started, finished)
             with self._lock:
                 self._in_flight -= 1

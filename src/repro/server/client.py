@@ -35,6 +35,10 @@ class KleisliClient:
         #: The ``admission`` field of the last admitted request
         #: (``"immediate"`` or ``"queued"``) — how much pressure we saw.
         self.last_admission: Optional[str] = None
+        #: The ``warnings`` field of the last response that carried one:
+        #: typed degradation records (dicts with ``driver``/``error_type``/
+        #: ``reason``/``requests_dropped``).  Empty = complete results.
+        self.last_warnings: list = []
 
     # -- plumbing ------------------------------------------------------------
 
@@ -53,6 +57,8 @@ class KleisliClient:
         if response.get("ok"):
             if "admission" in response:
                 self.last_admission = response["admission"]
+            if "warnings" in response:
+                self.last_warnings = response["warnings"]
             return response
         error = response.get("error", "unspecified server error")
         error_type = response.get("error_type", "ReproError")
@@ -65,22 +71,47 @@ class KleisliClient:
     def hello(self) -> dict:
         return self.request({"op": "hello"})
 
-    def run(self, source: str) -> object:
-        """Run a CPL program (defines allowed); return the last query's value."""
-        return decode_value(self.request({"op": "run", "source": source})["value"])
+    @staticmethod
+    def _with_options(message: dict, deadline: Optional[float],
+                      on_source_failure: Optional[str]) -> dict:
+        if deadline is not None:
+            message["deadline"] = deadline
+        if on_source_failure is not None:
+            message["on_source_failure"] = on_source_failure
+        return message
 
-    def query(self, source: str) -> object:
-        """Run one CPL expression; return its value."""
-        return decode_value(
-            self.request({"op": "query", "source": source})["value"])
+    def run(self, source: str, deadline: Optional[float] = None,
+            on_source_failure: Optional[str] = None) -> object:
+        """Run a CPL program (defines allowed); return the last query's value.
 
-    def stream(self, source: str, batch: int = 16) -> Iterator[object]:
+        ``deadline`` (seconds) bounds the run's driver work server-side;
+        ``on_source_failure="degrade"`` completes federated runs with
+        partial results, announced in :attr:`last_warnings`.
+        """
+        return decode_value(self.request(self._with_options(
+            {"op": "run", "source": source},
+            deadline, on_source_failure))["value"])
+
+    def query(self, source: str, deadline: Optional[float] = None,
+              on_source_failure: Optional[str] = None) -> object:
+        """Run one CPL expression; return its value (options as in :meth:`run`)."""
+        return decode_value(self.request(self._with_options(
+            {"op": "query", "source": source},
+            deadline, on_source_failure))["value"])
+
+    def stream(self, source: str, batch: int = 16,
+               deadline: Optional[float] = None,
+               on_source_failure: Optional[str] = None) -> Iterator[object]:
         """Run a streamed query, yielding elements as fetch batches arrive.
 
         Closing the generator early (or abandoning it) sends a ``close`` op,
-        releasing the server-side cursor and its admission slot.
+        releasing the server-side cursor and its admission slot.  Each fetch
+        refreshes :attr:`last_warnings` with the degradation records the
+        stream has accumulated so far.
         """
-        cursor = self.request({"op": "open", "source": source})["cursor"]
+        cursor = self.request(self._with_options(
+            {"op": "open", "source": source},
+            deadline, on_source_failure))["cursor"]
         done = False
         try:
             while not done:

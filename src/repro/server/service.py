@@ -32,7 +32,7 @@ from ..kleisli.session import Session
 from ..net.framing import recv_message, send_message
 from ..views.gateway import ViewGateway
 from ..views.registry import ViewRegistry
-from .wire import encode_value
+from .wire import encode_value, encode_warnings
 
 __all__ = ["KleisliServer", "ServerStats", "PROTOCOL_VERSION"]
 
@@ -97,10 +97,15 @@ class _Cursor:
     admission slot it holds for its whole lifetime (open cursors *are* the
     in-flight queries backpressure counts)."""
 
-    __slots__ = ("stream", "_slot", "_stats", "_closed")
+    __slots__ = ("stream", "statistics", "_slot", "_stats", "_closed")
 
-    def __init__(self, stream, slot: _AdmissionSlot, stats: ServerStats):
+    def __init__(self, stream, slot: _AdmissionSlot, stats: ServerStats,
+                 statistics=None):
         self.stream = stream
+        #: The run's ``EvalStatistics`` — captured at open time so fetch
+        #: replies can report degradation warnings accumulated as the
+        #: stream drains, regardless of what other sessions ran since.
+        self.statistics = statistics
         self._slot = slot
         self._stats = stats
         self._closed = False
@@ -388,39 +393,71 @@ class KleisliServer:
                 "protocol": PROTOCOL_VERSION,
                 "ops": sorted([*self._OPS, "bye"])}
 
+    @staticmethod
+    def _run_options(message: dict) -> Dict[str, object]:
+        """Per-request resilience options: deadline + failure policy.
+
+        Both are optional on every query-running op; validation errors are
+        wire errors (the request never reaches the engine).
+        """
+        options: Dict[str, object] = {}
+        deadline = message.get("deadline")
+        if deadline is not None:
+            if isinstance(deadline, bool) \
+                    or not isinstance(deadline, (int, float)) or deadline <= 0:
+                raise WireProtocolError(
+                    "'deadline' must be a positive number of seconds")
+            options["deadline"] = float(deadline)
+        policy = message.get("on_source_failure")
+        if policy is not None:
+            if policy not in ("fail", "degrade"):
+                raise WireProtocolError(
+                    "'on_source_failure' must be 'fail' or 'degrade'")
+            options["on_source_failure"] = policy
+        return options
+
     def _op_run(self, state: _Connection, message: dict) -> dict:
         source = self._required_str(message, "source")
+        options = self._run_options(message)
         how, slot = self._admit()
         try:
-            value = state.session.run(source)
+            value = state.session.run(source, **options)
         finally:
             slot.release()
         self.stats.increment("queries")
-        return {"ok": True, "value": encode_value(value), "admission": how}
+        return {"ok": True, "value": encode_value(value), "admission": how,
+                "warnings": encode_warnings(
+                    self.engine.thread_eval_statistics())}
 
     def _op_query(self, state: _Connection, message: dict) -> dict:
         source = self._required_str(message, "source")
+        options = self._run_options(message)
         how, slot = self._admit()
         try:
-            result = state.session.query(source)
+            result = state.session.query(source, **options)
         finally:
             slot.release()
         self.stats.increment("queries")
         return {"ok": True, "value": encode_value(result.value),
-                "admission": how}
+                "admission": how,
+                "warnings": encode_warnings(
+                    self.engine.thread_eval_statistics())}
 
     def _op_open(self, state: _Connection, message: dict) -> dict:
         source = self._required_str(message, "source")
+        options = self._run_options(message)
         how, slot = self._admit()
         try:
-            stream = state.session.stream(source)
+            stream = state.session.stream(source, **options)
         except BaseException:
             slot.release()
             raise
         with self._lock:
             self._cursor_counter += 1
             cursor_id = f"c{self._cursor_counter}"
-        state.cursors[cursor_id] = _Cursor(stream, slot, self.stats)
+        state.cursors[cursor_id] = _Cursor(
+            stream, slot, self.stats,
+            statistics=self.engine.thread_eval_statistics())
         self.stats.increment("cursors_opened")
         self.stats.increment("queries")
         return {"ok": True, "cursor": cursor_id, "admission": how}
@@ -453,7 +490,8 @@ class KleisliServer:
         if done:
             state.cursors.pop(cursor_id, None)
             cursor.close()
-        return {"ok": True, "values": values, "done": done}
+        return {"ok": True, "values": values, "done": done,
+                "warnings": encode_warnings(cursor.statistics)}
 
     def _op_close(self, state: _Connection, message: dict) -> dict:
         cursor_id = message.get("cursor")

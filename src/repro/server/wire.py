@@ -28,7 +28,7 @@ from ..core.values import (
     Variant,
 )
 
-__all__ = ["encode_value", "decode_value"]
+__all__ = ["encode_value", "decode_value", "encode_warnings"]
 
 _COLLECTION_TAGS = {CSet: "set", CBag: "bag", CList: "list"}
 _COLLECTION_TYPES = {"set": CSet, "bag": CBag, "list": CList}
@@ -53,6 +53,20 @@ def encode_value(value: object) -> object:
         return value
     raise WireProtocolError(
         f"cannot encode {type(value).__name__} for the wire")
+
+
+def encode_warnings(statistics: object) -> List[Dict[str, object]]:
+    """The run's degradation warnings as wire-ready dicts (never omitted).
+
+    A degraded federated run's partial results are *announced*: every
+    ``run``/``query``/``fetch`` response carries a ``warnings`` list — one
+    :class:`~repro.core.errors.SourceDegradedWarning` dict per source
+    dropped (empty = the result is complete).  Encoding lives here, next to
+    the value codec, so the wire shape of a warning is defined in one place.
+    """
+    if statistics is None:
+        return []
+    return [warning.as_dict() for warning in statistics.warnings]
 
 
 def decode_value(payload: object) -> object:

@@ -41,20 +41,32 @@ class FaultInjectingDriver(Driver):
                            don't stall), a sequence cycled by ordinal, or a
                            ``callable(ordinal) -> seconds``.  The stall runs
                            through ``sleeper`` (default ``time.sleep``) so
-                           deterministic tests can inject a fake.
+                           deterministic tests can inject a fake — resilience
+                           timeout tests pair a fake sleeper that advances a
+                           fake clock with a ``RetryPolicy.request_timeout``,
+                           so a scheduled stall becomes a deterministic
+                           timeout fault without any real sleeping.
+    ``fault_type``         the exception class injected faults raise
+                           (default ``DriverError`` — terminal under the
+                           resilience taxonomy; pass ``TransientDriverError``
+                           to model retryable chaos).
 
     A scan request is ``{"table": "t", "count": n}`` and yields
     ``0 .. n-1``; the bound CPL function makes that ``Faulty(6)`` in query
     text.  ``open_cursors`` / ``produced`` / ``requests_served`` mirror the
-    plain ``CursorDriver`` counters, under a lock.
+    plain ``CursorDriver`` counters, under a lock.  ``midstream_after`` may
+    be a single element count or an ``{ordinal: count}`` map (missing
+    ordinals use 3) for schedules where different cursors die at different
+    depths.
     """
 
     def __init__(self, name: str = "Faulty", total: int = 10,
                  fail_on: Iterable[int] = (),
                  midstream_fail_on: Iterable[int] = (),
-                 midstream_after: int = 3,
+                 midstream_after: Union[int, Dict[int, int]] = 3,
                  latency: LatencySchedule = None,
-                 sleeper: Callable[[float], None] = time.sleep):
+                 sleeper: Callable[[float], None] = time.sleep,
+                 fault_type: type = DriverError):
         super().__init__(name)
         self.total = total
         self.fail_on = frozenset(fail_on)
@@ -62,6 +74,7 @@ class FaultInjectingDriver(Driver):
         self.midstream_after = midstream_after
         self.latency = latency
         self.sleeper = sleeper
+        self.fault_type = fault_type
         self._lock = threading.Lock()
         self.requests_served = 0
         self.open_cursors = 0
@@ -96,24 +109,31 @@ class FaultInjectingDriver(Driver):
 
     # -- the driver protocol -------------------------------------------------
 
+    def _midstream_depth(self, ordinal: int) -> int:
+        after = self.midstream_after
+        if isinstance(after, dict):
+            return after.get(ordinal, 3)
+        return after
+
     def _execute(self, request):
         ordinal = self._next_ordinal()
         self._stall(ordinal)
         if ordinal in self.fail_on:
             self._count_fault()
-            raise DriverError(
+            raise self.fault_type(
                 f"{self.name}: injected failure on request #{ordinal}")
         count = request.get("count", self.total)
         fail_midstream = ordinal in self.midstream_fail_on
+        fail_depth = self._midstream_depth(ordinal)
 
         def cursor():
             with self._lock:
                 self.open_cursors += 1
             try:
                 for i in range(count):
-                    if fail_midstream and i >= self.midstream_after:
+                    if fail_midstream and i >= fail_depth:
                         self._count_fault()
-                        raise DriverError(
+                        raise self.fault_type(
                             f"{self.name}: injected mid-stream failure on "
                             f"request #{ordinal} after {i} elements")
                     with self._lock:
