@@ -251,6 +251,13 @@ class WireProtocolError(QueryServiceError):
     """Raised when a wire frame is malformed, oversized, or truncated."""
 
 
+class PlanStoreError(ReproError):
+    """Raised for plan-store *caller* misuse (unencodable values, bad
+    configuration).  Never raised for corrupt or unreadable on-disk state:
+    recovery is paranoid by design — bad storage degrades to skipped
+    records and book entries, not exceptions."""
+
+
 class SQLSyntaxError(ReproError):
     """Raised by the relational substrate when SQL text cannot be parsed."""
 

@@ -19,8 +19,9 @@ holds a lock, and the ledger is LRU-bounded the same way.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["PlanFeedback", "PlanObservation", "PlanProbe", "shape_fingerprint"]
 
@@ -68,11 +69,16 @@ class PlanObservation:
     probes; batched scans report under ``"scan:<driver>"``).
     """
 
-    __slots__ = ("cardinality", "runs", "_stages")
+    __slots__ = ("cardinality", "runs", "updated", "_stages")
 
     def __init__(self) -> None:
         self.cardinality = 0.0
         self.runs = 0
+        # When this observation last folded a run (or, for a restored
+        # entry, when its persisted source was recorded) — the staleness
+        # clock the plan store's decay runs on.  Kept through
+        # snapshot/restore so compaction never resets an entry's age.
+        self.updated = 0.0
         self._stages: Dict[str, _StageRecord] = {}
 
     def unit_cost(self, stage: str = "pipeline") -> Optional[float]:
@@ -95,10 +101,30 @@ class PlanObservation:
         copy = PlanObservation()
         copy.cardinality = self.cardinality
         copy.runs = self.runs
+        copy.updated = self.updated
         copy._stages = {name: _StageRecord(record.rows, record.seconds,
                                            record.chunks)
                         for name, record in self._stages.items()}
         return copy
+
+    def _to_state(self) -> Dict:
+        """A plain-data export (floats/ints/strings only) for persistence."""
+        return {"cardinality": self.cardinality,
+                "runs": self.runs,
+                "stages": {name: [record.rows, record.seconds, record.chunks]
+                           for name, record in self._stages.items()}}
+
+    @classmethod
+    def _from_state(cls, state: Dict, updated: float) -> "PlanObservation":
+        observation = cls()
+        observation.cardinality = float(state["cardinality"])
+        observation.runs = int(state["runs"])
+        observation.updated = updated
+        observation._stages = {
+            name: _StageRecord(float(numbers[0]), float(numbers[1]),
+                               float(numbers[2]))
+            for name, numbers in state["stages"].items()}
+        return observation
 
     def _fold(self, stages: Dict[str, Tuple[float, float, float]],
               cardinality: float, weight: float) -> None:
@@ -168,11 +194,19 @@ class PlanFeedback:
     #: Weight of one new run against the accumulated EMA.
     EMA_WEIGHT = 0.5
 
-    def __init__(self, limit: int = LIMIT):
+    def __init__(self, limit: int = LIMIT,
+                 clock: Callable[[], float] = time.time):
         self.limit = limit
+        self.clock = clock
         self.recordings = 0
         self.lookups = 0
         self.hits = 0
+        # Write-through persistence hook: called as
+        # ``on_record(fingerprint, observation_state, updated_ts)`` after
+        # every fold, OUTSIDE the ledger lock (the callee does I/O; holding
+        # the lock across a disk write would stall every concurrent
+        # lookup).  The state is a consistent copy taken under the lock.
+        self.on_record: Optional[Callable[[Tuple, Dict, float], None]] = None
         self._entries: "OrderedDict[Tuple, PlanObservation]" = OrderedDict()
         self._shapes: Dict[Tuple, Tuple] = {}
         self._lock = threading.Lock()
@@ -185,6 +219,8 @@ class PlanFeedback:
                stages: Dict[str, Tuple[float, float, float]],
                cardinality: float) -> None:
         shape = shape_fingerprint(fingerprint)
+        state = None
+        updated = self.clock()
         with self._lock:
             self.recordings += 1
             observation = self._entries.get(fingerprint)
@@ -193,12 +229,22 @@ class PlanFeedback:
                 self._entries[fingerprint] = observation
             self._entries.move_to_end(fingerprint)
             observation._fold(stages, cardinality, self.EMA_WEIGHT)
+            observation.updated = updated
             self._shapes[shape] = fingerprint
             while len(self._entries) > self.limit:
                 evicted, _ = self._entries.popitem(last=False)
                 evicted_shape = shape_fingerprint(evicted)
                 if self._shapes.get(evicted_shape) == evicted:
                     del self._shapes[evicted_shape]
+            hook = self.on_record
+            if hook is not None:
+                state = observation._to_state()
+        if hook is not None and state is not None:
+            try:
+                hook(fingerprint, state, updated)
+            except Exception:
+                # Persistence must never break the run that just finished.
+                pass
 
     def lookup(self, fingerprint: Tuple) -> Optional[PlanObservation]:
         """One planner lookup: the exact observation, else the most recent
@@ -248,6 +294,67 @@ class PlanFeedback:
             self._entries.move_to_end(key)
             self.hits += 1
             return observation._snapshot()
+
+    def snapshot(self) -> List[Tuple[Tuple, Dict, float]]:
+        """A consistent plain-data export of every entry, oldest-first.
+
+        ``[(fingerprint, observation_state, updated_ts), ...]`` in LRU
+        order, copied under the ledger lock so the store (compaction, the
+        periodic flush) never reads mutating state.
+        """
+        with self._lock:
+            return [(fingerprint, observation._to_state(),
+                     observation.updated)
+                    for fingerprint, observation in self._entries.items()]
+
+    def restore(self, entries: List[Tuple[Tuple, Dict, float]]) -> int:
+        """Load persisted entries, *without* clobbering live knowledge.
+
+        Entries are inserted oldest-first below any existing entries'
+        recency; a fingerprint the ledger already holds is skipped (what
+        this process observed itself always outranks history).  Malformed
+        entries are skipped, not raised — persisted state is advisory.
+        Returns how many entries were restored.
+        """
+        restored = []
+        for entry in entries:
+            try:
+                fingerprint, state, updated = entry
+                restored.append((fingerprint,
+                                 PlanObservation._from_state(state,
+                                                             float(updated))))
+            except (KeyError, TypeError, ValueError):
+                continue
+        with self._lock:
+            live = self._entries
+            if live:
+                fresh: "OrderedDict[Tuple, PlanObservation]" = OrderedDict()
+                for fingerprint, observation in restored:
+                    if fingerprint not in live:
+                        fresh[fingerprint] = observation
+                fresh.update(live)
+                self._entries = fresh
+                count = len(fresh) - len(live)
+            else:
+                for fingerprint, observation in restored:
+                    live[fingerprint] = observation
+                count = len(live)
+            # Fill the constant-blind index for restored shapes (newest
+            # restored entry wins) without clobbering live mappings.
+            restored_shapes: Dict[Tuple, Tuple] = {}
+            for fingerprint, _observation in restored:
+                if fingerprint in self._entries:
+                    restored_shapes[shape_fingerprint(fingerprint)] = \
+                        fingerprint
+            for shape, fingerprint in restored_shapes.items():
+                if shape not in self._shapes:
+                    self._shapes[shape] = fingerprint
+            while len(self._entries) > self.limit:
+                evicted, _ = self._entries.popitem(last=False)
+                evicted_shape = shape_fingerprint(evicted)
+                if self._shapes.get(evicted_shape) == evicted:
+                    del self._shapes[evicted_shape]
+            return count
 
     def __len__(self) -> int:
         with self._lock:

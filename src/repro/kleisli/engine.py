@@ -54,6 +54,7 @@ from ..core.optimizer import OptimizerConfig, OptimizerPipeline, ScanSpec
 from ..core.planner import (
     PhysicalPlan,
     PlanFeedback,
+    PlanStore,
     QueryPlanner,
     scan_collection,
 )
@@ -135,7 +136,8 @@ class KleisliEngine:
 
     def __init__(self, optimizer_config: Optional[OptimizerConfig] = None,
                  execution_mode: object = ExecutionMode.COMPILED,
-                 stream_chunking: bool = True):
+                 stream_chunking: bool = True,
+                 plan_store: Optional[PlanStore] = None):
         self.drivers: Dict[str, Driver] = {}
         self.driver_functions: Dict[str, Tuple[Driver, DriverFunction]] = {}
         self.statistics_registry = SourceStatisticsRegistry()
@@ -184,6 +186,57 @@ class KleisliEngine:
         # warnings on the wire) reads thread_eval_statistics() instead.
         self._thread_statistics = threading.local()
         self._compiled_queries = _CompileCache(_COMPILED_CACHE_LIMIT)
+        #: The crash-safe persistence layer for the feedback ledger and the
+        #: statistics registry's learned state.  ``None`` (the default)
+        #: means no persistence at all — the engine behaves exactly as
+        #: before the store existed.
+        self.plan_store: Optional[PlanStore] = None
+        if plan_store is not None:
+            self.attach_plan_store(plan_store)
+
+    # -- plan-store wiring -----------------------------------------------------
+
+    def attach_plan_store(self, store: PlanStore) -> None:
+        """Attach a persistence store: warm-start now, write-through after.
+
+        Loads whatever the store recovered (feedback entries below any live
+        knowledge's recency, statistics as gap-fill), then hooks the ledger
+        so every fold is journaled write-through and the store can read
+        consistent state for compaction.  Loading never raises on corrupt
+        storage — the zero-knowledge contract: an engine attached to a
+        missing/empty/corrupt store plans exactly like a storeless one.
+        """
+        self.plan_store = store
+        store.state_provider = self._plan_store_state
+        state = store.load()
+        self.plan_feedback.restore(state.feedback)
+        self.statistics_registry.restore(state.statistics)
+        self.plan_feedback.on_record = self._persist_feedback
+
+    def _plan_store_state(self) -> Tuple[list, dict]:
+        """The store's consistent-state callback (compaction, flushes)."""
+        return (self.plan_feedback.snapshot(),
+                self.statistics_registry.snapshot())
+
+    def _persist_feedback(self, fingerprint: Tuple, state: Dict,
+                          updated: float) -> None:
+        store = self.plan_store
+        if store is not None:
+            store.append_feedback(fingerprint, state, updated)
+
+    def flush_plan_store(self, compact: bool = False) -> None:
+        """Durably flush (optionally compact) the attached store, if any.
+
+        The shutdown/drain hook: the server calls this at the end of a
+        graceful stop, and periodic flushing piggybacks on the store's own
+        statistics interval.  A storeless engine no-ops.
+        """
+        store = self.plan_store
+        if store is None:
+            return
+        if compact:
+            store.compact()
+        store.flush()
 
     # -- driver registration ---------------------------------------------------------
 
@@ -446,6 +499,12 @@ class KleisliEngine:
             # Only drivers with a policy, breaker, or recorded activity
             # appear; an unconfigured engine reports {}.
             "resilience": self.resilience.snapshot(),
+            # The plan store's account: what loaded, what was refused as
+            # corrupt, what was written.  ``{"attached": False}`` when no
+            # store is configured.
+            "persistence": (self.plan_store.books()
+                            if self.plan_store is not None
+                            else {"attached": False}),
         }
 
     def chunk_policy(self) -> ChunkPolicy:

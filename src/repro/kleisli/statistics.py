@@ -142,6 +142,55 @@ class SourceStatisticsRegistry:
         with self._lock:
             return driver not in self._unavailable
 
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent plain-data export for the plan store.
+
+        Only *learned* state is exported: registered cardinalities (an
+        operator's declarations, worth sharing across workers) and the
+        observed latency EMAs.  Registered latencies and breaker-fed
+        availability are deliberately excluded — declarations belong to
+        each process's configuration, and availability is live circuit
+        state that must never outlive the breaker that proved it.
+        """
+        with self._lock:
+            return {"cardinalities": [
+                        [driver, collection, rows]
+                        for (driver, collection), rows
+                        in sorted(self._cardinalities.items())],
+                    "observed_latency": dict(self._observed_latency)}
+
+    def restore(self, state: Dict[str, object]) -> int:
+        """Fill gaps from persisted state; what this process knows wins.
+
+        A cardinality registered in this process, or a latency already
+        observed here, is never overwritten by history.  Malformed entries
+        are skipped, not raised.  Returns how many entries were adopted.
+        """
+        adopted = 0
+        cardinalities = state.get("cardinalities") or []
+        observed = state.get("observed_latency") or {}
+        with self._lock:
+            for entry in cardinalities:
+                try:
+                    driver, collection, rows = entry
+                    key = (str(driver), str(collection))
+                    rows = int(rows)
+                except (TypeError, ValueError):
+                    continue
+                if key not in self._cardinalities:
+                    self._cardinalities[key] = rows
+                    adopted += 1
+            for driver, ema in dict(observed).items():
+                try:
+                    driver = str(driver)
+                    ema = float(ema)
+                except (TypeError, ValueError):
+                    continue
+                if ema >= 0.0 and driver not in self._observed_latency:
+                    self._observed_latency[driver] = ema
+                    adopted += 1
+        return adopted
+
     def is_remote(self, driver: str) -> bool:
         """Is this driver remote, for the parallelism rules?
 

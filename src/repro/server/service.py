@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.errors import (
@@ -75,14 +76,22 @@ class ServerStats:
 
 
 class _AdmissionSlot:
-    """One held in-flight-query slot; release is idempotent."""
+    """One held in-flight-query slot; release is idempotent.
 
-    __slots__ = ("_semaphore", "_released", "_lock")
+    ``on_release`` (when given) runs exactly once, after the semaphore is
+    returned — the server's drain accounting: open cursors hold their slot
+    for their whole lifetime, so "every slot released" *is* "every
+    in-flight query and cursor finished".
+    """
 
-    def __init__(self, semaphore: threading.Semaphore):
+    __slots__ = ("_semaphore", "_released", "_lock", "_on_release")
+
+    def __init__(self, semaphore: threading.Semaphore,
+                 on_release: Optional[Callable[[], None]] = None):
         self._semaphore = semaphore
         self._released = False
         self._lock = threading.Lock()
+        self._on_release = on_release
 
     def release(self) -> None:
         with self._lock:
@@ -90,6 +99,8 @@ class _AdmissionSlot:
                 return
             self._released = True
         self._semaphore.release()
+        if self._on_release is not None:
+            self._on_release()
 
 
 class _Cursor:
@@ -97,7 +108,8 @@ class _Cursor:
     admission slot it holds for its whole lifetime (open cursors *are* the
     in-flight queries backpressure counts)."""
 
-    __slots__ = ("stream", "statistics", "_slot", "_stats", "_closed")
+    __slots__ = ("stream", "statistics", "_slot", "_stats", "_closed",
+                 "_released")
 
     def __init__(self, stream, slot: _AdmissionSlot, stats: ServerStats,
                  statistics=None):
@@ -109,30 +121,61 @@ class _Cursor:
         self._slot = slot
         self._stats = stats
         self._closed = False
+        self._released = False
 
-    def close(self) -> None:
+    def retire(self) -> None:
+        """Close the stream and count the cursor closed — but keep holding
+        the admission slot.  ``release_slot`` hands it back once the reply
+        announcing the close has actually been sent."""
         if self._closed:
             return
         self._closed = True
         try:
             self.stream.close()
         finally:
-            self._slot.release()
             self._stats.increment("cursors_closed")
+
+    def release_slot(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._slot.release()
+
+    def close(self) -> None:
+        try:
+            self.retire()
+        finally:
+            self.release_slot()
 
 
 class _Connection:
     """Per-connection state: the CPL session, its open cursors, the lazily
     built view gateway.  Owned by exactly one serving thread."""
 
-    __slots__ = ("session", "cursors", "gateway")
+    __slots__ = ("session", "cursors", "gateway", "pending")
 
     def __init__(self, session: Session, gateway: Optional[ViewGateway]):
         self.session = session
         self.cursors: Dict[str, _Cursor] = {}
         self.gateway = gateway
+        #: Retired cursors whose admission slot is held until the response
+        #: that announced the close (``done: true`` / ``closed: true``)
+        #: has been SENT: releasing the slot earlier lets a graceful
+        #: drain decide "nothing in flight" and cut the connection
+        #: between the handler and the send, losing the client its final
+        #: reply.
+        self.pending: List[_Cursor] = []
+
+    def flush_pending(self) -> None:
+        for cursor in self.pending:
+            try:
+                cursor.release_slot()
+            except Exception:  # pragma: no cover - best-effort release
+                pass
+        self.pending.clear()
 
     def close(self) -> None:
+        self.flush_pending()
         for cursor in list(self.cursors.values()):
             try:
                 cursor.close()
@@ -164,6 +207,7 @@ class KleisliServer:
                  max_concurrent_queries: int = 8,
                  admission: str = "queue",
                  queue_timeout: float = 5.0,
+                 drain_timeout: float = 5.0,
                  view_registry: Optional[ViewRegistry] = None,
                  session_setup: Optional[Callable[[Session], None]] = None):
         if admission not in ("queue", "reject"):
@@ -179,12 +223,21 @@ class KleisliServer:
         self.max_concurrent_queries = max_concurrent_queries
         self.admission = admission
         self.queue_timeout = queue_timeout
+        #: How long a graceful :meth:`stop` waits for in-flight queries and
+        #: open cursors to finish before force-disconnecting what remains.
+        self.drain_timeout = drain_timeout
         self.view_registry = view_registry
         self.session_setup = session_setup
         self.stats = ServerStats()
         self.address: Optional[Tuple[str, int]] = None
         self._slots = threading.BoundedSemaphore(max_concurrent_queries)
         self._closing = threading.Event()
+        #: Set while a graceful stop drains: new connections and new query
+        #: admissions are refused, but in-flight work — including open
+        #: cursors' fetches — keeps being served until the drain deadline.
+        self._draining = threading.Event()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
@@ -211,8 +264,20 @@ class KleisliServer:
         return self
 
     def stop(self) -> None:
-        """Stop accepting, disconnect every client, and join the threads."""
-        self._closing.set()
+        """Gracefully stop: drain in-flight work, flush, then tear down.
+
+        Three phases.  **Drain**: stop accepting connections and refuse
+        new query admissions (typed ``ServerOverloadedError``, so a
+        retrying client sees backpressure, not a vanished server), while
+        in-flight queries and open cursors keep being served — a client
+        mid-stream gets to finish — for up to ``drain_timeout`` seconds.
+        **Teardown**: whatever is still in flight after the deadline is
+        force-disconnected exactly as the old abrupt stop did, and every
+        thread is joined.  **Flush**: the engine's plan store (when one is
+        attached) is durably flushed, so the learned state of everything
+        this server ran survives to warm-start the next process.
+        """
+        self._draining.set()
         listener, self._listener = self._listener, None
         if listener is not None:
             try:
@@ -225,6 +290,17 @@ class KleisliServer:
                 listener.close()
             except OSError:  # pragma: no cover - teardown race
                 pass
+        # Wait for the slots to come home: open cursors hold theirs until
+        # closed/drained, so zero in flight means no client is mid-query
+        # or mid-stream.  Idle sessions hold no slots and don't delay this.
+        deadline = time.monotonic() + self.drain_timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cond.wait(timeout=remaining)
+        self._closing.set()
         with self._lock:
             connections = list(self._connections)
         for conn in connections:
@@ -239,7 +315,9 @@ class KleisliServer:
             threads = list(self._threads)
         for thread in threads:
             thread.join(timeout=5.0)
+        self.engine.flush_plan_store()
         self._closing.clear()
+        self._draining.clear()
         self.address = None
 
     def __enter__(self) -> "KleisliServer":
@@ -263,7 +341,7 @@ class KleisliServer:
                 return
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
-                if self._closing.is_set():
+                if self._closing.is_set() or self._draining.is_set():
                     conn.close()
                     return
                 if self._active_sessions >= self.max_sessions:
@@ -287,8 +365,12 @@ class KleisliServer:
             thread = threading.Thread(target=self._serve_connection,
                                       args=(conn,), daemon=True)
             with self._lock:
-                self._threads.append(thread)
+                # Prune finished threads BEFORE appending: the new thread
+                # has not started yet, so it is not alive, and pruning after
+                # the append would silently drop it from the join list —
+                # stop() would then tear down under still-running sessions.
                 self._threads = [t for t in self._threads if t.is_alive()]
+                self._threads.append(thread)
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
@@ -318,6 +400,8 @@ class KleisliServer:
                     send_message(conn, response)
                 except (WireProtocolError, OSError):
                     break
+                finally:
+                    state.flush_pending()
         finally:
             # One client's exit — clean, mid-stream, or mid-query — releases
             # exactly its own resources: its cursors' EvalScopes and
@@ -342,8 +426,14 @@ class KleisliServer:
         backpressure building before rejections start).  Raises
         :class:`ServerOverloadedError` when the policy rejects.
         """
+        if self._draining.is_set():
+            # A draining server admits nothing new; in-flight work (and
+            # open cursors' fetches, which hold their slot already) keeps
+            # being served until the drain deadline.
+            self.stats.increment("rejections")
+            raise ServerOverloadedError("server is draining; retry elsewhere")
         if self._slots.acquire(blocking=False):
-            return "immediate", _AdmissionSlot(self._slots)
+            return "immediate", self._make_slot()
         if self.admission == "reject":
             self.stats.increment("rejections")
             raise ServerOverloadedError(
@@ -351,11 +441,22 @@ class KleisliServer:
                 f"query cap (policy: reject)")
         self.stats.increment("queued")
         if self._slots.acquire(timeout=self.queue_timeout):
-            return "queued", _AdmissionSlot(self._slots)
+            return "queued", self._make_slot()
         self.stats.increment("rejections")
         raise ServerOverloadedError(
             f"no in-flight query slot freed within {self.queue_timeout}s "
             f"(cap {self.max_concurrent_queries}, policy: queue)")
+
+    def _make_slot(self) -> _AdmissionSlot:
+        with self._inflight_cond:
+            self._inflight += 1
+        return _AdmissionSlot(self._slots, on_release=self._slot_released)
+
+    def _slot_released(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._inflight_cond.notify_all()
 
     # -- request dispatch ----------------------------------------------------
 
@@ -489,7 +590,8 @@ class KleisliServer:
             raise
         if done:
             state.cursors.pop(cursor_id, None)
-            cursor.close()
+            cursor.retire()
+            state.pending.append(cursor)
         return {"ok": True, "values": values, "done": done,
                 "warnings": encode_warnings(cursor.statistics)}
 
@@ -497,7 +599,8 @@ class KleisliServer:
         cursor_id = message.get("cursor")
         cursor = state.cursors.pop(cursor_id, None)
         if cursor is not None:
-            cursor.close()
+            cursor.retire()
+            state.pending.append(cursor)
         return {"ok": True, "closed": cursor is not None}
 
     def _op_view(self, state: _Connection, message: dict) -> dict:
