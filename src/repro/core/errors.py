@@ -170,13 +170,59 @@ class CircuitOpenError(DriverError):
         self.retry_after = retry_after
 
 
+class QueryGovernanceError(ReproError):
+    """Base class for the query-lifecycle governance faults.
+
+    Governance faults are *verdicts about the query*, not about any one
+    driver request: retrying a request cannot un-cancel a query or un-spend
+    its memory budget, so both subclasses are terminal for the resilience
+    layer (listed in :data:`TERMINAL_FAULTS`).
+    """
+
+
+class QueryCancelledError(QueryGovernanceError):
+    """The query's :class:`~repro.kleisli.governance.CancellationToken` was
+    cancelled; raised at the next cooperative checkpoint (chunk boundary,
+    per-element pull, eager loop head, pre-driver-dispatch).
+
+    The raising checkpoint always sits inside the run's
+    :class:`~repro.core.nrc.eval.EvalScope`, so propagation releases every
+    cursor the run opened — a cancelled query leaks nothing.
+    """
+
+    def __init__(self, reason: str = "query cancelled"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class MemoryBudgetExceededError(QueryGovernanceError):
+    """A materialization point asked for more than the query's
+    :class:`~repro.kleisli.governance.MemoryBudget` (or one of its
+    session/engine ancestors) allows, and no spill backend was attached.
+
+    Terminal: the query's memory appetite does not shrink on retry.  With a
+    spill backend attached (plan-gated up front), the same query degrades to
+    slower-but-correct disk-backed execution instead of raising this.
+    """
+
+    def __init__(self, label: str, requested: int, limit: int, used: int):
+        super().__init__(
+            f"memory budget {label!r} exceeded: {requested} bytes requested, "
+            f"{used} of {limit} in use")
+        self.label = label
+        self.requested = requested
+        self.limit = limit
+        self.used = used
+
+
 #: Exception classes the resilience layer may retry with backoff.
 RETRYABLE_FAULTS = (RemoteSourceError, TransientDriverError,
                     ConnectionError, TimeoutError)
 #: Exception classes that are never retried, even though they subclass a
 #: retryable base (checked first).
 TERMINAL_FAULTS = (DriverNotRegisteredError, DeadlineExceededError,
-                   CircuitOpenError)
+                   CircuitOpenError, QueryCancelledError,
+                   MemoryBudgetExceededError)
 
 
 def is_retryable_fault(error: BaseException) -> bool:

@@ -253,6 +253,52 @@ behavior without any lowering-specific code:
 
 A driver with no configured policy bypasses all of the above: zero-fault
 runs are bit-for-bit unchanged with the layer installed.
+
+Cancellation & memory semantics
+-------------------------------
+
+Query-lifecycle governance (:mod:`repro.kleisli.governance`) threads through
+the lowerings the same way resilience does — behind run-time ``EvalContext``
+fields that default to ``None``, so the **zero-governance contract** holds: a
+run with no cancellation token, no memory budget and no spill manager takes
+exactly the pre-governance code paths (differential-pinned, like PR 5's
+zero-statistics and PR 8's zero-knowledge contracts).
+
+* **Checkpoint placement** (``EvalContext.cancellation``): cancellation is
+  *cooperative* — the token is checked at every natural scheduling point and
+  never interrupts mid-value.  The checkpoints are: the per-element pump of
+  ``CompiledStream`` (one check per yielded element), the chunk boundaries
+  of ``CompiledChunkedStream``'s pump (one check per chunk), the loop heads
+  of the eager ``Ext``/``Fold`` closures (and their interpreter twins), and
+  pre-driver-dispatch in ``KleisliEngine.driver_executor`` /
+  ``driver_executor_batch``.  A tripped checkpoint raises the typed
+  :class:`~repro.core.errors.QueryCancelledError` from *inside* the run's
+  :class:`~repro.core.nrc.eval.EvalScope`, so every cursor the run opened is
+  released on the way out — a cancelled query never leaks and never yields a
+  partial value without the typed error.
+* **Memory accounting** (``EvalContext.memory_budget``): the known unbounded
+  materialization points charge the budget in nominal row units — the eager
+  ``Ext`` element buffer, the join build sides (the hash index of an indexed
+  join, the materialized inner of a blocked join), set-kind dedup seen-sets
+  (via :func:`_make_seen_set`), and the chunked pump's transient chunk
+  buffers (charged per chunk, released after the chunk is consumed).  An
+  over-budget charge raises the typed
+  :class:`~repro.core.errors.MemoryBudgetExceededError`.
+* **Spill triggers** (``EvalContext.spill``): the engine attaches a
+  :class:`~repro.kleisli.spill.SpillManager` *up front*, plan-gated by the
+  PR 5 cost model (estimated rows × nominal row bytes vs. the budget) — not
+  reactively mid-run — and the two biggest offenders degrade to
+  disk-backed structures: join build sides become hash-partitioned spill
+  runs (:class:`~repro.kleisli.spill.SpilledList` /
+  :class:`~repro.kleisli.spill.SpilledIndex`) and dedup seen-sets become
+  :class:`~repro.kleisli.spill.GovernedSeenSet`.  Spilled structures are
+  bounded-memory by construction, so they do not charge the budget.
+* **Parity rules**: spilled execution is bit-for-bit the in-memory
+  execution — same values, same order, same ``elements_fetched`` — across
+  all three lowerings (the spill backends preserve append order and exact
+  dedup under hash collisions), and governance never changes *what* a
+  query computes, only whether it is allowed to finish and where its
+  intermediates live.
 """
 
 from __future__ import annotations
@@ -752,21 +798,39 @@ def _compile_ext(expr: A.Ext, scope, state):
     def run(frame, context):
         source = source_fn(frame, context)
         stats = context.statistics
+        token = context.cancellation
+        budget = context.memory_budget
         elements: list = []
         # One loop frame, one slot, reused across iterations: the hot path
         # allocates no environment.  Escaping closures snapshot the frame.
         loop_frame = _extended(frame, None)
         iterations = 0
+        charged = 0
         try:
-            for item in iterate_source(source):
-                iterations += 1
-                loop_frame[slot] = item
-                emit(loop_frame, context, elements)
+            if token is None and budget is None:
+                for item in iterate_source(source):
+                    iterations += 1
+                    loop_frame[slot] = item
+                    emit(loop_frame, context, elements)
+            else:
+                # Governed loop: a cancellation checkpoint at the loop head
+                # and quantum-batched budget charges for the element buffer.
+                for item in iterate_source(source):
+                    if token is not None:
+                        token.raise_if_cancelled()
+                    iterations += 1
+                    loop_frame[slot] = item
+                    emit(loop_frame, context, elements)
+                    if budget is not None and len(elements) - charged >= 256:
+                        budget.charge_elements(len(elements) - charged)
+                        charged = len(elements)
         finally:
             # Batched counter update; the finally keeps partial counts on a
             # failing body identical to the interpreter's per-iteration ones.
             stats.ext_iterations += iterations
             stats.note_intermediate(len(elements))
+        if budget is not None and len(elements) > charged:
+            budget.charge_elements(len(elements) - charged)
         return make_collection(kind, elements)
 
     return run
@@ -782,13 +846,21 @@ def _compile_fold(expr: A.Fold, scope, state):
         func = func_fn(frame, context)
         accumulator = init_fn(frame, context)
         stats = context.statistics
+        token = context.cancellation
         source = source_fn(frame, context)
         iterations = 0
         try:
-            for item in iterate_source(source):
-                iterations += 1
-                accumulator = _apply_value(
-                    _apply_value(func, accumulator, context), item, context)
+            if token is None:
+                for item in iterate_source(source):
+                    iterations += 1
+                    accumulator = _apply_value(
+                        _apply_value(func, accumulator, context), item, context)
+            else:
+                for item in iterate_source(source):
+                    token.raise_if_cancelled()
+                    iterations += 1
+                    accumulator = _apply_value(
+                        _apply_value(func, accumulator, context), item, context)
         finally:
             stats.fold_iterations += iterations
         return accumulator
@@ -897,18 +969,77 @@ def _compile_scan(expr: A.Scan, scope, state):
     return run
 
 
+def _build_source(value, context):
+    """The indexed join's build input (governed materialization point).
+
+    Under a spill manager a lazy build side stays a one-pass iterator — the
+    governed index built from it is the bounded structure, so materializing
+    first would defeat the spill.  Otherwise the existing behavior:
+    materialize (the zero-governance path, bit-for-bit as before).
+    """
+    if context.spill is not None and not isinstance(value, _COLLECTIONS):
+        return iterate_source(value)
+    return materialise_source(value)
+
+
+def _materialise_build_side(value, context):
+    """Materialize a blocked join's build (inner) side under governance.
+
+    The inner side of a blocked join is iterated multiple times (once per
+    outer element or block), so it must be a multi-pass sequence.  Under a
+    spill manager a lazy inner becomes a disk-backed
+    :class:`~repro.kleisli.spill.SpilledList` (bounded memory, exact order);
+    under a budget alone the materialized size is charged; ungoverned — or
+    when the value is already a collection (no new memory) — this is exactly
+    ``materialise_source``.
+    """
+    spill = context.spill
+    if spill is not None and not isinstance(value, _COLLECTIONS):
+        spilled = spill.spilled_list()
+        for item in iterate_source(value):
+            spilled.append(item)
+        return spilled
+    result = materialise_source(value)
+    budget = context.memory_budget
+    if budget is not None and not isinstance(value, _COLLECTIONS):
+        budget.charge_elements(len(result))
+    return result
+
+
 def _build_join_index(inner, inner_key_fn, frame, key_slot, context):
     """Build the hash index of an indexed join's inner (build) side.
 
     Shared by the eager and streaming join lowerings so the index layout
     and key evaluation cannot diverge; the key frame reuses one slot across
-    inner elements exactly like a loop frame.
+    inner elements exactly like a loop frame.  This is a governed
+    materialization point: under a spill manager the index is the
+    disk-backed :class:`~repro.kleisli.spill.SpilledIndex`; under a budget
+    alone each indexed row is charged (quantum-batched).
     """
     key_frame = _extended(frame, None)
+    spill = context.spill
+    if spill is not None:
+        spilled = spill.index()
+        for inner_item in inner:
+            key_frame[key_slot] = inner_item
+            spilled.add(inner_key_fn(key_frame, context), inner_item)
+        return key_frame, spilled
     index: Dict[object, list] = {}
+    budget = context.memory_budget
+    if budget is None:
+        for inner_item in inner:
+            key_frame[key_slot] = inner_item
+            index.setdefault(inner_key_fn(key_frame, context), []).append(inner_item)
+        return key_frame, index
+    count = 0
     for inner_item in inner:
         key_frame[key_slot] = inner_item
         index.setdefault(inner_key_fn(key_frame, context), []).append(inner_item)
+        count += 1
+        if count % 256 == 0:
+            budget.charge_elements(256)
+    if count % 256:
+        budget.charge_elements(count % 256)
     return key_frame, index
 
 
@@ -937,7 +1068,7 @@ def _compile_join(expr: A.Join, scope, state):
         def run_indexed(frame, context):
             outer = materialise_source(outer_fn(frame, context))
             context.statistics.joins_indexed += 1
-            inner = materialise_source(inner_fn(frame, context))
+            inner = _build_source(inner_fn(frame, context), context)
             key_frame, index = _build_join_index(
                 inner, inner_key_fn, frame, outer_slot, context)
             elements: list = []
@@ -973,7 +1104,8 @@ def _compile_join(expr: A.Join, scope, state):
             inner = None
             for outer_item in outer:
                 if inner is None:
-                    inner = materialise_source(inner_fn(frame, context))
+                    inner = _materialise_build_side(
+                        inner_fn(frame, context), context)
                 pair_frame[outer_slot] = outer_item
                 for inner_item in inner:
                     pair_frame[inner_slot] = inner_item
@@ -996,7 +1128,7 @@ def _compile_join(expr: A.Join, scope, state):
             # like the interpreter (a driver stream can be consumed once);
             # emission is outer-major so the block size never shows in the
             # element sequence (see the interpreter's _blocked_join).
-            inner = materialise_source(inner_fn(frame, context))
+            inner = _materialise_build_side(inner_fn(frame, context), context)
             for outer_item in block:
                 pair_frame[outer_slot] = outer_item
                 for inner_item in inner:
@@ -1318,6 +1450,58 @@ def _stream_scan(expr: A.Scan, scope, state):
 register_stream_compiler(A.Cached)(_stream_leaf)
 
 
+class _BudgetedSeenSet:
+    """A dedup seen-set that charges the run's memory budget as it grows.
+
+    Charges are quantum-batched (one hierarchical budget walk per
+    :data:`QUANTUM` distinct elements, not per element) so the dedup hot
+    path pays one counter increment per element; the at-most-one-quantum
+    under-charge at stream end is bounded and released with the budget.
+    """
+
+    QUANTUM = 256
+
+    __slots__ = ("_set", "_budget", "_pending")
+
+    def __init__(self, budget):
+        self._set: set = set()
+        self._budget = budget
+        self._pending = 0
+
+    def __contains__(self, value) -> bool:
+        return value in self._set
+
+    def add(self, value) -> None:
+        before = len(self._set)
+        self._set.add(value)
+        if len(self._set) != before:
+            self._pending += 1
+            if self._pending >= self.QUANTUM:
+                self._budget.charge_elements(self._pending)
+                self._pending = 0
+
+    def __len__(self) -> int:
+        return len(self._set)
+
+
+def _make_seen_set(context: EvalContext):
+    """The seen-set for a set-kind dedup stage (governed materialization point).
+
+    Plain ``set()`` ungoverned (the zero-governance path), a disk-backed
+    :class:`~repro.kleisli.spill.GovernedSeenSet` under a spill manager
+    (bounded memory, exact dedup), a budget-charging set under a budget
+    alone.  All three satisfy the ``in``/``add`` protocol the dedup loops
+    use, so chunk sizes and values stay identical across the backends.
+    """
+    spill = context.spill
+    if spill is not None:
+        return spill.seen_set()
+    budget = context.memory_budget
+    if budget is not None:
+        return _BudgetedSeenSet(budget)
+    return set()
+
+
 def _dedup_set_stream(stream_fn: _StreamFn) -> _StreamFn:
     """Dedup-as-you-go for set-kind pipelines.
 
@@ -1334,7 +1518,7 @@ def _dedup_set_stream(stream_fn: _StreamFn) -> _StreamFn:
     """
 
     def stream(frame, context):
-        seen = set()
+        seen = _make_seen_set(context)
         for element in stream_fn(frame, context):
             if element not in seen:
                 seen.add(element)
@@ -1456,7 +1640,7 @@ def _stream_join(expr: A.Join, scope, state):
             context.statistics.joins_indexed += 1
             outer = outer_fn(frame, context)
             # Build side: materialized into a hash index before probing.
-            inner = materialise_source(inner_fn(frame, context))
+            inner = _build_source(inner_fn(frame, context), context)
             key_frame, index = _build_join_index(
                 inner, inner_key_fn, frame, outer_slot, context)
             pair_frame = _extended(_extended(frame, None), None)
@@ -1491,7 +1675,8 @@ def _stream_join(expr: A.Join, scope, state):
             inner = None
             for outer_item in outer_fn(frame, context):
                 if inner is None:
-                    inner = materialise_source(inner_fn(frame, context))
+                    inner = _materialise_build_side(
+                        inner_fn(frame, context), context)
                 pair_frame[outer_slot] = outer_item
                 for inner_item in inner:
                     pair_frame[inner_slot] = inner_item
@@ -1520,7 +1705,7 @@ def _stream_join(expr: A.Join, scope, state):
             # like the eager lowering (a driver stream can be consumed
             # once); outer-major emission keeps the sequence block-size-
             # independent.
-            inner = materialise_source(inner_fn(frame, context))
+            inner = _materialise_build_side(inner_fn(frame, context), context)
             for outer_item in block:
                 pair_frame[outer_slot] = outer_item
                 for inner_item in inner:
@@ -1647,7 +1832,15 @@ class CompiledStream:
         # closed (releasing every registered cursor) when the pipeline is
         # exhausted, abandoned (GeneratorExit) or fails.
         with context.evaluation_scope():
-            yield from self._fn(frame, context)
+            token = context.cancellation
+            if token is None:
+                yield from self._fn(frame, context)
+                return
+            # Governed pump: one cooperative checkpoint per element pull,
+            # raised inside the scope so cancellation releases every cursor.
+            for element in self._fn(frame, context):
+                token.raise_if_cancelled()
+                yield element
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         detail = "fully streamed" if self.fully_streamed else \
@@ -2102,7 +2295,7 @@ def _dedup_set_chunks(chunk_fn: _ChunkFn) -> _ChunkFn:
     """
 
     def chunks(frame, context):
-        seen: set = set()
+        seen = _make_seen_set(context)
         add = seen.add
         for chunk in chunk_fn(frame, context):
             out = []
@@ -2506,7 +2699,7 @@ def _chunk_ext(expr: A.Ext, scope, state):
                 realized.append((tag, _realize(op[1], frame, context),
                                  _realize(op[2], frame, context), op[3]))
             elif tag == "dedup":
-                realized.append((tag, set()))
+                realized.append((tag, _make_seen_set(context)))
             else:
                 realized.append(op)
         for out in source_fn(frame, context):
@@ -2628,7 +2821,7 @@ def _chunk_join(expr: A.Join, scope, state):
             context.statistics.joins_indexed += 1
             # Build side first, like stream_indexed: the index exists before
             # the first outer element is pulled.
-            inner = materialise_source(inner_fn(frame, context))
+            inner = _build_source(inner_fn(frame, context), context)
             key_frame, index = _build_join_index(
                 inner, inner_key_fn, frame, outer_slot, context)
             pair_frame = _extended(_extended(frame, None), None)
@@ -2661,7 +2854,8 @@ def _chunk_join(expr: A.Join, scope, state):
             out: list = []
             for outer_item in chunk:
                 if inner is None:
-                    inner = materialise_source(inner_fn(frame, context))
+                    inner = _materialise_build_side(
+                        inner_fn(frame, context), context)
                 pair_frame[outer_slot] = outer_item
                 for inner_item in inner:
                     pair_frame[inner_slot] = inner_item
@@ -2793,7 +2987,13 @@ class CompiledChunkedStream:
 
     def _pump_chunks(self, frame, context):
         with context.evaluation_scope():
-            yield from self._fn(frame, context)
+            token = context.cancellation
+            if token is None:
+                yield from self._fn(frame, context)
+                return
+            for chunk in self._fn(frame, context):
+                token.raise_if_cancelled()
+                yield chunk
 
     def _pump(self, frame, context):
         # The scope spans the whole iteration, exactly like CompiledStream:
@@ -2801,10 +3001,28 @@ class CompiledChunkedStream:
         # abandoned (GeneratorExit) or fails — releasing cursors even when
         # chunk elements were buffered but never consumed.
         probe = context.plan_probe
+        token = context.cancellation
+        budget = context.memory_budget
         with context.evaluation_scope():
-            if probe is None:
+            if probe is None and token is None and budget is None:
                 for chunk in self._fn(frame, context):
                     yield from chunk
+                return
+            if probe is None:
+                # Governed pump: a cancellation checkpoint at every chunk
+                # boundary, and the chunk buffer charged transiently (the
+                # chunk is in memory from production until consumed).
+                for chunk in self._fn(frame, context):
+                    if token is not None:
+                        token.raise_if_cancelled()
+                    if budget is None:
+                        yield from chunk
+                    else:
+                        budget.charge_elements(len(chunk))
+                        try:
+                            yield from chunk
+                        finally:
+                            budget.release_elements(len(chunk))
                 return
             # Feedback probing: time each chunk's *production* (the stretch
             # from resuming the pipeline to the chunk being ready — consumer
@@ -2822,8 +3040,17 @@ class CompiledChunkedStream:
                     break
                 probe.note_chunk("pipeline", len(chunk),
                                  time.perf_counter() - began)
+                if token is not None:
+                    token.raise_if_cancelled()
                 total += len(chunk)
-                yield from chunk
+                if budget is None:
+                    yield from chunk
+                else:
+                    budget.charge_elements(len(chunk))
+                    try:
+                        yield from chunk
+                    finally:
+                        budget.release_elements(len(chunk))
             probe.complete(total)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

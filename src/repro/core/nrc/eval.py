@@ -352,6 +352,23 @@ class EvalContext:
         #: pipeline releases every cursor it opened — including body-level
         #: scans — deterministically.
         self.scope: Optional[EvalScope] = None
+        #: The run's :class:`~repro.kleisli.governance.CancellationToken`, or
+        #: ``None``.  Lowerings check it at their natural scheduling points
+        #: (chunk boundaries, per-element pulls, eager loop heads) and the
+        #: engine checks it pre-driver-dispatch; a cancelled token raises a
+        #: typed :class:`~repro.core.errors.QueryCancelledError` from inside
+        #: the active scope, so every cursor is released on the way out.
+        self.cancellation = None
+        #: The run's :class:`~repro.kleisli.governance.MemoryBudget`, or
+        #: ``None``.  Charged (in nominal row units) by the unbounded
+        #: materialization points: eager ext/fold sections, dedup seen-sets,
+        #: blocked-join build sides, chunk buffers.
+        self.memory_budget = None
+        #: The run's :class:`~repro.kleisli.spill.SpillManager`, or ``None``.
+        #: When set (plan-gated by the engine), the join-build and dedup
+        #: materialization points use disk-backed structures instead of
+        #: charging the budget for unbounded in-memory state.
+        self.spill = None
 
     @contextmanager
     def evaluation_scope(self):
@@ -483,11 +500,21 @@ class Evaluator:
         source = self._eval(expr.source, env)
         elements: List[object] = []
         stats = self.context.statistics
+        token = self.context.cancellation
+        budget = self.context.memory_budget
+        charged = 0
         for item in self._iterate_source(source):
+            if token is not None:
+                token.raise_if_cancelled()
             stats.ext_iterations += 1
             body_value = self._eval(expr.body, env.child(expr.var, item))
             elements.extend(iter_collection(self._materialise(body_value)))
             stats.note_intermediate(len(elements))
+            if budget is not None and len(elements) - charged >= 256:
+                budget.charge_elements(len(elements) - charged)
+                charged = len(elements)
+        if budget is not None and len(elements) > charged:
+            budget.charge_elements(len(elements) - charged)
         return make_collection(expr.kind, elements)
 
     def _iterate_source(self, source: object) -> Iterator[object]:
@@ -503,8 +530,11 @@ class Evaluator:
         func = self._eval(expr.func, env)
         accumulator = self._eval(expr.init, env)
         stats = self.context.statistics
+        token = self.context.cancellation
         source = self._eval(expr.source, env)
         for item in self._iterate_source(source):
+            if token is not None:
+                token.raise_if_cancelled()
             stats.fold_iterations += 1
             accumulator = self.apply_function(self.apply_function(func, accumulator), item)
         return accumulator

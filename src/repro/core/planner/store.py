@@ -72,7 +72,9 @@ __all__ = [
     "decode_record",
     "encode_record",
     "fingerprint_algorithm_version",
+    "frame_payload",
     "read_journal",
+    "unframe_payload",
 ]
 
 #: On-disk schema version; bump on incompatible record/layout changes.
@@ -149,6 +151,43 @@ def _decode_value(encoded: object) -> object:
 # record framing: length + CRC32 + JSON payload
 # ---------------------------------------------------------------------------
 
+def frame_payload(payload: bytes,
+                  max_bytes: int = MAX_RECORD_BYTES) -> bytes:
+    """Frame an opaque payload: 4-byte length, 4-byte CRC32, the payload.
+
+    The raw framing codec under :func:`encode_record`, exposed so other
+    disk formats (the query governor's spill runs) can reuse the exact
+    length+CRC32 discipline for non-JSON payloads.
+    """
+    if len(payload) > max_bytes:
+        raise PlanStoreError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte cap")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def unframe_payload(data: bytes, offset: int = 0,
+                    max_bytes: int = MAX_RECORD_BYTES
+                    ) -> Tuple[Optional[bytes], int]:
+    """Verify and extract one framed payload at ``offset``.
+
+    Returns ``(payload, next_offset)``, or ``(None, offset)`` on any
+    anomaly — short header, implausible length, truncated payload, CRC
+    mismatch.  Never raises: a payload either round-trips its checksum or
+    does not exist.
+    """
+    end = offset + _HEADER.size
+    if end > len(data):
+        return None, offset
+    length, crc = _HEADER.unpack_from(data, offset)
+    if length > max_bytes or end + length > len(data):
+        return None, offset
+    payload = data[end:end + length]
+    if zlib.crc32(payload) != crc:
+        return None, offset
+    return payload, end + length
+
+
 def encode_record(record: dict) -> bytes:
     """Frame one record: 4-byte length, 4-byte CRC32, JSON payload."""
     try:
@@ -156,11 +195,7 @@ def encode_record(record: dict) -> bytes:
                              sort_keys=True).encode("utf-8")
     except (TypeError, ValueError) as error:
         raise PlanStoreError(f"record is not JSON-serializable: {error}")
-    if len(payload) > MAX_RECORD_BYTES:
-        raise PlanStoreError(
-            f"record of {len(payload)} bytes exceeds the "
-            f"{MAX_RECORD_BYTES}-byte cap")
-    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    return frame_payload(payload)
 
 
 def decode_record(data: bytes, offset: int = 0) -> Tuple[Optional[dict], int]:
@@ -171,14 +206,8 @@ def decode_record(data: bytes, offset: int = 0) -> Tuple[Optional[dict], int]:
     mismatch, undecodable JSON, non-object payload.  Never raises: a
     record either verifies end-to-end or does not exist.
     """
-    end = offset + _HEADER.size
-    if end > len(data):
-        return None, offset
-    length, crc = _HEADER.unpack_from(data, offset)
-    if length > MAX_RECORD_BYTES or end + length > len(data):
-        return None, offset
-    payload = data[end:end + length]
-    if zlib.crc32(payload) != crc:
+    payload, next_offset = unframe_payload(data, offset)
+    if payload is None:
         return None, offset
     try:
         record = json.loads(payload.decode("utf-8"))
@@ -186,7 +215,7 @@ def decode_record(data: bytes, offset: int = 0) -> Tuple[Optional[dict], int]:
         return None, offset
     if not isinstance(record, dict):
         return None, offset
-    return record, end + length
+    return record, next_offset
 
 
 def read_journal(data: bytes) -> Tuple[List[dict], int]:
@@ -374,6 +403,8 @@ class PlanStore:
             "flushes": 0,
             "compactions": 0,
             "compactions_skipped": 0,
+            "journals_swept": 0,
+            "records_rescued": 0,
         }
         self._snapshot_ts: Optional[float] = None
 
@@ -774,8 +805,9 @@ class PlanStore:
         Write-tmp -> fsync -> ``os.replace`` under a best-effort file
         lock, then truncate the *own* journal back to a bare header
         (its contents now live in the snapshot).  Sibling journals are
-        left for their owners — except dead ones past :data:`MAX_AGE`,
-        which are swept.  Returns whether a snapshot was written; lock
+        left for their owners — except provably-dead writers' journals
+        (rescued and swept immediately) and any others past
+        :data:`MAX_AGE`.  Returns whether a snapshot was written; lock
         contention or failures degrade to ``False`` plus a book entry.
         """
         provider = self.state_provider
@@ -871,12 +903,89 @@ class PlanStore:
             self._writer_disabled = True
             self._file = None
 
+    @staticmethod
+    def _journal_pid(path: str) -> Optional[int]:
+        """The writer PID baked into a journal filename, or ``None``."""
+        name = os.path.basename(path)
+        if not (name.startswith(_JOURNAL_PREFIX)
+                and name.endswith(_JOURNAL_SUFFIX)):
+            return None
+        stem = name[len(_JOURNAL_PREFIX):-len(_JOURNAL_SUFFIX)]
+        pid_part = stem.split("-", 1)[0]
+        try:
+            pid = int(pid_part)
+        except ValueError:
+            return None
+        return pid if pid > 0 else None
+
+    @staticmethod
+    def _pid_is_dead(pid: int) -> bool:
+        """Whether ``pid`` is provably gone (signal-0 probe).
+
+        ``PermissionError`` means the process exists but belongs to someone
+        else — alive.  Anything other than a definite ``ProcessLookupError``
+        is treated as alive: sweeping is an optimization, and a false
+        "alive" merely defers to the age-out.
+        """
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except (OSError, AttributeError, ValueError):
+            return False
+        return False
+
+    def _sweep_dead_journal_locked(self, path: str) -> bool:
+        """Fold a dead writer's verifiable records into the own journal,
+        then remove the orphan.
+
+        Runs under the compaction dir lock, *after* the snapshot was
+        written and the own journal reset — so the rescue appends land in a
+        fresh journal.  Rescuing before unlinking means a crashed writer's
+        post-load observations survive the sweep; the timestamped
+        newest-wins merge makes re-appending already-known records
+        harmless.  Any read failure leaves the file for the age-out.
+        """
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError:
+            self._books["io_errors"] += 1
+            return False
+        records, _skipped = read_journal(data)
+        rescued = 0
+        if records:
+            header = records[0]
+            if header.get("kind") == "header" and self._version_ok(header):
+                for record in records[1:]:
+                    if self._append(record):
+                        rescued += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            return False
+        self._books["journals_swept"] += 1
+        self._books["records_rescued"] += rescued
+        return True
+
     def _sweep_locked(self, now: float) -> None:
-        """Remove dead siblings' journals and abandoned snapshot temps."""
+        """Remove dead siblings' journals and abandoned snapshot temps.
+
+        A sibling journal whose writer PID is provably dead is swept
+        immediately (its verifiable records are first folded into the own
+        journal — the crashed writer's torn tail no longer lingers for the
+        age-out); journals of live or indeterminate writers wait for
+        :data:`MAX_AGE` as before.
+        """
         own = self.journal_path
         for path in self._journal_paths():
             if path == own:
                 continue
+            pid = self._journal_pid(path)
+            if pid is not None and pid != os.getpid() \
+                    and self._pid_is_dead(pid):
+                if self._sweep_dead_journal_locked(path):
+                    continue
             try:
                 if now - os.path.getmtime(path) > self.max_age:
                     os.unlink(path)

@@ -27,7 +27,11 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from ..core.errors import DriverNotRegisteredError
+from ..core.errors import (
+    DriverNotRegisteredError,
+    MemoryBudgetExceededError,
+    QueryCancelledError,
+)
 from ..core.nrc import ast as A
 from ..core.nrc.compile import (
     ChunkPolicy,
@@ -61,7 +65,14 @@ from ..core.planner import (
 from ..core.values import iter_collection
 from .cache import SubqueryCache
 from .drivers.base import Driver, DriverFunction
+from .governance import (
+    NOMINAL_ROW_BYTES,
+    CancellationToken,
+    MemoryBudget,
+    QueryGovernor,
+)
 from .resilience import CircuitBreaker, CircuitBreakerPolicy, ResilienceLayer, RetryPolicy
+from .spill import SpillManager
 from .statistics import SourceStatisticsRegistry
 
 __all__ = ["KleisliEngine", "ExecutionMode"]
@@ -137,7 +148,8 @@ class KleisliEngine:
     def __init__(self, optimizer_config: Optional[OptimizerConfig] = None,
                  execution_mode: object = ExecutionMode.COMPILED,
                  stream_chunking: bool = True,
-                 plan_store: Optional[PlanStore] = None):
+                 plan_store: Optional[PlanStore] = None,
+                 memory_pool_limit: Optional[int] = None):
         self.drivers: Dict[str, Driver] = {}
         self.driver_functions: Dict[str, Tuple[Driver, DriverFunction]] = {}
         self.statistics_registry = SourceStatisticsRegistry()
@@ -174,6 +186,12 @@ class KleisliEngine:
         #: bit-for-bit unchanged.  Configure via :meth:`configure_resilience`.
         self.resilience = ResilienceLayer()
         self.resilience.on_breaker_event = self._note_breaker_event
+        #: The governance ledger (cancellations, spills, budget rejections,
+        #: watchdog kills) plus the optional engine-wide memory pool that
+        #: per-query budgets parent into.  With no ``memory_pool_limit`` and
+        #: no per-run governance arguments, every run takes exactly the
+        #: ungoverned code paths (the zero-governance contract).
+        self.governor = QueryGovernor(memory_pool_limit)
         #: Engine-wide default for ``on_source_failure`` when a run does not
         #: choose: ``"fail"`` propagates source failures, ``"degrade"``
         #: completes federated runs with typed partial-result warnings.
@@ -388,7 +406,14 @@ class KleisliEngine:
         pass-through for drivers with no configured policy.  ``context``
         (bound per run by :meth:`_make_context`) carries the deadline and
         failure policy; direct callers may omit it.
+
+        A cancelled run never dispatches another request: the token is
+        checked *before* the resilience layer, so cancellation beats retry
+        loops and degradation alike — no driver round-trip is wasted on a
+        query nobody is waiting for.
         """
+        if context is not None and context.cancellation is not None:
+            context.cancellation.raise_if_cancelled()
         return self.resilience.execute(driver_name, request,
                                        self._raw_execute, context)
 
@@ -442,6 +467,8 @@ class KleisliEngine:
         re-dispatched requests are real per-request round-trips, so their
         EMA samples follow the per-request rule above.
         """
+        if context is not None and context.cancellation is not None:
+            context.cancellation.raise_if_cancelled()
         driver = self.driver(driver_name)
         if not requests:
             return []
@@ -505,6 +532,11 @@ class KleisliEngine:
             "persistence": (self.plan_store.books()
                             if self.plan_store is not None
                             else {"attached": False}),
+            # The governance books: cancellations, spills, bytes spilled,
+            # budget rejections, watchdog kills — plus pool usage when an
+            # engine-wide memory pool is configured.  All zeros on an
+            # ungoverned engine.
+            "governance": self.governor.snapshot(),
         }
 
     def chunk_policy(self) -> ChunkPolicy:
@@ -537,7 +569,11 @@ class KleisliEngine:
         return plan
 
     def _make_context(self, deadline: Optional[float] = None,
-                      on_source_failure: Optional[str] = None) -> EvalContext:
+                      on_source_failure: Optional[str] = None,
+                      cancellation: Optional[CancellationToken] = None,
+                      memory_budget: Optional[MemoryBudget] = None,
+                      spill_manager: Optional[SpillManager] = None
+                      ) -> EvalContext:
         """One run's ambient context, with its resilience parameters bound.
 
         ``deadline`` is a *relative* budget in seconds, converted to an
@@ -545,7 +581,10 @@ class KleisliEngine:
         run starts.  The Scan callbacks are bound as closures over this
         context so the resilience layer sees the run's deadline and
         failure policy at every dispatch — while the engine methods keep
-        their context-free signatures for direct callers.
+        their context-free signatures for direct callers.  ``cancellation``,
+        ``memory_budget`` and ``spill_manager`` (already resolved by
+        :meth:`_governed_run`) land on the context's governance hooks; all
+        ``None`` reproduces the pre-governance context exactly.
         """
         statistics = EvalStatistics()
         self.last_eval_statistics = statistics
@@ -559,12 +598,82 @@ class KleisliEngine:
         context.on_source_failure = policy
         if deadline is not None:
             context.deadline = self.resilience.clock() + deadline
+        context.cancellation = cancellation
+        context.memory_budget = memory_budget
+        context.spill = spill_manager
         context.driver_executor = (
             lambda name, request: self.driver_executor(name, request, context))
         context.driver_executor_batch = (
             lambda name, requests: self.driver_executor_batch(
                 name, requests, context))
         return context
+
+    # -- governance resolution ---------------------------------------------------
+
+    def _resolve_budget(self, memory_budget
+                        ) -> Tuple[Optional[MemoryBudget], bool]:
+        """Normalise a caller's budget argument to a :class:`MemoryBudget`.
+
+        Returns ``(budget, owned)``.  An ``int`` mints a per-query budget
+        parented into the engine pool; a ready-made :class:`MemoryBudget`
+        (e.g. a session-scoped quota) becomes the *parent* of a fresh
+        per-run child, so concurrent runs share the quota and each run's
+        usage flows back when its child closes.  Both are ``owned`` — the
+        run finalizer closes the child, never the caller's budget.
+        ``None`` normally stays ``None`` (zero governance) — except on a
+        pool-capped engine, where every run charges the pool through an
+        unbounded owned budget, or one unbudgeted query could dodge the cap
+        the operator configured.
+        """
+        pool = self.governor.pool
+        if memory_budget is None:
+            if pool is None:
+                return None, False
+            return MemoryBudget(None, label="query", parent=pool), True
+        if isinstance(memory_budget, MemoryBudget):
+            return MemoryBudget(None, label="query",
+                                parent=memory_budget), True
+        limit = int(memory_budget)
+        return MemoryBudget(limit, label="query", parent=pool), True
+
+    def _resolve_spill(self, spill: Optional[bool],
+                       budget: Optional[MemoryBudget],
+                       plan: Optional[PhysicalPlan]) -> Optional[SpillManager]:
+        """The plan gate: pick in-memory vs. spill-to-disk *up front*.
+
+        ``spill=True`` forces a spill manager, ``False`` forbids one, and
+        ``None`` (auto) consults the cost model: when the planner's row
+        estimate times :data:`~repro.kleisli.governance.NOMINAL_ROW_BYTES`
+        exceeds the tightest cap in the budget chain, the materialization
+        points are going to blow the budget anyway — so the run degrades to
+        disk-backed (slower-but-correct) from the start instead of failing
+        mid-flight.  No estimate, or estimate under budget, means in-memory
+        with the budget as a backstop.
+        """
+        if spill is False:
+            return None
+        if spill is True:
+            return SpillManager()
+        if budget is None or plan is None or plan.estimated_rows is None:
+            return None
+        cap: Optional[int] = None
+        node = budget
+        while node is not None:
+            if node.limit is not None and (cap is None or node.limit < cap):
+                cap = node.limit
+            node = node.parent
+        if cap is not None and plan.estimated_rows * NOMINAL_ROW_BYTES > cap:
+            return SpillManager()
+        return None
+
+    def _finish_governed(self, budget: Optional[MemoryBudget], owned: bool,
+                         spill_manager: Optional[SpillManager]) -> None:
+        """The run finalizer: settle the books, free pool capacity and disk."""
+        if spill_manager is not None:
+            self.governor.merge(spill_manager.books)
+            spill_manager.close()
+        if owned and budget is not None:
+            budget.close()
 
     def thread_eval_statistics(self) -> Optional[EvalStatistics]:
         """The statistics of the last run *started on this thread*.
@@ -641,7 +750,10 @@ class KleisliEngine:
     def execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]] = None,
                 optimize: bool = True, mode: Optional[object] = None,
                 deadline: Optional[float] = None,
-                on_source_failure: Optional[str] = None):
+                on_source_failure: Optional[str] = None,
+                cancellation: Optional[CancellationToken] = None,
+                memory_budget=None,
+                spill: Optional[bool] = None):
         """Optimize (optionally) and evaluate an NRC expression.
 
         ``mode`` overrides the engine's default :class:`ExecutionMode` for
@@ -649,9 +761,46 @@ class KleisliEngine:
         ``"interpret"`` tree-walks it).  ``deadline`` (seconds) bounds the
         whole run's driver work; ``on_source_failure`` overrides the
         engine's failure policy (``"fail"`` | ``"degrade"``) for this call.
+
+        Governance (all optional; omitting all of them reproduces the
+        ungoverned run bit-for-bit): ``cancellation`` is a
+        :class:`~repro.kleisli.governance.CancellationToken` checked at every
+        evaluation checkpoint and before every driver dispatch;
+        ``memory_budget`` caps the run's materialization (an ``int`` of
+        bytes, or a prebuilt session-scoped
+        :class:`~repro.kleisli.governance.MemoryBudget`); ``spill`` picks the
+        backend for the big materialization points — ``None`` lets the cost
+        model decide (estimated rows vs. the budget), ``True`` forces
+        disk-backed execution, ``False`` forbids it (over-budget then raises
+        :class:`~repro.core.errors.MemoryBudgetExceededError`).  Spill
+        applies to the compiled lowerings; the interpreter honours token and
+        budget only.
         """
         mode = self._resolve_mode(mode)
-        context = self._make_context(deadline, on_source_failure)
+        budget, owned = self._resolve_budget(memory_budget)
+        if cancellation is None and budget is None and spill is not True:
+            context = self._make_context(deadline, on_source_failure)
+            return self._execute(expr, bindings, optimize, mode, context)
+        gate_plan = None
+        if spill is None and budget is not None and self.optimizer_config.planning:
+            gate_plan = self.planner.plan_for(expr)
+        spill_manager = self._resolve_spill(spill, budget, gate_plan)
+        context = self._make_context(deadline, on_source_failure,
+                                     cancellation, budget, spill_manager)
+        try:
+            return self._execute(expr, bindings, optimize, mode, context)
+        except QueryCancelledError:
+            self.governor.count("cancellations")
+            raise
+        except MemoryBudgetExceededError:
+            self.governor.count("budget_rejections")
+            raise
+        finally:
+            self._finish_governed(budget, owned, spill_manager)
+
+    def _execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]],
+                 optimize: bool, mode: ExecutionMode, context: EvalContext):
+        """The mode dispatch ``execute`` has always performed, context in hand."""
         environment = Environment(dict(bindings or {}))
         if mode is ExecutionMode.COMPILED:
             lower = lambda term: self.compiled_query(term, context.statistics)
@@ -676,7 +825,10 @@ class KleisliEngine:
                chunked: Optional[bool] = None,
                chunk_policy: Optional[ChunkPolicy] = None,
                deadline: Optional[float] = None,
-               on_source_failure: Optional[str] = None) -> Iterator[object]:
+               on_source_failure: Optional[str] = None,
+               cancellation: Optional[CancellationToken] = None,
+               memory_budget=None,
+               spill: Optional[bool] = None) -> Iterator[object]:
         """Pipelined evaluation: yield elements as the pipeline produces them.
 
         In compiled mode the (optimized) term is lowered by default to a
@@ -701,17 +853,28 @@ class KleisliEngine:
         opened — the source's *and* any body-level scans' — so an abandoned
         stream holds no driver resources, even behind buffered-but-
         unconsumed chunk elements.  Both execution modes stream.
+
+        ``cancellation``, ``memory_budget`` and ``spill`` govern the run as
+        in :meth:`execute`; a governed stream additionally settles its books
+        (budget closed, spill files deleted, governance ledger updated) when
+        the iterator is exhausted, raises, or is closed early.  Omitting all
+        three returns the raw pipeline generator exactly as before.
         """
         mode = self._resolve_mode(mode)
         if optimize:
             expr = self.compile_for_stream(expr)
+        budget, owned = self._resolve_budget(memory_budget)
+        governed = (cancellation is not None or budget is not None
+                    or spill is True)
         # Resolution, planning and context creation run eagerly (a bad mode
         # raises at the call site, and last_eval_statistics / last_plan
         # refer to *this* run as soon as stream() returns); evaluation
         # starts on the first next().
-        context = self._make_context(deadline, on_source_failure)
+        context = self._make_context(deadline, on_source_failure,
+                                     cancellation, budget)
         if chunked is None:
             chunked = self.stream_chunking
+        fingerprint = None
         if mode is ExecutionMode.COMPILED:
             # The per-query physical plan: chunk knobs, prefetch hints.  An
             # uninformed planner returns the historical defaults, so this
@@ -721,6 +884,14 @@ class KleisliEngine:
             fingerprint = term_fingerprint(expr) \
                 if self.optimizer_config.planning else None
             context.physical_plan = self.plan_for(expr, fingerprint)
+        spill_manager = None
+        if governed:
+            # The plan gate rides the plan the run was going to compute
+            # anyway; the interpreter has no plan, so auto-spill never
+            # triggers there (force with ``spill=True`` if needed).
+            spill_manager = self._resolve_spill(
+                spill, budget, getattr(context, "physical_plan", None))
+            context.spill = spill_manager
         if mode is ExecutionMode.COMPILED and chunked:
             if chunk_policy is not None:
                 context.chunk_policy = chunk_policy
@@ -736,8 +907,46 @@ class KleisliEngine:
                     # forced knobs, and folding them in would contaminate
                     # the observations future planned runs are chosen from.
                     context.plan_probe = self.plan_feedback.probe(fingerprint)
-            return self._stream_chunked(expr, bindings, context, fingerprint)
-        return self._stream(expr, bindings, mode, context)
+            inner = self._stream_chunked(expr, bindings, context, fingerprint)
+        else:
+            inner = self._stream(expr, bindings, mode, context)
+        if not governed:
+            return inner
+        return self._governed_stream(inner, budget, owned, spill_manager,
+                                     cancellation)
+
+    def _governed_stream(self, inner: Iterator[object],
+                         budget: Optional[MemoryBudget], owned: bool,
+                         spill_manager: Optional[SpillManager],
+                         cancellation: Optional[CancellationToken] = None
+                         ) -> Iterator[object]:
+        """Wrap a governed run's pipeline with its settlement finalizer.
+
+        The ``finally`` fires on exhaustion, error, *and* early ``close()``
+        — whichever way the consumer lets go, pool capacity returns and
+        spill files are deleted.  Typed governance errors are counted in the
+        engine ledger on their way out; a stream closed early *after* its
+        token was cancelled (the server's ``cancel`` op tears down without
+        draining into the error) counts as a cancellation too.
+        """
+        settled = False
+        try:
+            yield from inner
+        except QueryCancelledError:
+            settled = True
+            self.governor.count("cancellations")
+            raise
+        except MemoryBudgetExceededError:
+            settled = True
+            self.governor.count("budget_rejections")
+            raise
+        else:
+            settled = True
+        finally:
+            if (not settled and cancellation is not None
+                    and cancellation.cancelled):
+                self.governor.count("cancellations")
+            self._finish_governed(budget, owned, spill_manager)
 
     def _stream_chunked(self, expr: A.Expr,
                         bindings: Optional[Dict[str, object]],
@@ -785,8 +994,12 @@ class KleisliEngine:
                 # eagerly built value element-for-element — same policy as
                 # the compiled pipeline's set-kind stages.
                 seen = set() if expr.kind == "set" else None
+                token = context.cancellation
+                budget = context.memory_budget
                 try:
                     for item in iterator:
+                        if token is not None:
+                            token.raise_if_cancelled()
                         # Count the outer loop like the eager evaluator does,
                         # so a drained stream and execute() agree on
                         # elements_fetched (the differential harness pins it).
@@ -796,6 +1009,8 @@ class KleisliEngine:
                                 if element in seen:
                                     continue
                                 seen.add(element)
+                                if budget is not None:
+                                    budget.charge_elements(1)
                             yield element
                 finally:
                     close_source(iterator, source)

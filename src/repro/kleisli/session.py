@@ -32,6 +32,7 @@ from ..core.optimizer import OptimizerConfig
 from ..core.values import from_python
 from .drivers.base import Driver
 from .engine import ExecutionMode, KleisliEngine
+from .governance import CancellationToken, MemoryBudget
 
 __all__ = ["Session", "QueryResult"]
 
@@ -108,7 +109,8 @@ class Session:
                  optimizer_config: Optional[OptimizerConfig] = None,
                  typecheck: bool = True,
                  execution_mode: Optional[object] = None,
-                 on_source_failure: Optional[str] = None):
+                 on_source_failure: Optional[str] = None,
+                 memory_limit: Optional[int] = None):
         if engine is None:
             engine = KleisliEngine(
                 optimizer_config,
@@ -125,6 +127,14 @@ class Session:
         #: ``"fail"`` propagates, ``"degrade"`` completes with typed
         #: partial-result warnings.  Per-call overrides win.
         self.on_source_failure = on_source_failure
+        #: The session-wide memory quota: every governed run this session
+        #: starts charges a per-run child of this budget, so concurrent
+        #: queries share the cap and a finished run's usage flows back.
+        #: ``None`` (the default) leaves runs ungoverned unless a per-call
+        #: budget (or an engine pool) says otherwise.
+        self.memory_budget: Optional[MemoryBudget] = None
+        if memory_limit is not None:
+            self.set_memory_limit(memory_limit)
         self.values: Dict[str, object] = {}
         # ``define f == e`` makes f a *synonym* for e (the paper's wording), so
         # definitions are stored as NRC expressions and expanded into queries
@@ -203,29 +213,41 @@ class Session:
 
     def run(self, source: str, optimize: bool = True,
             deadline: Optional[float] = None,
-            on_source_failure: Optional[str] = None):
+            on_source_failure: Optional[str] = None,
+            cancellation: Optional[CancellationToken] = None,
+            memory_budget=None, spill: Optional[bool] = None):
         """Run a CPL program (one or more statements); return the last query's value.
 
         ``deadline`` (seconds) bounds each statement's driver work;
         ``on_source_failure`` overrides the session/engine failure policy
-        (``"fail"`` | ``"degrade"``) for this call.
+        (``"fail"`` | ``"degrade"``) for this call.  ``cancellation``,
+        ``memory_budget`` and ``spill`` govern each statement's run as in
+        :meth:`~repro.kleisli.engine.KleisliEngine.execute`; the session
+        quota (:meth:`set_memory_limit`) applies when no per-call budget is
+        given.
         """
         program = parse(source)
         result = None
         for statement in program.statements:
-            result = self._run_statement(statement, optimize, deadline,
-                                         self._failure_policy(on_source_failure))
+            result = self._run_statement(
+                statement, optimize, deadline,
+                self._failure_policy(on_source_failure),
+                cancellation, self._effective_budget(memory_budget), spill)
         return result
 
     def query(self, source: str, optimize: bool = True,
               mode: Optional[object] = None,
               deadline: Optional[float] = None,
-              on_source_failure: Optional[str] = None) -> QueryResult:
+              on_source_failure: Optional[str] = None,
+              cancellation: Optional[CancellationToken] = None,
+              memory_budget=None, spill: Optional[bool] = None) -> QueryResult:
         """Run a single CPL expression and return the full :class:`QueryResult`.
 
         ``mode`` overrides the engine's execution mode for this query
         (``"compiled"`` | ``"interpret"``); ``deadline`` and
-        ``on_source_failure`` as in :meth:`run`.
+        ``on_source_failure`` as in :meth:`run`; ``cancellation``,
+        ``memory_budget`` and ``spill`` as in
+        :meth:`~repro.kleisli.engine.KleisliEngine.execute`.
         """
         expression = parse_expression(source)
         inferred = self._infer(expression)
@@ -234,17 +256,53 @@ class Session:
         value = self.engine.execute(
             optimized, self.values, optimize=False, mode=mode,
             deadline=deadline,
-            on_source_failure=self._failure_policy(on_source_failure))
+            on_source_failure=self._failure_policy(on_source_failure),
+            cancellation=cancellation,
+            memory_budget=self._effective_budget(memory_budget), spill=spill)
         return QueryResult(value, nrc, optimized, inferred)
 
     def _failure_policy(self, override: Optional[str]) -> Optional[str]:
         """Per-call override, else the session default, else the engine's."""
         return override if override is not None else self.on_source_failure
 
+    # -- governance ---------------------------------------------------------------
+
+    def set_memory_limit(self, limit: Optional[int]) -> None:
+        """Install (or clear, with ``None``) the session-wide memory quota.
+
+        The quota parents into the engine's pool when one is configured, so
+        a charge is admitted only if the query, the session *and* the engine
+        all have room.  Replacing the quota affects runs started afterwards;
+        in-flight runs keep charging the budget they were admitted under.
+        """
+        if limit is None:
+            self.memory_budget = None
+            return
+        self.memory_budget = MemoryBudget(
+            limit, label="session", parent=self.engine.governor.pool)
+
+    def _effective_budget(self, memory_budget):
+        """Per-call budget composed with the session quota.
+
+        No per-call budget → the session quota (or ``None``: ungoverned).
+        A per-call ``int`` under a session quota caps this one query *inside*
+        the quota; a caller-built :class:`MemoryBudget` is trusted as-is.
+        """
+        if memory_budget is None:
+            return self.memory_budget
+        if (self.memory_budget is not None
+                and not isinstance(memory_budget, MemoryBudget)):
+            return MemoryBudget(int(memory_budget), label="query",
+                                parent=self.memory_budget)
+        return memory_budget
+
     def stream(self, source: str, optimize: bool = True,
                mode: Optional[object] = None,
                deadline: Optional[float] = None,
-               on_source_failure: Optional[str] = None) -> Iterator[object]:
+               on_source_failure: Optional[str] = None,
+               cancellation: Optional[CancellationToken] = None,
+               memory_budget=None, spill: Optional[bool] = None
+               ) -> Iterator[object]:
         """Run a query with pipelined (lazy) result delivery.
 
         In compiled mode the optimized term is lowered to a pull-based
@@ -263,7 +321,10 @@ class Session:
             self, self.engine.stream(
                 nrc, self.values, optimize=optimize, mode=mode,
                 deadline=deadline,
-                on_source_failure=self._failure_policy(on_source_failure)))
+                on_source_failure=self._failure_policy(on_source_failure),
+                cancellation=cancellation,
+                memory_budget=self._effective_budget(memory_budget),
+                spill=spill))
         with self._streams_lock:
             self._open_streams.append(stream)
         return stream
@@ -296,6 +357,11 @@ class Session:
                 stream.close()
             except Exception:  # pragma: no cover - best-effort release
                 pass
+        # Return any quota the session still holds to the engine pool; the
+        # per-run children have already settled, so this is belt-and-braces
+        # against a leaked charge pinning pool capacity after disconnect.
+        if self.memory_budget is not None:
+            self.memory_budget.close()
 
     @property
     def last_eval_statistics(self):
@@ -322,7 +388,9 @@ class Session:
 
     def _run_statement(self, statement: S.Statement, optimize: bool,
                        deadline: Optional[float] = None,
-                       on_source_failure: Optional[str] = None):
+                       on_source_failure: Optional[str] = None,
+                       cancellation: Optional[CancellationToken] = None,
+                       memory_budget=None, spill: Optional[bool] = None):
         if isinstance(statement, S.Define):
             if self.typecheck:
                 try:
@@ -339,7 +407,9 @@ class Session:
         _, _, nrc = desugar_statement(statement)
         return self.engine.execute(self._expand(nrc), self.values,
                                    optimize=optimize, deadline=deadline,
-                                   on_source_failure=on_source_failure)
+                                   on_source_failure=on_source_failure,
+                                   cancellation=cancellation,
+                                   memory_budget=memory_budget, spill=spill)
 
     def _expand(self, nrc: A.Expr, depth: int = 20) -> A.Expr:
         """Substitute defined synonyms into ``nrc`` (non-recursive definitions only)."""

@@ -73,45 +73,90 @@ class KleisliClient:
 
     @staticmethod
     def _with_options(message: dict, deadline: Optional[float],
-                      on_source_failure: Optional[str]) -> dict:
+                      on_source_failure: Optional[str],
+                      memory_budget: Optional[int] = None,
+                      spill: Optional[bool] = None) -> dict:
         if deadline is not None:
             message["deadline"] = deadline
         if on_source_failure is not None:
             message["on_source_failure"] = on_source_failure
+        if memory_budget is not None:
+            message["memory_budget"] = memory_budget
+        if spill is not None:
+            message["spill"] = spill
         return message
 
     def run(self, source: str, deadline: Optional[float] = None,
-            on_source_failure: Optional[str] = None) -> object:
+            on_source_failure: Optional[str] = None,
+            memory_budget: Optional[int] = None,
+            spill: Optional[bool] = None) -> object:
         """Run a CPL program (defines allowed); return the last query's value.
 
         ``deadline`` (seconds) bounds the run's driver work server-side;
         ``on_source_failure="degrade"`` completes federated runs with
         partial results, announced in :attr:`last_warnings`.
+        ``memory_budget`` (bytes) caps the run's server-side
+        materialization; ``spill`` picks the over-budget backend (``True``
+        forces disk, ``False`` forbids it, omitted lets the cost model
+        decide).
         """
         return decode_value(self.request(self._with_options(
             {"op": "run", "source": source},
-            deadline, on_source_failure))["value"])
+            deadline, on_source_failure, memory_budget, spill))["value"])
 
     def query(self, source: str, deadline: Optional[float] = None,
-              on_source_failure: Optional[str] = None) -> object:
+              on_source_failure: Optional[str] = None,
+              memory_budget: Optional[int] = None,
+              spill: Optional[bool] = None) -> object:
         """Run one CPL expression; return its value (options as in :meth:`run`)."""
         return decode_value(self.request(self._with_options(
             {"op": "query", "source": source},
-            deadline, on_source_failure))["value"])
+            deadline, on_source_failure, memory_budget, spill))["value"])
+
+    def open(self, source: str, deadline: Optional[float] = None,
+             on_source_failure: Optional[str] = None,
+             memory_budget: Optional[int] = None,
+             spill: Optional[bool] = None) -> str:
+        """Open a server-side cursor; return its id (see :meth:`fetch`,
+        :meth:`cancel`, :meth:`close_cursor`).  :meth:`stream` wraps this."""
+        return self.request(self._with_options(
+            {"op": "open", "source": source},
+            deadline, on_source_failure, memory_budget, spill))["cursor"]
+
+    def fetch(self, cursor: str, batch: int = 16) -> dict:
+        """One fetch batch: ``{"values": [...], "done": bool}`` (decoded)."""
+        reply = self.request({"op": "fetch", "cursor": cursor, "n": batch})
+        reply["values"] = [decode_value(payload)
+                           for payload in reply["values"]]
+        return reply
+
+    def cancel(self, cursor: str) -> bool:
+        """Cancel a cursor mid-stream: the server cancels the run's token
+        (counted in the governance books) and tears the cursor down.
+        Returns whether the cursor existed; cancelling twice is ``False``."""
+        return bool(self.request({"op": "cancel", "cursor": cursor})
+                    .get("cancelled", False))
+
+    def close_cursor(self, cursor: str) -> bool:
+        """Close a cursor without the cancellation bookkeeping."""
+        return bool(self.request({"op": "close", "cursor": cursor})
+                    .get("closed", False))
 
     def stream(self, source: str, batch: int = 16,
                deadline: Optional[float] = None,
-               on_source_failure: Optional[str] = None) -> Iterator[object]:
+               on_source_failure: Optional[str] = None,
+               memory_budget: Optional[int] = None,
+               spill: Optional[bool] = None) -> Iterator[object]:
         """Run a streamed query, yielding elements as fetch batches arrive.
 
         Closing the generator early (or abandoning it) sends a ``close`` op,
         releasing the server-side cursor and its admission slot.  Each fetch
         refreshes :attr:`last_warnings` with the degradation records the
-        stream has accumulated so far.
+        stream has accumulated so far.  ``memory_budget``/``spill`` as in
+        :meth:`run`.
         """
-        cursor = self.request(self._with_options(
-            {"op": "open", "source": source},
-            deadline, on_source_failure))["cursor"]
+        cursor = self.open(source, deadline, on_source_failure,
+                           memory_budget, spill)
         done = False
         try:
             while not done:
@@ -135,9 +180,18 @@ class KleisliClient:
             response["value"] = decode_value(response["value"])
         return response
 
-    def server_stats(self) -> dict:
-        """Service counters, engine health, and admission configuration."""
-        return self.request({"op": "stats"})
+    def server_stats(self, section: Optional[str] = None) -> dict:
+        """Service counters, engine health, and admission configuration.
+
+        ``section`` (``"server"`` | ``"engine"`` | ``"sessions"`` |
+        ``"admission"`` | ``"governance"``) requests just that piece — the
+        way to read a section the full reply listed under ``truncated``
+        because it would not fit one frame.
+        """
+        message: dict = {"op": "stats"}
+        if section is not None:
+            message["section"] = section
+        return self.request(message)
 
     # -- lifecycle -----------------------------------------------------------
 

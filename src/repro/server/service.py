@@ -29,8 +29,9 @@ from ..core.errors import (
     WireProtocolError,
 )
 from ..kleisli.engine import KleisliEngine
+from ..kleisli.governance import CancellationToken
 from ..kleisli.session import Session
-from ..net.framing import recv_message, send_message
+from ..net.framing import MAX_FRAME_BYTES, encode_frame, recv_message, send_message
 from ..views.gateway import ViewGateway
 from ..views.registry import ViewRegistry
 from .wire import encode_value, encode_warnings
@@ -41,6 +42,10 @@ PROTOCOL_VERSION = 1
 
 #: Most elements one ``fetch`` reply may carry (keeps frames bounded).
 MAX_FETCH_BATCH = 1024
+
+#: Soft budget for one ``stats`` reply frame: half the hard wire cap, so
+#: the reply fits with ample room even after transport envelope fields.
+_STATS_BYTE_BUDGET = MAX_FRAME_BYTES // 2
 
 
 class ServerStats:
@@ -108,16 +113,24 @@ class _Cursor:
     admission slot it holds for its whole lifetime (open cursors *are* the
     in-flight queries backpressure counts)."""
 
-    __slots__ = ("stream", "statistics", "_slot", "_stats", "_closed",
+    __slots__ = ("stream", "statistics", "token", "opened_at",
+                 "watchdog_killed", "_slot", "_stats", "_closed",
                  "_released")
 
     def __init__(self, stream, slot: _AdmissionSlot, stats: ServerStats,
-                 statistics=None):
+                 statistics=None, token: Optional[CancellationToken] = None):
         self.stream = stream
         #: The run's ``EvalStatistics`` — captured at open time so fetch
         #: replies can report degradation warnings accumulated as the
         #: stream drains, regardless of what other sessions ran since.
         self.statistics = statistics
+        #: The run's cancellation token: the ``cancel`` op and the watchdog
+        #: cancel through it, so teardown is cooperative and typed.
+        self.token = token
+        self.opened_at = time.monotonic()
+        #: Set by the watchdog the one time it kills this cursor, so the
+        #: ``watchdog_kills`` book counts each runaway query exactly once.
+        self.watchdog_killed = False
         self._slot = slot
         self._stats = stats
         self._closed = False
@@ -209,13 +222,21 @@ class KleisliServer:
                  queue_timeout: float = 5.0,
                  drain_timeout: float = 5.0,
                  view_registry: Optional[ViewRegistry] = None,
-                 session_setup: Optional[Callable[[Session], None]] = None):
+                 session_setup: Optional[Callable[[Session], None]] = None,
+                 max_query_runtime: Optional[float] = None,
+                 watchdog_interval: float = 0.25,
+                 session_cursor_quota: Optional[int] = None,
+                 session_memory_limit: Optional[int] = None):
         if admission not in ("queue", "reject"):
             raise ValueError("admission must be 'queue' or 'reject'")
         if max_concurrent_queries < 1:
             raise ValueError("max_concurrent_queries must be at least 1")
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
+        if max_query_runtime is not None and max_query_runtime <= 0:
+            raise ValueError("max_query_runtime must be positive")
+        if session_cursor_quota is not None and session_cursor_quota < 1:
+            raise ValueError("session_cursor_quota must be at least 1")
         self.engine = engine if engine is not None else KleisliEngine()
         self.host = host
         self.port = port
@@ -228,6 +249,17 @@ class KleisliServer:
         self.drain_timeout = drain_timeout
         self.view_registry = view_registry
         self.session_setup = session_setup
+        #: The watchdog's kill threshold: a cursor older than this many
+        #: seconds has its token cancelled (typed error on the client's next
+        #: fetch) and is counted in the ``watchdog_kills`` book.  ``None``
+        #: (the default) runs no watchdog thread at all.
+        self.max_query_runtime = max_query_runtime
+        self.watchdog_interval = watchdog_interval
+        #: Per-session admission quotas: most open cursors one session may
+        #: hold at once, and the session-wide memory cap its governed runs
+        #: charge.  ``None`` = unlimited, exactly as before.
+        self.session_cursor_quota = session_cursor_quota
+        self.session_memory_limit = session_memory_limit
         self.stats = ServerStats()
         self.address: Optional[Tuple[str, int]] = None
         self._slots = threading.BoundedSemaphore(max_concurrent_queries)
@@ -242,9 +274,12 @@ class KleisliServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._connections: set = set()
+        self._states: set = set()
         self._threads: List[threading.Thread] = []
         self._active_sessions = 0
         self._cursor_counter = 0
+        self._watchdog_stop = threading.Event()
+        self._watchdog_thread: Optional[threading.Thread] = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -261,6 +296,12 @@ class KleisliServer:
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="kleisli-server-accept", daemon=True)
         self._accept_thread.start()
+        if self.max_query_runtime is not None:
+            self._watchdog_stop.clear()
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, name="kleisli-server-watchdog",
+                daemon=True)
+            self._watchdog_thread.start()
         return self
 
     def stop(self) -> None:
@@ -278,6 +319,10 @@ class KleisliServer:
         this server ran survives to warm-start the next process.
         """
         self._draining.set()
+        self._watchdog_stop.set()
+        if self._watchdog_thread is not None:
+            self._watchdog_thread.join(timeout=5.0)
+            self._watchdog_thread = None
         listener, self._listener = self._listener, None
         if listener is not None:
             try:
@@ -373,12 +418,45 @@ class KleisliServer:
                 self._threads.append(thread)
             thread.start()
 
+    def _watchdog_loop(self) -> None:
+        """Cancel every cursor that has outlived ``max_query_runtime``.
+
+        The kill is cooperative: only the token is cancelled, so the run
+        raises its typed :class:`~repro.core.errors.QueryCancelledError` at
+        the next checkpoint (the client's next fetch surfaces it) and its
+        ``EvalScope`` releases every cursor on the way out.  The serving
+        thread — not this one — does the teardown, so the watchdog can
+        never race a fetch mid-value.
+        """
+        limit = self.max_query_runtime
+        while not self._watchdog_stop.wait(self.watchdog_interval):
+            now = time.monotonic()
+            with self._lock:
+                states = list(self._states)
+            for state in states:
+                try:
+                    cursors = list(state.cursors.values())
+                except RuntimeError:  # pragma: no cover - dict resize race
+                    continue
+                for cursor in cursors:
+                    if (cursor.token is not None
+                            and not cursor.watchdog_killed
+                            and now - cursor.opened_at > limit):
+                        cursor.watchdog_killed = True
+                        cursor.token.cancel(
+                            f"watchdog: query exceeded max runtime "
+                            f"of {limit}s")
+                        self.engine.governor.count("watchdog_kills")
+
     def _serve_connection(self, conn: socket.socket) -> None:
         self.stats.increment("sessions_opened")
-        session = Session(engine=self.engine)
+        session = Session(engine=self.engine,
+                          memory_limit=self.session_memory_limit)
         gateway = ViewGateway(session, self.view_registry) \
             if self.view_registry is not None else None
         state = _Connection(session, gateway)
+        with self._lock:
+            self._states.add(state)
         try:
             if self.session_setup is not None:
                 self.session_setup(session)
@@ -413,6 +491,7 @@ class KleisliServer:
                 pass
             with self._lock:
                 self._connections.discard(conn)
+                self._states.discard(state)
                 self._active_sessions -= 1
             self.stats.increment("sessions_closed")
 
@@ -515,6 +594,18 @@ class KleisliServer:
                 raise WireProtocolError(
                     "'on_source_failure' must be 'fail' or 'degrade'")
             options["on_source_failure"] = policy
+        budget = message.get("memory_budget")
+        if budget is not None:
+            if isinstance(budget, bool) or not isinstance(budget, int) \
+                    or budget <= 0:
+                raise WireProtocolError(
+                    "'memory_budget' must be a positive integer of bytes")
+            options["memory_budget"] = budget
+        spill = message.get("spill")
+        if spill is not None:
+            if not isinstance(spill, bool):
+                raise WireProtocolError("'spill' must be a boolean")
+            options["spill"] = spill
         return options
 
     def _op_run(self, state: _Connection, message: dict) -> dict:
@@ -547,9 +638,19 @@ class KleisliServer:
     def _op_open(self, state: _Connection, message: dict) -> dict:
         source = self._required_str(message, "source")
         options = self._run_options(message)
+        quota = self.session_cursor_quota
+        if quota is not None and len(state.cursors) >= quota:
+            # Admission control, not failure: the quota protects the shared
+            # slot pool from one session holding every slot through idle
+            # cursors; close (or drain) one and retry.
+            self.stats.increment("rejections")
+            raise ServerOverloadedError(
+                f"session at its {quota}-cursor quota; close a cursor first")
+        token = CancellationToken()
         how, slot = self._admit()
         try:
-            stream = state.session.stream(source, **options)
+            stream = state.session.stream(source, cancellation=token,
+                                          **options)
         except BaseException:
             slot.release()
             raise
@@ -558,7 +659,7 @@ class KleisliServer:
             cursor_id = f"c{self._cursor_counter}"
         state.cursors[cursor_id] = _Cursor(
             stream, slot, self.stats,
-            statistics=self.engine.thread_eval_statistics())
+            statistics=self.engine.thread_eval_statistics(), token=token)
         self.stats.increment("cursors_opened")
         self.stats.increment("queries")
         return {"ok": True, "cursor": cursor_id, "admission": how}
@@ -603,6 +704,25 @@ class KleisliServer:
             state.pending.append(cursor)
         return {"ok": True, "closed": cursor is not None}
 
+    def _op_cancel(self, state: _Connection, message: dict) -> dict:
+        """Cancel one of this session's cursors mid-stream.
+
+        The token is cancelled first — so the run's books record a
+        cancellation, not a routine close — then the cursor is torn down
+        exactly like ``close``: its ``EvalScope`` releases the run's
+        cursors, and the admission slot is returned once this reply is on
+        the wire.  Only the target query is touched; the session (and every
+        other session on the shared engine) keeps working.
+        """
+        cursor_id = message.get("cursor")
+        cursor = state.cursors.pop(cursor_id, None)
+        if cursor is not None:
+            if cursor.token is not None:
+                cursor.token.cancel("cancelled by client")
+            cursor.retire()
+            state.pending.append(cursor)
+        return {"ok": True, "cancelled": cursor is not None}
+
     def _op_view(self, state: _Connection, message: dict) -> dict:
         if state.gateway is None:
             raise QueryServiceError("this server exposes no views")
@@ -624,14 +744,70 @@ class KleisliServer:
         return payload
 
     def _op_stats(self, state: _Connection, message: dict) -> dict:
-        return {"ok": True,
-                "server": self.stats.snapshot(),
-                "engine": self.engine.health(),
-                "sessions": self.active_sessions,
-                "admission": {"policy": self.admission,
-                              "max_concurrent_queries":
-                                  self.max_concurrent_queries,
-                              "queue_timeout": self.queue_timeout}}
+        sections: Dict[str, Callable[[], object]] = {
+            "server": self.stats.snapshot,
+            "engine": self.engine.health,
+            "sessions": lambda: self.active_sessions,
+            "admission": lambda: {"policy": self.admission,
+                                  "max_concurrent_queries":
+                                      self.max_concurrent_queries,
+                                  "queue_timeout": self.queue_timeout},
+            # The governance books alone — what a monitoring poll wants,
+            # without the whole engine health payload.
+            "governance": self.engine.governor.snapshot,
+        }
+        section = message.get("section")
+        if section is not None:
+            if section not in sections:
+                raise WireProtocolError(
+                    f"unknown stats section {section!r}; "
+                    f"one of {sorted(sections)}")
+            return self._cap_stats({"ok": True, section: sections[section]()})
+        reply: dict = {"ok": True}
+        for name, build in sections.items():
+            if name == "governance":
+                continue  # already inside the engine health payload
+            reply[name] = build()
+        return self._cap_stats(reply)
+
+    def _cap_stats(self, reply: dict) -> dict:
+        """Keep a ``stats`` reply under the wire frame cap.
+
+        The engine health payload is unbounded in principle (per-driver
+        request counts, resilience books, persistence books all grow with
+        configuration), and an oversized reply would kill the connection at
+        the framing layer — the one op meant for observing an unhealthy
+        server must never do that.  Over budget, the bulkiest sub-sections
+        are shed (replaced by ``{"truncated": true}``) biggest-risk first
+        and listed in ``truncated``, so the client can re-request each as
+        its own ``section`` frame.
+        """
+        def size(message: dict) -> int:
+            try:
+                return len(encode_frame(message))
+            except WireProtocolError:
+                return MAX_FRAME_BYTES + 1
+        if size(reply) <= _STATS_BYTE_BUDGET:
+            return reply
+        dropped: List[str] = []
+        victims: List[Tuple[str, dict, str]] = []
+        engine = reply.get("engine")
+        if isinstance(engine, dict):
+            victims += [("engine." + key, engine, key)
+                        for key in ("drivers", "resilience", "persistence",
+                                    "plan_feedback")]
+        victims += [(key, reply, key) for key in ("engine", "server")]
+        for label, container, key in victims:
+            if key not in container or container[key] == {"truncated": True}:
+                continue
+            container[key] = {"truncated": True}
+            dropped.append(label)
+            if size(reply) <= _STATS_BYTE_BUDGET:
+                break
+        reply["truncated"] = dropped
+        reply["hint"] = "re-request one section at a time: " \
+                        "{'op': 'stats', 'section': <name>}"
+        return reply
 
     _OPS = {
         "hello": _op_hello,
@@ -640,6 +816,7 @@ class KleisliServer:
         "open": _op_open,
         "fetch": _op_fetch,
         "close": _op_close,
+        "cancel": _op_cancel,
         "view": _op_view,
         "stats": _op_stats,
     }

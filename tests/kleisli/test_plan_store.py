@@ -499,3 +499,92 @@ def test_snapshot_restore_roundtrip_preserves_updated_timestamps():
     assert fresh.snapshot()[0][2] == 123.0           # age survives the hop
     observation = fresh.lookup(_fp(0))
     assert observation.unit_cost() == pytest.approx(0.05)
+
+
+# -- dead-writer journal sweep ------------------------------------------------
+
+def _dead_pid():
+    """A PID that provably belongs to no process: a reaped child's."""
+    import subprocess
+    import sys
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def test_compaction_sweeps_dead_writer_journal_and_rescues_records(tmp_path):
+    directory = tmp_path / "store"
+    crashed = _store(directory)
+    crashed.append_feedback(_fp(0), _obs(cardinality=42.0), ts=_NOW + 10.0)
+    crashed.flush()
+    crashed.close()
+    # Rebrand the journal as a provably-dead writer's: the sweep keys on
+    # the PID baked into the filename, exactly what a crashed process
+    # leaves behind.
+    dead_path = os.path.join(
+        os.fspath(directory), f"journal-{_dead_pid()}-deadbeef.kjl")
+    os.rename(crashed.journal_path, dead_path)
+
+    compactor = _store(directory)
+    compactor.append_feedback(_fp(1), _obs(), ts=_NOW + 20.0)
+    compactor.state_provider = _provider([(_fp(1), _obs(), _NOW + 20.0)])
+    assert compactor.compact() is True
+    # Swept immediately — no 7-day age-out — with the dead writer's
+    # records rescued into the compactor's own journal first.
+    assert not os.path.exists(dead_path)
+    books = compactor.books()
+    assert books["journals_swept"] == 1
+    assert books["records_rescued"] == 1
+    compactor.close()
+
+    reader = _store(directory)
+    state = reader.load()
+    merged = {key: obs for key, obs, _ts in state.feedback}
+    assert merged[_fp(0)]["cardinality"] == 42.0     # rescued, not lost
+    assert _fp(1) in merged
+    reader.close()
+
+
+def test_sweep_leaves_live_and_unparsable_writer_journals(tmp_path):
+    directory = tmp_path / "store"
+    live = _store(directory)                      # own (live) PID in the name
+    live.append_feedback(_fp(0), _obs(), ts=_NOW + 10.0)
+    live.flush()
+    unparsable = os.path.join(os.fspath(directory),
+                              "journal-notapid-aaaa1111.kjl")
+    with open(unparsable, "wb") as handle:
+        handle.write(b"\x00garbage")
+
+    compactor = _store(directory)
+    compactor.append_feedback(_fp(1), _obs(), ts=_NOW + 20.0)
+    compactor.state_provider = _provider([(_fp(1), _obs(), _NOW + 20.0)])
+    assert compactor.compact() is True
+    # A live writer's journal and a no-PID file both wait for the age-out.
+    assert os.path.exists(live.journal_path)
+    assert os.path.exists(unparsable)
+    assert compactor.books()["journals_swept"] == 0
+    live.close()
+    compactor.close()
+
+
+def test_sweep_rescues_nothing_from_wrong_version_dead_journal(tmp_path):
+    directory = tmp_path / "store"
+    dead_path = os.path.join(
+        os.fspath(directory), f"journal-{_dead_pid()}-cafecafe.kjl")
+    os.makedirs(os.fspath(directory), exist_ok=True)
+    header = dict(kind="header", version=999_999,
+                  fingerprint_algorithm="nothing-anyone-knows")
+    _write_raw_journal(dead_path, header,
+                       {"kind": "feedback", "fingerprint": ["Ext", 7],
+                        "state": _obs(), "updated": _NOW})
+    compactor = _store(directory)
+    compactor.append_feedback(_fp(1), _obs(), ts=_NOW + 20.0)
+    compactor.state_provider = _provider([(_fp(1), _obs(), _NOW + 20.0)])
+    assert compactor.compact() is True
+    # The incompatible journal is still removed (its writer is gone and
+    # nothing can ever read it) but no record crosses the version fence.
+    assert not os.path.exists(dead_path)
+    books = compactor.books()
+    assert books["journals_swept"] == 1
+    assert books["records_rescued"] == 0
+    compactor.close()
