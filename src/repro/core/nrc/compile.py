@@ -299,6 +299,43 @@ zero-statistics and PR 8's zero-knowledge contracts).
   dedup under hash collisions), and governance never changes *what* a
   query computes, only whether it is allowed to finish and where its
   intermediates live.
+
+Observability semantics
+-----------------------
+
+Tracing, metrics, and EXPLAIN ANALYZE (:mod:`repro.obs`) observe the
+lowerings without touching a single compiled artifact: every signal comes
+from choke points that already exist on the run-time side of the
+``EvalContext`` seam.  The **zero-recorder contract** is the governance
+contract's twin — ``EvalContext.trace`` defaults to ``None``, every hook
+site is ``None``-guarded, and a run with no recorder attached takes exactly
+the pre-observability code paths (differential-pinned by the test suite).
+
+* **Span sources** (``EvalContext.trace``): ``driver_executor`` opens one
+  ``driver`` span per remote request and ``driver_executor_batch`` one
+  ``driver-batch`` span per native batch — the spans all three lowerings
+  share, since every remote round trip funnels through those two methods.
+  ``EvalContext.evaluation_scope`` brackets the run in a ``scope`` span
+  (closed on success *and* on the fault path), and the resilience layer
+  records each retry as a zero-duration ``retry`` event.  Spans per query
+  are bounded: past the budget a shared dropped-span sentinel keeps
+  begin/end pairing balanced without growing the tree.
+* **Per-stage timings**: the chunked lowering already times every chunk
+  when a plan probe is attached (the PR 7 feedback loop); profiling simply
+  tees that probe (:class:`~repro.obs.profile.ProbeTee`) so the feedback
+  sink — when one exists — sees the identical call stream.  Forcing the
+  tee routes the pump through its probe-timed branch, which is
+  value-identical to the fast branch by the probe-neutrality pin.  The
+  eager and per-element lowerings have no chunk boundaries; their
+  per-stage story is the per-driver fold of their trace spans.
+* **Cardinality**: EXPLAIN ANALYZE reports the physical plan's estimate
+  next to the actual row count; on the eager path (which builds no
+  physical plan) the estimate is recomputed observation-only from the
+  planner's cardinality model, never written back into the context.
+* **Parity rules**: profiling and metrics are *observation only* — a
+  profiled run's values, order, and ``elements_fetched`` are bit-identical
+  to the unprofiled run under every lowering, and an attached-hub engine's
+  fault-free overhead is CI-gated by ``benchmarks/bench_observability.py``.
 """
 
 from __future__ import annotations

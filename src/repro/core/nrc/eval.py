@@ -369,6 +369,12 @@ class EvalContext:
         #: materialization points use disk-backed structures instead of
         #: charging the budget for unbounded in-memory state.
         self.spill = None
+        #: The run's :class:`~repro.obs.trace.QueryTrace`, or ``None`` (no
+        #: recording — the zero-recorder contract).  Set by the engine when
+        #: an observability hub is attached or the run asked for a profile;
+        #: hook sites (driver dispatch, scope open/close, retries) open
+        #: spans on it, all ``None``-guarded.
+        self.trace = None
 
     @contextmanager
     def evaluation_scope(self):
@@ -389,12 +395,21 @@ class EvalContext:
         previous = self.scope
         scope = EvalScope()
         self.scope = scope
+        trace = self.trace
+        span = None if trace is None else trace.begin("scope", "scope")
         try:
             yield scope
+        except BaseException:
+            if span is not None:
+                trace.end(span, status="error")
+                span = None
+            raise
         finally:
             if self.scope is scope:
                 self.scope = previous
             scope.close()
+            if span is not None:
+                trace.end(span)
 
 
 class Evaluator:

@@ -62,7 +62,11 @@ from ..core.planner import (
     QueryPlanner,
     scan_collection,
 )
-from ..core.values import iter_collection
+from ..core.values import CBag, CList, CSet, iter_collection
+from ..obs import Observability
+from ..obs.metrics import RowWidthEstimator
+from ..obs.profile import ProbeTee, QueryProfile, StageCollector, aggregate_driver_spans
+from ..obs.trace import QueryTrace
 from .cache import SubqueryCache
 from .drivers.base import Driver, DriverFunction
 from .governance import (
@@ -186,12 +190,30 @@ class KleisliEngine:
         #: bit-for-bit unchanged.  Configure via :meth:`configure_resilience`.
         self.resilience = ResilienceLayer()
         self.resilience.on_breaker_event = self._note_breaker_event
+        self.resilience.on_retry = self._note_retry_event
         #: The governance ledger (cancellations, spills, budget rejections,
         #: watchdog kills) plus the optional engine-wide memory pool that
         #: per-query budgets parent into.  With no ``memory_pool_limit`` and
         #: no per-run governance arguments, every run takes exactly the
         #: ungoverned code paths (the zero-governance contract).
         self.governor = QueryGovernor(memory_pool_limit)
+        #: The observability hub (metrics + tracer + slow-query log), or
+        #: ``None`` — the zero-recorder contract: with no hub attached and
+        #: ``profile=False``, every run takes the exact pre-observability
+        #: code paths.  Attach via :meth:`attach_observability`.
+        self.observability: Optional[Observability] = None
+        #: The sampled row-width model feeding the governance spill gate.
+        #: Fed from spill bookkeeping (bytes *and* rows per spilled frame);
+        #: with zero samples it returns ``NOMINAL_ROW_BYTES`` verbatim, so
+        #: an engine that never spilled gates exactly like the historical
+        #: constant.
+        self.row_width = RowWidthEstimator(NOMINAL_ROW_BYTES)
+        #: The most recent :class:`~repro.obs.profile.QueryProfile` (EXPLAIN
+        #: ANALYZE record) any observed/profiled run produced, plus a
+        #: thread-local mirror for shared-engine servers (same rationale as
+        #: ``_thread_statistics``).
+        self.last_profile: Optional[QueryProfile] = None
+        self._thread_profiles = threading.local()
         #: Engine-wide default for ``on_source_failure`` when a run does not
         #: choose: ``"fail"`` propagates source failures, ``"degrade"``
         #: completes federated runs with typed partial-result warnings.
@@ -392,9 +414,47 @@ class KleisliEngine:
         An open (or half-open, still-probing) breaker marks the source
         unavailable in the statistics registry, so :meth:`plan_for` stops
         routing batched scans at it; re-closing restores availability.
+        With a hub attached, every transition also bumps the breaker
+        counter.
         """
         self.statistics_registry.set_available(
             driver_name, state == CircuitBreaker.CLOSED)
+        hub = self.observability
+        if hub is not None:
+            hub.note_breaker(driver_name, state)
+
+    def _note_retry_event(self, driver_name: str, attempt: int) -> None:
+        """Resilience retry hook: feed the hub's retry counter, if attached."""
+        hub = self.observability
+        if hub is not None:
+            hub.note_retry(driver_name, attempt)
+
+    # -- observability wiring ---------------------------------------------------
+
+    def attach_observability(self, hub: Optional[Observability]) -> Optional[Observability]:
+        """Attach (or, with ``None``, detach) the observability hub.
+
+        While attached, every run is traced, the standard instruments are
+        fed from the engine/server hook sites, and completed runs are
+        considered for the slow-query log.  Detached (the default), every
+        hook site short-circuits on ``None`` — the zero-recorder contract,
+        differential-pinned by the test suite.
+        """
+        self.observability = hub
+        return hub
+
+    def _begin_trace(self, profile: bool) -> Optional[QueryTrace]:
+        """The run's trace: hub-recorded, profile-only, or ``None`` (off)."""
+        hub = self.observability
+        if hub is not None:
+            return hub.start_trace("query")
+        if profile:
+            return QueryTrace("query")
+        return None
+
+    def thread_profile(self) -> Optional[QueryProfile]:
+        """The profile of the last observed run *started on this thread*."""
+        return getattr(self._thread_profiles, "value", None)
 
     def driver_executor(self, driver_name: str, request: Mapping[str, object],
                         context: Optional[EvalContext] = None):
@@ -414,8 +474,13 @@ class KleisliEngine:
         """
         if context is not None and context.cancellation is not None:
             context.cancellation.raise_if_cancelled()
-        return self.resilience.execute(driver_name, request,
-                                       self._raw_execute, context)
+        trace = None if context is None else context.trace
+        if trace is None:
+            return self.resilience.execute(driver_name, request,
+                                           self._raw_execute, context)
+        with trace.span(driver_name, "driver"):
+            return self.resilience.execute(driver_name, request,
+                                           self._raw_execute, context)
 
     def _raw_execute(self, driver_name: str, request: Mapping[str, object]):
         """One raw driver round-trip (what the resilience layer retries).
@@ -432,10 +497,19 @@ class KleisliEngine:
         *successful* attempt, never its failed tries.
         """
         driver = self.driver(driver_name)
+        hub = self.observability
         started = time.perf_counter()
-        result = driver.execute(request)
-        self.statistics_registry.record_latency_sample(
-            driver_name, time.perf_counter() - started)
+        try:
+            result = driver.execute(request)
+        except Exception:
+            if hub is not None:
+                hub.observe_request(driver_name,
+                                    time.perf_counter() - started, failed=True)
+            raise
+        elapsed = time.perf_counter() - started
+        self.statistics_registry.record_latency_sample(driver_name, elapsed)
+        if hub is not None:
+            hub.observe_request(driver_name, elapsed)
         return result
 
     def driver_executor_batch(self, driver_name: str,
@@ -475,12 +549,20 @@ class KleisliEngine:
         if type(driver).execute_batch is Driver.execute_batch:
             return [self.driver_executor(driver_name, request, context)
                     for request in requests]
+        trace = None if context is None else context.trace
+        span = (None if trace is None
+                else trace.begin(driver_name, "driver-batch",
+                                 requests=len(requests)))
         started = time.perf_counter()
         try:
             results = list(driver.execute_batch(requests))
         except Exception:
+            if span is not None:
+                trace.end(span, status="error")
             return [self.driver_executor(driver_name, request, context)
                     for request in requests]
+        if span is not None:
+            trace.end(span)
         if not driver.batch_single_round_trip:
             self.statistics_registry.record_latency_sample(
                 driver_name, (time.perf_counter() - started) / len(requests))
@@ -537,6 +619,13 @@ class KleisliEngine:
             # engine-wide memory pool is configured.  All zeros on an
             # ungoverned engine.
             "governance": self.governor.snapshot(),
+            # The observability hub's account (tracer, slow-query log) —
+            # ``{"attached": False}`` with no hub — and the sampled
+            # row-width model behind the spill gate.
+            "observability": (self.observability.snapshot()
+                              if self.observability is not None
+                              else {"attached": False}),
+            "row_width": self.row_width.snapshot(),
         }
 
     def chunk_policy(self) -> ChunkPolicy:
@@ -643,12 +732,15 @@ class KleisliEngine:
 
         ``spill=True`` forces a spill manager, ``False`` forbids one, and
         ``None`` (auto) consults the cost model: when the planner's row
-        estimate times :data:`~repro.kleisli.governance.NOMINAL_ROW_BYTES`
-        exceeds the tightest cap in the budget chain, the materialization
-        points are going to blow the budget anyway — so the run degrades to
-        disk-backed (slower-but-correct) from the start instead of failing
-        mid-flight.  No estimate, or estimate under budget, means in-memory
-        with the budget as a backstop.
+        estimate times the *sampled* row width (``self.row_width``, fed
+        from spill bookkeeping; exactly
+        :data:`~repro.kleisli.governance.NOMINAL_ROW_BYTES` until the first
+        sample — the differential pin) exceeds the tightest cap in the
+        budget chain, the materialization points are going to blow the
+        budget anyway — so the run degrades to disk-backed
+        (slower-but-correct) from the start instead of failing mid-flight.
+        No estimate, or estimate under budget, means in-memory with the
+        budget as a backstop.
         """
         if spill is False:
             return None
@@ -662,18 +754,36 @@ class KleisliEngine:
             if node.limit is not None and (cap is None or node.limit < cap):
                 cap = node.limit
             node = node.parent
-        if cap is not None and plan.estimated_rows * NOMINAL_ROW_BYTES > cap:
+        if cap is not None and plan.estimated_rows * self.row_width.row_bytes() > cap:
             return SpillManager()
         return None
 
     def _finish_governed(self, budget: Optional[MemoryBudget], owned: bool,
                          spill_manager: Optional[SpillManager]) -> None:
-        """The run finalizer: settle the books, free pool capacity and disk."""
+        """The run finalizer: settle the books, free pool capacity and disk.
+
+        Spill books also feed the row-width model (each spilled frame knows
+        its bytes *and* rows) and, with a hub attached, the spill metrics.
+        """
         if spill_manager is not None:
-            self.governor.merge(spill_manager.books)
+            books = spill_manager.books
+            rows = books.get("rows_spilled", 0)
+            if rows:
+                self.row_width.observe(books.get("bytes_spilled", 0), rows)
+            hub = self.observability
+            if hub is not None:
+                hub.record_spill_books(books)
+            self.governor.merge(books)
             spill_manager.close()
         if owned and budget is not None:
             budget.close()
+
+    def _count_governance(self, key: str) -> None:
+        """One governance outcome: engine ledger plus hub counter (if any)."""
+        self.governor.count(key)
+        hub = self.observability
+        if hub is not None:
+            hub.note_governance(key)
 
     def thread_eval_statistics(self) -> Optional[EvalStatistics]:
         """The statistics of the last run *started on this thread*.
@@ -753,7 +863,8 @@ class KleisliEngine:
                 on_source_failure: Optional[str] = None,
                 cancellation: Optional[CancellationToken] = None,
                 memory_budget=None,
-                spill: Optional[bool] = None):
+                spill: Optional[bool] = None,
+                profile: bool = False):
         """Optimize (optionally) and evaluate an NRC expression.
 
         ``mode`` overrides the engine's default :class:`ExecutionMode` for
@@ -775,12 +886,23 @@ class KleisliEngine:
         :class:`~repro.core.errors.MemoryBudgetExceededError`).  Spill
         applies to the compiled lowerings; the interpreter honours token and
         budget only.
+
+        ``profile=True`` attaches an EXPLAIN ANALYZE recorder to this run:
+        the returned value is bit-identical (observation only), and the
+        :class:`~repro.obs.profile.QueryProfile` lands on ``last_profile``
+        / :meth:`thread_profile`.  With a hub attached every run is
+        profiled for the slow-query log anyway; with neither, this path is
+        byte-for-byte the pre-observability one.
         """
         mode = self._resolve_mode(mode)
         budget, owned = self._resolve_budget(memory_budget)
+        trace = self._begin_trace(profile)
         if cancellation is None and budget is None and spill is not True:
             context = self._make_context(deadline, on_source_failure)
-            return self._execute(expr, bindings, optimize, mode, context)
+            if trace is None:
+                return self._execute(expr, bindings, optimize, mode, context)
+            return self._execute_observed(expr, bindings, optimize, mode,
+                                          context, trace)
         gate_plan = None
         if spill is None and budget is not None and self.optimizer_config.planning:
             gate_plan = self.planner.plan_for(expr)
@@ -788,15 +910,94 @@ class KleisliEngine:
         context = self._make_context(deadline, on_source_failure,
                                      cancellation, budget, spill_manager)
         try:
-            return self._execute(expr, bindings, optimize, mode, context)
+            if trace is None:
+                return self._execute(expr, bindings, optimize, mode, context)
+            return self._execute_observed(expr, bindings, optimize, mode,
+                                          context, trace)
         except QueryCancelledError:
-            self.governor.count("cancellations")
+            self._count_governance("cancellations")
             raise
         except MemoryBudgetExceededError:
-            self.governor.count("budget_rejections")
+            self._count_governance("budget_rejections")
             raise
         finally:
             self._finish_governed(budget, owned, spill_manager)
+
+    def _execute_observed(self, expr: A.Expr,
+                          bindings: Optional[Dict[str, object]],
+                          optimize: bool, mode: ExecutionMode,
+                          context: EvalContext, trace: QueryTrace):
+        """Eager evaluation under a trace; finalizes the profile either way.
+
+        Eager runs carry no physical plan, so the profile's estimated
+        cardinality comes straight from the planner's estimator —
+        observation only, never written back to the context.
+        """
+        context.trace = trace
+        estimate = None
+        if self.optimizer_config.planning:
+            try:
+                estimate = self.planner.cardinality.estimate(expr)
+            except Exception:  # pragma: no cover - estimator is total today
+                estimate = None
+        started = time.perf_counter()
+        status = "ok"
+        result = None
+        try:
+            result = self._execute(expr, bindings, optimize, mode, context)
+            return result
+        except BaseException as exc:
+            status = type(exc).__name__
+            raise
+        finally:
+            actual = (float(len(result))
+                      if isinstance(result, (CSet, CBag, CList)) else None)
+            self._finalize_observed(context, trace,
+                                    time.perf_counter() - started, status,
+                                    actual, None, estimated_hint=estimate)
+
+    def _finalize_observed(self, context: EvalContext, trace: QueryTrace,
+                           elapsed: float, status: str,
+                           actual_rows: Optional[float],
+                           collector: Optional[StageCollector],
+                           estimated_hint: Optional[float] = None
+                           ) -> QueryProfile:
+        """Close the run's trace and assemble its EXPLAIN ANALYZE profile.
+
+        Runs *before* governance settlement (the spill books are read off
+        the still-open manager), publishes the profile on ``last_profile``
+        and the thread-local mirror, and — with a hub attached — offers it
+        to the slow-query log.
+        """
+        trace.finish("ok" if status == "ok" else "error")
+        plan = context.physical_plan
+        spill_manager = context.spill
+        books = dict(spill_manager.books) if spill_manager is not None else {}
+        trace_dict = trace.as_dict()
+        estimated = None if plan is None else plan.estimated_rows
+        if estimated is None:
+            estimated = estimated_hint
+        if collector is not None and collector.cardinality is not None:
+            actual_rows = (collector.cardinality
+                           if actual_rows is None else actual_rows)
+        profile = QueryProfile(
+            mode=context.statistics.execution_mode or "unknown",
+            plan=None if plan is None else plan.describe(),
+            estimated_rows=estimated,
+            actual_rows=actual_rows,
+            elapsed=elapsed,
+            stages=collector.stages() if collector is not None else {},
+            drivers=aggregate_driver_spans(trace_dict),
+            statistics=context.statistics.as_dict(),
+            books=books,
+            trace=trace_dict,
+            status="ok" if status == "ok" else status)
+        self.last_profile = profile
+        self._thread_profiles.value = profile
+        hub = self.observability
+        if hub is not None:
+            hub.slow_queries.record(profile)
+        return profile
 
     def _execute(self, expr: A.Expr, bindings: Optional[Dict[str, object]],
                  optimize: bool, mode: ExecutionMode, context: EvalContext):
@@ -828,7 +1029,8 @@ class KleisliEngine:
                on_source_failure: Optional[str] = None,
                cancellation: Optional[CancellationToken] = None,
                memory_budget=None,
-               spill: Optional[bool] = None) -> Iterator[object]:
+               spill: Optional[bool] = None,
+               profile: bool = False) -> Iterator[object]:
         """Pipelined evaluation: yield elements as the pipeline produces them.
 
         In compiled mode the (optimized) term is lowered by default to a
@@ -859,6 +1061,14 @@ class KleisliEngine:
         (budget closed, spill files deleted, governance ledger updated) when
         the iterator is exhausted, raises, or is closed early.  Omitting all
         three returns the raw pipeline generator exactly as before.
+
+        ``profile=True`` records an EXPLAIN ANALYZE profile of this run
+        (per-stage timings via a tee on the plan probe, driver round-trips
+        via trace spans, actual vs. estimated rows), finalized when the
+        stream is drained, raises, or is closed early; the yielded elements
+        are bit-identical to an unprofiled run.  With neither a hub nor
+        ``profile``, the raw pipeline comes back exactly as before (the
+        zero-recorder contract).
         """
         mode = self._resolve_mode(mode)
         if optimize:
@@ -872,6 +1082,11 @@ class KleisliEngine:
         # starts on the first next().
         context = self._make_context(deadline, on_source_failure,
                                      cancellation, budget)
+        trace = self._begin_trace(profile)
+        collector = None
+        if trace is not None:
+            context.trace = trace
+            collector = StageCollector()
         if chunked is None:
             chunked = self.stream_chunking
         fingerprint = None
@@ -907,13 +1122,55 @@ class KleisliEngine:
                     # forced knobs, and folding them in would contaminate
                     # the observations future planned runs are chosen from.
                     context.plan_probe = self.plan_feedback.probe(fingerprint)
+            if collector is not None:
+                # The profile tee: the real feedback probe (if any) keeps
+                # seeing exactly the calls it always saw; the collector —
+                # and, with a hub, the chunk-size histogram — ride along.
+                # Forcing a probe here is what routes the pump through its
+                # probe-timed branch, so per-stage timings exist even for
+                # runs that record no feedback.
+                sinks = [collector]
+                hub = self.observability
+                if hub is not None:
+                    sinks.append(hub.chunk_sink())
+                context.plan_probe = ProbeTee(context.plan_probe, *sinks)
             inner = self._stream_chunked(expr, bindings, context, fingerprint)
         else:
             inner = self._stream(expr, bindings, mode, context)
+        if trace is not None:
+            inner = self._observed_stream(inner, context, trace, collector)
         if not governed:
             return inner
         return self._governed_stream(inner, budget, owned, spill_manager,
                                      cancellation)
+
+    def _observed_stream(self, inner: Iterator[object], context: EvalContext,
+                         trace: QueryTrace,
+                         collector: Optional[StageCollector]
+                         ) -> Iterator[object]:
+        """Count the run's yielded rows and finalize its profile at the end.
+
+        The ``finally`` fires on exhaustion, error, *and* early ``close()``
+        — the same discipline as the governed wrapper it nests inside, so
+        the profile's spill books are read before settlement deletes them.
+        """
+        rows = 0
+        status = "ok"
+        started = time.perf_counter()
+        try:
+            for element in inner:
+                rows += 1
+                yield element
+        except GeneratorExit:
+            status = "closed"
+            raise
+        except BaseException as exc:
+            status = type(exc).__name__
+            raise
+        finally:
+            self._finalize_observed(context, trace,
+                                    time.perf_counter() - started, status,
+                                    float(rows), collector)
 
     def _governed_stream(self, inner: Iterator[object],
                          budget: Optional[MemoryBudget], owned: bool,
@@ -934,18 +1191,18 @@ class KleisliEngine:
             yield from inner
         except QueryCancelledError:
             settled = True
-            self.governor.count("cancellations")
+            self._count_governance("cancellations")
             raise
         except MemoryBudgetExceededError:
             settled = True
-            self.governor.count("budget_rejections")
+            self._count_governance("budget_rejections")
             raise
         else:
             settled = True
         finally:
             if (not settled and cancellation is not None
                     and cancellation.cancelled):
-                self.governor.count("cancellations")
+                self._count_governance("cancellations")
             self._finish_governed(budget, owned, spill_manager)
 
     def _stream_chunked(self, expr: A.Expr,

@@ -235,7 +235,7 @@ class QueryGovernor:
     books balance.
     """
 
-    BOOK_KEYS = ("cancellations", "spills", "bytes_spilled",
+    BOOK_KEYS = ("cancellations", "spills", "bytes_spilled", "rows_spilled",
                  "budget_rejections", "watchdog_kills")
 
     __slots__ = ("_lock", "_books", "pool")

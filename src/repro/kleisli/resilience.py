@@ -251,6 +251,9 @@ class ResilienceLayer:
     fake clock in tests.  ``on_breaker_event(driver, state)`` (settable
     post-construction) is fanned every breaker state change; the engine
     points it at the statistics registry's availability map.
+    ``on_retry(driver, attempt)`` (same shape) fires once per retry before
+    its backoff; the engine points it at the observability hub's retry
+    counter — ``None`` (the default) costs one attribute read per retry.
     """
 
     def __init__(self, clock: Callable[[], float] = time.monotonic,
@@ -258,6 +261,7 @@ class ResilienceLayer:
         self.clock = clock
         self.sleeper = sleeper
         self.on_breaker_event: Optional[Callable[[str, str], None]] = None
+        self.on_retry: Optional[Callable[[str, int], None]] = None
         self._lock = threading.Lock()
         self._policies: Dict[str, RetryPolicy] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
@@ -410,6 +414,12 @@ class ResilienceLayer:
         counters.increment("retries")
         if context is not None:
             context.statistics.retries += 1
+            trace = getattr(context, "trace", None)
+            if trace is not None:
+                trace.event("retry", driver=driver, attempt=attempt)
+        callback = self.on_retry
+        if callback is not None:
+            callback(driver, attempt)
         if policy is None:
             return
         delay = policy.backoff_for(attempt)

@@ -215,7 +215,8 @@ class Session:
             deadline: Optional[float] = None,
             on_source_failure: Optional[str] = None,
             cancellation: Optional[CancellationToken] = None,
-            memory_budget=None, spill: Optional[bool] = None):
+            memory_budget=None, spill: Optional[bool] = None,
+            profile: bool = False):
         """Run a CPL program (one or more statements); return the last query's value.
 
         ``deadline`` (seconds) bounds each statement's driver work;
@@ -232,7 +233,8 @@ class Session:
             result = self._run_statement(
                 statement, optimize, deadline,
                 self._failure_policy(on_source_failure),
-                cancellation, self._effective_budget(memory_budget), spill)
+                cancellation, self._effective_budget(memory_budget), spill,
+                profile)
         return result
 
     def query(self, source: str, optimize: bool = True,
@@ -240,7 +242,8 @@ class Session:
               deadline: Optional[float] = None,
               on_source_failure: Optional[str] = None,
               cancellation: Optional[CancellationToken] = None,
-              memory_budget=None, spill: Optional[bool] = None) -> QueryResult:
+              memory_budget=None, spill: Optional[bool] = None,
+              profile: bool = False) -> QueryResult:
         """Run a single CPL expression and return the full :class:`QueryResult`.
 
         ``mode`` overrides the engine's execution mode for this query
@@ -258,7 +261,8 @@ class Session:
             deadline=deadline,
             on_source_failure=self._failure_policy(on_source_failure),
             cancellation=cancellation,
-            memory_budget=self._effective_budget(memory_budget), spill=spill)
+            memory_budget=self._effective_budget(memory_budget), spill=spill,
+            profile=profile)
         return QueryResult(value, nrc, optimized, inferred)
 
     def _failure_policy(self, override: Optional[str]) -> Optional[str]:
@@ -301,8 +305,8 @@ class Session:
                deadline: Optional[float] = None,
                on_source_failure: Optional[str] = None,
                cancellation: Optional[CancellationToken] = None,
-               memory_budget=None, spill: Optional[bool] = None
-               ) -> Iterator[object]:
+               memory_budget=None, spill: Optional[bool] = None,
+               profile: bool = False) -> Iterator[object]:
         """Run a query with pipelined (lazy) result delivery.
 
         In compiled mode the optimized term is lowered to a pull-based
@@ -324,7 +328,7 @@ class Session:
                 on_source_failure=self._failure_policy(on_source_failure),
                 cancellation=cancellation,
                 memory_budget=self._effective_budget(memory_budget),
-                spill=spill))
+                spill=spill, profile=profile))
         with self._streams_lock:
             self._open_streams.append(stream)
         return stream
@@ -379,6 +383,13 @@ class Session:
         statistics = self.engine.thread_eval_statistics()
         return list(statistics.warnings) if statistics is not None else []
 
+    @property
+    def last_profile(self):
+        """The :class:`~repro.obs.profile.QueryProfile` of the last observed
+        run started on this thread, or ``None`` (unobserved runs record
+        nothing — the zero-recorder contract)."""
+        return self.engine.thread_profile()
+
     def explain(self, source: str) -> Tuple[A.Expr, List[Tuple[str, str]]]:
         """Return the optimized NRC form of a query and per-stage rewrite traces."""
         expression = parse_expression(source)
@@ -390,7 +401,8 @@ class Session:
                        deadline: Optional[float] = None,
                        on_source_failure: Optional[str] = None,
                        cancellation: Optional[CancellationToken] = None,
-                       memory_budget=None, spill: Optional[bool] = None):
+                       memory_budget=None, spill: Optional[bool] = None,
+                       profile: bool = False):
         if isinstance(statement, S.Define):
             if self.typecheck:
                 try:
@@ -409,7 +421,8 @@ class Session:
                                    optimize=optimize, deadline=deadline,
                                    on_source_failure=on_source_failure,
                                    cancellation=cancellation,
-                                   memory_budget=memory_budget, spill=spill)
+                                   memory_budget=memory_budget, spill=spill,
+                                   profile=profile)
 
     def _expand(self, nrc: A.Expr, depth: int = 20) -> A.Expr:
         """Substitute defined synonyms into ``nrc`` (non-recursive definitions only)."""

@@ -108,11 +108,11 @@ class _SpillBacked:
             self._manager._count_spill()
         return handle
 
-    def _write_frame(self, handle, payload: bytes) -> None:
+    def _write_frame(self, handle, payload: bytes, rows: int = 1) -> None:
         frame = frame_payload(payload, max_bytes=SPILL_FRAME_MAX)
         handle.seek(0, 2)  # append; a prior probe may have repositioned
         handle.write(frame)
-        self._manager._record_spill(len(frame))
+        self._manager._record_spill(len(frame), rows)
 
 
 class SpilledList(_SpillBacked):
@@ -157,7 +157,7 @@ class SpilledList(_SpillBacked):
             return
         if self._handle is None:
             self._handle = self._open_file()
-        self._write_frame(self._handle, payload)
+        self._write_frame(self._handle, payload, rows=len(batch))
         self._runs.append(("disk", len(batch)))
 
     def __len__(self) -> int:
@@ -362,7 +362,8 @@ class SpillManager:
         self._files: List[Any] = []
         self._closed = False
         self.books: Dict[str, int] = {
-            "spills": 0, "bytes_spilled": 0, "spill_fallbacks": 0}
+            "spills": 0, "bytes_spilled": 0, "rows_spilled": 0,
+            "spill_fallbacks": 0}
 
     # -- backend factories --------------------------------------------------
 
@@ -389,9 +390,10 @@ class SpillManager:
         with self._lock:
             self.books["spills"] += 1
 
-    def _record_spill(self, nbytes: int) -> None:
+    def _record_spill(self, nbytes: int, rows: int = 0) -> None:
         with self._lock:
             self.books["bytes_spilled"] += nbytes
+            self.books["rows_spilled"] += rows
 
     def _record_fallback(self) -> None:
         with self._lock:

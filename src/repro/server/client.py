@@ -75,7 +75,8 @@ class KleisliClient:
     def _with_options(message: dict, deadline: Optional[float],
                       on_source_failure: Optional[str],
                       memory_budget: Optional[int] = None,
-                      spill: Optional[bool] = None) -> dict:
+                      spill: Optional[bool] = None,
+                      profile: Optional[bool] = None) -> dict:
         if deadline is not None:
             message["deadline"] = deadline
         if on_source_failure is not None:
@@ -84,12 +85,15 @@ class KleisliClient:
             message["memory_budget"] = memory_budget
         if spill is not None:
             message["spill"] = spill
+        if profile is not None:
+            message["profile"] = profile
         return message
 
     def run(self, source: str, deadline: Optional[float] = None,
             on_source_failure: Optional[str] = None,
             memory_budget: Optional[int] = None,
-            spill: Optional[bool] = None) -> object:
+            spill: Optional[bool] = None,
+            profile: Optional[bool] = None) -> object:
         """Run a CPL program (defines allowed); return the last query's value.
 
         ``deadline`` (seconds) bounds the run's driver work server-side;
@@ -98,30 +102,36 @@ class KleisliClient:
         ``memory_budget`` (bytes) caps the run's server-side
         materialization; ``spill`` picks the over-budget backend (``True``
         forces disk, ``False`` forbids it, omitted lets the cost model
-        decide).
+        decide).  ``profile=True`` records a server-side EXPLAIN ANALYZE
+        readable afterwards with :meth:`profile`.
         """
         return decode_value(self.request(self._with_options(
             {"op": "run", "source": source},
-            deadline, on_source_failure, memory_budget, spill))["value"])
+            deadline, on_source_failure, memory_budget, spill,
+            profile))["value"])
 
     def query(self, source: str, deadline: Optional[float] = None,
               on_source_failure: Optional[str] = None,
               memory_budget: Optional[int] = None,
-              spill: Optional[bool] = None) -> object:
+              spill: Optional[bool] = None,
+              profile: Optional[bool] = None) -> object:
         """Run one CPL expression; return its value (options as in :meth:`run`)."""
         return decode_value(self.request(self._with_options(
             {"op": "query", "source": source},
-            deadline, on_source_failure, memory_budget, spill))["value"])
+            deadline, on_source_failure, memory_budget, spill,
+            profile))["value"])
 
     def open(self, source: str, deadline: Optional[float] = None,
              on_source_failure: Optional[str] = None,
              memory_budget: Optional[int] = None,
-             spill: Optional[bool] = None) -> str:
+             spill: Optional[bool] = None,
+             profile: Optional[bool] = None) -> str:
         """Open a server-side cursor; return its id (see :meth:`fetch`,
         :meth:`cancel`, :meth:`close_cursor`).  :meth:`stream` wraps this."""
         return self.request(self._with_options(
             {"op": "open", "source": source},
-            deadline, on_source_failure, memory_budget, spill))["cursor"]
+            deadline, on_source_failure, memory_budget, spill,
+            profile))["cursor"]
 
     def fetch(self, cursor: str, batch: int = 16) -> dict:
         """One fetch batch: ``{"values": [...], "done": bool}`` (decoded)."""
@@ -146,7 +156,8 @@ class KleisliClient:
                deadline: Optional[float] = None,
                on_source_failure: Optional[str] = None,
                memory_budget: Optional[int] = None,
-               spill: Optional[bool] = None) -> Iterator[object]:
+               spill: Optional[bool] = None,
+               profile: Optional[bool] = None) -> Iterator[object]:
         """Run a streamed query, yielding elements as fetch batches arrive.
 
         Closing the generator early (or abandoning it) sends a ``close`` op,
@@ -156,7 +167,7 @@ class KleisliClient:
         :meth:`run`.
         """
         cursor = self.open(source, deadline, on_source_failure,
-                           memory_budget, spill)
+                           memory_budget, spill, profile)
         done = False
         try:
             while not done:
@@ -172,10 +183,24 @@ class KleisliClient:
                 except (WireProtocolError, OSError):
                     pass
 
-    def view(self, path: str, form: Optional[Dict[str, object]] = None) -> dict:
+    def view(self, path: str, form: Optional[Dict[str, object]] = None,
+             section: Optional[str] = None,
+             offset: Optional[int] = None) -> dict:
         """Dispatch a view path + form; returns the payload with ``value``
-        (when the view produced one) decoded to a CPL value."""
-        response = self.request({"op": "view", "path": path, "form": form})
+        (when the view produced one) decoded to a CPL value.
+
+        Oversized replies are frame-capped server-side: a shed ``value``
+        or cut ``body`` is listed in the reply's ``truncated`` field, and
+        ``section`` (``"body"`` | ``"value"``) + ``offset`` (body
+        character position, continue from ``next_offset``) re-request one
+        piece at a time.
+        """
+        message: dict = {"op": "view", "path": path, "form": form}
+        if section is not None:
+            message["section"] = section
+        if offset is not None:
+            message["offset"] = offset
+        response = self.request(message)
         if "value" in response:
             response["value"] = decode_value(response["value"])
         return response
@@ -184,14 +209,54 @@ class KleisliClient:
         """Service counters, engine health, and admission configuration.
 
         ``section`` (``"server"`` | ``"engine"`` | ``"sessions"`` |
-        ``"admission"`` | ``"governance"``) requests just that piece — the
-        way to read a section the full reply listed under ``truncated``
-        because it would not fit one frame.
+        ``"admission"`` | ``"governance"`` | ``"observability"`` |
+        ``"slow_queries"``) requests just that piece — the way to read a
+        section the full reply listed under ``truncated`` because it would
+        not fit one frame.
         """
         message: dict = {"op": "stats"}
         if section is not None:
             message["section"] = section
         return self.request(message)
+
+    def metrics(self, offset: Optional[int] = None) -> dict:
+        """The server's Prometheus-style metrics exposition.
+
+        Returns ``{"attached": bool, "text": str, "complete": bool, ...}``;
+        when ``complete`` is ``False``, continue from ``next_offset`` with
+        ``metrics(offset=reply["next_offset"])`` and concatenate.
+        """
+        message: dict = {"op": "metrics"}
+        if offset is not None:
+            message["offset"] = offset
+        return self.request(message)
+
+    def metrics_text(self) -> str:
+        """The full exposition text, paging past the frame cap as needed."""
+        parts = []
+        offset: Optional[int] = None
+        while True:
+            reply = self.metrics(offset)
+            parts.append(reply.get("text", ""))
+            if reply.get("complete", True):
+                return "".join(parts)
+            offset = reply["next_offset"]
+
+    def trace(self, limit: Optional[int] = None) -> dict:
+        """Recent finished query traces (``{"tracer": ..., "traces": [...]}``)."""
+        message: dict = {"op": "trace"}
+        if limit is not None:
+            message["limit"] = limit
+        return self.request(message)
+
+    def profile(self) -> dict:
+        """EXPLAIN ANALYZE for this session's last ``profile=True`` query.
+
+        Returns ``{"available": bool, "render": str, "profile": {...}}`` —
+        ``render`` is the annotated physical-plan tree, ``profile`` the
+        structured record (stages, drivers, books, trace).
+        """
+        return self.request({"op": "profile"})
 
     # -- lifecycle -----------------------------------------------------------
 

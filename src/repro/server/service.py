@@ -318,6 +318,9 @@ class KleisliServer:
         attached) is durably flushed, so the learned state of everything
         this server ran survives to warm-start the next process.
         """
+        hub = self.engine.observability
+        if hub is not None and not self._draining.is_set():
+            hub.note_drain()
         self._draining.set()
         self._watchdog_stop.set()
         if self._watchdog_thread is not None:
@@ -505,23 +508,35 @@ class KleisliServer:
         backpressure building before rejections start).  Raises
         :class:`ServerOverloadedError` when the policy rejects.
         """
+        hub = self.engine.observability
         if self._draining.is_set():
             # A draining server admits nothing new; in-flight work (and
             # open cursors' fetches, which hold their slot already) keeps
             # being served until the drain deadline.
             self.stats.increment("rejections")
+            if hub is not None:
+                hub.observe_admission("rejected")
             raise ServerOverloadedError("server is draining; retry elsewhere")
         if self._slots.acquire(blocking=False):
+            if hub is not None:
+                hub.observe_admission("immediate")
             return "immediate", self._make_slot()
         if self.admission == "reject":
             self.stats.increment("rejections")
+            if hub is not None:
+                hub.observe_admission("rejected")
             raise ServerOverloadedError(
                 f"server at its {self.max_concurrent_queries} in-flight "
                 f"query cap (policy: reject)")
         self.stats.increment("queued")
+        queued_at = time.monotonic()
         if self._slots.acquire(timeout=self.queue_timeout):
+            if hub is not None:
+                hub.observe_admission("queued", time.monotonic() - queued_at)
             return "queued", self._make_slot()
         self.stats.increment("rejections")
+        if hub is not None:
+            hub.observe_admission("rejected", time.monotonic() - queued_at)
         raise ServerOverloadedError(
             f"no in-flight query slot freed within {self.queue_timeout}s "
             f"(cap {self.max_concurrent_queries}, policy: queue)")
@@ -606,6 +621,11 @@ class KleisliServer:
             if not isinstance(spill, bool):
                 raise WireProtocolError("'spill' must be a boolean")
             options["spill"] = spill
+        profile = message.get("profile")
+        if profile is not None:
+            if not isinstance(profile, bool):
+                raise WireProtocolError("'profile' must be a boolean")
+            options["profile"] = profile
         return options
 
     def _op_run(self, state: _Connection, message: dict) -> dict:
@@ -730,6 +750,13 @@ class KleisliServer:
         form = message.get("form")
         if form is not None and not isinstance(form, dict):
             raise WireProtocolError("view 'form' must be an object")
+        section = message.get("section")
+        if section is not None and section not in ("body", "value"):
+            raise WireProtocolError("view 'section' must be 'body' or 'value'")
+        offset = message.get("offset", 0)
+        if isinstance(offset, bool) or not isinstance(offset, int) or offset < 0:
+            raise WireProtocolError(
+                "view 'offset' must be a non-negative integer")
         how, slot = self._admit()
         try:
             response = state.gateway.handle(path, form)
@@ -741,7 +768,165 @@ class KleisliServer:
         payload["admission"] = how
         if response.value is not None:
             payload["value"] = encode_value(response.value)
+        if section is not None:
+            keep = {"ok", "admission", "status", "view_ok", "content_type",
+                    section}
+            payload = {key: value for key, value in payload.items()
+                       if key in keep}
+            if section == "body" and "body" not in payload:
+                payload["body"] = ""
+        return self._cap_view(payload, offset, section)
+
+    def _cap_view(self, payload: dict, offset: int,
+                  section: Optional[str]) -> dict:
+        """Keep a ``view`` reply under the wire frame cap.
+
+        A view body (markup rendered over an unbounded query result) and
+        its CPL value can each outgrow a frame, and an oversized reply
+        would kill the connection at the framing layer — exactly the
+        failure :meth:`_cap_stats` guards the ``stats`` op against.  Over
+        budget, the ``value`` is shed first (re-request it as its own
+        ``section: "value"`` frame), then the body is cut and ``next_offset``
+        tells the client where to resume (``section: "body", offset: n``).
+        """
+        def size(message: dict) -> int:
+            try:
+                return len(encode_frame(message))
+            except WireProtocolError:
+                return MAX_FRAME_BYTES + 1
+
+        body = payload.get("body")
+        if offset and isinstance(body, str):
+            payload["body"] = body[offset:]
+        if size(payload) <= _STATS_BYTE_BUDGET:
+            return payload
+        dropped: List[str] = []
+        if section != "value" and "value" in payload:
+            del payload["value"]
+            dropped.append("value")
+        body = payload.get("body")
+        if size(payload) > _STATS_BYTE_BUDGET and isinstance(body, str):
+            kept = body
+            while size(payload) > _STATS_BYTE_BUDGET and kept:
+                kept = kept[: len(kept) // 2]
+                payload["body"] = kept
+            if len(kept) < len(body):
+                dropped.append("body")
+                payload["next_offset"] = offset + len(kept)
+        if size(payload) > _STATS_BYTE_BUDGET:
+            # The one un-pageable case: a single encoded value larger than
+            # a frame, explicitly requested.  Refuse it typed instead of
+            # letting the framing layer kill the connection.
+            raise WireProtocolError(
+                "view section does not fit one frame even alone; "
+                "stream the underlying query through a cursor instead")
+        if dropped:
+            payload["truncated"] = dropped
+            payload["hint"] = ("re-request one section at a time: "
+                               "{'op': 'view', 'section': <name>, "
+                               "'offset': <next_offset>}")
         return payload
+
+    def _op_metrics(self, state: _Connection, message: dict) -> dict:
+        """Prometheus-style text exposition of the engine's metrics registry.
+
+        Frame-capped like ``stats``: an oversized rendering is cut and the
+        reply carries ``next_offset`` so the client pages through with
+        ``{'op': 'metrics', 'offset': <next_offset>}``.
+        """
+        offset = message.get("offset", 0)
+        if isinstance(offset, bool) or not isinstance(offset, int) or offset < 0:
+            raise WireProtocolError(
+                "metrics 'offset' must be a non-negative integer")
+        hub = self.engine.observability
+        if hub is None:
+            return {"ok": True, "attached": False, "text": "",
+                    "complete": True}
+        text = hub.metrics.render()
+        reply = {"ok": True, "attached": True, "offset": offset,
+                 "total_chars": len(text), "text": text[offset:],
+                 "complete": True}
+        return self._cap_text(reply, "text", offset)
+
+    def _op_trace(self, state: _Connection, message: dict) -> dict:
+        """Recent finished query traces from the hub's bounded ring.
+
+        ``limit`` bounds how many traces are returned (newest last); the
+        reply is frame-capped by dropping the oldest traces, reported in
+        ``dropped`` so the client can lower ``limit`` and page.
+        """
+        limit = message.get("limit")
+        if limit is not None and (isinstance(limit, bool)
+                                  or not isinstance(limit, int) or limit < 1):
+            raise WireProtocolError("trace 'limit' must be a positive integer")
+        hub = self.engine.observability
+        if hub is None:
+            return {"ok": True, "attached": False, "traces": []}
+        reply = {"ok": True, "attached": True,
+                 "tracer": hub.tracer.snapshot(),
+                 "traces": hub.tracer.recent(limit)}
+
+        def size(message_: dict) -> int:
+            try:
+                return len(encode_frame(message_))
+            except WireProtocolError:
+                return MAX_FRAME_BYTES + 1
+
+        dropped = 0
+        while size(reply) > _STATS_BYTE_BUDGET and reply["traces"]:
+            reply["traces"] = reply["traces"][1:]
+            dropped += 1
+        if dropped:
+            reply["dropped"] = dropped
+            reply["hint"] = "re-request with a smaller 'limit'"
+        return reply
+
+    def _op_profile(self, state: _Connection, message: dict) -> dict:
+        """EXPLAIN ANALYZE for this connection's most recent profiled run.
+
+        Works because every connection is served by exactly one thread:
+        the engine parks each finished profile thread-locally, so the
+        profile returned here is always *this* session's last query, never
+        a concurrent neighbour's.
+        """
+        profile = self.engine.thread_profile()
+        if profile is None:
+            return {"ok": True, "available": False,
+                    "hint": "run a query with {'profile': true} first"}
+        reply = {"ok": True, "available": True, "render": profile.render(),
+                 "profile": profile.as_dict()}
+
+        def size(message_: dict) -> int:
+            try:
+                return len(encode_frame(message_))
+            except WireProtocolError:
+                return MAX_FRAME_BYTES + 1
+
+        if size(reply) > _STATS_BYTE_BUDGET:
+            # The span tree is the only unbounded part (bounded per query,
+            # but up to max_spans nodes with attributes); the tabular
+            # profile always fits.
+            reply["profile"]["trace"] = {"truncated": True}
+            reply["truncated"] = ["profile.trace"]
+        return reply
+
+    def _cap_text(self, reply: dict, key: str, offset: int) -> dict:
+        """Cut an oversized text field and advertise ``next_offset``."""
+        def size(message: dict) -> int:
+            try:
+                return len(encode_frame(message))
+            except WireProtocolError:
+                return MAX_FRAME_BYTES + 1
+
+        full = reply.get(key, "")
+        kept = full
+        while size(reply) > _STATS_BYTE_BUDGET and kept:
+            kept = kept[: len(kept) // 2]
+            reply[key] = kept
+        if len(kept) < len(full):
+            reply["complete"] = False
+            reply["next_offset"] = offset + len(kept)
+        return reply
 
     def _op_stats(self, state: _Connection, message: dict) -> dict:
         sections: Dict[str, Callable[[], object]] = {
@@ -755,6 +940,8 @@ class KleisliServer:
             # The governance books alone — what a monitoring poll wants,
             # without the whole engine health payload.
             "governance": self.engine.governor.snapshot,
+            "observability": self._observability_section,
+            "slow_queries": self._slow_queries_section,
         }
         section = message.get("section")
         if section is not None:
@@ -765,10 +952,20 @@ class KleisliServer:
             return self._cap_stats({"ok": True, section: sections[section]()})
         reply: dict = {"ok": True}
         for name, build in sections.items():
-            if name == "governance":
+            if name in ("governance", "observability"):
                 continue  # already inside the engine health payload
+            if name == "slow_queries":
+                continue  # full profiles are bulky; section-only
             reply[name] = build()
         return self._cap_stats(reply)
+
+    def _observability_section(self) -> dict:
+        hub = self.engine.observability
+        return hub.snapshot() if hub is not None else {"attached": False}
+
+    def _slow_queries_section(self) -> list:
+        hub = self.engine.observability
+        return hub.slow_queries.entries(limit=8) if hub is not None else []
 
     def _cap_stats(self, reply: dict) -> dict:
         """Keep a ``stats`` reply under the wire frame cap.
@@ -795,7 +992,7 @@ class KleisliServer:
         if isinstance(engine, dict):
             victims += [("engine." + key, engine, key)
                         for key in ("drivers", "resilience", "persistence",
-                                    "plan_feedback")]
+                                    "plan_feedback", "observability")]
         victims += [(key, reply, key) for key in ("engine", "server")]
         for label, container, key in victims:
             if key not in container or container[key] == {"truncated": True}:
@@ -819,4 +1016,7 @@ class KleisliServer:
         "cancel": _op_cancel,
         "view": _op_view,
         "stats": _op_stats,
+        "metrics": _op_metrics,
+        "trace": _op_trace,
+        "profile": _op_profile,
     }

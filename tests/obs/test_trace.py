@@ -1,0 +1,148 @@
+"""Query traces: nesting, fault-path closure, span budget, the tracer ring."""
+
+import pytest
+
+from repro.obs.trace import DEFAULT_MAX_SPANS, QueryTrace, Span, Tracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, dt: float = 1.0) -> None:
+        self.now += dt
+
+
+class TestSpanLifecycle:
+    def test_nested_spans_build_a_tree_with_clock_durations(self):
+        clock = FakeClock()
+        trace = QueryTrace("q", clock=clock)
+        outer = trace.begin("outer", "scope")
+        clock.tick()
+        inner = trace.begin("inner", "driver")
+        clock.tick()
+        trace.end(inner)
+        trace.end(outer)
+        assert trace.root.children == [outer]
+        assert outer.children == [inner]
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.duration == pytest.approx(2.0)
+        assert trace.open_spans() == 0
+
+    def test_span_contextmanager_marks_errors_and_reraises(self):
+        trace = QueryTrace("q", clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with trace.span("work", "scope"):
+                raise RuntimeError("boom")
+        span = trace.root.children[0]
+        assert span.status == "error"
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.ended is not None
+        assert trace.open_spans() == 0
+
+    def test_fault_unwinding_closes_skipped_inner_spans_as_errored(self):
+        trace = QueryTrace("q", clock=FakeClock())
+        outer = trace.begin("outer")
+        inner = trace.begin("inner")
+        # A fault path ends the OUTER span while inner is still open.
+        trace.end(outer, status="error")
+        assert inner.ended is not None and inner.status == "error"
+        assert trace.open_spans() == 0
+
+    def test_event_is_a_closed_zero_duration_span(self):
+        trace = QueryTrace("q", clock=FakeClock())
+        trace.event("retry", driver="GDB", attempt=2)
+        span = trace.root.children[0]
+        assert span.duration == 0.0
+        assert span.attributes == {"driver": "GDB", "attempt": 2}
+        assert trace.open_spans() == 0
+
+    def test_finish_is_idempotent_and_closes_the_root(self):
+        clock = FakeClock()
+        trace = QueryTrace("q", clock=clock)
+        clock.tick(3.0)
+        trace.finish()
+        first_end = trace.root.ended
+        clock.tick(5.0)
+        trace.finish()
+        assert trace.root.ended == first_end
+        assert trace.duration == pytest.approx(3.0)
+
+
+class TestSpanBudget:
+    def test_begin_past_the_budget_hands_out_dropped_spans(self):
+        trace = QueryTrace("q", clock=FakeClock(), max_spans=3)
+        real = [trace.begin(f"s{i}") for i in range(2)]  # root + 2 == budget
+        for span in real:
+            trace.end(span)
+        extras = [trace.begin(f"x{i}") for i in range(5)]
+        # distinct objects: identity stays unambiguous on fault unwinds
+        assert len({id(s) for s in extras}) == 5
+        for span in reversed(extras):
+            trace.end(span)
+        assert trace.span_count() == 3
+        assert trace.dropped == 5
+        assert trace.open_spans() == 0
+        # dropped spans never enter the tree and ignore annotations
+        assert all(s not in trace.root.children for s in extras)
+        assert extras[0].annotate(huge="attr").attributes == {}
+
+    def test_fault_unwind_through_stacked_dropped_spans_balances(self):
+        trace = QueryTrace("q", clock=FakeClock(), max_spans=1)
+        outer = trace.begin("outer")   # dropped: budget is just the root
+        trace.begin("inner")           # dropped too, left open
+        trace.end(outer, status="error")
+        assert trace.open_spans() == 0
+
+    def test_default_budget_is_bounded(self):
+        assert QueryTrace("q").max_spans == DEFAULT_MAX_SPANS
+
+    def test_begin_after_finish_is_dropped(self):
+        trace = QueryTrace("q", clock=FakeClock())
+        trace.finish()
+        span = trace.begin("late")
+        trace.end(span)
+        assert trace.span_count() == 1
+        assert trace.dropped == 1
+
+
+class TestAsDict:
+    def test_as_dict_is_recursive_plain_data(self):
+        clock = FakeClock()
+        trace = QueryTrace("q", clock=clock)
+        with trace.span("driver-call", "driver", driver="GDB"):
+            clock.tick()
+        trace.finish()
+        payload = trace.as_dict()
+        assert payload["span_count"] == 2
+        assert payload["finished"] is True
+        root = payload["trace"]
+        assert root["name"] == "q" and root["kind"] == "query"
+        child = root["children"][0]
+        assert child["kind"] == "driver"
+        assert child["duration"] == pytest.approx(1.0)
+        assert child["attributes"] == {"driver": "GDB"}
+
+
+class TestTracer:
+    def test_finished_traces_land_in_the_ring(self):
+        tracer = Tracer(clock=FakeClock(), keep=2)
+        for i in range(3):
+            trace = tracer.start(f"q{i}")
+            trace.finish()
+        snap = tracer.snapshot()
+        assert snap["started"] == 3 and snap["finished"] == 3
+        recent = tracer.recent()
+        assert [t["trace"]["name"] for t in recent] == ["q1", "q2"]
+        assert tracer.recent(limit=1)[0]["trace"]["name"] == "q2"
+
+    def test_dropped_spans_aggregate_across_traces(self):
+        tracer = Tracer(clock=FakeClock(), max_spans=2)
+        trace = tracer.start("q")
+        for _ in range(4):
+            trace.end(trace.begin("s"))
+        trace.finish()
+        assert tracer.snapshot()["spans_dropped"] == 3

@@ -1,0 +1,162 @@
+"""Property tests for the observability primitives (hypothesis).
+
+Histogram invariants:
+
+* **Monotone bounds** — every exponential ladder is strictly increasing,
+  whatever (start, growth, count) it is built from;
+* **Count conservation** — after N observations the bucket cells sum to N
+  and ``sum`` equals the observed total (no observation is ever lost or
+  double-counted);
+* **Merge associativity** — with identical bounds, ``(a ⊕ b) ⊕ c`` and
+  ``a ⊕ (b ⊕ c)`` produce identical cells (the fan-in guarantee the
+  fixed-bucket design exists for).
+
+Trace invariants, over arbitrary begin/end/fault interleavings:
+
+* **Every opened span is closed** — including spans abandoned by a fault
+  unwinding several levels at once — so ``open_spans()`` returns to zero;
+* **Proper nesting** — every recorded child's interval lies inside its
+  parent's (driven by a monotone fake clock);
+* **Bounded span count** — the tree never holds more than ``max_spans``
+  real spans, however many begins the run issued.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, exponential_buckets
+from repro.obs.trace import QueryTrace
+
+
+# -- histograms ----------------------------------------------------------------
+
+@given(start=st.floats(min_value=1e-6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+       growth=st.floats(min_value=1.0001, max_value=16.0),
+       count=st.integers(min_value=1, max_value=30))
+def test_bucket_ladders_are_strictly_monotone(start, growth, count):
+    bounds = exponential_buckets(start, growth, count)
+    assert len(bounds) == count
+    assert all(lo < hi for lo, hi in zip(bounds, bounds[1:]))
+    assert all(math.isfinite(b) and b > 0 for b in bounds)
+
+
+_VALUES = st.lists(st.floats(min_value=0.0, max_value=1e9,
+                             allow_nan=False, allow_infinity=False),
+                   max_size=80)
+
+
+@given(values=_VALUES)
+def test_observation_count_is_conserved(values):
+    histogram = Histogram("h", exponential_buckets(0.001, 2.0, 12))
+    for value in values:
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert sum(snap["counts"]) == len(values) == snap["count"]
+    assert snap["sum"] == sum(values)
+
+
+@given(a=_VALUES, b=_VALUES, c=_VALUES)
+def test_merge_is_associative_and_exact(a, b, c):
+    bounds = exponential_buckets(0.01, 3.0, 8)
+
+    def hist(values):
+        h = Histogram("h", bounds)
+        for value in values:
+            h.observe(value)
+        return h
+
+    left = hist(a)           # (a ⊕ b) ⊕ c
+    left.merge(hist(b))
+    left.merge(hist(c))
+    bc = hist(b)             # a ⊕ (b ⊕ c)
+    bc.merge(hist(c))
+    right = hist(a)
+    right.merge(bc)
+    left_snap, right_snap = left.snapshot(), right.snapshot()
+    # bucket counts merge exactly associatively; the float sum only up to
+    # addition-order rounding
+    assert left_snap["counts"] == right_snap["counts"]
+    assert left_snap["count"] == right_snap["count"]
+    assert math.isclose(left_snap["sum"], right_snap["sum"],
+                        rel_tol=1e-9, abs_tol=1e-9)
+    assert left.count == len(a) + len(b) + len(c)
+
+
+# -- traces --------------------------------------------------------------------
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        self.now += 1.0     # strictly monotone: nesting is checkable
+        return self.now
+
+
+# op encoding: 0 = begin, 1 = end the innermost span, 2 = fault-unwind to a
+# random depth (ending an OUTER span while inner ones are still open),
+# 3 = zero-duration event
+_OPS = st.lists(st.tuples(st.integers(min_value=0, max_value=3),
+                          st.integers(min_value=0, max_value=5)),
+                max_size=60)
+
+
+def _drive(trace, ops):
+    stack = []
+    for op, arg in ops:
+        if op == 0:
+            stack.append(trace.begin(f"s{len(stack)}", "scope"))
+        elif op == 1 and stack:
+            trace.end(stack.pop())
+        elif op == 2 and stack:
+            index = arg % len(stack)       # unwind to an arbitrary depth
+            span = stack[index]
+            del stack[index:]
+            trace.end(span, status="error")
+        elif op == 3:
+            trace.event("retry", attempt=arg)
+    while stack:                           # the run's finally-blocks
+        trace.end(stack.pop())
+    trace.finish()
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+@given(ops=_OPS, max_spans=st.integers(min_value=1, max_value=24))
+@settings(max_examples=200)
+def test_every_opened_span_closes_even_on_fault_paths(ops, max_spans):
+    trace = QueryTrace("q", clock=_Clock(), max_spans=max_spans)
+    _drive(trace, ops)
+    assert trace.open_spans() == 0
+    assert trace.finished
+    for span in _walk(trace.root):
+        assert span.ended is not None
+
+
+@given(ops=_OPS)
+@settings(max_examples=200)
+def test_recorded_spans_nest_properly(ops):
+    trace = QueryTrace("q", clock=_Clock())
+    _drive(trace, ops)
+    for parent in _walk(trace.root):
+        for child in parent.children:
+            assert parent.started < child.started
+            assert child.ended <= parent.ended
+
+
+@given(ops=_OPS, max_spans=st.integers(min_value=1, max_value=8))
+@settings(max_examples=200)
+def test_span_count_is_bounded_and_drops_are_accounted(ops, max_spans):
+    trace = QueryTrace("q", clock=_Clock(), max_spans=max_spans)
+    _drive(trace, ops)
+    assert trace.span_count() <= max_spans
+    begins = sum(1 for op, _ in ops if op in (0, 3))
+    # every begin either became a real span or was counted dropped
+    assert (trace.span_count() - 1) + trace.dropped == begins
